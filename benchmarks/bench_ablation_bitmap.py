@@ -1,0 +1,56 @@
+"""Ablation — sparse vs bitmap frontier (SS:GrB v4's bitmap format,
+Sec. VI-A).
+
+The pull step needs random lookups into the frontier; a bitmap makes each
+lookup O(1) while a sorted-list frontier needs a binary search.  We measure
+``mxv`` at several frontier densities: the sparse gather path wins when the
+frontier is tiny, the dense/bitmap path when it is heavy — the crossover is
+the direction-optimisation decision (and the reason SS:GrB added the
+format).
+"""
+
+import numpy as np
+import pytest
+
+from repro import grb
+from repro.grb import operations as ops
+
+
+def _frontier(n, density, seed=0):
+    rng = np.random.default_rng(seed)
+    idx = np.sort(rng.choice(n, size=max(1, int(density * n)), replace=False))
+    return grb.Vector.from_coo(idx.astype(np.int64), np.ones(idx.size), n)
+
+
+@pytest.mark.parametrize("density", [0.01, 0.25, 0.75])
+@pytest.mark.benchmark(group="ablation-bitmap")
+def test_mxv_dense_bitmap_path(benchmark, suite, density, monkeypatch):
+    g = suite["kron"]
+    a = g.A.pattern(grb.FP64)
+    u = _frontier(g.n, density)
+    monkeypatch.setattr(ops, "DENSE_PULL_FRACTION", 0.0)  # always bitmap/scipy
+    sr = grb.semiring_by_name("plus.second")
+
+    def run():
+        w = grb.Vector(grb.FP64, g.n)
+        grb.mxv(w, a, u, sr)
+        return w
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("density", [0.01, 0.25, 0.75])
+@pytest.mark.benchmark(group="ablation-bitmap")
+def test_mxv_sparse_gather_path(benchmark, suite, density, monkeypatch):
+    g = suite["kron"]
+    a = g.A.pattern(grb.FP64)
+    u = _frontier(g.n, density)
+    monkeypatch.setattr(ops, "DENSE_PULL_FRACTION", 2.0)  # never bitmap/scipy
+    sr = grb.semiring_by_name("plus.second")
+
+    def run():
+        w = grb.Vector(grb.FP64, g.n)
+        grb.mxv(w, a, u, sr)
+        return w
+
+    benchmark(run)

@@ -1,0 +1,29 @@
+"""Ablation — fusing vxm + assign in the BFS (Sec. VI-B, item 2).
+
+The paper attributes part of its remaining BFS gap to the two-call
+structure (``GrB_vxm`` then ``GrB_assign``) that non-blocking mode could
+fuse.  We ship both: the two-call Alg. 1 (`bfs_parent_push`) and the fused
+variant (`bfs_parent_fused`) whose frontier kernel writes parents
+directly.  The road graph shows the effect best: thousands of tiny levels
+mean the per-level write-back dominates.
+"""
+
+import pytest
+
+from repro.lagraph import algorithms as alg
+
+
+@pytest.mark.parametrize("name", ["kron", "road"])
+@pytest.mark.benchmark(group="ablation-fusion")
+def test_bfs_two_call(benchmark, suite, sources, name):
+    g = suite[name]
+    src = int(sources(g)[0])
+    benchmark(alg.bfs_parent_push, g, src)
+
+
+@pytest.mark.parametrize("name", ["kron", "road"])
+@pytest.mark.benchmark(group="ablation-fusion")
+def test_bfs_fused(benchmark, suite, sources, name):
+    g = suite[name]
+    src = int(sources(g)[0])
+    benchmark(alg.bfs_parent_fused, g, src)

@@ -1,0 +1,28 @@
+"""Ablation — direction optimisation (Sec. VI-A of the paper).
+
+The paper credits the bitmap pull step for the BFS/BC gains in SS:GrB
+v4.0.3.  Here: push-only BFS (Alg. 1) vs direction-optimising BFS (Alg. 2)
+on a skewed graph (pull pays off once the frontier is heavy) and on the
+road graph (frontier never gets heavy — pull never triggers, so the two
+should tie).
+"""
+
+import pytest
+
+from repro.lagraph import algorithms as alg
+
+
+@pytest.mark.parametrize("name", ["kron", "urand", "road"])
+@pytest.mark.benchmark(group="ablation-pushpull")
+def test_bfs_push_only(benchmark, suite, sources, name):
+    g = suite[name]
+    src = int(sources(g)[0])
+    benchmark(alg.bfs_parent_push, g, src)
+
+
+@pytest.mark.parametrize("name", ["kron", "urand", "road"])
+@pytest.mark.benchmark(group="ablation-pushpull")
+def test_bfs_direction_optimizing(benchmark, suite, sources, name):
+    g = suite[name]
+    src = int(sources(g)[0])
+    benchmark(alg.bfs_parent_do, g, src)

@@ -1,0 +1,99 @@
+"""Ablation — semiring dispatch (Table II / Sec. VI-A).
+
+Two design choices are measured:
+
+* the SciPy fast path for plus.times-reducible semirings vs the general
+  gather/group-reduce kernel on the *same* semiring (forced by raising the
+  density threshold), and
+* positional ``any.secondi`` (one fused step computing parents) vs the
+  two-step alternative the paper contrasts it with (``plus.first`` then a
+  separate parent fix-up) — the reason SS:GrB added positional operators.
+"""
+
+import pytest
+
+from repro import grb
+from repro.grb import operations as ops
+
+
+def _frontier(g, frac=0.5):
+    import numpy as np
+
+    n = g.n
+    idx = np.arange(0, n, max(int(1 / frac), 1), dtype=np.int64)
+    return grb.Vector.from_coo(idx, np.ones(idx.size), n)
+
+
+@pytest.mark.parametrize("semiring", ["plus.times", "plus.second", "plus.pair"])
+@pytest.mark.benchmark(group="ablation-dispatch")
+def test_vxm_scipy_path(benchmark, suite, semiring):
+    g = suite["kron"]
+    a = g.A.pattern(grb.FP64)
+    u = _frontier(g)
+    sr = grb.semiring_by_name(semiring)
+
+    def run():
+        w = grb.Vector(grb.FP64, g.n)
+        grb.vxm(w, u, a, sr)
+        return w
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("semiring", ["plus.times", "plus.second", "plus.pair"])
+@pytest.mark.benchmark(group="ablation-dispatch")
+def test_vxm_gather_path(benchmark, suite, semiring, monkeypatch):
+    g = suite["kron"]
+    a = g.A.pattern(grb.FP64)
+    u = _frontier(g)
+    sr = grb.semiring_by_name(semiring)
+    monkeypatch.setattr(ops, "DENSE_PULL_FRACTION", 2.0)  # force gather
+
+    def run():
+        w = grb.Vector(grb.FP64, g.n)
+        grb.vxm(w, u, a, sr)
+        return w
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ablation-positional")
+def test_bfs_step_any_secondi(benchmark, suite):
+    """One fused frontier step: parents come out of the semiring itself."""
+    g = suite["kron"]
+    u = _frontier(g, 0.1)
+    sr = grb.semiring_by_name("any.secondi")
+
+    def run():
+        w = grb.Vector(grb.INT64, g.n)
+        grb.vxm(w, u, g.A, sr)
+        return w
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ablation-positional")
+def test_bfs_step_two_phase(benchmark, suite):
+    """The pre-positional-ops formulation: reach, then recover parents."""
+    import numpy as np
+
+    g = suite["kron"]
+    u = _frontier(g, 0.1)
+    sr = grb.semiring_by_name("any.pair")
+
+    def run():
+        w = grb.Vector(grb.BOOL, g.n)
+        grb.vxm(w, u, g.A, sr)
+        # separate parent recovery: for each reached node, scan its
+        # in-edges for a frontier member (what secondi gives for free)
+        at = g.AT
+        present, _ = u.bitmap()
+        parents = np.full(g.n, -1, dtype=np.int64)
+        for v in w.indices:
+            cols, _vals = at.row(int(v))
+            hit = cols[present[cols]]
+            if hit.size:
+                parents[v] = hit[0]
+        return parents
+
+    benchmark(run)

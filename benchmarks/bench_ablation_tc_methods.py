@@ -1,0 +1,24 @@
+"""Ablation — triangle-counting method catalogue (Alg. 6 design choices).
+
+Times all six LAGraph TC methods plus the presort on/off choice, on the
+skewed Kron graph where the ascending-degree permutation matters most.
+"""
+
+import pytest
+
+from repro.lagraph import algorithms as alg
+from repro.lagraph.algorithms.tc import METHODS
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.benchmark(group="ablation-tc-methods")
+def test_tc_method(benchmark, suite, method):
+    g = suite["kron"]
+    benchmark(alg.triangle_count, g, method=method, presort=None)
+
+
+@pytest.mark.parametrize("presort", [None, "ascending", "descending"])
+@pytest.mark.benchmark(group="ablation-tc-presort")
+def test_tc_presort(benchmark, suite, presort):
+    g = suite["kron"]
+    benchmark(alg.triangle_count, g, method="sandia_lut", presort=presort)

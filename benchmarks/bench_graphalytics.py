@@ -1,0 +1,30 @@
+"""Graphalytics end-to-end benchmark (paper Sec. VII).
+
+Times each Graphalytics kernel and the ingestion stage separately — the
+split the paper's future-work section says matters for end-to-end
+workflows.
+"""
+
+import pytest
+
+from repro.gap import datasets, graphalytics
+
+from conftest import BENCH_SIZE
+
+
+@pytest.mark.parametrize("kernel", graphalytics.KERNELS)
+@pytest.mark.benchmark(group="graphalytics-kernels")
+def test_kernel(benchmark, suite, suite_weighted, kernel):
+    g = suite["kron"]
+    gw = suite_weighted["kron"]
+    benchmark(graphalytics.run_kernel, kernel, g, gw, 0, False)
+
+
+@pytest.mark.benchmark(group="graphalytics-ingest")
+def test_ingestion(benchmark):
+    def ingest():
+        g = datasets.build("kron", BENCH_SIZE)
+        g.cache_all()
+        return g
+
+    benchmark(ingest)

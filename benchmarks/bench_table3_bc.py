@@ -1,0 +1,29 @@
+"""Table III — BC row: batched Brandes (ns = 4 sources, as in GAP).
+
+Expected shape (paper): LAGraph *competitive or faster* on the large
+skewed graphs (the paper's headline: 1.2–1.5× faster on Kron/Urand/
+Twitter), but far slower on the high-diameter Road graph.
+"""
+
+import pytest
+
+from repro.gap import baselines
+from repro.lagraph import algorithms as alg
+
+from conftest import GRAPHS
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+@pytest.mark.benchmark(group="table3-bc")
+def test_bc_gap(benchmark, suite, sources, name):
+    g = suite[name]
+    srcs = sources(g)
+    benchmark(baselines.betweenness_centrality, g, srcs)
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+@pytest.mark.benchmark(group="table3-bc")
+def test_bc_lagraph(benchmark, suite, sources, name):
+    g = suite[name]
+    srcs = sources(g)
+    benchmark(alg.betweenness_centrality_batch, g, srcs)

@@ -1,0 +1,24 @@
+"""Table III — CC row: FastSV vs compiled union-find.
+
+Expected shape (paper): LAGraph 3–20× slower — FastSV pays several full
+matrix/vector sweeps per round against one compiled pass.
+"""
+
+import pytest
+
+from repro.gap import baselines
+from repro.lagraph import algorithms as alg
+
+from conftest import GRAPHS
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+@pytest.mark.benchmark(group="table3-cc")
+def test_cc_gap(benchmark, suite, name):
+    benchmark(baselines.connected_components, suite[name])
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+@pytest.mark.benchmark(group="table3-cc")
+def test_cc_lagraph(benchmark, suite, name):
+    benchmark(alg.connected_components, suite[name])

@@ -1,0 +1,32 @@
+"""Table III — PR row: GAP-spec PageRank to tolerance 1e-4.
+
+Expected shape (paper): the closest row — LAGraph within ≈ 1.1–1.8× of the
+reference, because the work is dominated by the same dense-vector pull
+(Aᵀ·w) on both sides.
+"""
+
+import pytest
+
+from repro.gap import baselines
+from repro.lagraph import algorithms as alg
+
+from conftest import GRAPHS
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+@pytest.mark.benchmark(group="table3-pr")
+def test_pr_gap(benchmark, suite, name):
+    benchmark(baselines.pagerank, suite[name])
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+@pytest.mark.benchmark(group="table3-pr")
+def test_pr_lagraph(benchmark, suite, name):
+    benchmark(alg.pagerank_gap, suite[name])
+
+
+@pytest.mark.parametrize("name", ["kron", "web"])
+@pytest.mark.benchmark(group="table3-pr-graphalytics")
+def test_pr_graphalytics_variant(benchmark, suite, name):
+    """The dangling-safe Graphalytics variant the paper also ships."""
+    benchmark(alg.pagerank_gx, suite[name])

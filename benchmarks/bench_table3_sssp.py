@@ -1,0 +1,35 @@
+"""Table III — SSSP row: delta-stepping vs compiled Dijkstra.
+
+Expected shape (paper): LAGraph's weakest row — 3.5–12× slower on the
+skewed graphs and ≈ 200× on Road (each bucket iteration is a full
+GraphBLAS call; Road has thousands of near-empty buckets).
+"""
+
+import pytest
+
+from repro.gap import baselines
+from repro.lagraph import algorithms as alg
+
+from conftest import GRAPHS
+
+
+def _delta(g):
+    return max(float(g.A.values.mean()), 1.0)
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+@pytest.mark.benchmark(group="table3-sssp")
+def test_sssp_gap(benchmark, suite_weighted, sources, name):
+    g = suite_weighted[name]
+    srcs = sources(g)
+    benchmark(lambda: [baselines.sssp_dijkstra(g, int(s)) for s in srcs])
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+@pytest.mark.benchmark(group="table3-sssp")
+def test_sssp_lagraph(benchmark, suite_weighted, sources, name):
+    g = suite_weighted[name]
+    srcs = sources(g)
+    delta = _delta(g)
+    benchmark(lambda: [alg.sssp_delta_stepping(g, int(s), delta=delta)
+                       for s in srcs])

@@ -1,0 +1,25 @@
+"""Table III — TC row: Alg. 6 (sort heuristic + masked plus.pair) vs the
+compiled reference pipeline.
+
+Expected shape (paper): LAGraph ≈ 1.5–3× slower (the paper attributes the
+gap to the unfused mxm + reduce; our driver overhead plays the same role).
+"""
+
+import pytest
+
+from repro.gap import baselines
+from repro.lagraph import algorithms as alg
+
+from conftest import GRAPHS
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+@pytest.mark.benchmark(group="table3-tc")
+def test_tc_gap(benchmark, suite, name):
+    benchmark(baselines.triangle_count, suite[name])
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+@pytest.mark.benchmark(group="table3-tc")
+def test_tc_lagraph(benchmark, suite, name):
+    benchmark(alg.triangle_count_basic, suite[name])

@@ -1,0 +1,39 @@
+"""Table IV — the benchmark matrices: generation cost and inventory.
+
+Regenerates Table IV's (nodes, entries, kind) rows as assertions, and
+times each generator (the paper's future-work section singles out data
+ingestion as a target; this is the baseline for it).
+"""
+
+import pytest
+
+from repro import lagraph as lg
+from repro.gap import datasets
+
+from conftest import BENCH_SIZE, GRAPHS
+
+_EXPECT_KIND = {
+    "kron": lg.ADJACENCY_UNDIRECTED,
+    "urand": lg.ADJACENCY_UNDIRECTED,
+    "twitter": lg.ADJACENCY_DIRECTED,
+    "web": lg.ADJACENCY_DIRECTED,
+    "road": lg.ADJACENCY_DIRECTED,
+}
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+@pytest.mark.benchmark(group="table4-generate")
+def test_generate(benchmark, name):
+    g = benchmark(datasets.build, name, BENCH_SIZE)
+    # the Table IV row this run regenerates
+    assert g.kind is _EXPECT_KIND[name]
+    assert g.n > 0 and g.nvals > 0
+    assert g.A.ndiag() == 0
+
+
+@pytest.mark.benchmark(group="table4-inventory")
+def test_inventory_rows(benchmark):
+    rows = benchmark(datasets.suite_table, BENCH_SIZE)
+    assert [r[0] for r in rows] == list(GRAPHS)
+    kinds = {r[0]: r[3] for r in rows}
+    assert kinds["kron"] == "undirected" and kinds["road"] == "directed"

@@ -1,0 +1,24 @@
+"""End-to-end Graphalytics workflow (the paper's Sec. VII future work).
+
+Runs the six LDBC Graphalytics kernels (BFS, PageRank, WCC, CDLP, LCC,
+SSSP) over the synthetic benchmark suite, timing the full pipeline —
+generation/ingestion, property caching, and each kernel — and reporting
+the ingestion share of end-to-end time (the paper's motivation for the
+SIMD-ingestion research direction it cites).
+
+Run:  python examples/graphalytics_workflow.py [size]
+      size ∈ {tiny, small, medium}, default tiny
+"""
+
+import sys
+
+from repro.gap import graphalytics
+
+size = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+
+for name in ("kron", "urand", "twitter", "web", "road"):
+    results = graphalytics.run_workflow(name, size=size, check=True)
+    print(graphalytics.format_workflow(name, results))
+    print()
+
+print("all kernels verified against their oracles ✓")

@@ -1,0 +1,22 @@
+"""repro — a pure-Python reproduction of the LAGraph paper.
+
+Subpackages
+-----------
+``repro.grb``
+    A from-scratch GraphBLAS substrate (types, semirings, masks, vectors,
+    matrices, masked operations) standing in for SuiteSparse:GraphBLAS.
+``repro.lagraph``
+    The paper's contribution: the LAGraph Graph object with cached
+    properties, Basic/Advanced algorithm modes, utilities, and the six GAP
+    algorithms (BFS, BC, PR, SSSP, TC, CC) plus an experimental tier.
+``repro.gap``
+    The evaluation substrate: GAP-style graph generators, hand-coded
+    baseline implementations, verifiers, and the Table III / Table IV
+    harness.
+"""
+
+__version__ = "1.0.0"
+
+from . import grb  # noqa: F401
+
+__all__ = ["grb", "__version__"]

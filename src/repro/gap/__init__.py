@@ -1,0 +1,17 @@
+"""``repro.gap`` — the evaluation substrate (Sec. VI of the paper).
+
+* :mod:`~repro.gap.generators` — scaled synthetic stand-ins for the five
+  GAP benchmark graphs (Table IV);
+* :mod:`~repro.gap.baselines` — reference kernels playing the GAP C++
+  role in Table III (and doubling as correctness oracles);
+* :mod:`~repro.gap.verify` — GAP-style output verifiers;
+* :mod:`~repro.gap.datasets` — the suite registry at three sizes;
+* :mod:`~repro.gap.harness` — regenerates Tables III and IV
+  (``python -m repro.gap.harness``).
+"""
+
+from . import baselines, datasets, generators, graphalytics, harness, verify
+from .datasets import SUITE, build, suite_table
+
+__all__ = ["baselines", "datasets", "generators", "graphalytics", "harness", "verify",
+           "SUITE", "build", "suite_table"]

@@ -1,0 +1,7 @@
+"""Synthetic generators for the GAP benchmark graphs (Table IV)."""
+
+from .graphs import kron, make_graph, road, twitter, urand, web
+from .rmat import GRAPH500_ABCD, rmat_edges
+
+__all__ = ["kron", "urand", "twitter", "web", "road", "make_graph",
+           "rmat_edges", "GRAPH500_ABCD"]

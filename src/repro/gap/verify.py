@@ -1,0 +1,104 @@
+"""GAP-style output verifiers.
+
+The GAP benchmark validates every trial's output with an independent
+checker; these functions do the same for each kernel.  They raise
+``AssertionError`` with a diagnostic on the first violation and return
+``True`` otherwise, so they can be used both in tests and in the harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grb.vector import Vector
+from ..lagraph.graph import Graph
+from ..lagraph.kinds import Kind
+from . import baselines
+
+__all__ = [
+    "verify_bfs_parent", "verify_bfs_level", "verify_sssp", "verify_cc",
+    "verify_pr", "verify_tc", "verify_bc",
+]
+
+
+def _edge_exists(g: Graph, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Vectorised membership test for edges (u[k] → v[k])."""
+    a = g.A
+    keys = a.keys()
+    q = u * np.int64(a.ncols) + v
+    pos = np.searchsorted(keys, q)
+    pos = np.minimum(pos, max(keys.size - 1, 0))
+    return (keys.size > 0) & (keys[pos] == q)
+
+
+def verify_bfs_parent(g: Graph, source: int, parent: Vector) -> bool:
+    """A parent vector is valid iff it encodes *some* BFS tree.
+
+    Checks (GAP's verifier logic): the source is its own parent; every
+    parent edge exists in the graph; the set of reached nodes matches a
+    reference BFS; tree depths equal true BFS levels.
+    """
+    idx, par = parent.to_coo()
+    assert parent.get(source) == source, "source must be its own parent"
+    nonroot = idx != source
+    assert _edge_exists(g, par[nonroot], idx[nonroot]).all(), \
+        "parent edge missing from graph"
+    level = baselines.bfs_level(g, source)
+    reached = np.flatnonzero(level >= 0)
+    assert np.array_equal(np.sort(idx), reached), "reached set mismatch"
+    # each non-root node's parent must sit exactly one level above
+    assert (level[par[nonroot]] == level[idx[nonroot]] - 1).all(), \
+        "parent not one BFS level above child"
+    return True
+
+
+def verify_bfs_level(g: Graph, source: int, level_vec: Vector) -> bool:
+    """Levels must match the reference BFS exactly."""
+    ref = baselines.bfs_level(g, source)
+    idx, lv = level_vec.to_coo()
+    assert np.array_equal(np.sort(idx), np.flatnonzero(ref >= 0)), \
+        "reached set mismatch"
+    assert np.array_equal(lv, ref[idx]), "level values mismatch"
+    return True
+
+
+def verify_sssp(g: Graph, source: int, dist: Vector, tol: float = 1e-9) -> bool:
+    """Distances must match Dijkstra on every reached node."""
+    ref = baselines.sssp_dijkstra(g, source)
+    idx, dv = dist.to_coo()
+    assert np.array_equal(np.sort(idx), np.flatnonzero(np.isfinite(ref))), \
+        "reached set mismatch"
+    assert np.allclose(dv, ref[idx], atol=tol), "distance mismatch"
+    return True
+
+
+def verify_cc(g: Graph, comp: Vector) -> bool:
+    """Labels must induce the same partition as the reference, and be
+    normalised to the component's minimum node id."""
+    ref = baselines.connected_components(g)
+    ours = comp.to_dense()
+    assert np.array_equal(ours, ref), "component labels mismatch"
+    return True
+
+
+def verify_pr(g: Graph, rank: Vector, tol: float = 1e-6, **kw) -> bool:
+    """Ranks must agree with the reference power iteration."""
+    ref, _ = baselines.pagerank(g, **kw)
+    ours = rank.to_dense()
+    assert np.abs(ours - ref).max() < tol, \
+        f"pagerank mismatch: max diff {np.abs(ours - ref).max():g}"
+    return True
+
+
+def verify_tc(g: Graph, count: int) -> bool:
+    ref = baselines.triangle_count(g)
+    assert count == ref, f"triangle count {count} != reference {ref}"
+    return True
+
+
+def verify_bc(g: Graph, sources, centrality: Vector, tol: float = 1e-6) -> bool:
+    ref = baselines.betweenness_centrality(g, sources)
+    ours = centrality.to_dense()
+    assert np.abs(ours - ref).max() < tol, \
+        f"bc mismatch: max diff {np.abs(ours - ref).max():g}"
+    return True

@@ -1,0 +1,76 @@
+"""Select operators (``GrB_IndexUnaryOp`` used with ``GrB_select``).
+
+A select operator is a boolean predicate ``f(value, i, j, thunk)`` evaluated
+on every stored entry; entries where it returns ``False`` are dropped
+(Sec. III-B-f of the paper).  All predicates are vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "SelectOp",
+    "TRIL",
+    "TRIU",
+    "DIAG",
+    "OFFDIAG",
+    "NONZERO",
+    "VALUEEQ",
+    "VALUENE",
+    "VALUEGT",
+    "VALUEGE",
+    "VALUELT",
+    "VALUELE",
+    "ROWLE",
+    "COLLE",
+    "by_name",
+]
+
+
+@dataclass(frozen=True)
+class SelectOp:
+    """A vectorised entry predicate.
+
+    ``fn(values, i, j, thunk) -> bool array``; for vectors ``j`` is zeros.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray, np.ndarray, object], np.ndarray]
+
+    def __call__(self, values, i, j, thunk) -> np.ndarray:
+        return np.asarray(self.fn(values, i, j, thunk), dtype=bool)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SelectOp({self.name})"
+
+
+TRIL = SelectOp("tril", lambda v, i, j, k: j <= i + (k or 0))
+TRIU = SelectOp("triu", lambda v, i, j, k: j >= i + (k or 0))
+DIAG = SelectOp("diag", lambda v, i, j, k: j == i + (k or 0))
+OFFDIAG = SelectOp("offdiag", lambda v, i, j, k: j != i + (k or 0))
+NONZERO = SelectOp("nonzero", lambda v, i, j, k: v.astype(bool))
+VALUEEQ = SelectOp("valueeq", lambda v, i, j, k: v == k)
+VALUENE = SelectOp("valuene", lambda v, i, j, k: v != k)
+VALUEGT = SelectOp("valuegt", lambda v, i, j, k: v > k)
+VALUEGE = SelectOp("valuege", lambda v, i, j, k: v >= k)
+VALUELT = SelectOp("valuelt", lambda v, i, j, k: v < k)
+VALUELE = SelectOp("valuele", lambda v, i, j, k: v <= k)
+ROWLE = SelectOp("rowle", lambda v, i, j, k: i <= k)
+COLLE = SelectOp("colle", lambda v, i, j, k: j <= k)
+
+_REGISTRY = {
+    op.name: op
+    for op in (TRIL, TRIU, DIAG, OFFDIAG, NONZERO, VALUEEQ, VALUENE,
+               VALUEGT, VALUEGE, VALUELT, VALUELE, ROWLE, COLLE)
+}
+
+
+def by_name(name: str) -> SelectOp:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown select op {name!r}") from None

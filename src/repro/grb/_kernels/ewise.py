@@ -1,0 +1,75 @@
+"""Element-wise union / intersection merges over sorted sparse structures.
+
+These implement the value semantics of ``eWiseAdd`` (union: the operator is
+applied only where *both* operands have entries, otherwise the lone entry is
+copied through) and ``eWiseMult`` (intersection) from the GraphBLAS spec.
+
+The same kernels serve vectors (keys are indices) and matrices (keys are
+linearised ``i * ncols + j`` coordinates) — callers linearise first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["union_merge", "intersect_merge", "setdiff_keys"]
+
+
+def intersect_merge(keys_a, vals_a, keys_b, vals_b, op):
+    """Apply ``op`` on the key intersection of two sorted sparse structures.
+
+    Parameters
+    ----------
+    keys_a, keys_b:
+        Sorted, unique int64 key arrays.
+    vals_a, vals_b:
+        Matching value arrays.
+    op:
+        Vectorised binary operator ``op(a_vals, b_vals)``.
+
+    Returns ``(keys, values)`` with keys sorted ascending.
+    """
+    common, ia, ib = np.intersect1d(keys_a, keys_b, assume_unique=True,
+                                    return_indices=True)
+    if common.size == 0:
+        dt = op(vals_a[:0], vals_b[:0]).dtype
+        return common, np.empty(0, dtype=dt)
+    return common, op(vals_a[ia], vals_b[ib])
+
+
+def union_merge(keys_a, vals_a, keys_b, vals_b, op):
+    """eWiseAdd semantics: union of structures, ``op`` only on the overlap.
+
+    Entries present in exactly one operand are copied through unchanged
+    (cast to the output dtype).
+    """
+    common, ia, ib = np.intersect1d(keys_a, keys_b, assume_unique=True,
+                                    return_indices=True)
+    both = op(vals_a[ia], vals_b[ib]) if common.size else op(vals_a[:0], vals_b[:0])
+    out_dt = np.result_type(both.dtype, vals_a.dtype, vals_b.dtype)
+
+    only_a = np.ones(keys_a.size, dtype=bool)
+    only_a[ia] = False
+    only_b = np.ones(keys_b.size, dtype=bool)
+    only_b[ib] = False
+
+    keys = np.concatenate((common, keys_a[only_a], keys_b[only_b]))
+    vals = np.concatenate((
+        both.astype(out_dt, copy=False),
+        vals_a[only_a].astype(out_dt, copy=False),
+        vals_b[only_b].astype(out_dt, copy=False),
+    ))
+    order = np.argsort(keys, kind="stable")
+    return keys[order], vals[order]
+
+
+def setdiff_keys(keys_a, keys_b):
+    """Boolean mask over ``keys_a`` marking entries *not* present in ``keys_b``.
+
+    Both inputs sorted unique int64.
+    """
+    if keys_b.size == 0:
+        return np.ones(keys_a.size, dtype=bool)
+    pos = np.searchsorted(keys_b, keys_a)
+    pos = np.minimum(pos, keys_b.size - 1)
+    return keys_b[pos] != keys_a

@@ -1,0 +1,119 @@
+"""The mask / accumulator / replace write-back step.
+
+Every GraphBLAS operation ends with the same transaction (C API spec §2.3):
+
+1. ``Z = C ⊙ T`` — if an accumulator ⊙ is given, merge the freshly computed
+   result ``T`` into the existing output ``C`` with eWiseAdd semantics;
+   otherwise ``Z = T``.
+2. ``C⟨M⟩ = Z`` — inside the mask the output becomes exactly ``Z`` (masked
+   positions where ``Z`` has no entry lose their entry); outside the mask the
+   old entries survive, unless *replace* semantics is requested, in which
+   case they are deleted.
+
+This module implements that transaction once, over linearised sorted key /
+value arrays, so vectors and matrices share one battle-tested code path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .ewise import setdiff_keys, union_merge
+
+__all__ = ["mask_allowed_keys", "masked_write"]
+
+
+def mask_allowed_keys(
+    mask_keys: np.ndarray,
+    mask_values: Optional[np.ndarray],
+    structural: bool,
+) -> np.ndarray:
+    """Keys selected by a (non-complemented) mask.
+
+    A *structural* mask selects every stored entry; a *valued* mask selects
+    entries whose value is truthy (explicit zeros/False are excluded).
+    """
+    if structural or mask_values is None:
+        return mask_keys
+    keep = mask_values.astype(bool)
+    return mask_keys[keep]
+
+
+def masked_write(
+    c_keys: np.ndarray,
+    c_vals: np.ndarray,
+    t_keys: np.ndarray,
+    t_vals: np.ndarray,
+    *,
+    accum=None,
+    allowed_keys: Optional[np.ndarray] = None,
+    complement: bool = False,
+    replace: bool = False,
+    out_dtype: Optional[np.dtype] = None,
+):
+    """Apply the spec write-back transaction; returns ``(keys, values)``.
+
+    Parameters
+    ----------
+    c_keys, c_vals:
+        The existing output's sorted unique keys and values.
+    t_keys, t_vals:
+        The operation result's sorted unique keys and values.
+    accum:
+        Optional binary accumulator ⊙.
+    allowed_keys:
+        Sorted keys selected by the mask *before* complementing, or ``None``
+        for "no mask" (everything allowed).
+    complement:
+        Whether the mask is complemented.
+    replace:
+        Replace (annihilate-outside-mask) semantics.
+    out_dtype:
+        dtype of the final values (defaults to promotion of inputs).
+    """
+    if out_dtype is None:
+        out_dtype = np.result_type(c_vals.dtype, t_vals.dtype) if c_vals.size or t_vals.size \
+            else t_vals.dtype
+
+    # Step 1: Z = C ⊙ T  (or Z = T without an accumulator).
+    if accum is not None and c_keys.size:
+        z_keys, z_vals = union_merge(c_keys, c_vals, t_keys, t_vals, accum)
+    else:
+        z_keys, z_vals = t_keys, t_vals
+
+    # No mask: the output becomes Z wholesale.
+    if allowed_keys is None and not complement:
+        return z_keys.astype(np.int64, copy=False), z_vals.astype(out_dtype, copy=False)
+
+    if allowed_keys is None:
+        # complemented "no mask" = empty mask: nothing inside.
+        inside_z = np.zeros(z_keys.size, dtype=bool)
+        outside_c = np.ones(c_keys.size, dtype=bool)
+    elif complement:
+        inside_z = setdiff_keys(z_keys, allowed_keys)
+        outside_c = ~setdiff_keys(c_keys, allowed_keys)
+    else:
+        inside_z = ~setdiff_keys(z_keys, allowed_keys)
+        outside_c = setdiff_keys(c_keys, allowed_keys)
+
+    keys_in = z_keys[inside_z]
+    vals_in = z_vals[inside_z]
+
+    if replace:
+        keys = keys_in
+        vals = vals_in.astype(out_dtype, copy=False)
+    else:
+        keys_out = c_keys[outside_c]
+        vals_out = c_vals[outside_c]
+        keys = np.concatenate((keys_in, keys_out))
+        vals = np.concatenate((
+            vals_in.astype(out_dtype, copy=False),
+            vals_out.astype(out_dtype, copy=False),
+        ))
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        vals = vals[order]
+
+    return keys.astype(np.int64, copy=False), vals

@@ -1,0 +1,119 @@
+"""Semiring matrix-multiply kernels (general path).
+
+Three shapes, all fully vectorised (no per-row Python loops):
+
+``vxm_sparse``
+    ``wᵀ = uᵀ ⊕.⊗ A`` driven by the *sparse frontier* ``u`` — the "push"
+    step of the paper's BFS (Sec. IV-A).  Cost is proportional to the sum of
+    the out-degrees of the frontier.
+
+``mxv_gather``
+    ``w = A ⊕.⊗ u`` computed row-by-row over an explicit row set — the
+    "pull" step when the row set is the complemented mask (the unvisited
+    nodes).  Cost is proportional to the sum of the in-degrees of the rows
+    examined.
+
+``mxm_expand``
+    ``C = A ⊕.⊗ B`` by flop-order expansion: every multiply the semiring
+    performs becomes one row of a COO triple which is then group-reduced by
+    the ⊕ monoid.  Memory is O(flops); the SciPy fast path in
+    :mod:`repro.grb.matrix` handles the plus.times-reducible semirings so
+    this kernel only runs for exotic semirings (min.plus mxm etc.).
+
+The positional coordinate convention follows
+:mod:`repro.grb.ops.positional`: the multiplier sees ``a(i, k) ⊗ b(k, j)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..ops.semiring import Semiring
+from .gather import csr_gather_rows, expand_rows
+
+__all__ = ["vxm_sparse", "mxv_gather", "mxm_expand"]
+
+
+def _multiply(semiring: Semiring, a_vals, b_vals, i, k, j):
+    """Apply the ⊗ operator to aligned argument arrays."""
+    if semiring.positional:
+        return semiring.mult.select(i, k, j)
+    return semiring.mult(a_vals, b_vals)
+
+
+def vxm_sparse(
+    u_idx: np.ndarray,
+    u_vals: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    values: Optional[np.ndarray],
+    semiring: Semiring,
+):
+    """``wᵀ = uᵀ ⊕.⊗ A`` with ``A`` in CSR.  Returns ``(w_idx, w_vals)``.
+
+    ``u`` is treated as a 1×n matrix, so in ``a(i,k) ⊗ b(k,j)`` terms:
+    ``i = 0``, ``k`` is the frontier index, ``j`` the reached column.
+    """
+    row_rep, cols, a_vals = csr_gather_rows(indptr, indices, values, u_idx)
+    k = u_idx[row_rep]
+    uv = u_vals[row_rep]
+    i = np.zeros(k.size, dtype=np.int64)
+    mult = _multiply(semiring, uv, a_vals, i, k, cols)
+    return semiring.add.reduce_groups(cols, mult)
+
+
+def mxv_gather(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    values: Optional[np.ndarray],
+    u_present: np.ndarray,
+    u_dense: np.ndarray,
+    rows: np.ndarray,
+    semiring: Semiring,
+):
+    """``w = A ⊕.⊗ u`` restricted to ``rows``; ``u`` given as a bitmap.
+
+    Returns ``(w_idx, w_vals)``.  In ``a(i,k) ⊗ b(k,j)`` terms: ``i`` is the
+    matrix row, ``k`` the matched column / vector index, ``j = 0``.
+    """
+    row_rep, cols, a_vals = csr_gather_rows(indptr, indices, values, rows)
+    hit = u_present[cols]
+    row_rep = row_rep[hit]
+    cols = cols[hit]
+    if a_vals is not None:
+        a_vals = a_vals[hit]
+    i = rows[row_rep]
+    uv = u_dense[cols]
+    j = np.zeros(i.size, dtype=np.int64)
+    mult = _multiply(semiring, a_vals, uv, i, cols, j)
+    return semiring.add.reduce_groups(i, mult)
+
+
+def mxm_expand(
+    a_indptr: np.ndarray,
+    a_indices: np.ndarray,
+    a_values: Optional[np.ndarray],
+    a_nrows: int,
+    b_indptr: np.ndarray,
+    b_indices: np.ndarray,
+    b_values: Optional[np.ndarray],
+    b_ncols: int,
+    semiring: Semiring,
+):
+    """``C = A ⊕.⊗ B`` by full flop expansion.
+
+    Returns ``(keys, vals)`` with keys linearised as ``i * b_ncols + j``,
+    sorted ascending and unique.
+    """
+    a_rows = expand_rows(a_indptr, a_nrows)  # i of each A entry
+    a_cols = a_indices                        # k of each A entry
+    # For every A entry, gather B row k.
+    ent_rep, j, b_vals_g = csr_gather_rows(b_indptr, b_indices, b_values, a_cols)
+    i = a_rows[ent_rep]
+    k = a_cols[ent_rep]
+    av = a_values[ent_rep] if a_values is not None else None
+    mult = _multiply(semiring, av, b_vals_g, i, k, j)
+    keys = i * np.int64(b_ncols) + j
+    return semiring.add.reduce_groups(keys, mult)

@@ -1,0 +1,88 @@
+"""GraphBLAS error conditions (``GrB_Info`` equivalents).
+
+The C API reports errors through ``GrB_Info`` return codes.  This substrate
+raises exceptions instead, but each exception carries the matching ``info``
+code so the LAGraph compatibility layer (:mod:`repro.lagraph.compat`) can
+translate back to the C-style convention.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GrBInfo",
+    "GraphBLASError",
+    "DimensionMismatch",
+    "IndexOutOfBounds",
+    "NoValue",
+    "DomainMismatch",
+    "InvalidValue",
+    "InvalidObject",
+    "EmptyObject",
+    "OutputNotEmpty",
+]
+
+
+class GrBInfo:
+    """Integer codes mirroring the ``GrB_Info`` enumeration."""
+
+    SUCCESS = 0
+    NO_VALUE = 1
+    UNINITIALIZED_OBJECT = -1
+    NULL_POINTER = -2
+    INVALID_VALUE = -3
+    INVALID_INDEX = -4
+    DOMAIN_MISMATCH = -5
+    DIMENSION_MISMATCH = -6
+    OUTPUT_NOT_EMPTY = -7
+    NOT_IMPLEMENTED = -8
+    PANIC = -101
+    OUT_OF_MEMORY = -102
+    INSUFFICIENT_SPACE = -103
+    INVALID_OBJECT = -104
+    INDEX_OUT_OF_BOUNDS = -105
+    EMPTY_OBJECT = -106
+
+
+class GraphBLASError(Exception):
+    """Base class for all substrate errors; carries a ``GrB_Info`` code."""
+
+    info: int = GrBInfo.PANIC
+
+    def __init__(self, message: str = "", info: int | None = None):
+        super().__init__(message or self.__class__.__name__)
+        if info is not None:
+            self.info = info
+
+
+class DimensionMismatch(GraphBLASError):
+    info = GrBInfo.DIMENSION_MISMATCH
+
+
+class IndexOutOfBounds(GraphBLASError):
+    info = GrBInfo.INDEX_OUT_OF_BOUNDS
+
+
+class NoValue(GraphBLASError):
+    """Raised by extractElement when no entry is present (``GrB_NO_VALUE``)."""
+
+    info = GrBInfo.NO_VALUE
+
+
+class DomainMismatch(GraphBLASError):
+    info = GrBInfo.DOMAIN_MISMATCH
+
+
+class InvalidValue(GraphBLASError):
+    info = GrBInfo.INVALID_VALUE
+
+
+class InvalidObject(GraphBLASError):
+    info = GrBInfo.INVALID_OBJECT
+
+
+class EmptyObject(GraphBLASError):
+    info = GrBInfo.EMPTY_OBJECT
+
+
+class OutputNotEmpty(GraphBLASError):
+    info = GrBInfo.OUTPUT_NOT_EMPTY

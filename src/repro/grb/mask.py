@@ -1,0 +1,79 @@
+"""Masks (Sec. III-C of the paper).
+
+A mask limits the scope of an operation's write-back.  The paper's notation
+maps to this module as follows:
+
+=================  =============================================
+notation           construction
+=================  =============================================
+``C⟨M⟩``           ``Mask(M)`` or just passing ``M``
+``C⟨¬M⟩``          ``complement(M)``
+``C⟨s(M)⟩``        ``structure(M)``
+``C⟨¬s(M)⟩``       ``complement(structure(M))``
+``C⟨M, r⟩``        any of the above plus ``replace=True`` on the op
+=================  =============================================
+
+By default masks are *valued*: stored entries with a falsy value (explicit
+zero) are not part of the mask.  A *structural* mask selects every stored
+entry regardless of value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Optional
+
+import numpy as np
+
+from ._kernels.maskwrite import mask_allowed_keys
+
+__all__ = ["Mask", "structure", "complement", "as_mask"]
+
+
+@dataclass(frozen=True)
+class Mask:
+    """A (possibly complemented, possibly structural) mask over an object.
+
+    Attributes
+    ----------
+    obj:
+        The :class:`~repro.grb.vector.Vector` or
+        :class:`~repro.grb.matrix.Matrix` providing the mask pattern.
+    structural:
+        Use the stored pattern only (ignore values).
+    complemented:
+        Select the positions *not* in the mask.
+    """
+
+    obj: object
+    structural: bool = False
+    complemented: bool = False
+
+    def allowed_keys(self) -> np.ndarray:
+        """Sorted keys selected by the mask before complementing."""
+        keys, vals = self.obj._mask_keys_values()
+        return mask_allowed_keys(keys, vals, self.structural)
+
+    def __invert__(self) -> "Mask":
+        return _dc_replace(self, complemented=not self.complemented)
+
+
+def structure(obj) -> Mask:
+    """``s(M)``: the structural mask of a vector/matrix (or lift a Mask)."""
+    if isinstance(obj, Mask):
+        return _dc_replace(obj, structural=True)
+    return Mask(obj, structural=True)
+
+
+def complement(obj) -> Mask:
+    """``¬M``: the complemented mask of a vector/matrix (or flip a Mask)."""
+    if isinstance(obj, Mask):
+        return ~obj
+    return Mask(obj, complemented=True)
+
+
+def as_mask(m) -> Optional[Mask]:
+    """Normalise a user-supplied mask argument (None, Mask, Vector, Matrix)."""
+    if m is None or isinstance(m, Mask):
+        return m
+    return Mask(m)

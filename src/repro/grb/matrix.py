@@ -1,0 +1,449 @@
+"""Sparse matrix (``GrB_Matrix`` equivalent).
+
+Storage model
+-------------
+CSR: ``indptr`` (``nrows+1``), ``indices`` (column ids, sorted within each
+row, duplicate-free) and ``values``.  Three lazily built caches are
+maintained and invalidated on mutation:
+
+* a SciPy ``csr_matrix`` view sharing the same buffers (zero-copy) — used by
+  the plus.times-reducible matmul fast path;
+* the explicit transpose (mirrors LAGraph's cached ``G->AT`` property);
+* the linearised COO key array ``i * ncols + j`` — used for mask resolution
+  and element-wise merges.
+
+As with :class:`~repro.grb.vector.Vector`, internals are intentionally
+non-opaque (LAGraph design, Sec. II-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from . import types as _types
+from ._kernels import apply_select as _selectops
+from ._kernels.ewise import intersect_merge, union_merge
+from ._kernels.gather import expand_rows
+from .errors import DimensionMismatch, IndexOutOfBounds, NoValue
+from .ops.binary import BinaryOp
+from .ops.monoid import Monoid
+from .ops.unary import UnaryOp
+from .types import Type, from_dtype
+from .vector import Vector
+
+__all__ = ["Matrix"]
+
+
+class Matrix:
+    """A sparse matrix of a fixed :class:`~repro.grb.types.Type` and shape."""
+
+    __slots__ = ("nrows", "ncols", "type", "indptr", "indices", "values",
+                 "_scipy", "_transpose", "_keys")
+
+    def __init__(self, typ, nrows: int, ncols: int):
+        self.type = typ if isinstance(typ, Type) else from_dtype(typ)
+        if nrows < 0 or ncols < 0:
+            raise DimensionMismatch(f"negative dimensions ({nrows}, {ncols})")
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.indptr = np.zeros(nrows + 1, dtype=np.int64)
+        self.indices = np.empty(0, dtype=np.int64)
+        self.values = np.empty(0, dtype=self.type.dtype)
+        self._scipy = None
+        self._transpose = None
+        self._keys = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, rows, cols, values, nrows: int, ncols: int,
+                 typ=None, dup_op: Optional[BinaryOp] = None) -> "Matrix":
+        """Build from tuples (``C ↤ {i, j, x}``).
+
+        Duplicates are an error unless ``dup_op`` combines them.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values)
+        if np.isscalar(values) or values.ndim == 0:
+            values = np.full(rows.shape, values)
+        if not (rows.shape == cols.shape == values.shape):
+            raise DimensionMismatch("rows/cols/values must have equal length")
+        if typ is None:
+            typ = from_dtype(values.dtype)
+        elif not isinstance(typ, Type):
+            typ = from_dtype(typ)
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= nrows:
+                raise IndexOutOfBounds("row index out of range")
+            if cols.min() < 0 or cols.max() >= ncols:
+                raise IndexOutOfBounds("column index out of range")
+        keys = rows * np.int64(ncols) + cols
+        order = np.argsort(keys, kind="stable")
+        sk = keys[order]
+        sv = values[order].astype(typ.dtype, copy=False)
+        dup = np.zeros(sk.size, dtype=bool)
+        if sk.size:
+            np.equal(sk[1:], sk[:-1], out=dup[1:])
+        if dup.any():
+            if dup_op is None:
+                raise ValueError("duplicate (row, col) pairs without dup_op")
+            starts = np.flatnonzero(~dup)
+            out_vals = sv[starts].copy()
+            rest = np.flatnonzero(dup)
+            group = np.searchsorted(starts, rest, side="right") - 1
+            for pos, g in zip(rest, group):  # rare path
+                out_vals[g] = dup_op(out_vals[g], sv[pos])
+            sk = sk[starts]
+            sv = out_vals.astype(typ.dtype, copy=False)
+        m = cls(typ, nrows, ncols)
+        m._set_from_keys(sk, sv)
+        return m
+
+    @classmethod
+    def from_scipy(cls, a, typ=None) -> "Matrix":
+        """Build from any SciPy sparse matrix (copied, canonicalised)."""
+        a = sp.csr_matrix(a)
+        a.sort_indices()
+        a.sum_duplicates()
+        if typ is None:
+            typ = from_dtype(a.dtype)
+        elif not isinstance(typ, Type):
+            typ = from_dtype(typ)
+        m = cls(typ, a.shape[0], a.shape[1])
+        m.indptr = a.indptr.astype(np.int64)
+        m.indices = a.indices.astype(np.int64)
+        m.values = a.data.astype(typ.dtype, copy=False)
+        return m
+
+    @classmethod
+    def from_dense(cls, arr, keep_zeros: bool = False) -> "Matrix":
+        """Build from a dense 2-D array; zeros are dropped unless kept."""
+        arr = np.asarray(arr)
+        if arr.ndim != 2:
+            raise DimensionMismatch("from_dense requires a 2-D array")
+        if keep_zeros:
+            r, c = np.nonzero(np.ones(arr.shape, dtype=bool))
+        else:
+            r, c = np.nonzero(arr)
+        return cls.from_coo(r, c, arr[r, c], arr.shape[0], arr.shape[1])
+
+    @classmethod
+    def from_diag(cls, v: Vector) -> "Matrix":
+        """Diagonal matrix from a vector's entries."""
+        m = cls(v.type, v.size, v.size)
+        idx, vals = v.to_coo()
+        keys = idx * np.int64(v.size) + idx
+        m._set_from_keys(keys, vals)
+        return m
+
+    def dup(self) -> "Matrix":
+        """``C ↤ A``: an independent copy."""
+        m = Matrix(self.type, self.nrows, self.ncols)
+        m.indptr = self.indptr.copy()
+        m.indices = self.indices.copy()
+        m.values = self.values.copy()
+        return m
+
+    # ------------------------------------------------------------------
+    # internal plumbing
+    # ------------------------------------------------------------------
+    def _set_from_keys(self, keys: np.ndarray, vals: np.ndarray,
+                       typ: Optional[Type] = None):
+        """Rebuild CSR from sorted/unique linearised keys (takes ownership)."""
+        if typ is not None:
+            self.type = typ
+        ncols = np.int64(self.ncols) if self.ncols else np.int64(1)
+        rows = keys // ncols
+        cols = keys - rows * ncols
+        counts = np.bincount(rows, minlength=self.nrows) if keys.size else \
+            np.zeros(self.nrows, dtype=np.int64)
+        self.indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        self.indices = cols.astype(np.int64, copy=False)
+        self.values = vals.astype(self.type.dtype, copy=False)
+        self._invalidate()
+        self._keys = keys.astype(np.int64, copy=False)
+
+    def _invalidate(self):
+        self._scipy = None
+        self._transpose = None
+        self._keys = None
+
+    def keys(self) -> np.ndarray:
+        """Sorted linearised COO keys ``i * ncols + j`` (cached)."""
+        if self._keys is None:
+            rows = expand_rows(self.indptr, self.nrows)
+            self._keys = rows * np.int64(self.ncols) + self.indices
+        return self._keys
+
+    def _mask_keys_values(self):
+        return self.keys(), self.values
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """Zero-copy SciPy CSR view of this matrix (cached).
+
+        Boolean matrices are exposed with their native dtype; SciPy handles
+        bool CSR for structural operations but matmuls cast first (see
+        :mod:`repro.grb.operations`).
+        """
+        if self._scipy is None:
+            self._scipy = sp.csr_matrix(
+                (self.values, self.indices, self.indptr),
+                shape=(self.nrows, self.ncols),
+            )
+        return self._scipy
+
+    # ------------------------------------------------------------------
+    # basic properties & access
+    # ------------------------------------------------------------------
+    @property
+    def nvals(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def shape(self):
+        return (self.nrows, self.ncols)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.type.dtype
+
+    def to_coo(self):
+        """``{i, j, x} ↤ A``: copies of row/col/value arrays."""
+        rows = expand_rows(self.indptr, self.nrows)
+        return rows, self.indices.copy(), self.values.copy()
+
+    def to_dense(self, fill=0) -> np.ndarray:
+        out = np.full((self.nrows, self.ncols), fill, dtype=self.type.dtype)
+        rows = expand_rows(self.indptr, self.nrows)
+        out[rows, self.indices] = self.values
+        return out
+
+    def clear(self):
+        """Remove all entries (shape and type unchanged)."""
+        self.indptr = np.zeros(self.nrows + 1, dtype=np.int64)
+        self.indices = np.empty(0, dtype=np.int64)
+        self.values = np.empty(0, dtype=self.type.dtype)
+        self._invalidate()
+
+    def get(self, i: int, j: int, default=None):
+        """Value at ``(i, j)`` or ``default`` when absent."""
+        i, j = int(i), int(j)
+        if not (0 <= i < self.nrows and 0 <= j < self.ncols):
+            raise IndexOutOfBounds(f"({i}, {j}) out of range {self.shape}")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        pos = lo + np.searchsorted(self.indices[lo:hi], j)
+        if pos < hi and self.indices[pos] == j:
+            return self.values[pos]
+        return default
+
+    def __getitem__(self, ij):
+        """``s = A(i, j)``: extractElement; :class:`NoValue` when absent."""
+        sentinel = object()
+        out = self.get(*ij, default=sentinel)
+        if out is sentinel:
+            raise NoValue(f"no entry at {ij}")
+        return out
+
+    def __setitem__(self, ij, value):
+        """``C(i, j) = s``: setElement (rebuilds the row — O(nnz))."""
+        i, j = int(ij[0]), int(ij[1])
+        if not (0 <= i < self.nrows and 0 <= j < self.ncols):
+            raise IndexOutOfBounds(f"({i}, {j}) out of range {self.shape}")
+        lo, hi = int(self.indptr[i]), int(self.indptr[i + 1])
+        pos = lo + int(np.searchsorted(self.indices[lo:hi], j))
+        if pos < hi and self.indices[pos] == j:
+            self.values[pos] = value
+            self._scipy = None
+            self._transpose = None
+            return
+        self.indices = np.insert(self.indices, pos, j)
+        self.values = np.insert(self.values, pos,
+                                np.asarray(value, dtype=self.type.dtype))
+        self.indptr = self.indptr.copy()
+        self.indptr[i + 1:] += 1
+        self._invalidate()
+
+    def row(self, i: int):
+        """Stored (column indices, values) of row ``i`` — zero-copy views."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.values[lo:hi]
+
+    def extract_row(self, i: int) -> Vector:
+        """``w = A(i, :)ᵀ``: row ``i`` as a vector."""
+        cols, vals = self.row(i)
+        w = Vector(self.type, self.ncols)
+        w._set_sparse(cols.copy(), vals.copy())
+        return w
+
+    def extract_col(self, j: int) -> Vector:
+        """``w = A(:, j)``: column ``j`` as a vector (via cached transpose)."""
+        return self.T.extract_row(j)
+
+    def extract(self, rows, cols) -> "Matrix":
+        """``C = A(i, j)``: the induced submatrix (Sec. III-B-d).
+
+        Row ``r`` of the result is row ``rows[r]`` of ``A`` restricted to the
+        columns listed in ``cols`` (in that order).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        sub = self.to_scipy()[rows][:, cols]
+        out = Matrix.from_scipy(sub, typ=self.type)
+        return out
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+    @property
+    def T(self) -> "Matrix":
+        """``Aᵀ`` (cached; the cache is the analogue of ``G->AT``)."""
+        if self._transpose is None:
+            t = Matrix.from_scipy(self.to_scipy().transpose().tocsr(),
+                                  typ=self.type)
+            self._transpose = t
+        return self._transpose
+
+    def transpose(self) -> "Matrix":
+        """A fresh transposed copy (never the cached object)."""
+        return self.T.dup()
+
+    def pattern(self, typ: Type = _types.BOOL) -> "Matrix":
+        """``LAGraph_Pattern``: structure-only copy with unit values."""
+        m = Matrix(typ, self.nrows, self.ncols)
+        m.indptr = self.indptr.copy()
+        m.indices = self.indices.copy()
+        m.values = np.ones(self.indices.size, dtype=typ.dtype)
+        return m
+
+    def select(self, op, thunk=None) -> "Matrix":
+        """``A⟨f(A, k)⟩``: keep entries satisfying the predicate."""
+        if isinstance(op, str):
+            op = _selectops.by_name(op)
+        rows = expand_rows(self.indptr, self.nrows)
+        keep = op(self.values, rows, self.indices, thunk)
+        out = Matrix(self.type, self.nrows, self.ncols)
+        keys = rows[keep] * np.int64(self.ncols) + self.indices[keep]
+        out._set_from_keys(keys, self.values[keep])
+        return out
+
+    def tril(self, k: int = 0) -> "Matrix":
+        """``L = tril(A)``: entries on/below diagonal ``k``."""
+        return self.select(_selectops.TRIL, k)
+
+    def triu(self, k: int = 0) -> "Matrix":
+        """``U = triu(A)``: entries on/above diagonal ``k``."""
+        return self.select(_selectops.TRIU, k)
+
+    def offdiag(self) -> "Matrix":
+        """Drop diagonal entries (LAGraph requires ndiag == 0 for TC)."""
+        return self.select(_selectops.OFFDIAG, 0)
+
+    def ndiag(self) -> int:
+        """Number of stored diagonal entries."""
+        rows = expand_rows(self.indptr, self.nrows)
+        return int((rows == self.indices).sum())
+
+    def apply(self, op: UnaryOp, thunk=None) -> "Matrix":
+        """``f(A, k)``: apply a unary op to every entry."""
+        if op.positional == "i":
+            vals = op.fn(expand_rows(self.indptr, self.nrows))
+        elif op.positional == "j":
+            vals = op.fn(self.indices)
+        elif thunk is not None:
+            vals = op.fn(self.values, thunk)
+        else:
+            vals = op.fn(self.values)
+        if op.out_dtype is not None:
+            vals = vals.astype(op.out_dtype, copy=False)
+        out = Matrix(from_dtype(vals.dtype), self.nrows, self.ncols)
+        out.indptr = self.indptr.copy()
+        out.indices = self.indices.copy()
+        out.values = vals
+        return out
+
+    # ------------------------------------------------------------------
+    # element-wise (unmasked conveniences)
+    # ------------------------------------------------------------------
+    def ewise_add(self, other: "Matrix", op: BinaryOp) -> "Matrix":
+        """``A op∪ B``: union merge."""
+        self._check_same_shape(other)
+        keys, vals = union_merge(self.keys(), self.values,
+                                 other.keys(), other.values, op)
+        out = Matrix(from_dtype(vals.dtype), self.nrows, self.ncols)
+        out._set_from_keys(keys, vals)
+        return out
+
+    def ewise_mult(self, other: "Matrix", op: BinaryOp) -> "Matrix":
+        """``A op∩ B``: intersection merge."""
+        self._check_same_shape(other)
+        keys, vals = intersect_merge(self.keys(), self.values,
+                                     other.keys(), other.values, op)
+        out = Matrix(from_dtype(vals.dtype), self.nrows, self.ncols)
+        out._set_from_keys(keys, vals)
+        return out
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def reduce_rowwise(self, monoid: Monoid) -> Vector:
+        """``w = [⊕ⱼ A(:, j)]``: per-row reduction to a column vector."""
+        rows = expand_rows(self.indptr, self.nrows)
+        idx, vals = monoid.reduce_groups(rows, self.values)
+        w = Vector(from_dtype(vals.dtype) if vals.size else self.type, self.nrows)
+        w._set_sparse(idx, vals)
+        return w
+
+    def reduce_colwise(self, monoid: Monoid) -> Vector:
+        """Per-column reduction (``[⊕ᵢ A(i, :)]``)."""
+        idx, vals = monoid.reduce_groups(self.indices, self.values)
+        w = Vector(from_dtype(vals.dtype) if vals.size else self.type, self.ncols)
+        w._set_sparse(idx, vals)
+        return w
+
+    def reduce_scalar(self, monoid: Monoid):
+        """``s = [⊕ᵢⱼ A(i, j)]``: reduce every entry to one scalar."""
+        return monoid.reduce_all(self.values)
+
+    def row_degrees(self) -> Vector:
+        """Stored-entry count per row, as an INT64 vector (dense)."""
+        counts = np.diff(self.indptr).astype(np.int64)
+        return Vector.from_dense(counts)
+
+    def col_degrees(self) -> Vector:
+        """Stored-entry count per column, as an INT64 vector (dense)."""
+        counts = np.bincount(self.indices, minlength=self.ncols).astype(np.int64)
+        return Vector.from_dense(counts)
+
+    # ------------------------------------------------------------------
+    # comparisons / misc
+    # ------------------------------------------------------------------
+    def isequal(self, other: "Matrix") -> bool:
+        """Same shape, structure and values (LAGraph ``IsEqual``)."""
+        return (
+            self.shape == other.shape
+            and self.nvals == other.nvals
+            and bool(np.array_equal(self.indptr, other.indptr))
+            and bool(np.array_equal(self.indices, other.indices))
+            and bool(np.array_equal(self.values, other.values))
+        )
+
+    def is_symmetric_pattern(self) -> bool:
+        """Whether the structure equals that of the transpose."""
+        t = self.T
+        return bool(
+            np.array_equal(self.indptr, t.indptr)
+            and np.array_equal(self.indices, t.indices)
+        )
+
+    def _check_same_shape(self, other: "Matrix"):
+        if self.shape != other.shape:
+            raise DimensionMismatch(f"shapes differ: {self.shape} vs {other.shape}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Matrix({self.type.name}, shape={self.nrows}x{self.ncols}, "
+                f"nvals={self.nvals})")

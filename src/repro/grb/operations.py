@@ -1,0 +1,540 @@
+"""Masked GraphBLAS operations (Table I of the paper).
+
+Each function mirrors one row of Table I, written in the C API's
+"output-first" style::
+
+    vxm(w, u, A, semiring, mask=..., accum=..., replace=...)   # wᵀ⟨mᵀ⟩⊙= uᵀ ⊕.⊗ A
+
+All operations share the write-back transaction implemented in
+:mod:`repro.grb._kernels.maskwrite`: compute ``T``, merge with the
+accumulator, then write through the (possibly structural / complemented)
+mask, honouring replace semantics.  The output object always keeps its
+declared type; computed values are cast into it.
+
+Matmul dispatch
+---------------
+* ``plus.times``-reducible semirings (Table II's ``plus.first``,
+  ``plus.second``, ``plus.pair`` and the conventional semiring) run on
+  SciPy's compiled CSR kernels, substituting the *pattern* (all-ones
+  values) of an operand where the multiply op ignores that side's values.
+* every other semiring (``min.plus``, ``any.secondi``, ...) runs on the
+  vectorised gather/group-reduce kernels in
+  :mod:`repro.grb._kernels.matmul`.
+* ``mxv`` restricts computation to the mask-allowed rows *before* doing any
+  work — this is what makes the "pull" step of direction-optimised BFS cost
+  only the in-degrees of the unvisited nodes (Sec. VI-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ._kernels import apply_select as _selectops
+from ._kernels.ewise import intersect_merge, union_merge
+from ._kernels.gather import expand_rows
+from ._kernels.maskwrite import masked_write
+from ._kernels.matmul import mxm_expand, mxv_gather, vxm_sparse
+from .errors import DimensionMismatch
+from .mask import Mask, as_mask
+from .matrix import Matrix
+from .ops.binary import BinaryOp
+from .ops.monoid import Monoid
+from .ops.semiring import Semiring
+from .ops.unary import UnaryOp
+from .vector import Vector
+
+__all__ = [
+    "vxm", "mxv", "mxm", "ewise_add", "ewise_mult", "apply", "select",
+    "assign", "assign_scalar", "extract", "update", "reduce_rowwise",
+    "reduce_colwise", "transpose", "kronecker", "DENSE_PULL_FRACTION",
+]
+
+#: Frontier density above which plus-reducible mxv/vxm switch to the dense
+#: (SciPy) path.  Mirrors SS:GrB's sparse→bitmap heuristic.
+DENSE_PULL_FRACTION = 0.10
+
+# SciPy keeps explicit zeros produced by cancellation in sparse matmul; probe
+# once so the fast path knows whether structure needs a separate pattern
+# product.
+_probe = sp.csr_matrix(np.array([[1.0, -1.0]])) @ sp.csr_matrix(np.array([[1.0], [1.0]]))
+_SCIPY_KEEPS_ZEROS = _probe.nnz == 1
+del _probe
+
+
+# ---------------------------------------------------------------------------
+# write-back helpers
+# ---------------------------------------------------------------------------
+
+def _write_vector(w: Vector, t_idx, t_vals, mask: Optional[Mask], accum,
+                  replace: bool):
+    allowed = None
+    complemented = False
+    if mask is not None:
+        allowed = mask.allowed_keys()
+        complemented = mask.complemented
+    keys, vals = masked_write(
+        w._idx, w._vals, t_idx, t_vals,
+        accum=accum, allowed_keys=allowed, complement=complemented,
+        replace=replace, out_dtype=w.type.dtype,
+    )
+    w._set_sparse(keys, vals)
+    return w
+
+
+def _write_matrix(c: Matrix, t_keys, t_vals, mask: Optional[Mask], accum,
+                  replace: bool):
+    allowed = None
+    complemented = False
+    if mask is not None:
+        allowed = mask.allowed_keys()
+        complemented = mask.complemented
+    keys, vals = masked_write(
+        c.keys(), c.values, t_keys, t_vals,
+        accum=accum, allowed_keys=allowed, complement=complemented,
+        replace=replace, out_dtype=c.type.dtype,
+    )
+    c._set_from_keys(keys, vals)
+    return c
+
+
+def _check(cond: bool, msg: str):
+    if not cond:
+        raise DimensionMismatch(msg)
+
+
+# ---------------------------------------------------------------------------
+# matmul fast-path helpers
+# ---------------------------------------------------------------------------
+
+def _scipy_operand(m: Matrix, use_values: bool, dtype) -> sp.csr_matrix:
+    """SciPy CSR of ``m`` with values (cast) or the all-ones pattern."""
+    if use_values:
+        s = m.to_scipy()
+        return s.astype(dtype, copy=False) if s.dtype != dtype else s
+    return sp.csr_matrix(
+        (np.ones(m.nvals, dtype=dtype), m.indices, m.indptr),
+        shape=(m.nrows, m.ncols),
+    )
+
+
+def _mult_uses(semiring: Semiring):
+    """Which operands' values the multiply op reads: (use_a, use_b)."""
+    name = semiring.mult.name
+    return name in ("times", "first"), name in ("times", "second")
+
+
+def _scipy_mxm(a: Matrix, b: Matrix, semiring: Semiring):
+    """plus.times-reducible ``C = A ⊕.⊗ B`` on SciPy; returns (keys, vals)."""
+    use_a, use_b = _mult_uses(semiring)
+    if semiring.mult.name == "pair":
+        dt = np.dtype(np.int64)
+    else:
+        dt = semiring.mult_dtype(a.dtype, b.dtype)
+    if dt == np.bool_:
+        dt = np.dtype(np.int64)
+    prod = _scipy_operand(a, use_a, dt) @ _scipy_operand(b, use_b, dt)
+    prod = prod.tocsr()
+    prod.sort_indices()
+    rows = expand_rows(prod.indptr.astype(np.int64), prod.shape[0])
+    keys = rows * np.int64(prod.shape[1]) + prod.indices.astype(np.int64)
+    vals = prod.data
+    if not _SCIPY_KEEPS_ZEROS and (use_a or use_b):
+        # structure must come from a cancellation-proof pattern product
+        pat = (_scipy_operand(a, False, np.int64) @
+               _scipy_operand(b, False, np.int64)).tocsr()
+        pat.sort_indices()
+        prow = expand_rows(pat.indptr.astype(np.int64), pat.shape[0])
+        pkeys = prow * np.int64(pat.shape[1]) + pat.indices.astype(np.int64)
+        out = np.zeros(pkeys.size, dtype=vals.dtype)
+        pos = np.searchsorted(pkeys, keys)
+        out[pos] = vals
+        return pkeys, out
+    return keys, vals
+
+
+def _scipy_mxv(a: Matrix, u: Vector, semiring: Semiring, *,
+               swap_operands: bool = False):
+    """plus-reducible dense ``w = A ⊕.⊗ u``; returns (idx, vals).
+
+    ``swap_operands=True`` is used by vxm (``uᵀ A`` computed as ``Aᵀ u``):
+    there the vector is the *first* multiply operand, so ``first``/``second``
+    exchange which side's values they read.  Value structure: absent vector
+    entries carry 0 in the bitmap and therefore vanish under plus.times
+    arithmetic; the entry *structure* comes from a cancellation-proof
+    pattern product.
+    """
+    use_a, use_b = _mult_uses(semiring)
+    if swap_operands and semiring.mult.name in ("first", "second"):
+        use_a, use_b = use_b, use_a
+    if semiring.mult.name == "pair":
+        dt = np.dtype(np.int64)
+    else:
+        dt = semiring.mult_dtype(a.dtype, u.dtype)
+    if dt == np.bool_:
+        dt = np.dtype(np.int64)
+    present, dense = u.bitmap()
+    sa = _scipy_operand(a, use_a, dt)
+    uvec = dense.astype(dt, copy=False) if use_b else present.astype(dt)
+    w_dense = sa @ uvec
+    counts = _scipy_operand(a, False, np.int64) @ present.astype(np.int64)
+    idx = np.flatnonzero(counts > 0).astype(np.int64)
+    return idx, w_dense[idx]
+
+
+def _mask_rows(mask: Optional[Mask], nrows: int) -> Optional[np.ndarray]:
+    """Row set selected by a vector mask (pre-computation restriction)."""
+    if mask is None:
+        return None
+    allowed = mask.allowed_keys()
+    if mask.complemented:
+        present = np.zeros(nrows, dtype=bool)
+        present[allowed] = True
+        return np.flatnonzero(~present).astype(np.int64)
+    return allowed
+
+
+# ---------------------------------------------------------------------------
+# matrix multiplication (mxm / mxv / vxm)
+# ---------------------------------------------------------------------------
+
+def vxm(w: Vector, u: Vector, a: Matrix, semiring: Semiring, *,
+        mask=None, accum: Optional[BinaryOp] = None, replace: bool = False):
+    """``wᵀ⟨mᵀ⟩⊙= uᵀ ⊕.⊗ A`` — the "push" direction.
+
+    Cost is proportional to the total out-degree of ``u``'s entries on the
+    sparse path; dense plus-reducible inputs take the SciPy path.
+    """
+    _check(u.size == a.nrows, f"vxm: u.size {u.size} != A.nrows {a.nrows}")
+    _check(w.size == a.ncols, f"vxm: w.size {w.size} != A.ncols {a.ncols}")
+    mask = as_mask(mask)
+    if (semiring.scipy_reducible() and u.nvals > DENSE_PULL_FRACTION * u.size
+            and a.nvals > 0 and u.nvals > 0):
+        t_idx, t_vals = _scipy_mxv(a.T, u, semiring, swap_operands=True)
+    else:
+        t_idx, t_vals = vxm_sparse(u._idx, u._vals, a.indptr, a.indices,
+                                   a.values, semiring)
+    return _write_vector(w, t_idx, t_vals, mask, accum, replace)
+
+
+def mxv(w: Vector, a: Matrix, u: Vector, semiring: Semiring, *,
+        mask=None, accum: Optional[BinaryOp] = None, replace: bool = False):
+    """``w⟨m⟩⊙= A ⊕.⊗ u`` — the "pull" direction.
+
+    When a mask is supplied, only the mask-selected rows of ``A`` are
+    examined (the complemented-structural-mask BFS pull touches exactly the
+    unvisited rows).
+    """
+    _check(u.size == a.ncols, f"mxv: u.size {u.size} != A.ncols {a.ncols}")
+    _check(w.size == a.nrows, f"mxv: w.size {w.size} != A.nrows {a.nrows}")
+    mask = as_mask(mask)
+    if (semiring.scipy_reducible() and mask is None
+            and u.nvals > DENSE_PULL_FRACTION * u.size
+            and a.nvals > 0 and u.nvals > 0):
+        t_idx, t_vals = _scipy_mxv(a, u, semiring)
+    else:
+        rows = _mask_rows(mask, a.nrows)
+        if rows is None:
+            rows = np.arange(a.nrows, dtype=np.int64)
+        present, dense = u.bitmap()
+        t_idx, t_vals = mxv_gather(a.indptr, a.indices, a.values,
+                                   present, dense, rows, semiring)
+    return _write_vector(w, t_idx, t_vals, mask, accum, replace)
+
+
+def mxm(c: Matrix, a: Matrix, b: Matrix, semiring: Semiring, *,
+        mask=None, accum: Optional[BinaryOp] = None, replace: bool = False,
+        transpose_a: bool = False, transpose_b: bool = False):
+    """``C⟨M⟩⊙= A ⊕.⊗ B`` with optional operand transposition.
+
+    ``transpose_b=True`` mirrors the descriptor-based ``F Bᵀ`` pull step of
+    the paper's BC (Sec. IV-B): the transpose is taken from the operand's
+    cache, never re-materialised per call.
+    """
+    if transpose_a:
+        a = a.T
+    if transpose_b:
+        b = b.T
+    _check(a.ncols == b.nrows, f"mxm: A.ncols {a.ncols} != B.nrows {b.nrows}")
+    _check(c.nrows == a.nrows and c.ncols == b.ncols,
+           f"mxm: C shape {c.shape} != ({a.nrows}, {b.ncols})")
+    mask = as_mask(mask)
+    if semiring.scipy_reducible() and a.nvals and b.nvals:
+        t_keys, t_vals = _scipy_mxm(a, b, semiring)
+    else:
+        t_keys, t_vals = mxm_expand(a.indptr, a.indices, a.values, a.nrows,
+                                    b.indptr, b.indices, b.values, b.ncols,
+                                    semiring)
+    return _write_matrix(c, t_keys, t_vals, mask, accum, replace)
+
+
+# ---------------------------------------------------------------------------
+# element-wise
+# ---------------------------------------------------------------------------
+
+def _is_vector(x) -> bool:
+    return isinstance(x, Vector)
+
+
+def ewise_add(out, a, b, op: BinaryOp, *, mask=None, accum=None,
+              replace: bool = False):
+    """``C⟨M⟩⊙= A op∪ B`` (union of structures; op only on the overlap)."""
+    mask = as_mask(mask)
+    if _is_vector(out):
+        a._check_same_size(b)
+        _check(out.size == a.size, "ewise_add: output size mismatch")
+        keys, vals = union_merge(a._idx, a._vals, b._idx, b._vals, op)
+        return _write_vector(out, keys, vals, mask, accum, replace)
+    a._check_same_shape(b)
+    _check(out.shape == a.shape, "ewise_add: output shape mismatch")
+    keys, vals = union_merge(a.keys(), a.values, b.keys(), b.values, op)
+    return _write_matrix(out, keys, vals, mask, accum, replace)
+
+
+def ewise_mult(out, a, b, op: BinaryOp, *, mask=None, accum=None,
+               replace: bool = False):
+    """``C⟨M⟩⊙= A op∩ B`` (intersection of structures)."""
+    mask = as_mask(mask)
+    if _is_vector(out):
+        a._check_same_size(b)
+        _check(out.size == a.size, "ewise_mult: output size mismatch")
+        keys, vals = intersect_merge(a._idx, a._vals, b._idx, b._vals, op)
+        return _write_vector(out, keys, vals, mask, accum, replace)
+    a._check_same_shape(b)
+    _check(out.shape == a.shape, "ewise_mult: output shape mismatch")
+    keys, vals = intersect_merge(a.keys(), a.values, b.keys(), b.values, op)
+    return _write_matrix(out, keys, vals, mask, accum, replace)
+
+
+# ---------------------------------------------------------------------------
+# apply / select / update
+# ---------------------------------------------------------------------------
+
+def apply(out, src, op: UnaryOp, thunk=None, *, mask=None, accum=None,
+          replace: bool = False):
+    """``C⟨M⟩⊙= f(A, k)``."""
+    t = src.apply(op, thunk)
+    mask = as_mask(mask)
+    if _is_vector(out):
+        return _write_vector(out, t._idx, t._vals, mask, accum, replace)
+    return _write_matrix(out, t.keys(), t.values, mask, accum, replace)
+
+
+def select(out, src, op, thunk=None, *, mask=None, accum=None,
+           replace: bool = False):
+    """``C⟨M⟩⊙= A⟨f(A, k)⟩``: filter entries by a predicate."""
+    if isinstance(op, str):
+        op = _selectops.by_name(op)
+    t = src.select(op, thunk)
+    mask = as_mask(mask)
+    if _is_vector(out):
+        return _write_vector(out, t._idx, t._vals, mask, accum, replace)
+    return _write_matrix(out, t.keys(), t.values, mask, accum, replace)
+
+
+def update(out, t, *, mask=None, accum=None, replace: bool = False):
+    """``C⟨M⟩⊙= T``: write an already computed object through the mask.
+
+    With ``accum`` this is the paper's ``P += F`` idiom; with a mask it is
+    ``p⟨s(q)⟩ = q``.
+    """
+    mask = as_mask(mask)
+    if _is_vector(out):
+        _check(out.size == t.size, "update: size mismatch")
+        return _write_vector(out, t._idx, t._vals, mask, accum, replace)
+    _check(out.shape == t.shape, "update: shape mismatch")
+    return _write_matrix(out, t.keys(), t.values, mask, accum, replace)
+
+
+# ---------------------------------------------------------------------------
+# assign / extract
+# ---------------------------------------------------------------------------
+
+def _region_write(out, region_keys, t_keys, t_vals, mask: Optional[Mask],
+                  accum, replace: bool):
+    """Write ``T`` into the sub-range ``region_keys`` of ``out``.
+
+    Assign semantics: inside the region (∩ mask) the output becomes exactly
+    ``Z``; positions outside the region are never touched.  The effective
+    allowed set is the region intersected with the (possibly complemented)
+    mask, after which the write-back runs un-complemented.  With
+    ``replace=True`` entries inside the region but outside the mask are
+    cleared (subassign-style replace).
+    """
+    if mask is None:
+        allowed = region_keys
+    else:
+        m_allowed = mask.allowed_keys()
+        if mask.complemented:
+            keep = ~np.isin(region_keys, m_allowed, assume_unique=False)
+        else:
+            keep = np.isin(region_keys, m_allowed, assume_unique=False)
+        allowed = region_keys[keep]
+        if replace:
+            # subassign replace: clear region entries the mask rejects
+            allowed_for_clear = region_keys
+            if _is_vector(out):
+                keys, vals = masked_write(
+                    out._idx, out._vals, np.empty(0, np.int64),
+                    np.empty(0, out.type.dtype), accum=None,
+                    allowed_keys=allowed_for_clear[~keep], complement=False,
+                    replace=False, out_dtype=out.type.dtype)
+                out._set_sparse(keys, vals)
+            else:
+                keys, vals = masked_write(
+                    out.keys(), out.values, np.empty(0, np.int64),
+                    np.empty(0, out.type.dtype), accum=None,
+                    allowed_keys=allowed_for_clear[~keep], complement=False,
+                    replace=False, out_dtype=out.type.dtype)
+                out._set_from_keys(keys, vals)
+    if _is_vector(out):
+        keys, vals = masked_write(
+            out._idx, out._vals, t_keys, t_vals, accum=accum,
+            allowed_keys=allowed, complement=False, replace=False,
+            out_dtype=out.type.dtype)
+        out._set_sparse(keys, vals)
+    else:
+        keys, vals = masked_write(
+            out.keys(), out.values, t_keys, t_vals, accum=accum,
+            allowed_keys=allowed, complement=False, replace=False,
+            out_dtype=out.type.dtype)
+        out._set_from_keys(keys, vals)
+    return out
+
+
+def assign(w, u, indices=None, *, mask=None, accum=None, replace: bool = False):
+    """``w⟨m⟩(i)⊙= u`` — assign a vector (or matrix) into a sub-range.
+
+    ``indices=None`` means ``GrB_ALL``.  For matrices pass
+    ``indices=(rows, cols)``.  Positions outside the index range are never
+    modified; inside the range the output takes ``u``'s pattern (so range
+    positions absent from ``u`` lose their entry, per the spec).
+    """
+    mask = as_mask(mask)
+    if _is_vector(w):
+        if indices is None:
+            return _write_vector(w, u._idx, u._vals, mask, accum, replace)
+        indices = np.asarray(indices, dtype=np.int64)
+        _check(u.size == indices.size, "assign: index list size mismatch")
+        t_idx = indices[u._idx]
+        t_vals = u._vals
+        order = np.argsort(t_idx, kind="stable")
+        region = np.unique(indices)
+        return _region_write(w, region, t_idx[order], t_vals[order], mask,
+                             accum, replace)
+    rows, cols = (None, None) if indices is None else indices
+    whole = rows is None and cols is None
+    rows = np.arange(w.nrows, dtype=np.int64) if rows is None \
+        else np.asarray(rows, dtype=np.int64)
+    cols = np.arange(w.ncols, dtype=np.int64) if cols is None \
+        else np.asarray(cols, dtype=np.int64)
+    _check(u.nrows == rows.size and u.ncols == cols.size,
+           "assign: submatrix shape mismatch")
+    ur, uc, uv = u.to_coo()
+    t_keys = rows[ur] * np.int64(w.ncols) + cols[uc]
+    order = np.argsort(t_keys, kind="stable")
+    if whole:
+        return _write_matrix(w, t_keys[order], uv[order], mask, accum, replace)
+    region = np.unique(
+        (np.unique(rows)[:, None] * np.int64(w.ncols) +
+         np.unique(cols)[None, :]).ravel())
+    return _region_write(w, region, t_keys[order], uv[order], mask, accum,
+                         replace)
+
+
+def assign_scalar(w, value, indices=None, *, mask=None, accum=None,
+                  replace: bool = False):
+    """``w⟨m⟩(i)⊙= s`` — assign a scalar to a sub-range (or everywhere).
+
+    The scalar lands on *every selected position* (subject to the mask), not
+    just existing entries — this is how the paper densifies vectors
+    (``r(0:n-1) = teleport``, ``B(:) = 1.0``).  Positions outside the index
+    range are never modified.
+    """
+    mask = as_mask(mask)
+    if _is_vector(w):
+        whole = indices is None
+        idx = np.arange(w.size, dtype=np.int64) if whole \
+            else np.unique(np.asarray(indices, dtype=np.int64))
+        vals = np.full(idx.size, value, dtype=w.type.dtype)
+        if whole:
+            return _write_vector(w, idx, vals, mask, accum, replace)
+        return _region_write(w, idx, idx, vals, mask, accum, replace)
+    rows, cols = (None, None) if indices is None else indices
+    whole = rows is None and cols is None
+    rows = np.arange(w.nrows, dtype=np.int64) if rows is None \
+        else np.unique(np.asarray(rows, dtype=np.int64))
+    cols = np.arange(w.ncols, dtype=np.int64) if cols is None \
+        else np.unique(np.asarray(cols, dtype=np.int64))
+    t_keys = (rows[:, None] * np.int64(w.ncols) + cols[None, :]).ravel()
+    t_vals = np.full(t_keys.size, value, dtype=w.type.dtype)
+    if whole:
+        return _write_matrix(w, t_keys, t_vals, mask, accum, replace)
+    return _region_write(w, t_keys, t_keys, t_vals, mask, accum, replace)
+
+
+def extract(w, u, indices, *, mask=None, accum=None, replace: bool = False):
+    """``w⟨m⟩⊙= u(i)``: subvector extract (Sec. III-B-d).
+
+    ``w[k] = u[indices[k]]`` for positions where ``u`` has an entry.
+    Duplicate indices are allowed (the same source entry fans out).
+    """
+    mask = as_mask(mask)
+    indices = np.asarray(indices, dtype=np.int64)
+    _check(w.size == indices.size, "extract: output size mismatch")
+    present, dense = u.bitmap()
+    hit = present[indices]
+    t_idx = np.flatnonzero(hit).astype(np.int64)
+    t_vals = dense[indices[t_idx]]
+    return _write_vector(w, t_idx, t_vals, mask, accum, replace)
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+def reduce_rowwise(w: Vector, a: Matrix, monoid: Monoid, *, mask=None,
+                   accum=None, replace: bool = False):
+    """``w⟨m⟩⊙= [⊕ⱼ A(:, j)]``: per-row reduction into a vector."""
+    _check(w.size == a.nrows, "reduce_rowwise: output size mismatch")
+    t = a.reduce_rowwise(monoid)
+    return _write_vector(w, t._idx, t._vals, as_mask(mask), accum, replace)
+
+
+def reduce_colwise(w: Vector, a: Matrix, monoid: Monoid, *, mask=None,
+                   accum=None, replace: bool = False):
+    """``w⟨m⟩⊙= [⊕ᵢ A(i, :)]``: per-column reduction into a vector."""
+    _check(w.size == a.ncols, "reduce_colwise: output size mismatch")
+    t = a.reduce_colwise(monoid)
+    return _write_vector(w, t._idx, t._vals, as_mask(mask), accum, replace)
+
+
+def transpose(c: Matrix, a: Matrix, *, mask=None, accum=None,
+              replace: bool = False):
+    """``C⟨M⟩⊙= Aᵀ``: transposition as a standalone masked operation."""
+    _check(c.nrows == a.ncols and c.ncols == a.nrows,
+           f"transpose: C shape {c.shape} != ({a.ncols}, {a.nrows})")
+    t = a.T
+    return _write_matrix(c, t.keys(), t.values, as_mask(mask), accum, replace)
+
+
+# ---------------------------------------------------------------------------
+# kronecker
+# ---------------------------------------------------------------------------
+
+def kronecker(a: Matrix, b: Matrix, op: BinaryOp) -> Matrix:
+    """``C = A ⊗kron B``: the Kronecker product with multiply op ``op``.
+
+    Used by the Graph500-style Kron generator.  Fully vectorised expansion:
+    one output entry per (A entry, B entry) pair.
+    """
+    ar, ac, av = a.to_coo()
+    br, bc, bv = b.to_coo()
+    na = av.size
+    nb = bv.size
+    i = (np.repeat(ar, nb) * np.int64(b.nrows)) + np.tile(br, na)
+    j = (np.repeat(ac, nb) * np.int64(b.ncols)) + np.tile(bc, na)
+    vals = op(np.repeat(av, nb), np.tile(bv, na))
+    return Matrix.from_coo(i, j, vals, a.nrows * b.nrows, a.ncols * b.ncols)

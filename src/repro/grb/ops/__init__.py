@@ -1,0 +1,36 @@
+"""Operator algebra for the GraphBLAS substrate.
+
+Submodules
+----------
+unary
+    ``GrB_UnaryOp`` equivalents (identity, abs, lnot, rowindex, ...).
+binary
+    ``GrB_BinaryOp`` equivalents (plus, times, min, first, second, pair, ...).
+positional
+    ``GxB_FIRSTI``-family multiplicative operators (firsti/secondi/...).
+monoid
+    ``GrB_Monoid`` equivalents, including the ``any`` monoid.
+semiring
+    ``GrB_Semiring`` equivalents named ``add.mult`` (e.g. ``any.secondi``).
+"""
+
+from . import binary, monoid, positional, semiring, unary
+from .binary import BinaryOp
+from .monoid import Monoid
+from .positional import PositionalOp
+from .semiring import Semiring, semiring as make_semiring
+from .unary import UnaryOp
+
+__all__ = [
+    "binary",
+    "monoid",
+    "positional",
+    "semiring",
+    "unary",
+    "BinaryOp",
+    "Monoid",
+    "PositionalOp",
+    "Semiring",
+    "UnaryOp",
+    "make_semiring",
+]

@@ -1,0 +1,148 @@
+"""Binary operators (``GrB_BinaryOp`` equivalents).
+
+Operators are vectorised over NumPy arrays.  Comparison operators force a
+boolean output dtype; everything else follows NumPy promotion unless the
+operator pins ``out_dtype``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = [
+    "BinaryOp",
+    "PLUS",
+    "MINUS",
+    "RMINUS",
+    "TIMES",
+    "DIV",
+    "RDIV",
+    "MIN",
+    "MAX",
+    "FIRST",
+    "SECOND",
+    "PAIR",
+    "ANY",
+    "EQ",
+    "NE",
+    "GT",
+    "LT",
+    "GE",
+    "LE",
+    "LOR",
+    "LAND",
+    "LXOR",
+    "ISEQ",
+    "binary_op",
+    "by_name",
+]
+
+_BOOL = np.dtype(np.bool_)
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """A binary operator ``z = f(x, y)`` applied element-wise.
+
+    Attributes
+    ----------
+    name:
+        Lower-case operator name as used in semiring names (``"plus"``).
+    fn:
+        Vectorised callable ``fn(x, y) -> z``.
+    out_dtype:
+        Fixed output dtype (e.g. bool for comparisons) or ``None``.
+    commutative:
+        Whether ``f(x, y) == f(y, x)``; used by kernel fast paths.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    out_dtype: Optional[np.dtype] = None
+    commutative: bool = False
+
+    def __call__(self, x, y):
+        out = self.fn(x, y)
+        if self.out_dtype is not None and np.asarray(out).dtype != self.out_dtype:
+            out = np.asarray(out).astype(self.out_dtype)
+        return out
+
+    def result_dtype(self, dx: np.dtype, dy: np.dtype) -> np.dtype:
+        """The dtype this operator produces for input dtypes ``dx``/``dy``."""
+        if self.out_dtype is not None:
+            return self.out_dtype
+        if self.name == "first":
+            return dx
+        if self.name in ("second", "any"):
+            return dy
+        return np.result_type(dx, dy)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BinaryOp({self.name})"
+
+
+def _div(x, y):
+    x = np.asarray(x)
+    if np.issubdtype(x.dtype, np.integer):
+        with np.errstate(divide="ignore"):
+            return np.floor_divide(x, y)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.divide(x, y)
+
+
+PLUS = BinaryOp("plus", np.add, commutative=True)
+MINUS = BinaryOp("minus", np.subtract)
+RMINUS = BinaryOp("rminus", lambda x, y: np.subtract(y, x))
+TIMES = BinaryOp("times", np.multiply, commutative=True)
+DIV = BinaryOp("div", _div)
+RDIV = BinaryOp("rdiv", lambda x, y: _div(y, x))
+MIN = BinaryOp("min", np.minimum, commutative=True)
+MAX = BinaryOp("max", np.maximum, commutative=True)
+FIRST = BinaryOp("first", lambda x, y: np.broadcast_arrays(x, y)[0].copy())
+SECOND = BinaryOp("second", lambda x, y: np.broadcast_arrays(x, y)[1].copy())
+# pair(x, y) == 1 regardless of values (SS:GrB calls this ONEB).
+PAIR = BinaryOp(
+    "pair",
+    lambda x, y: np.ones(np.broadcast_shapes(np.shape(x), np.shape(y)), dtype=np.uint64),
+    out_dtype=np.dtype(np.uint64),
+    commutative=True,
+)
+# any(x, y): either argument is a valid result; we deterministically keep y
+# (the "new" value), matching how our kernels feed arguments.
+ANY = BinaryOp("any", lambda x, y: np.broadcast_arrays(x, y)[1].copy(), commutative=True)
+
+EQ = BinaryOp("eq", np.equal, out_dtype=_BOOL, commutative=True)
+NE = BinaryOp("ne", np.not_equal, out_dtype=_BOOL, commutative=True)
+GT = BinaryOp("gt", np.greater, out_dtype=_BOOL)
+LT = BinaryOp("lt", np.less, out_dtype=_BOOL)
+GE = BinaryOp("ge", np.greater_equal, out_dtype=_BOOL)
+LE = BinaryOp("le", np.less_equal, out_dtype=_BOOL)
+LOR = BinaryOp("lor", np.logical_or, out_dtype=_BOOL, commutative=True)
+LAND = BinaryOp("land", np.logical_and, out_dtype=_BOOL, commutative=True)
+LXOR = BinaryOp("lxor", np.logical_xor, out_dtype=_BOOL, commutative=True)
+ISEQ = BinaryOp("iseq", lambda x, y: (x == y).astype(np.result_type(x, y)))
+
+_REGISTRY = {
+    op.name: op
+    for op in (
+        PLUS, MINUS, RMINUS, TIMES, DIV, RDIV, MIN, MAX, FIRST, SECOND,
+        PAIR, ANY, EQ, NE, GT, LT, GE, LE, LOR, LAND, LXOR, ISEQ,
+    )
+}
+
+
+def binary_op(name: str, fn: Callable, **kw) -> BinaryOp:
+    """Create and register a user-defined binary operator."""
+    op = BinaryOp(name, fn, **kw)
+    _REGISTRY[name] = op
+    return op
+
+
+def by_name(name: str) -> BinaryOp:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown binary op {name!r}") from None

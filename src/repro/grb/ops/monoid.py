@@ -1,0 +1,168 @@
+"""Monoids (``GrB_Monoid`` equivalents): a commutative binary op + identity.
+
+A monoid supplies three things our kernels need:
+
+* the pairwise combine function (for eWiseAdd-style merges),
+* an identity for the given dtype (what empty reductions return),
+* a *grouped reduction*: given values tagged with integer group keys, reduce
+  each group with ⊕.  This is the workhorse behind every semiring matmul.
+
+The ``any`` monoid — introduced by SS:GrB for the BFS benign race (Sec. IV-A
+of the paper) — reduces a group by simply picking one member.  We pick the
+first in storage order, which is deterministic and therefore testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from .binary import (
+    ANY,
+    BinaryOp,
+    EQ,
+    LAND,
+    LOR,
+    LXOR,
+    MAX,
+    MIN,
+    PLUS,
+    TIMES,
+)
+
+__all__ = [
+    "Monoid",
+    "PLUS_MONOID",
+    "TIMES_MONOID",
+    "MIN_MONOID",
+    "MAX_MONOID",
+    "ANY_MONOID",
+    "LOR_MONOID",
+    "LAND_MONOID",
+    "LXOR_MONOID",
+    "EQ_MONOID",
+    "by_name",
+]
+
+
+def _min_identity(dtype: np.dtype):
+    if np.issubdtype(dtype, np.floating):
+        return dtype.type(np.inf)
+    if dtype == np.bool_:
+        return dtype.type(True)
+    return np.iinfo(dtype).max
+
+
+def _max_identity(dtype: np.dtype):
+    if np.issubdtype(dtype, np.floating):
+        return dtype.type(-np.inf)
+    if dtype == np.bool_:
+        return dtype.type(False)
+    return np.iinfo(dtype).min
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """A commutative, associative reduction operator with identity.
+
+    Attributes
+    ----------
+    name:
+        Name used in semiring strings (``"plus"`` in ``"plus.times"``).
+    op:
+        The underlying :class:`BinaryOp`.
+    identity_fn:
+        ``identity_fn(dtype) -> scalar`` identity for that dtype; ``None``
+        for the ``any`` monoid which has no meaningful identity.
+    ufunc:
+        NumPy ufunc used for ``reduceat``-based grouped reduction, or ``None``
+        for pick-one monoids.
+    terminal_fn:
+        Optional ``terminal_fn(dtype) -> scalar``: a value at which the
+        reduction may stop early (e.g. ``False`` for ``land``).  Only used as
+        metadata; our vectorised kernels do not early-exit.
+    """
+
+    name: str
+    op: BinaryOp
+    identity_fn: Optional[Callable[[np.dtype], object]]
+    ufunc: Optional[np.ufunc]
+    terminal_fn: Optional[Callable[[np.dtype], object]] = None
+
+    def identity(self, dtype: np.dtype):
+        if self.identity_fn is None:
+            raise ValueError(f"monoid {self.name!r} has no identity")
+        return self.identity_fn(np.dtype(dtype))
+
+    def __call__(self, x, y):
+        return self.op(x, y)
+
+    def reduce_all(self, values: np.ndarray):
+        """Reduce a flat array to a scalar; identity when empty."""
+        if values.size == 0:
+            return self.identity(values.dtype)
+        if self.ufunc is None:  # "any": pick one
+            return values[0]
+        return self.ufunc.reduce(values)
+
+    def reduce_groups(self, keys: np.ndarray, values: np.ndarray):
+        """Reduce ``values`` grouped by integer ``keys``.
+
+        Returns ``(unique_keys, reduced_values)`` with ``unique_keys`` sorted
+        ascending.  ``keys`` need not be sorted.
+        """
+        if keys.size == 0:
+            return keys[:0].astype(np.int64), values[:0]
+        order = np.argsort(keys, kind="stable")
+        sk = keys[order]
+        sv = values[order]
+        boundaries = np.empty(sk.size, dtype=bool)
+        boundaries[0] = True
+        np.not_equal(sk[1:], sk[:-1], out=boundaries[1:])
+        starts = np.flatnonzero(boundaries)
+        ukeys = sk[starts]
+        if self.ufunc is None:  # "any": first element of each group
+            return ukeys, sv[starts]
+        reduced = self.ufunc.reduceat(sv, starts)
+        return ukeys, reduced
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Monoid({self.name})"
+
+
+PLUS_MONOID = Monoid("plus", PLUS, lambda dt: dt.type(0), np.add)
+TIMES_MONOID = Monoid("times", TIMES, lambda dt: dt.type(1), np.multiply)
+MIN_MONOID = Monoid(
+    "min", MIN, _min_identity, np.minimum, terminal_fn=_max_identity
+)
+MAX_MONOID = Monoid(
+    "max", MAX, _max_identity, np.maximum, terminal_fn=_min_identity
+)
+ANY_MONOID = Monoid("any", ANY, None, None)
+LOR_MONOID = Monoid(
+    "lor", LOR, lambda dt: dt.type(False), np.logical_or,
+    terminal_fn=lambda dt: dt.type(True),
+)
+LAND_MONOID = Monoid(
+    "land", LAND, lambda dt: dt.type(True), np.logical_and,
+    terminal_fn=lambda dt: dt.type(False),
+)
+LXOR_MONOID = Monoid("lxor", LXOR, lambda dt: dt.type(False), np.logical_xor)
+EQ_MONOID = Monoid("eq", EQ, lambda dt: dt.type(True), np.equal)
+
+_REGISTRY = {
+    m.name: m
+    for m in (
+        PLUS_MONOID, TIMES_MONOID, MIN_MONOID, MAX_MONOID, ANY_MONOID,
+        LOR_MONOID, LAND_MONOID, LXOR_MONOID, EQ_MONOID,
+    )
+}
+
+
+def by_name(name: str) -> Monoid:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown monoid {name!r}") from None

@@ -1,0 +1,61 @@
+"""Positional multiplicative operators (``GxB_FIRSTI`` family).
+
+In ``C = A ⊕.⊗ B`` the multiplier acts on the pair ``a(i, k) ⊗ b(k, j)``.
+A positional operator ignores the *values* and returns one of the three
+coordinates instead:
+
+=========  =======
+operator   returns
+=========  =======
+firsti     ``i``  (row of the A entry)
+firstj     ``k``  (column of the A entry / row of the B entry)
+secondi    ``k``  (row of the B entry — the BFS "parent id")
+secondj    ``j``  (column of the B entry)
+=========  =======
+
+The ``any.secondi`` semiring built from these is what gives the paper's BFS
+its single-step parent computation (Sec. IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PositionalOp", "FIRSTI", "FIRSTJ", "SECONDI", "SECONDJ", "by_name"]
+
+
+@dataclass(frozen=True)
+class PositionalOp:
+    """A multiplicative operator returning an entry coordinate.
+
+    ``coord`` selects which coordinate of the ``a(i,k) ⊗ b(k,j)`` pair the
+    operator yields: ``"i"``, ``"k"`` or ``"j"``.
+    """
+
+    name: str
+    coord: str  # "i" | "k" | "j"
+    out_dtype: np.dtype = np.dtype(np.int64)
+
+    def select(self, i: np.ndarray, k: np.ndarray, j: np.ndarray) -> np.ndarray:
+        src = {"i": i, "k": k, "j": j}[self.coord]
+        return src.astype(self.out_dtype, copy=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PositionalOp({self.name})"
+
+
+FIRSTI = PositionalOp("firsti", "i")
+FIRSTJ = PositionalOp("firstj", "k")
+SECONDI = PositionalOp("secondi", "k")
+SECONDJ = PositionalOp("secondj", "j")
+
+_REGISTRY = {op.name: op for op in (FIRSTI, FIRSTJ, SECONDI, SECONDJ)}
+
+
+def by_name(name: str) -> PositionalOp:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown positional op {name!r}") from None

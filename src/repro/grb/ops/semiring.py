@@ -1,0 +1,119 @@
+"""Semirings (``GrB_Semiring`` equivalents).
+
+A semiring pairs an additive :class:`~repro.grb.ops.monoid.Monoid` ⊕ with a
+multiplicative operator ⊗ (an ordinary :class:`BinaryOp` or a
+:class:`PositionalOp`).  Names follow the paper's ``add.mult`` notation, e.g.
+``min.plus`` or ``any.secondi``.
+
+Table II of the paper lists the semirings its algorithms use; all of them
+(and the usual arithmetic/boolean ones) are pre-registered here.
+
+The :meth:`Semiring.scipy_reducible` predicate drives the matmul fast path:
+a semiring whose ⊕ is ``plus`` and whose ⊗ is one of ``times`` / ``first`` /
+``second`` / ``pair`` is algebraically a conventional matrix multiply after
+substituting the pattern (all-ones values) for one or both operands, so it
+can be executed by SciPy's compiled CSR kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .binary import BinaryOp, by_name as binary_by_name
+from .monoid import Monoid, by_name as monoid_by_name
+from .positional import PositionalOp, by_name as positional_by_name
+
+__all__ = ["Semiring", "semiring", "by_name", "PLUS_TIMES", "MIN_PLUS",
+           "MAX_PLUS", "ANY_SECONDI", "PLUS_FIRST", "PLUS_SECOND",
+           "PLUS_PAIR", "LOR_LAND", "MIN_FIRST", "MIN_SECOND", "ANY_PAIR",
+           "MIN_MAX", "PLUS_PLUS", "MIN_TIMES", "ANY_FIRST", "ANY_SECOND"]
+
+_POSITIONAL_NAMES = {"firsti", "firstj", "secondi", "secondj"}
+_SCIPY_MULTS = {"times", "first", "second", "pair"}
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """An ``⊕.⊗`` pair used by mxm / mxv / vxm.
+
+    Attributes
+    ----------
+    add:
+        The additive monoid ⊕.
+    mult:
+        The multiplicative operator ⊗ — a value op or a positional op.
+    """
+
+    add: Monoid
+    mult: Union[BinaryOp, PositionalOp]
+
+    @property
+    def name(self) -> str:
+        return f"{self.add.name}.{self.mult.name}"
+
+    @property
+    def positional(self) -> bool:
+        return isinstance(self.mult, PositionalOp)
+
+    def scipy_reducible(self) -> bool:
+        """True when the matmul can run on SciPy's compiled plus.times kernel."""
+        return self.add.name == "plus" and (
+            not self.positional and self.mult.name in _SCIPY_MULTS
+        )
+
+    def mult_dtype(self, da, db):
+        """Output dtype of the multiply step for operand dtypes da/db."""
+        if self.positional:
+            return self.mult.out_dtype
+        return self.mult.result_dtype(da, db)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+
+_REGISTRY: dict[str, Semiring] = {}
+
+
+def semiring(add: str, mult: str) -> Semiring:
+    """Look up (or construct and cache) the semiring ``add.mult``."""
+    key = f"{add}.{mult}"
+    sr = _REGISTRY.get(key)
+    if sr is None:
+        add_m = monoid_by_name(add)
+        if mult in _POSITIONAL_NAMES:
+            mult_op: Union[BinaryOp, PositionalOp] = positional_by_name(mult)
+        else:
+            mult_op = binary_by_name(mult)
+        sr = Semiring(add_m, mult_op)
+        _REGISTRY[key] = sr
+    return sr
+
+
+def by_name(name: str) -> Semiring:
+    """Look up a semiring by its ``add.mult`` string, e.g. ``"min.plus"``."""
+    add, dot, mult = name.partition(".")
+    if not dot:
+        raise KeyError(f"semiring name must look like 'add.mult', got {name!r}")
+    return semiring(add, mult)
+
+
+# --- Table II of the paper -------------------------------------------------
+PLUS_TIMES = semiring("plus", "times")   # "conventional"
+ANY_SECONDI = semiring("any", "secondi")
+MIN_PLUS = semiring("min", "plus")
+PLUS_FIRST = semiring("plus", "first")
+PLUS_SECOND = semiring("plus", "second")
+PLUS_PAIR = semiring("plus", "pair")
+
+# --- other commonly used semirings -----------------------------------------
+MAX_PLUS = semiring("max", "plus")
+LOR_LAND = semiring("lor", "land")
+MIN_FIRST = semiring("min", "first")
+MIN_SECOND = semiring("min", "second")
+MIN_MAX = semiring("min", "max")
+MIN_TIMES = semiring("min", "times")
+PLUS_PLUS = semiring("plus", "plus")
+ANY_PAIR = semiring("any", "pair")
+ANY_FIRST = semiring("any", "first")
+ANY_SECOND = semiring("any", "second")

@@ -1,0 +1,108 @@
+"""Unary operators (``GrB_UnaryOp`` equivalents).
+
+Each operator is a vectorised function over a NumPy value array.  Positional
+unary operators (``rowindex`` / ``colindex``) receive the entry coordinates
+instead of the values, mirroring SuiteSparse's ``GxB_POSITIONI`` family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = [
+    "UnaryOp",
+    "IDENTITY",
+    "AINV",
+    "ABS",
+    "MINV",
+    "LNOT",
+    "ONE",
+    "SQRT",
+    "LOG",
+    "EXP",
+    "ROWINDEX",
+    "COLINDEX",
+    "unary_op",
+    "by_name",
+]
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """A unary operator ``z = f(x)`` applied element-wise.
+
+    Attributes
+    ----------
+    name:
+        Lower-case operator name (``"abs"``, ``"lnot"``, ...).
+    fn:
+        Vectorised callable ``fn(values) -> values``.
+    positional:
+        ``None`` for value ops; ``"i"`` / ``"j"`` for coordinate ops, in which
+        case ``fn`` receives the coordinate array instead of the values.
+    out_dtype:
+        Fixed output dtype, or ``None`` to inherit the input dtype (after
+        whatever promotion ``fn`` performs).
+    """
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+    positional: Optional[str] = None
+    out_dtype: Optional[np.dtype] = None
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        out = self.fn(values)
+        if self.out_dtype is not None and out.dtype != self.out_dtype:
+            out = out.astype(self.out_dtype)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UnaryOp({self.name})"
+
+
+def _minv(x: np.ndarray) -> np.ndarray:
+    if np.issubdtype(x.dtype, np.integer):
+        with np.errstate(divide="ignore"):
+            return (1 / x).astype(x.dtype)
+    return 1.0 / x
+
+
+IDENTITY = UnaryOp("identity", lambda x: x.copy())
+AINV = UnaryOp("ainv", lambda x: -x)
+ABS = UnaryOp("abs", np.abs)
+MINV = UnaryOp("minv", _minv)
+LNOT = UnaryOp("lnot", np.logical_not, out_dtype=np.dtype(np.bool_))
+ONE = UnaryOp("one", np.ones_like)
+SQRT = UnaryOp("sqrt", np.sqrt)
+LOG = UnaryOp("log", np.log)
+EXP = UnaryOp("exp", np.exp)
+
+# Positional operators: applied to coordinates, not values.
+ROWINDEX = UnaryOp(
+    "rowindex", lambda i: i.astype(np.int64), positional="i", out_dtype=np.dtype(np.int64)
+)
+COLINDEX = UnaryOp(
+    "colindex", lambda j: j.astype(np.int64), positional="j", out_dtype=np.dtype(np.int64)
+)
+
+_REGISTRY = {
+    op.name: op
+    for op in (IDENTITY, AINV, ABS, MINV, LNOT, ONE, SQRT, LOG, EXP, ROWINDEX, COLINDEX)
+}
+
+
+def unary_op(name: str, fn: Callable, **kw) -> UnaryOp:
+    """Create and register a user-defined unary operator."""
+    op = UnaryOp(name, fn, **kw)
+    _REGISTRY[name] = op
+    return op
+
+
+def by_name(name: str) -> UnaryOp:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown unary op {name!r}") from None

@@ -1,0 +1,122 @@
+"""GraphBLAS value types (``GrB_Type`` equivalents).
+
+A :class:`Type` wraps a NumPy dtype under the name used by the GraphBLAS C
+API specification.  Every :class:`~repro.grb.vector.Vector` and
+:class:`~repro.grb.matrix.Matrix` carries one of these, and operators declare
+their input/output types in terms of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Type",
+    "BOOL",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "FP32",
+    "FP64",
+    "ALL_TYPES",
+    "from_dtype",
+    "type_name",
+]
+
+
+@dataclass(frozen=True)
+class Type:
+    """A GraphBLAS scalar type backed by a NumPy dtype.
+
+    Attributes
+    ----------
+    name:
+        The GraphBLAS C API name, e.g. ``"GrB_FP64"``.
+    dtype:
+        The backing :class:`numpy.dtype`.
+    """
+
+    name: str
+    dtype: np.dtype
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.dtype == np.bool_
+
+    @property
+    def is_integral(self) -> bool:
+        return np.issubdtype(self.dtype, np.integer)
+
+    @property
+    def is_signed(self) -> bool:
+        return np.issubdtype(self.dtype, np.signedinteger)
+
+    @property
+    def is_float(self) -> bool:
+        return np.issubdtype(self.dtype, np.floating)
+
+    def zero(self):
+        """The additive identity of conventional arithmetic for this type."""
+        return self.dtype.type(0)
+
+    def one(self):
+        return self.dtype.type(1)
+
+
+BOOL = Type("GrB_BOOL", np.dtype(np.bool_))
+INT8 = Type("GrB_INT8", np.dtype(np.int8))
+INT16 = Type("GrB_INT16", np.dtype(np.int16))
+INT32 = Type("GrB_INT32", np.dtype(np.int32))
+INT64 = Type("GrB_INT64", np.dtype(np.int64))
+UINT8 = Type("GrB_UINT8", np.dtype(np.uint8))
+UINT16 = Type("GrB_UINT16", np.dtype(np.uint16))
+UINT32 = Type("GrB_UINT32", np.dtype(np.uint32))
+UINT64 = Type("GrB_UINT64", np.dtype(np.uint64))
+FP32 = Type("GrB_FP32", np.dtype(np.float32))
+FP64 = Type("GrB_FP64", np.dtype(np.float64))
+
+ALL_TYPES = (
+    BOOL,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    FP32,
+    FP64,
+)
+
+_BY_DTYPE = {t.dtype: t for t in ALL_TYPES}
+
+
+def from_dtype(dtype) -> Type:
+    """Return the :class:`Type` matching a NumPy dtype (or dtype-like).
+
+    Raises
+    ------
+    TypeError
+        If the dtype has no GraphBLAS equivalent (e.g. complex, object).
+    """
+    dt = np.dtype(dtype)
+    try:
+        return _BY_DTYPE[dt]
+    except KeyError:
+        raise TypeError(f"no GraphBLAS type for dtype {dt!r}") from None
+
+
+def type_name(typ: Type) -> str:
+    """``LAGraph_TypeName``: the printable name of a type."""
+    return typ.name

@@ -1,0 +1,332 @@
+"""Sparse vector (``GrB_Vector`` equivalent).
+
+Storage model
+-------------
+The source of truth is the *sparse* representation: a sorted, duplicate-free
+``int64`` index array plus a matching value array.  A *bitmap* representation
+(dense value array + boolean presence array — SS:GrB v4's bitmap format,
+Sec. VI-A of the paper) is maintained as a lazily built cache: pull-direction
+kernels and random lookups use it, and any mutation invalidates it.  This
+mirrors the sparse/bitmap duality the paper credits for the 2× BC gain.
+
+Unlike ``GrB_Vector``, instances are not opaque: ``indices`` / ``values``
+expose the internal arrays (read-only views) because LAGraph's design
+explicitly embraces non-opaque objects (Sec. II-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import types as _types
+from ._kernels import apply_select as _selectops
+from ._kernels.ewise import intersect_merge, union_merge
+from .errors import DimensionMismatch, IndexOutOfBounds, NoValue
+from .ops.binary import BinaryOp
+from .ops.monoid import Monoid
+from .ops.unary import UnaryOp
+from .types import Type, from_dtype
+
+__all__ = ["Vector"]
+
+
+class Vector:
+    """A sparse vector of a fixed :class:`~repro.grb.types.Type` and size."""
+
+    __slots__ = ("size", "type", "_idx", "_vals", "_bitmap")
+
+    def __init__(self, typ, size: int):
+        if isinstance(typ, Type):
+            self.type = typ
+        else:
+            self.type = from_dtype(typ)
+        if size < 0:
+            raise DimensionMismatch(f"negative vector size {size}")
+        self.size = int(size)
+        self._idx = np.empty(0, dtype=np.int64)
+        self._vals = np.empty(0, dtype=self.type.dtype)
+        self._bitmap = None  # cached (present: bool[n], dense: dtype[n])
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        indices,
+        values,
+        size: int,
+        typ=None,
+        dup_op: Optional[BinaryOp] = None,
+    ) -> "Vector":
+        """Build from index/value tuples (``w ↤ {i, x}`` in the notation).
+
+        Duplicate indices are an error unless ``dup_op`` is given, in which
+        case duplicates are combined with it (in storage order).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values)
+        if np.isscalar(values) or values.ndim == 0:
+            values = np.full(indices.shape, values)
+        if indices.shape != values.shape:
+            raise DimensionMismatch("indices and values must have equal length")
+        if typ is None:
+            typ = from_dtype(values.dtype)
+        elif not isinstance(typ, Type):
+            typ = from_dtype(typ)
+        w = cls(typ, size)
+        if indices.size:
+            if indices.min() < 0 or indices.max() >= size:
+                raise IndexOutOfBounds("vector index out of range")
+            order = np.argsort(indices, kind="stable")
+            si = indices[order]
+            sv = values[order].astype(typ.dtype, copy=False)
+            dup = np.zeros(si.size, dtype=bool)
+            np.equal(si[1:], si[:-1], out=dup[1:])
+            if dup.any():
+                if dup_op is None:
+                    raise ValueError("duplicate indices without dup_op")
+                starts = np.flatnonzero(~dup)
+                # fold duplicates left-to-right with the dup op
+                out_vals = sv[starts].copy()
+                rest = np.flatnonzero(dup)
+                group = np.searchsorted(starts, rest, side="right") - 1
+                for pos, g in zip(rest, group):  # rare path; duplicates only
+                    out_vals[g] = dup_op(out_vals[g], sv[pos])
+                si = si[starts]
+                sv = out_vals
+            w._idx = si
+            w._vals = sv.astype(typ.dtype, copy=False)
+        return w
+
+    @classmethod
+    def from_dense(cls, dense, present=None) -> "Vector":
+        """Build from a dense array; ``present`` selects entries (default all)."""
+        dense = np.asarray(dense)
+        typ = from_dtype(dense.dtype)
+        w = cls(typ, dense.size)
+        if present is None:
+            w._idx = np.arange(dense.size, dtype=np.int64)
+            w._vals = dense.copy()
+        else:
+            present = np.asarray(present, dtype=bool)
+            w._idx = np.flatnonzero(present).astype(np.int64)
+            w._vals = dense[w._idx].copy()
+        return w
+
+    @classmethod
+    def full(cls, value, size: int, typ=None) -> "Vector":
+        """A vector with an entry at every index (SS:GrB "full" format)."""
+        if typ is None:
+            arr = np.full(size, value)
+        else:
+            t = typ if isinstance(typ, Type) else from_dtype(typ)
+            arr = np.full(size, value, dtype=t.dtype)
+        return cls.from_dense(arr)
+
+    def dup(self) -> "Vector":
+        """``w ↤ u``: an independent copy."""
+        w = Vector(self.type, self.size)
+        w._idx = self._idx.copy()
+        w._vals = self._vals.copy()
+        return w
+
+    # ------------------------------------------------------------------
+    # internal plumbing
+    # ------------------------------------------------------------------
+    def _set_sparse(self, idx: np.ndarray, vals: np.ndarray, typ: Optional[Type] = None):
+        """Replace contents with sorted/unique ``(idx, vals)`` (takes ownership)."""
+        if typ is not None:
+            self.type = typ
+        self._idx = idx.astype(np.int64, copy=False)
+        self._vals = vals.astype(self.type.dtype, copy=False)
+        self._bitmap = None
+
+    def _mask_keys_values(self):
+        """(keys, values) for mask resolution — shared protocol with Matrix."""
+        return self._idx, self._vals
+
+    def _invalidate(self):
+        self._bitmap = None
+
+    # ------------------------------------------------------------------
+    # basic properties & access
+    # ------------------------------------------------------------------
+    @property
+    def nvals(self) -> int:
+        """Number of stored entries (``nvals(u)``)."""
+        return int(self._idx.size)
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Read-only view of the stored indices (sorted ascending)."""
+        v = self._idx.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only view of the stored values (aligned with ``indices``)."""
+        v = self._vals.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.type.dtype
+
+    def to_coo(self):
+        """``{i, x} ↤ u``: copies of the index and value arrays."""
+        return self._idx.copy(), self._vals.copy()
+
+    def bitmap(self):
+        """The (present, dense) bitmap representation; cached until mutation."""
+        if self._bitmap is None:
+            present = np.zeros(self.size, dtype=bool)
+            present[self._idx] = True
+            dense = np.zeros(self.size, dtype=self.type.dtype)
+            dense[self._idx] = self._vals
+            self._bitmap = (present, dense)
+        return self._bitmap
+
+    def to_dense(self, fill=0) -> np.ndarray:
+        """Dense value array with ``fill`` at absent positions."""
+        present, dense = self.bitmap()
+        if fill == 0:
+            return dense.copy()
+        out = np.full(self.size, fill, dtype=self.type.dtype)
+        out[self._idx] = self._vals
+        return out
+
+    def clear(self):
+        """Remove all entries (size and type unchanged)."""
+        self._set_sparse(np.empty(0, dtype=np.int64),
+                         np.empty(0, dtype=self.type.dtype))
+
+    def get(self, i: int, default=None):
+        """Value at index ``i`` or ``default`` when absent."""
+        i = int(i)
+        if not 0 <= i < self.size:
+            raise IndexOutOfBounds(f"index {i} out of range [0, {self.size})")
+        pos = np.searchsorted(self._idx, i)
+        if pos < self._idx.size and self._idx[pos] == i:
+            return self._vals[pos]
+        return default
+
+    def __getitem__(self, i: int):
+        """``s = u(i)``: extractElement; raises :class:`NoValue` when absent."""
+        sentinel = object()
+        out = self.get(i, sentinel)
+        if out is sentinel:
+            raise NoValue(f"no entry at index {i}")
+        return out
+
+    def __setitem__(self, i: int, value):
+        """``u(i) = s``: setElement."""
+        i = int(i)
+        if not 0 <= i < self.size:
+            raise IndexOutOfBounds(f"index {i} out of range [0, {self.size})")
+        pos = int(np.searchsorted(self._idx, i))
+        if pos < self._idx.size and self._idx[pos] == i:
+            self._vals[pos] = value
+        else:
+            self._idx = np.insert(self._idx, pos, i)
+            self._vals = np.insert(self._vals, pos,
+                                   np.asarray(value, dtype=self.type.dtype))
+        self._bitmap = None
+
+    def remove_element(self, i: int):
+        """Delete the entry at index ``i`` (no-op when absent)."""
+        pos = np.searchsorted(self._idx, i)
+        if pos < self._idx.size and self._idx[pos] == i:
+            self._idx = np.delete(self._idx, pos)
+            self._vals = np.delete(self._vals, pos)
+            self._bitmap = None
+
+    def __contains__(self, i: int) -> bool:
+        pos = np.searchsorted(self._idx, i)
+        return bool(pos < self._idx.size and self._idx[pos] == i)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Vector({self.type.name}, size={self.size}, nvals={self.nvals})"
+
+    # ------------------------------------------------------------------
+    # unmasked element-wise conveniences (masked forms live in operations)
+    # ------------------------------------------------------------------
+    def ewise_add(self, other: "Vector", op: BinaryOp) -> "Vector":
+        """``u op∪ v``: union merge (Sec. III-B-b)."""
+        self._check_same_size(other)
+        keys, vals = union_merge(self._idx, self._vals, other._idx, other._vals, op)
+        out = Vector(from_dtype(vals.dtype), self.size)
+        out._set_sparse(keys, vals)
+        return out
+
+    def ewise_mult(self, other: "Vector", op: BinaryOp) -> "Vector":
+        """``u op∩ v``: intersection merge (Sec. III-B-c)."""
+        self._check_same_size(other)
+        keys, vals = intersect_merge(self._idx, self._vals, other._idx, other._vals, op)
+        out = Vector(from_dtype(vals.dtype), self.size)
+        out._set_sparse(keys, vals)
+        return out
+
+    def apply(self, op: UnaryOp, thunk=None) -> "Vector":
+        """``f(u, k)``: apply a unary op to every entry (Sec. III-B-f)."""
+        if op.positional == "i":
+            vals = op.fn(self._idx)
+        elif op.positional == "j":
+            vals = op.fn(np.zeros(self._idx.size, dtype=np.int64))
+        elif thunk is not None:
+            vals = op.fn(self._vals, thunk)
+        else:
+            vals = op.fn(self._vals)
+        if op.out_dtype is not None:
+            vals = vals.astype(op.out_dtype, copy=False)
+        out = Vector(from_dtype(vals.dtype), self.size)
+        out._set_sparse(self._idx.copy(), vals)
+        return out
+
+    def select(self, op, thunk=None) -> "Vector":
+        """``u⟨f(u, k)⟩``: keep entries where the predicate holds."""
+        if isinstance(op, str):
+            op = _selectops.by_name(op)
+        keep = op(self._vals, self._idx, np.zeros(self._idx.size, dtype=np.int64), thunk)
+        out = Vector(self.type, self.size)
+        out._set_sparse(self._idx[keep], self._vals[keep])
+        return out
+
+    def reduce(self, monoid: Monoid):
+        """``s = [⊕ᵢ u(i)]``: reduce all entries to a scalar."""
+        return monoid.reduce_all(self._vals)
+
+    def pattern(self, typ: Type = _types.BOOL) -> "Vector":
+        """Structure-only copy with all values set to one."""
+        out = Vector(typ, self.size)
+        out._set_sparse(self._idx.copy(), np.ones(self._idx.size, dtype=typ.dtype))
+        return out
+
+    def iso_value(self):
+        """If all stored values are equal, that value; else ``None``."""
+        if self.nvals == 0:
+            return None
+        v0 = self._vals[0]
+        return v0 if bool((self._vals == v0).all()) else None
+
+    def _check_same_size(self, other: "Vector"):
+        if self.size != other.size:
+            raise DimensionMismatch(
+                f"vector sizes differ: {self.size} vs {other.size}")
+
+    # equality helper used by tests / LAGraph IsEqual
+    def isequal(self, other: "Vector") -> bool:
+        """Same size, same structure, element-wise equal values."""
+        return (
+            self.size == other.size
+            and self._idx.size == other._idx.size
+            and bool(np.array_equal(self._idx, other._idx))
+            and bool(np.array_equal(self._vals, other._vals))
+        )

@@ -1,0 +1,198 @@
+"""Breadth-first search (Sec. IV-A; Algorithms 1 and 2 of the paper).
+
+The parent BFS rests on the ``any.secondi`` semiring: one ``vxm`` computes
+``qᵀ⟨¬s(pᵀ), r⟩ = qᵀ any.secondi A`` — the frontier expansion, parent
+selection (``secondi`` yields the id of the frontier node that discovered
+each neighbour) and de-duplication (``any`` resolves the benign race by
+picking one parent) in a single step.  The follow-up
+``p⟨s(q)⟩ = q`` writes the new parents.
+
+Direction optimisation (Alg. 2): a *push* step costs the total out-degree
+of the frontier; a *pull* step (``AT any.secondi q`` restricted to the
+unvisited rows by the complemented structural mask) costs the total
+in-degree of the unvisited set.  The heuristic below is the Beamer-style
+one the GAP benchmark uses: pull while the frontier is heavy, push while it
+is sparse.
+
+Advanced entry points follow Sec. II-B strictly: they never compute cached
+properties (``bfs_parent`` with ``direction_optimizing=True`` demands a
+cached ``G.AT``) and raise :class:`PropertyMissing` otherwise.  The Basic
+entry point computes whatever it needs and caches it on the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ... import grb
+from ...grb import Vector, complement, structure
+from ..errors import PropertyMissing
+from ..graph import Graph
+
+__all__ = ["bfs", "bfs_parent_push", "bfs_parent_do", "bfs_parent_fused",
+           "bfs_level"]
+
+_ANY_SECONDI = grb.semiring("any", "secondi")
+_ANY_PAIR = grb.semiring("any", "pair")
+
+#: Beamer heuristic constants (GAP uses alpha=15, beta=18).
+ALPHA = 15.0
+BETA = 18.0
+
+
+def _check_source(g: Graph, source: int):
+    if not 0 <= source < g.n:
+        raise grb.IndexOutOfBounds(
+            f"source {source} out of range [0, {g.n})")
+
+
+def bfs_parent_push(g: Graph, source: int) -> Vector:
+    """Alg. 1 — push-only parents BFS (Advanced mode; needs nothing cached).
+
+    Returns the INT64 parent vector: ``p[v]`` is the BFS-tree parent of
+    ``v``, with ``p[source] == source``; unreached nodes have no entry.
+    """
+    _check_source(g, source)
+    a = g.A
+    n = g.n
+    p = Vector(grb.INT64, n)
+    q = Vector(grb.INT64, n)
+    p[source] = source
+    q[source] = source
+    for _level in range(1, n):
+        grb.vxm(q, q, a, _ANY_SECONDI,
+                mask=complement(structure(p)), replace=True)
+        if q.nvals == 0:
+            break
+        grb.update(p, q, mask=structure(q))
+    return p
+
+
+def bfs_parent_do(g: Graph, source: int) -> Vector:
+    """Alg. 2 — direction-optimising parents BFS (Advanced mode).
+
+    Requires ``G.AT`` and ``G.row_degree`` to be cached; raises
+    :class:`PropertyMissing` otherwise (Advanced algorithms never compute
+    properties, Sec. II-B).
+    """
+    _check_source(g, source)
+    if g.AT is None:
+        raise PropertyMissing("bfs_parent_do requires cached G.AT")
+    if g.row_degree is None:
+        raise PropertyMissing("bfs_parent_do requires cached G.row_degree")
+    a = g.A
+    at = g.AT
+    n = g.n
+    out_deg = g.row_degree.to_dense()
+    total_edges = float(out_deg.sum())
+
+    p = Vector(grb.INT64, n)
+    q = Vector(grb.INT64, n)
+    p[source] = source
+    q[source] = source
+    scanned = float(out_deg[source])
+    for _level in range(1, n):
+        frontier_edges = float(out_deg[q.indices].sum())
+        unexplored = max(total_edges - scanned, 0.0)
+        push = frontier_edges * ALPHA < unexplored or q.nvals < n / BETA
+        if push:
+            grb.vxm(q, q, a, _ANY_SECONDI,
+                    mask=complement(structure(p)), replace=True)
+        else:
+            grb.mxv(q, at, q, _ANY_SECONDI,
+                    mask=complement(structure(p)), replace=True)
+        if q.nvals == 0:
+            break
+        scanned += float(out_deg[q.indices].sum())
+        grb.update(p, q, mask=structure(q))
+    return p
+
+
+def bfs_parent_fused(g: Graph, source: int) -> Vector:
+    """The fused frontier step the paper anticipates (Sec. VI-B, item 2).
+
+    The spec's non-blocking mode would let ``GrB_vxm`` write its result
+    straight into the parent vector, fusing the two calls of Alg. 1.  This
+    variant performs exactly that fusion: one gather kernel per level whose
+    output lands directly in ``p``'s storage, skipping the intermediate
+    masked write-back.  Results are identical to :func:`bfs_parent_push`;
+    the ablation benchmark measures what the fusion buys.
+    """
+    _check_source(g, source)
+    a = g.A
+    n = g.n
+    from ...grb._kernels.matmul import vxm_sparse
+
+    visited = np.zeros(n, dtype=bool)
+    visited[source] = True
+    parent_dense = np.full(n, -1, dtype=np.int64)
+    parent_dense[source] = source
+    frontier = np.array([source], dtype=np.int64)
+    for _level in range(1, n):
+        idx, par = vxm_sparse(frontier,
+                              np.zeros(frontier.size, dtype=np.int64),
+                              a.indptr, a.indices, None, _ANY_SECONDI)
+        fresh = ~visited[idx]
+        idx, par = idx[fresh], par[fresh]
+        if idx.size == 0:
+            break
+        visited[idx] = True
+        parent_dense[idx] = par      # fused: no separate assign pass
+        frontier = idx
+    reached = np.flatnonzero(visited).astype(np.int64)
+    return Vector.from_coo(reached, parent_dense[reached], n)
+
+
+def bfs_level(g: Graph, source: int) -> Vector:
+    """Level BFS: ``level[v]`` = BFS depth from the source (source = 0).
+
+    Uses the ``any.pair`` semiring — the structural analogue of
+    ``any.secondi`` when only reachability per level is needed.
+    """
+    _check_source(g, source)
+    a = g.A
+    n = g.n
+    level = Vector(grb.INT64, n)
+    q = Vector(grb.BOOL, n)
+    level[source] = 0
+    q[source] = True
+    for depth in range(1, n):
+        grb.vxm(q, q, a, _ANY_PAIR,
+                mask=complement(structure(level)), replace=True)
+        if q.nvals == 0:
+            break
+        grb.assign_scalar(level, depth, mask=structure(q))
+    return level
+
+
+def bfs(g: Graph, source: int, *,
+        parent: bool = True, level: bool = False,
+        direction_optimizing: Optional[bool] = None,
+        ) -> Tuple[Optional[Vector], Optional[Vector]]:
+    """Basic-mode BFS: "just works" (Sec. II-B).
+
+    Inspects the graph, computes & caches any properties the best advanced
+    variant needs, picks the variant, and returns ``(parent, level)``
+    vectors (``None`` for whichever was not requested).
+
+    ``direction_optimizing=None`` lets the heuristic decide (it opts in for
+    graphs with enough edges to amortise the transpose); ``True``/``False``
+    force the choice.
+    """
+    _check_source(g, source)
+    p = lv = None
+    if parent:
+        use_do = direction_optimizing
+        if use_do is None:
+            use_do = g.nvals >= 4 * g.n  # dense enough for pull to pay off
+        if use_do:
+            g.cache_at()          # Basic mode may compute properties
+            g.cache_row_degree()
+            p = bfs_parent_do(g, source)
+        else:
+            p = bfs_parent_push(g, source)
+    if level:
+        lv = bfs_level(g, source)
+    return p, lv

@@ -1,0 +1,93 @@
+"""Connected components — FastSV (Sec. IV-F; Algorithm 7 of the paper).
+
+Zhang, Azad & Buluç's FastSV maintains a forest as a parent vector ``f``
+and repeats five steps until the grandparent vector stops changing:
+
+1. *stochastic hooking* — ``mngf = A min.second gf`` pulls the minimum
+   grandparent among each node's neighbours (one ``mxv`` on the
+   ``min.second`` semiring), then hooks each node's tree root onto it:
+   ``f(x) = f(x) min mngf`` where ``x`` is the parents array;
+2. *aggressive hooking* — ``f = f min mngf``;
+3. *shortcutting* — ``f = f min gf``;
+4. *grandparent recomputation* — ``gf = f(f)`` (an ``extract``);
+5. *termination* — stop when ``gf`` is unchanged.
+
+The hooking scatter (``f(x) min= mngf`` with duplicate targets) relies on
+the duplicate-tolerant min-assign that SS:GrB provides; here it is an
+explicit ``np.minimum.at`` scatter, documented as such.
+
+The component label of a node is the minimum node id of its component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ... import grb
+from ...grb import Vector
+from ..errors import InvalidKind
+from ..graph import Graph
+from ..kinds import Kind
+
+__all__ = ["connected_components", "fastsv"]
+
+_MIN_SECOND = grb.semiring("min", "second")
+
+
+def fastsv(g: Graph) -> Vector:
+    """Advanced mode: FastSV on an undirected graph.
+
+    Requires ``g`` to be undirected, or directed with a cached
+    ``A_pattern_is_symmetric == True`` (Sec. II-B strictness).  Returns a
+    dense INT64 vector mapping every node to its component's minimum id.
+    """
+    if g.kind is not Kind.ADJACENCY_UNDIRECTED:
+        if not g.A_pattern_is_symmetric:
+            raise InvalidKind(
+                "fastsv requires an undirected graph (or a cached symmetric "
+                "pattern)")
+    a = g.A
+    n = g.n
+    f = np.arange(n, dtype=np.int64)       # parent vector
+    gf = f.copy()                          # grandparents
+    mngf_vec = Vector(grb.INT64, n)
+
+    while True:
+        # Step 1a: mngf(i) = min over neighbours j of gf(j)
+        grb.mxv(mngf_vec, a, Vector.from_dense(gf), _MIN_SECOND, replace=True)
+        present, dense = mngf_vec.bitmap()
+        mngf = np.where(present, dense, gf)  # isolated nodes: no-op
+        # Step 1b: stochastic hooking — duplicate-tolerant min scatter
+        x = f.copy()
+        np.minimum.at(f, x, mngf)
+        # Step 2: aggressive hooking
+        np.minimum(f, mngf, out=f)
+        # Step 3: shortcutting
+        np.minimum(f, gf, out=f)
+        # Step 4: grandparents
+        new_gf = f[f]
+        # Step 5: termination
+        if np.array_equal(new_gf, gf):
+            break
+        gf = new_gf
+
+    # full pointer jumping to canonical roots (FastSV leaves height ≤ 2)
+    while True:
+        ff = f[f]
+        if np.array_equal(ff, f):
+            break
+        f = ff
+    return Vector.from_dense(f)
+
+
+def connected_components(g: Graph) -> Vector:
+    """Basic mode: symmetrises a directed graph's pattern, then FastSV.
+
+    For directed inputs this computes *weakly* connected components, as the
+    GAP benchmark's CC kernel does.
+    """
+    if g.kind is Kind.ADJACENCY_UNDIRECTED:
+        return fastsv(g)
+    sym = g.A.pattern().ewise_add(g.A.T.pattern(), grb.binary.LOR)
+    h = Graph(sym, Kind.ADJACENCY_UNDIRECTED)
+    return fastsv(h)

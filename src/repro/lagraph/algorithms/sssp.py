@@ -1,0 +1,134 @@
+"""Single-source shortest paths (Sec. IV-D; Algorithm 5 of the paper).
+
+Delta-stepping over the ``min.plus`` semiring, following Sridhar et al.
+(GrAPL'19, the paper's ref. [21]).  Edges are split once into *light*
+(``0 < w ≤ Δ``) and *heavy* (``w > Δ``) matrices using ``select``.  Nodes
+are processed bucket by bucket: bucket ``i`` holds tentative distances in
+``[iΔ, (i+1)Δ)``.  Light edges are relaxed to a fixed point inside the
+bucket; heavy edges are relaxed once per bucket, from every node that was
+ever a member (the ``e`` accumulator of Alg. 5).
+
+A Bellman-Ford fallback (:func:`sssp_bellman_ford`) is provided both as the
+simplest possible min.plus iteration and as an internal cross-check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ... import grb
+from ...grb import Vector
+from ..graph import Graph
+
+__all__ = ["sssp_delta_stepping", "sssp_bellman_ford", "sssp"]
+
+_MIN_PLUS = grb.semiring("min", "plus")
+
+
+def _check_weights(g: Graph):
+    if g.A.nvals and float(g.A.values.min()) < 0:
+        raise grb.InvalidValue("SSSP requires non-negative edge weights")
+
+
+def sssp_delta_stepping(g: Graph, source: int, delta: float = 2.0) -> Vector:
+    """Advanced mode: delta-stepping SSSP from ``source``.
+
+    Returns a sparse FP64 distance vector (entries only for reached nodes).
+    ``delta`` is the bucket width Δ; the Basic wrapper picks a default from
+    the weight distribution.
+    """
+    if not 0 <= source < g.n:
+        raise grb.IndexOutOfBounds(f"source {source} out of range")
+    _check_weights(g)
+    a = g.A
+    n = g.n
+    delta = float(delta)
+    if delta <= 0:
+        raise grb.InvalidValue("delta must be positive")
+
+    # AL = A⟨0 < A ≤ Δ⟩ ; AH = A⟨Δ < A⟩   (zero-weight edges are light too:
+    # the spec's guard is about self-distance, harmless for simple graphs)
+    al = a.select("valuele", delta)
+    ah = a.select("valuegt", delta)
+
+    t = Vector(grb.FP64, n)
+    t[source] = 0.0
+    treq = Vector(grb.FP64, n)
+    i = 0
+    while True:
+        # smallest non-empty bucket among unsettled nodes
+        unsettled = t.select("valuege", i * delta)
+        if unsettled.nvals == 0:
+            break
+        i = int(float(unsettled.values.min()) // delta)
+        lo, hi = i * delta, (i + 1) * delta
+
+        tbi = t.select("valuege", lo).select("valuelt", hi)
+        ever = np.zeros(n, dtype=bool)  # the "e" accumulator of Alg. 5
+        while tbi.nvals:
+            ever[tbi.indices] = True
+            grb.vxm(treq, tbi, al, _MIN_PLUS, replace=True)
+            # keep only strict improvements over current t
+            _, t_dense = t.bitmap()
+            t_at = np.where(np.isin(treq.indices, t.indices),
+                            t_dense[treq.indices], np.inf)
+            improved = treq.values < t_at
+            # t = t min∪ tReq
+            grb.ewise_add(t, t, treq, grb.binary.MIN)
+            # next inner frontier: improved nodes that (still) fall in bucket i
+            keep = improved & (treq.values >= lo) & (treq.values < hi)
+            tbi = Vector.from_coo(treq.indices[keep], treq.values[keep], n)
+        # heavy-edge relaxation from every node that visited bucket i
+        th_idx = np.flatnonzero(ever).astype(np.int64)
+        if th_idx.size:
+            _, t_dense = t.bitmap()
+            th = Vector.from_coo(th_idx, t_dense[th_idx], n)
+            grb.vxm(treq, th, ah, _MIN_PLUS, replace=True)
+            grb.ewise_add(t, t, treq, grb.binary.MIN)
+        i += 1
+    return t
+
+
+def sssp_bellman_ford(g: Graph, source: int) -> Vector:
+    """Bellman-Ford as a pure ``min.plus`` fixed-point iteration.
+
+    ``dᵀ = dᵀ min.plus A`` (with ``d min∪`` accumulation) until no distance
+    changes.  Simple, and the reference the delta-stepping tests compare
+    against.
+    """
+    if not 0 <= source < g.n:
+        raise grb.IndexOutOfBounds(f"source {source} out of range")
+    _check_weights(g)
+    a = g.A
+    n = g.n
+    d = Vector(grb.FP64, n)
+    d[source] = 0.0
+    frontier = d.dup()
+    step = Vector(grb.FP64, n)
+    for _ in range(n):
+        if frontier.nvals == 0:
+            break
+        grb.vxm(step, frontier, a, _MIN_PLUS, replace=True)
+        # which relaxations improve on d?
+        _, d_dense = d.bitmap()
+        present = np.isin(step.indices, d.indices)
+        old = np.where(present, d_dense[step.indices], np.inf)
+        keep = step.values < old
+        frontier = Vector.from_coo(step.indices[keep], step.values[keep], n)
+        grb.ewise_add(d, d, frontier, grb.binary.MIN)
+    return d
+
+
+def sssp(g: Graph, source: int, delta: float | None = None) -> Vector:
+    """Basic mode: SSSP that "just works".
+
+    Picks Δ from the edge-weight distribution when not given (mean weight,
+    the usual delta-stepping rule of thumb) and falls back to Bellman-Ford
+    for unweighted/boolean adjacencies (where every edge is light anyway).
+    """
+    a = g.A
+    if a.type.is_boolean or a.nvals == 0:
+        return sssp_bellman_ford(g, source)
+    if delta is None:
+        delta = max(float(a.values.mean()), 1e-12)
+    return sssp_delta_stepping(g, source, delta)

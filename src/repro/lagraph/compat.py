@@ -1,0 +1,246 @@
+"""C-style calling-convention layer (Sec. II-C/D of the paper).
+
+The paper's API contract — mirrored here verbatim for every wrapped
+function:
+
+* outputs first, then input/outputs, then inputs, then the ``msg`` buffer;
+* the return value is an int: ``0`` success, ``< 0`` error, ``> 0`` warning;
+* on error a diagnostic is placed in the caller-owned ``msg`` buffer;
+* on success the buffer is cleared.
+
+Because Python can't return through pointer arguments, outputs are returned
+as a tuple *after* the status code: ``(status, out1, out2, ...)``.
+
+The ``LAGraph_TRY`` / ``GrB_TRY`` macros become the :func:`lagraph_try` /
+:func:`grb_try` helpers: they check a status value and invoke a registered
+"catch" callback before raising, which is how the C macros let callers free
+memory on the error path.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional
+
+from ..grb.errors import GraphBLASError
+from . import algorithms as _alg
+from .errors import LAGraphError, MsgBuffer, Status
+from .graph import Graph
+from .kinds import Kind
+
+__all__ = [
+    "MsgBuffer", "lagraph_try", "grb_try",
+    "LAGraph_New", "LAGraph_Delete", "LAGraph_DeleteProperties",
+    "LAGraph_Property_AT", "LAGraph_Property_RowDegree",
+    "LAGraph_Property_ColDegree", "LAGraph_Property_ASymmetricPattern",
+    "LAGraph_Property_NDiag", "LAGraph_CheckGraph",
+    "LAGraph_BreadthFirstSearch", "LAGraph_VertexCentrality_Betweenness",
+    "LAGraph_PageRank", "LAGraph_SingleSourceShortestPath",
+    "LAGraph_TriangleCount", "LAGraph_ConnectedComponents",
+    "LAGraph_KTruss", "LAGraph_LCC", "LAGraph_MaximalIndependentSet",
+    "LAGraph_CDLP", "LAGraph_MSF",
+]
+
+
+def _c_call(fn: Callable, msg: Optional[MsgBuffer], *args, **kwargs):
+    """Run ``fn``; translate exceptions into (status, ...) + msg text."""
+    if msg is not None:
+        msg.clear()
+    try:
+        out = fn(*args, **kwargs)
+    except LAGraphError as e:
+        if msg is not None:
+            msg.set(str(e))
+        return (e.status,)
+    except GraphBLASError as e:
+        if msg is not None:
+            msg.set(str(e))
+        return (e.info,)
+    except (ValueError, TypeError) as e:
+        if msg is not None:
+            msg.set(str(e))
+        return (Status.INVALID_VALUE,)
+    if out is None:
+        return (Status.SUCCESS,)
+    if isinstance(out, tuple):
+        return (Status.SUCCESS, *out)
+    return (Status.SUCCESS, out)
+
+
+def c_style(fn: Callable) -> Callable:
+    """Decorator producing a C-convention wrapper of a pythonic function.
+
+    The wrapped function takes ``msg`` as its *last* positional argument
+    (or omits it), exactly like the C prototypes.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, msg: Optional[MsgBuffer] = None, **kwargs):
+        return _c_call(fn, msg, *args, **kwargs)
+
+    return wrapper
+
+
+# ---------------------------------------------------------------------------
+# TRY / CATCH
+# ---------------------------------------------------------------------------
+
+def lagraph_try(status: int, catch: Optional[Callable[[int], None]] = None,
+                msg: Optional[MsgBuffer] = None) -> int:
+    """``LAGraph_TRY``: raise on error status, after invoking ``catch``.
+
+    Warnings (``status > 0``) pass through, as in the C macro.
+    """
+    if status < 0:
+        if catch is not None:
+            catch(status)
+        text = msg.value if msg is not None else ""
+        raise LAGraphError(text or f"LAGraph error {status}", status=status)
+    return status
+
+
+def grb_try(status: int, catch: Optional[Callable[[int], None]] = None,
+            msg: Optional[MsgBuffer] = None) -> int:
+    """``GrB_TRY``: raise on any GraphBLAS status except SUCCESS/NO_VALUE."""
+    if status not in (0, 1):  # GrB_SUCCESS, GrB_NO_VALUE
+        if catch is not None:
+            catch(status)
+        text = msg.value if msg is not None else ""
+        raise GraphBLASError(text or f"GraphBLAS error {status}", info=status)
+    return status
+
+
+# ---------------------------------------------------------------------------
+# graph construction / properties
+# ---------------------------------------------------------------------------
+
+def LAGraph_New(matrix_ref: list, kind: Kind, msg: Optional[MsgBuffer] = None):
+    """``(status, G)`` — move-construct a Graph; ``matrix_ref[0]`` becomes None."""
+    return _c_call(Graph.new, msg, matrix_ref, kind)
+
+
+def LAGraph_Delete(graph_ref: list, msg: Optional[MsgBuffer] = None):
+    """Free the graph held in a one-element list (sets the slot to None)."""
+    if msg is not None:
+        msg.clear()
+    if not (isinstance(graph_ref, list) and len(graph_ref) == 1):
+        if msg is not None:
+            msg.set("LAGraph_Delete expects a one-element list")
+        return (Status.INVALID_VALUE,)
+    graph_ref[0] = None
+    return (Status.SUCCESS,)
+
+
+def _c_status(fn: Callable, msg: Optional[MsgBuffer], *args):
+    """Like :func:`_c_call` but the function's int return IS the status."""
+    result = _c_call(fn, msg, *args)
+    if len(result) == 2 and isinstance(result[1], int):
+        return (result[1],)
+    return result
+
+
+def LAGraph_DeleteProperties(g: Graph, msg: Optional[MsgBuffer] = None):
+    return _c_status(g.invalidate_properties, msg)
+
+
+def LAGraph_Property_AT(g: Graph, msg: Optional[MsgBuffer] = None):
+    return _c_status(g.cache_at, msg)
+
+
+def LAGraph_Property_RowDegree(g: Graph, msg: Optional[MsgBuffer] = None):
+    return _c_status(g.cache_row_degree, msg)
+
+
+def LAGraph_Property_ColDegree(g: Graph, msg: Optional[MsgBuffer] = None):
+    return _c_status(g.cache_col_degree, msg)
+
+
+def LAGraph_Property_ASymmetricPattern(g: Graph, msg: Optional[MsgBuffer] = None):
+    return _c_status(g.cache_symmetric_pattern, msg)
+
+
+def LAGraph_Property_NDiag(g: Graph, msg: Optional[MsgBuffer] = None):
+    return _c_status(g.cache_ndiag, msg)
+
+
+def LAGraph_CheckGraph(g: Graph, msg: Optional[MsgBuffer] = None):
+    return _c_status(g.check, msg)
+
+
+# ---------------------------------------------------------------------------
+# algorithms
+# ---------------------------------------------------------------------------
+
+def LAGraph_BreadthFirstSearch(g: Graph, source: int,
+                               msg: Optional[MsgBuffer] = None):
+    """``(status, level, parent)`` — Basic-mode BFS."""
+    def run():
+        p, lv = _alg.bfs(g, source, parent=True, level=True)
+        return lv, p
+    return _c_call(run, msg)
+
+
+def LAGraph_VertexCentrality_Betweenness(g: Graph, sources,
+                                         msg: Optional[MsgBuffer] = None):
+    """``(status, centrality)``."""
+    return _c_call(_alg.betweenness_centrality, msg, g, sources)
+
+
+def LAGraph_PageRank(g: Graph, damping: float = 0.85, tol: float = 1e-4,
+                     itermax: int = 100, msg: Optional[MsgBuffer] = None):
+    """``(status, rank, iterations)``."""
+    return _c_call(_alg.pagerank, msg, g, damping=damping, tol=tol,
+                   itermax=itermax)
+
+
+def LAGraph_SingleSourceShortestPath(g: Graph, source: int,
+                                     delta: float | None = None,
+                                     msg: Optional[MsgBuffer] = None):
+    """``(status, distances)``."""
+    return _c_call(_alg.sssp, msg, g, source, delta)
+
+
+def LAGraph_TriangleCount(g: Graph, msg: Optional[MsgBuffer] = None):
+    """``(status, ntriangles)`` — Basic-mode triangle count."""
+    return _c_call(_alg.triangle_count_basic, msg, g)
+
+
+def LAGraph_ConnectedComponents(g: Graph, msg: Optional[MsgBuffer] = None):
+    """``(status, components)``."""
+    return _c_call(_alg.connected_components, msg, g)
+
+
+# ---------------------------------------------------------------------------
+# experimental tier (Sec. II-E): faster cadence, same convention
+# ---------------------------------------------------------------------------
+
+def LAGraph_KTruss(g: Graph, k: int, msg: Optional[MsgBuffer] = None):
+    """``(status, truss_matrix)``."""
+    from . import experimental as _exp
+    return _c_call(_exp.ktruss, msg, g, k)
+
+
+def LAGraph_LCC(g: Graph, msg: Optional[MsgBuffer] = None):
+    """``(status, coefficients)``."""
+    from . import experimental as _exp
+    return _c_call(_exp.local_clustering_coefficient, msg, g)
+
+
+def LAGraph_MaximalIndependentSet(g: Graph, seed: int = 0,
+                                  msg: Optional[MsgBuffer] = None):
+    """``(status, iset)``."""
+    from . import experimental as _exp
+    return _c_call(_exp.maximal_independent_set, msg, g, seed)
+
+
+def LAGraph_CDLP(g: Graph, iterations: int = 10,
+                 msg: Optional[MsgBuffer] = None):
+    """``(status, labels)``."""
+    from . import experimental as _exp
+    return _c_call(_exp.cdlp, msg, g, iterations)
+
+
+def LAGraph_MSF(g: Graph, msg: Optional[MsgBuffer] = None):
+    """``(status, forest, total_weight)``."""
+    from . import experimental as _exp
+    return _c_call(_exp.minimum_spanning_forest, msg, g)

@@ -1,0 +1,106 @@
+"""LAGraph return codes, message buffer, and error types (Sec. II-C/D).
+
+The paper's calling convention: every algorithm returns an ``int`` —
+``0`` success, ``<0`` error, ``>0`` warning — and takes a caller-owned
+message buffer of ``LAGRAPH_MSG_LEN`` chars as its last argument.
+
+The pythonic API raises :class:`LAGraphError` subclasses carrying the
+matching status code; the C-style layer (:mod:`repro.lagraph.compat`)
+catches them and translates back to ``(status, msg)`` pairs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Status",
+    "MSG_LEN",
+    "MsgBuffer",
+    "LAGraphError",
+    "InvalidGraph",
+    "InvalidKind",
+    "PropertyMissing",
+    "IOError_",
+    "NotImplementedError_",
+]
+
+#: Size of the message buffer (``LAGRAPH_MSG_LEN``).
+MSG_LEN = 256
+
+
+class Status:
+    """Integer status codes following the paper's sign convention."""
+
+    SUCCESS = 0
+    # warnings (> 0)
+    CACHE_ALREADY_PRESENT = 1001
+    # errors (< 0); the -1000 block is reserved for LAGraph itself,
+    # mirroring how the C library keeps clear of GrB_Info values.
+    INVALID_GRAPH = -1002
+    INVALID_KIND = -1003
+    PROPERTY_MISSING = -1004
+    IO_ERROR = -1005
+    NOT_IMPLEMENTED = -1006
+    INVALID_VALUE = -1007
+
+
+class MsgBuffer:
+    """A caller-owned message holder standing in for ``char msg[MSG_LEN]``.
+
+    Algorithms clear it on success and write a diagnostic on error/warning,
+    truncated to :data:`MSG_LEN` characters exactly like the C buffer.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = ""
+
+    def set(self, text: str):
+        self.value = text[: MSG_LEN - 1]
+
+    def clear(self):
+        self.value = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class LAGraphError(Exception):
+    """Base LAGraph error; ``status`` holds the C-convention code."""
+
+    status = Status.INVALID_VALUE
+
+    def __init__(self, message: str = "", status: int | None = None):
+        super().__init__(message or self.__class__.__name__)
+        if status is not None:
+            self.status = status
+
+
+class InvalidGraph(LAGraphError):
+    """The Graph object violates an invariant (``LAGraph_CheckGraph``)."""
+
+    status = Status.INVALID_GRAPH
+
+
+class InvalidKind(LAGraphError):
+    """An algorithm received a graph of the wrong kind (Advanced mode)."""
+
+    status = Status.INVALID_KIND
+
+
+class PropertyMissing(LAGraphError):
+    """An Advanced-mode algorithm needs a cached property that is absent.
+
+    Advanced algorithms never compute properties themselves (Sec. II-B) —
+    the caller must opt in by calling the ``cache_*`` methods first.
+    """
+
+    status = Status.PROPERTY_MISSING
+
+
+class IOError_(LAGraphError):
+    status = Status.IO_ERROR
+
+
+class NotImplementedError_(LAGraphError):
+    status = Status.NOT_IMPLEMENTED

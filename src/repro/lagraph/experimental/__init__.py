@@ -1,0 +1,15 @@
+"""Experimental algorithm tier (Sec. II-E of the paper).
+
+New algorithms land here first: faster release cadence, no bug-free
+guarantee, preconditions enforced loosely.  Graduation to
+:mod:`repro.lagraph.algorithms` requires the stable tier's testing bar.
+"""
+
+from .cdlp import cdlp
+from .ktruss import ktruss
+from .lcc import local_clustering_coefficient
+from .mis import maximal_independent_set
+from .msf import minimum_spanning_forest
+
+__all__ = ["cdlp", "ktruss", "local_clustering_coefficient",
+           "maximal_independent_set", "minimum_spanning_forest"]

@@ -1,0 +1,73 @@
+"""Community detection by label propagation (CDLP, experimental tier).
+
+The Graphalytics kernel the paper targets for end-to-end workflows
+(Sec. VII): every node repeatedly adopts the most frequent label among its
+neighbours, ties broken toward the smallest label, for a fixed number of
+synchronous rounds.
+
+The per-node mode computation is expressed as a grouped reduction over the
+gathered neighbour labels — the same gather/group-reduce machinery the
+semiring kernels use (LAGraph's C implementation likewise drops to a sort
+within ``GxB_*`` extensions here, since "most frequent" is not a semiring).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...grb import Vector
+from ...grb._kernels.gather import expand_rows
+from ..graph import Graph
+from ..kinds import Kind
+
+__all__ = ["cdlp"]
+
+
+def cdlp(g: Graph, iterations: int = 10) -> Vector:
+    """Synchronous label propagation; returns the INT64 label vector.
+
+    Directed graphs follow Graphalytics semantics: both in- and
+    out-neighbours vote (an edge in either direction contributes one vote
+    each way it exists).
+    """
+    a = g.A
+    if g.kind is Kind.ADJACENCY_UNDIRECTED:
+        rows = expand_rows(a.indptr, a.nrows)
+        cols = a.indices
+    else:
+        at = g.AT if g.AT is not None else a.T
+        rows = np.concatenate((expand_rows(a.indptr, a.nrows),
+                               expand_rows(at.indptr, at.nrows)))
+        cols = np.concatenate((a.indices, at.indices))
+    n = g.n
+    labels = np.arange(n, dtype=np.int64)
+
+    for _ in range(max(0, int(iterations))):
+        votes = labels[cols]
+        # count (node, label) pairs; then per node pick (max count, min label)
+        order = np.lexsort((votes, rows))
+        r = rows[order]
+        v = votes[order]
+        if r.size == 0:
+            break
+        new_group = np.empty(r.size, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (r[1:] != r[:-1]) | (v[1:] != v[:-1])
+        starts = np.flatnonzero(new_group)
+        counts = np.diff(np.append(starts, r.size))
+        gr = r[starts]          # node of each (node, label) group
+        gv = v[starts]          # label of each group (ascending per node)
+        # per node: argmax count, ties to smallest label — groups are
+        # label-ascending within a node, so a strict '>' keeps the smallest
+        best = np.lexsort((gv, -counts, gr))
+        node_first = np.empty(best.size, dtype=bool)
+        sorted_nodes = gr[best]
+        node_first[0] = True
+        node_first[1:] = sorted_nodes[1:] != sorted_nodes[:-1]
+        pick = best[node_first]
+        new_labels = labels.copy()
+        new_labels[gr[pick]] = gv[pick]
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+    return Vector.from_dense(labels)

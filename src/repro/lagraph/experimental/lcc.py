@@ -1,0 +1,49 @@
+"""Local clustering coefficient (experimental tier, Sec. II-E).
+
+For each node ``v`` with degree ``d(v) ≥ 2``::
+
+    lcc(v) = 2 · tri(v) / (d(v) · (d(v) − 1))
+
+where ``tri(v)`` is the number of triangles through ``v``.  The triangle
+counts per node come from the row-wise reduction of the masked
+``plus.pair`` product (the same product triangle counting uses) — this is
+the Graphalytics LCC kernel, one of the end-to-end workloads the paper
+names as future work (Sec. VII).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ... import grb
+from ...grb import Matrix, Vector, structure
+from ..graph import Graph
+from ..kinds import Kind
+
+__all__ = ["local_clustering_coefficient"]
+
+_PLUS_PAIR = grb.semiring("plus", "pair")
+
+
+def local_clustering_coefficient(g: Graph) -> Vector:
+    """Dense FP64 vector of per-node clustering coefficients.
+
+    Directed inputs are symmetrised first (Graphalytics treats the graph as
+    undirected for LCC); self-edges are ignored.  Nodes with degree < 2
+    get coefficient 0.
+    """
+    a = g.A.pattern(grb.INT64)
+    if g.kind is not Kind.ADJACENCY_UNDIRECTED:
+        a = a.ewise_add(a.T, grb.binary.LOR).pattern(grb.INT64)
+    if a.ndiag():
+        a = a.offdiag()
+    n = a.nrows
+    # triangles through each edge, then per node
+    c = Matrix(grb.INT64, n, n)
+    grb.mxm(c, a, a, _PLUS_PAIR, mask=structure(a))
+    tri_per_node = c.reduce_rowwise(grb.monoid.PLUS_MONOID).to_dense() / 2.0
+    deg = a.row_degrees().to_dense().astype(np.float64)
+    denom = deg * (deg - 1.0) / 2.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        lcc = np.where(denom > 0, tri_per_node / denom, 0.0)
+    return Vector.from_dense(lcc)

@@ -1,0 +1,125 @@
+"""Minimum spanning forest — Borůvka's algorithm (experimental tier).
+
+LAGraph's experimental folder carries an ``LAGraph_msf``; this is the same
+component-contraction scheme: every round, each component selects its
+cheapest outgoing edge (a grouped min-reduction), those edges join the
+forest, and components merge until no inter-component edges remain.
+
+Ties are broken by (weight, source, destination) so the forest is
+deterministic and — for distinct weights — unique.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ... import grb
+from ...grb import Matrix
+from ...grb._kernels.gather import expand_rows
+from ..errors import InvalidKind
+from ..graph import Graph
+from ..kinds import Kind
+
+__all__ = ["minimum_spanning_forest"]
+
+
+def minimum_spanning_forest(g: Graph) -> Tuple[Matrix, float]:
+    """Returns ``(forest, total_weight)`` for a weighted undirected graph.
+
+    ``forest`` is a symmetric FP64 matrix holding the selected edges (both
+    directions).  Works per connected component (hence *forest*).
+    """
+    if g.kind is not Kind.ADJACENCY_UNDIRECTED:
+        if not g.A_pattern_is_symmetric:
+            raise InvalidKind("minimum_spanning_forest requires an "
+                              "undirected graph (or cached symmetric pattern)")
+    a = g.A
+    n = g.n
+    src = expand_rows(a.indptr, a.nrows)
+    dst = a.indices.copy()
+    w = a.values.astype(np.float64)
+    keep = src != dst
+    src, dst, w = src[keep], dst[keep], w[keep]
+
+    # A strict total order on undirected edges: rank by (weight, lo, hi),
+    # identical for both stored directions.  Borůvka is cycle-free only
+    # under distinct edge keys; this is the standard tie-breaking fix.
+    lo_all = np.minimum(src, dst)
+    hi_all = np.maximum(src, dst)
+    order_all = np.lexsort((hi_all, lo_all, w))
+    rank = np.empty(src.size, dtype=np.int64)
+    rank[order_all] = np.arange(src.size, dtype=np.int64)
+    # both directions of an edge must share one rank: take the min per pair
+    pair_key = lo_all * np.int64(n) + hi_all
+    uniq_keys, inv = np.unique(pair_key, return_inverse=True)
+    pair_rank = np.full(uniq_keys.size, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(pair_rank, inv, rank)
+    rank = pair_rank[inv]
+
+    comp = np.arange(n, dtype=np.int64)
+    chosen_src = []
+    chosen_dst = []
+    chosen_w = []
+
+    while True:
+        cs, cd = comp[src], comp[dst]
+        external = cs != cd
+        if not external.any():
+            break
+        es, ed, ew = src[external], dst[external], w[external]
+        er = rank[external]
+        ecs = cs[external]
+        # cheapest outgoing edge per component: minimum rank
+        order = np.lexsort((er, ecs))
+        ecs_o = ecs[order]
+        first = np.empty(ecs_o.size, dtype=bool)
+        first[0] = True
+        first[1:] = ecs_o[1:] != ecs_o[:-1]
+        pick = order[first]
+        ps, pd, pw = es[pick], ed[pick], ew[pick]
+        # de-duplicate edges chosen from both endpoints' components
+        lo = np.minimum(ps, pd)
+        hi = np.maximum(ps, pd)
+        key = lo * np.int64(n) + hi
+        _, uniq = np.unique(key, return_index=True)
+        ps, pd, pw = ps[uniq], pd[uniq], pw[uniq]
+        chosen_src.append(ps)
+        chosen_dst.append(pd)
+        chosen_w.append(pw)
+        # union the chosen root pairs (a plain union-find: minimum.at-style
+        # hooking can drop one of two hooks aimed at the same root and
+        # leave joined components unmerged)
+        parent = np.arange(n, dtype=np.int64)
+        for s_, d_ in zip(comp[ps].tolist(), comp[pd].tolist()):
+            while parent[s_] != s_:
+                parent[s_] = parent[parent[s_]]
+                s_ = parent[s_]
+            while parent[d_] != d_:
+                parent[d_] = parent[parent[d_]]
+                d_ = parent[d_]
+            if s_ != d_:
+                if s_ < d_:
+                    parent[d_] = s_
+                else:
+                    parent[s_] = d_
+        while True:
+            pp = parent[parent]
+            if np.array_equal(pp, parent):
+                break
+            parent = pp
+        comp = parent[comp]
+
+    if chosen_src:
+        fs = np.concatenate(chosen_src)
+        fd = np.concatenate(chosen_dst)
+        fw = np.concatenate(chosen_w)
+        forest = Matrix.from_coo(
+            np.concatenate((fs, fd)), np.concatenate((fd, fs)),
+            np.concatenate((fw, fw)), n, n, dup_op=grb.binary.MIN)
+        total = float(fw.sum())
+    else:
+        forest = Matrix(grb.FP64, n, n)
+        total = 0.0
+    return forest, total

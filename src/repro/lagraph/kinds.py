@@ -1,0 +1,27 @@
+"""Graph kinds (the ``LAGraph_Kind`` enumeration from Listing 1)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Kind", "ADJACENCY_UNDIRECTED", "ADJACENCY_DIRECTED", "kind_name"]
+
+
+class Kind(Enum):
+    """How a Graph's adjacency matrix should be interpreted.
+
+    The paper defines exactly two kinds in the first release (Sec. II-A),
+    with more planned; we mirror that.
+    """
+
+    ADJACENCY_UNDIRECTED = "undirected"
+    ADJACENCY_DIRECTED = "directed"
+
+
+ADJACENCY_UNDIRECTED = Kind.ADJACENCY_UNDIRECTED
+ADJACENCY_DIRECTED = Kind.ADJACENCY_DIRECTED
+
+
+def kind_name(kind: Kind) -> str:
+    """``LAGraph_KindName``: printable name of a graph kind."""
+    return kind.value

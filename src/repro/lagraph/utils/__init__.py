@@ -1,0 +1,39 @@
+"""LAGraph utility functions (Sec. V of the paper).
+
+================================  =========================================
+paper name                        here
+================================  =========================================
+``LAGraph_Property_*``            methods on :class:`repro.lagraph.Graph`
+``LAGraph_DeleteProperties``      :meth:`Graph.invalidate_properties`
+``LAGraph_CheckGraph``            :meth:`Graph.check`
+``LAGraph_DisplayGraph``          :meth:`Graph.display`
+``LAGraph_MMRead/MMWrite``        :func:`mmread` / :func:`mmwrite`
+``LAGraph_BinRead/BinWrite``      :func:`binread` / :func:`binwrite`
+``LAGraph_Pattern``               :func:`pattern`
+``LAGraph_IsEqual/IsAll``         :func:`isequal` / :func:`isall`
+``LAGraph_SortByDegree``          :func:`sort_by_degree`
+``LAGraph_SampleDegree``          :func:`sample_degree`
+``LAGraph_Tic/Toc``               :class:`Timer` / :func:`tic` / :func:`toc`
+``LAGraph_Sort1/2/3``             :func:`sort1` / :func:`sort2` / :func:`sort3`
+``LAGraph_TypeName``              :func:`repro.grb.type_name`
+``LAGraph_KindName``              :func:`repro.lagraph.kinds.kind_name`
+================================  =========================================
+
+Memory-management wrappers (malloc/calloc/realloc/free) have no Python
+equivalent and are intentionally omitted.
+"""
+
+from .degree import sample_degree, sort_by_degree
+from .io_bin import binread, binwrite
+from .io_mm import mmread, mmwrite
+from .matrixops import isall, isequal, pattern
+from .sorting import sort1, sort2, sort3
+from .timer import Timer, tic, toc
+
+__all__ = [
+    "sample_degree", "sort_by_degree",
+    "binread", "binwrite", "mmread", "mmwrite",
+    "isall", "isequal", "pattern",
+    "sort1", "sort2", "sort3",
+    "Timer", "tic", "toc",
+]

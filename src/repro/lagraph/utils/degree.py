@@ -1,0 +1,52 @@
+"""Degree utilities (``LAGraph_SortByDegree`` / ``LAGraph_SampleDegree``).
+
+Both are used by the triangle-counting heuristic (Alg. 6 of the paper):
+``sample_degree`` cheaply estimates the mean and median degree to decide
+whether to permute, and ``sort_by_degree`` produces the ascending-degree
+permutation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import PropertyMissing
+from ..graph import Graph
+
+__all__ = ["sort_by_degree", "sample_degree"]
+
+
+def _degrees(g: Graph, byrow: bool) -> np.ndarray:
+    deg = g.row_degree if byrow else g.col_degree
+    if deg is None:
+        raise PropertyMissing(
+            "degree property not cached; call cache_row_degree/cache_col_degree")
+    return deg.to_dense()
+
+
+def sort_by_degree(g: Graph, byrow: bool = True, ascending: bool = True) -> np.ndarray:
+    """Permutation sorting the nodes by degree.
+
+    Ties are broken by node id (stable), so the permutation is deterministic.
+    Requires the corresponding degree property to be cached (Advanced-mode
+    discipline).
+    """
+    deg = _degrees(g, byrow)
+    key = deg if ascending else -deg
+    return np.argsort(key, kind="stable").astype(np.int64)
+
+
+def sample_degree(g: Graph, byrow: bool = True, nsamples: int = 1000,
+                  seed: int = 0) -> Tuple[float, float]:
+    """Quick estimate of the (mean, median) degree from a random sample."""
+    deg = _degrees(g, byrow)
+    n = deg.size
+    if n == 0:
+        return 0.0, 0.0
+    if int(nsamples) >= n:
+        return float(deg.mean()), float(np.median(deg))
+    rng = np.random.default_rng(seed)
+    sample = deg[rng.integers(0, n, size=int(nsamples))]
+    return float(sample.mean()), float(np.median(sample))

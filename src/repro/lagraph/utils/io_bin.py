@@ -1,0 +1,43 @@
+"""Binary matrix I/O (``LAGraph_BinRead`` / ``LAGraph_BinWrite``).
+
+The C library serialises the raw CSR arrays for fast reload of benchmark
+graphs; we do the same through NumPy's ``.npz`` container (no pickling, so
+files are portable and safe to load).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...grb.matrix import Matrix
+from ...grb.types import from_dtype
+from ..errors import IOError_
+
+__all__ = ["binwrite", "binread"]
+
+_MAGIC = "lagraph-csr-v1"
+
+
+def binwrite(a: Matrix, path) -> None:
+    """Serialise a matrix's CSR arrays to ``path`` (``.npz``)."""
+    np.savez(
+        path,
+        magic=np.array(_MAGIC),
+        shape=np.array([a.nrows, a.ncols], dtype=np.int64),
+        indptr=a.indptr,
+        indices=a.indices,
+        values=a.values,
+    )
+
+
+def binread(path) -> Matrix:
+    """Load a matrix previously written by :func:`binwrite`."""
+    with np.load(path, allow_pickle=False) as z:
+        if "magic" not in z or str(z["magic"]) != _MAGIC:
+            raise IOError_(f"{path}: not an LAGraph binary matrix file")
+        nrows, ncols = (int(x) for x in z["shape"])
+        m = Matrix(from_dtype(z["values"].dtype), nrows, ncols)
+        m.indptr = z["indptr"].astype(np.int64)
+        m.indices = z["indices"].astype(np.int64)
+        m.values = z["values"]
+    return m

@@ -1,0 +1,124 @@
+"""Matrix Market I/O (``LAGraph_MMRead`` / ``LAGraph_MMWrite``).
+
+A self-contained reader/writer for the MatrixMarket *coordinate* format,
+supporting the field types LAGraph handles: ``pattern``, ``integer`` and
+``real``, with ``general`` / ``symmetric`` / ``skew-symmetric`` symmetry.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ... import grb
+from ...grb.matrix import Matrix
+from ..errors import IOError_
+
+__all__ = ["mmread", "mmwrite"]
+
+_HEADER = "%%MatrixMarket matrix coordinate {field} {symmetry}\n"
+
+
+def _open(path_or_file, mode: str):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+def mmread(path_or_file) -> Matrix:
+    """Read a Matrix Market coordinate file into a :class:`grb.Matrix`.
+
+    Symmetric and skew-symmetric storage is expanded to the full matrix
+    (diagonal entries are not mirrored; skew mirrors with negated values).
+    """
+    f, should_close = _open(path_or_file, "r")
+    try:
+        header = f.readline()
+        parts = header.strip().split()
+        if (len(parts) != 5 or parts[0] != "%%MatrixMarket"
+                or parts[1].lower() != "matrix"
+                or parts[2].lower() != "coordinate"):
+            raise IOError_(f"not a MatrixMarket coordinate header: {header!r}")
+        field = parts[3].lower()
+        symmetry = parts[4].lower()
+        if field not in ("pattern", "integer", "real"):
+            raise IOError_(f"unsupported MatrixMarket field {field!r}")
+        if symmetry not in ("general", "symmetric", "skew-symmetric"):
+            raise IOError_(f"unsupported MatrixMarket symmetry {symmetry!r}")
+        # skip comments
+        line = f.readline()
+        while line.startswith("%"):
+            line = f.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise IOError_(f"bad size line: {line!r}")
+        nrows, ncols, nnz = (int(x) for x in dims)
+        body = f.read()
+    finally:
+        if should_close:
+            f.close()
+
+    if nnz == 0:
+        data = np.empty((0, 3 if field != "pattern" else 2))
+    else:
+        data = np.loadtxt(io.StringIO(body), ndmin=2)
+        if data.shape[0] != nnz:
+            raise IOError_(f"expected {nnz} entries, found {data.shape[0]}")
+    rows = data[:, 0].astype(np.int64) - 1  # 1-based on disk
+    cols = data[:, 1].astype(np.int64) - 1
+    if field == "pattern":
+        vals = np.ones(rows.size, dtype=np.bool_)
+    elif field == "integer":
+        vals = data[:, 2].astype(np.int64)
+    else:
+        vals = data[:, 2].astype(np.float64)
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        mr, mc = cols[off], rows[off]
+        mv = vals[off]
+        if symmetry == "skew-symmetric":
+            mv = -mv
+        rows = np.concatenate((rows, mr))
+        cols = np.concatenate((cols, mc))
+        vals = np.concatenate((vals, mv))
+
+    return Matrix.from_coo(rows, cols, vals, nrows, ncols,
+                           dup_op=grb.binary.PLUS)
+
+
+def mmwrite(a: Matrix, path_or_file, comment: str = "") -> None:
+    """Write a :class:`grb.Matrix` in Matrix Market coordinate format.
+
+    The field is chosen from the matrix type: BOOL → ``pattern``,
+    integers → ``integer``, floats → ``real``.  Always written as
+    ``general`` symmetry (no structure detection, as in the C library's
+    default path).
+    """
+    if a.type.is_boolean:
+        field = "pattern"
+    elif a.type.is_integral:
+        field = "integer"
+    else:
+        field = "real"
+    rows, cols, vals = a.to_coo()
+    f, should_close = _open(path_or_file, "w")
+    try:
+        f.write(_HEADER.format(field=field, symmetry="general"))
+        for line in comment.splitlines():
+            f.write(f"%{line}\n")
+        f.write(f"{a.nrows} {a.ncols} {a.nvals}\n")
+        if field == "pattern":
+            np.savetxt(f, np.column_stack((rows + 1, cols + 1)), fmt="%d %d")
+        elif field == "integer":
+            np.savetxt(f, np.column_stack((rows + 1, cols + 1, vals)),
+                       fmt="%d %d %d")
+        else:
+            out = np.column_stack((rows + 1, cols + 1, vals))
+            np.savetxt(f, out, fmt="%d %d %.17g")
+    finally:
+        if should_close:
+            f.close()

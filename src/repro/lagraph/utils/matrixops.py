@@ -1,0 +1,45 @@
+"""Matrix utilities (``LAGraph_Pattern`` / ``IsEqual`` / ``IsAll``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...grb import binary
+from ...grb.matrix import Matrix
+from ...grb.ops.binary import BinaryOp
+
+__all__ = ["pattern", "isequal", "isall"]
+
+
+def pattern(a: Matrix) -> Matrix:
+    """Boolean matrix containing the structure of ``a`` (values all true)."""
+    return a.pattern()
+
+
+def isall(a: Matrix, b: Matrix, op: BinaryOp) -> bool:
+    """False if the patterns differ; else whether ``op`` holds on all pairs.
+
+    This is the C library's ``LAGraph_IsAll``: compare structure first, then
+    apply a comparator to every aligned value pair and AND the results.
+    """
+    if a.shape != b.shape or a.nvals != b.nvals:
+        return False
+    if not (np.array_equal(a.indptr, b.indptr)
+            and np.array_equal(a.indices, b.indices)):
+        return False
+    if a.nvals == 0:
+        return True
+    return bool(np.all(op(a.values, b.values)))
+
+
+def isequal(a: Matrix, b: Matrix) -> bool:
+    """``LAGraph_IsEqual``: same type domain, same structure, equal values.
+
+    Selects the EQ comparator matching the matrix type (the C version picks
+    ``GrB_EQ_T``) and defers to :func:`isall`.
+    """
+    if a.dtype != b.dtype and not (
+        np.issubdtype(a.dtype, np.number) and np.issubdtype(b.dtype, np.number)
+    ):
+        return False
+    return isall(a, b, binary.EQ)

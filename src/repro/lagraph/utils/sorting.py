@@ -1,0 +1,41 @@
+"""Integer array sorts (``LAGraph_Sort1/2/3``).
+
+The C library provides these because graph algorithms constantly need to
+co-sort index arrays; here they are thin, well-specified wrappers over
+NumPy's stable sorts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sort1", "sort2", "sort3"]
+
+
+def sort1(a) -> np.ndarray:
+    """Sort one integer array ascending; returns a new array."""
+    return np.sort(np.asarray(a), kind="stable")
+
+
+def sort2(a, b):
+    """Co-sort two arrays by ``(a, b)`` lexicographic order.
+
+    Returns new ``(a_sorted, b_sorted)`` arrays of the same dtypes.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError("sort2 requires equal-length arrays")
+    order = np.lexsort((b, a))
+    return a[order], b[order]
+
+
+def sort3(a, b, c):
+    """Co-sort three arrays by ``(a, b, c)`` lexicographic order."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    c = np.asarray(c)
+    if not (a.shape == b.shape == c.shape):
+        raise ValueError("sort3 requires equal-length arrays")
+    order = np.lexsort((c, b, a))
+    return a[order], b[order], c[order]

@@ -1,0 +1,42 @@
+"""Portable timers (``LAGraph_Tic`` / ``LAGraph_Toc``)."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer", "tic", "toc"]
+
+
+class Timer:
+    """A restartable wall-clock timer.
+
+    >>> t = Timer()
+    >>> t.tic()
+    >>> elapsed = t.toc()   # seconds since the matching tic
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self):
+        self._start = time.perf_counter()
+
+    def tic(self):
+        """Start (or restart) the timer."""
+        self._start = time.perf_counter()
+
+    def toc(self) -> float:
+        """Seconds elapsed since the last :meth:`tic`."""
+        return time.perf_counter() - self._start
+
+
+_GLOBAL = Timer()
+
+
+def tic():
+    """Module-level convenience timer start."""
+    _GLOBAL.tic()
+
+
+def toc() -> float:
+    """Seconds since the module-level :func:`tic`."""
+    return _GLOBAL.toc()

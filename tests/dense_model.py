@@ -1,0 +1,183 @@
+"""A dense reference model of GraphBLAS semantics.
+
+Vectors are modelled as ``(present: bool[n], values: dtype[n])`` pairs and
+matrices as ``(present: bool[m,n], values)``.  Every operation is written
+directly from the C API specification text with no sparsity tricks, so the
+model is trivially auditable — the property tests then require the sparse
+substrate to agree with it exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import grb
+
+
+def to_model_vector(v: grb.Vector):
+    present = np.zeros(v.size, dtype=bool)
+    values = np.zeros(v.size, dtype=v.dtype)
+    idx, vals = v.to_coo()
+    present[idx] = True
+    values[idx] = vals
+    return present, values
+
+
+def from_model_vector(present, values) -> grb.Vector:
+    return grb.Vector.from_dense(values, present=present)
+
+
+def to_model_matrix(a: grb.Matrix):
+    present = np.zeros(a.shape, dtype=bool)
+    values = np.zeros(a.shape, dtype=a.dtype)
+    r, c, v = a.to_coo()
+    present[r, c] = True
+    values[r, c] = v
+    return present, values
+
+
+def assert_vector_equals_model(v: grb.Vector, present, values, msg=""):
+    vp, vv = to_model_vector(v)
+    np.testing.assert_array_equal(vp, present, err_msg=f"{msg}: structure")
+    if np.issubdtype(values.dtype, np.floating):
+        np.testing.assert_allclose(vv[present], values[present],
+                                   err_msg=f"{msg}: values", rtol=1e-12)
+    else:
+        np.testing.assert_array_equal(vv[present], values[present],
+                                      err_msg=f"{msg}: values")
+
+
+def assert_matrix_equals_model(a: grb.Matrix, present, values, msg=""):
+    ap, av = to_model_matrix(a)
+    np.testing.assert_array_equal(ap, present, err_msg=f"{msg}: structure")
+    if np.issubdtype(values.dtype, np.floating):
+        np.testing.assert_allclose(av[present], values[present],
+                                   err_msg=f"{msg}: values", rtol=1e-12)
+    else:
+        np.testing.assert_array_equal(av[present], values[present],
+                                      err_msg=f"{msg}: values")
+
+
+# ---------------------------------------------------------------------------
+# spec semantics on the dense model
+# ---------------------------------------------------------------------------
+
+def ewise_add(pa, va, pb, vb, op):
+    """Union merge: op only where both present, pass-through elsewhere."""
+    present = pa | pb
+    out_dt = op(va[:1], vb[:1]).dtype if va.size else va.dtype
+    values = np.zeros(pa.shape, dtype=np.result_type(out_dt, va.dtype, vb.dtype))
+    both = pa & pb
+    only_a = pa & ~pb
+    only_b = pb & ~pa
+    values[both] = op(va[both], vb[both])
+    values[only_a] = va[only_a]
+    values[only_b] = vb[only_b]
+    return present, values
+
+
+def ewise_mult(pa, va, pb, vb, op):
+    """Intersection merge."""
+    present = pa & pb
+    out_dt = op(va[:1], vb[:1]).dtype if va.size else va.dtype
+    values = np.zeros(pa.shape, dtype=out_dt)
+    values[present] = op(va[present], vb[present])
+    return present, values
+
+
+def mask_allowed(mask_present, mask_values, structural, complemented):
+    """The positions a mask lets an operation write to."""
+    if structural or mask_values is None:
+        allowed = mask_present.copy()
+    else:
+        allowed = mask_present & mask_values.astype(bool)
+    return ~allowed if complemented else allowed
+
+
+def masked_write(pc, vc, pt, vt, *, accum=None, allowed=None, replace=False):
+    """The C API §2.3 write-back transaction, dense."""
+    # Z = C ⊙ T
+    if accum is not None:
+        pz, vz = ewise_add(pc, vc, pt, vt, accum)
+    else:
+        pz, vz = pt, vt.copy()
+    if allowed is None:
+        allowed = np.ones(pc.shape, dtype=bool)
+    p_out = np.where(allowed, pz, np.zeros_like(pc) if replace else pc)
+    v_out = np.where(allowed, vz.astype(vc.dtype, copy=False), vc)
+    return p_out, v_out.astype(vc.dtype, copy=False)
+
+
+def semiring_mxv(ap, av, up, uv, semiring):
+    """Dense reference ``w = A ⊕.⊗ u`` honouring structure and positional ops."""
+    m, n = ap.shape
+    w_present = np.zeros(m, dtype=bool)
+    if semiring.positional:
+        dt = semiring.mult.out_dtype
+    else:
+        dt = semiring.mult.result_dtype(av.dtype, uv.dtype)
+    w_values = np.zeros(m, dtype=dt)
+    for i in range(m):
+        ks = np.flatnonzero(ap[i] & up)
+        if ks.size == 0:
+            continue
+        if semiring.positional:
+            prods = semiring.mult.select(
+                np.full(ks.size, i, dtype=np.int64), ks.astype(np.int64),
+                np.zeros(ks.size, dtype=np.int64))
+        else:
+            prods = np.asarray(semiring.mult(av[i, ks], uv[ks]))
+        w_present[i] = True
+        w_values[i] = semiring.add.reduce_all(np.atleast_1d(prods))
+    return w_present, w_values
+
+
+def semiring_vxm(up, uv, ap, av, semiring):
+    """Dense reference ``wᵀ = uᵀ ⊕.⊗ A``."""
+    m, n = ap.shape
+    w_present = np.zeros(n, dtype=bool)
+    if semiring.positional:
+        dt = semiring.mult.out_dtype
+    else:
+        dt = semiring.mult.result_dtype(uv.dtype, av.dtype)
+    w_values = np.zeros(n, dtype=dt)
+    for j in range(n):
+        ks = np.flatnonzero(ap[:, j] & up)
+        if ks.size == 0:
+            continue
+        if semiring.positional:
+            prods = semiring.mult.select(
+                np.zeros(ks.size, dtype=np.int64), ks.astype(np.int64),
+                np.full(ks.size, j, dtype=np.int64))
+        else:
+            prods = np.asarray(semiring.mult(uv[ks], av[ks, j]))
+        w_present[j] = True
+        w_values[j] = semiring.add.reduce_all(np.atleast_1d(prods))
+    return w_present, w_values
+
+
+def semiring_mxm(ap, av, bp, bv, semiring):
+    """Dense reference ``C = A ⊕.⊗ B``."""
+    m, k = ap.shape
+    k2, n = bp.shape
+    assert k == k2
+    if semiring.positional:
+        dt = semiring.mult.out_dtype
+    else:
+        dt = semiring.mult.result_dtype(av.dtype, bv.dtype)
+    cp = np.zeros((m, n), dtype=bool)
+    cv = np.zeros((m, n), dtype=dt)
+    for i in range(m):
+        for j in range(n):
+            ks = np.flatnonzero(ap[i] & bp[:, j])
+            if ks.size == 0:
+                continue
+            if semiring.positional:
+                prods = semiring.mult.select(
+                    np.full(ks.size, i, dtype=np.int64), ks.astype(np.int64),
+                    np.full(ks.size, j, dtype=np.int64))
+            else:
+                prods = np.asarray(semiring.mult(av[i, ks], bv[ks, j]))
+            cp[i, j] = True
+            cv[i, j] = semiring.add.reduce_all(np.atleast_1d(prods))
+    return cp, cv

@@ -1,0 +1,58 @@
+"""Tests for the Graphalytics end-to-end workflow."""
+
+import numpy as np
+import pytest
+
+from repro.gap import datasets, graphalytics
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    g = datasets.build("kron", "tiny")
+    gw = datasets.build("kron", "tiny", weighted=True)
+    g.cache_all()
+    gw.cache_all()
+    return g, gw
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel", graphalytics.KERNELS)
+    def test_kernel_runs_and_self_checks(self, graphs, kernel):
+        g, gw = graphs
+        result = graphalytics.run_kernel(kernel, g, gw, source=0, check=True)
+        assert result is not None
+
+    def test_unknown_kernel(self, graphs):
+        g, gw = graphs
+        with pytest.raises(ValueError):
+            graphalytics.run_kernel("APSP", g, gw)
+
+    def test_bfs_levels_from_given_source(self, graphs):
+        g, gw = graphs
+        level = graphalytics.run_kernel("BFS", g, gw, source=1)
+        assert level.get(1) == 0
+
+    def test_pr_mass_conserved(self, graphs):
+        g, gw = graphs
+        rank = graphalytics.run_kernel("PR", g, gw)
+        assert float(rank.to_dense().sum()) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestWorkflow:
+    def test_full_workflow_structure(self):
+        results = graphalytics.run_workflow("road", "tiny")
+        assert set(results) == {"_ingest"} | set(graphalytics.KERNELS)
+        assert results["_ingest"]["generate"] > 0
+        for kernel in graphalytics.KERNELS:
+            assert results[kernel]["run"] > 0
+
+    def test_kernel_subset(self):
+        results = graphalytics.run_workflow("urand", "tiny",
+                                            kernels=["BFS", "WCC"])
+        assert set(results) == {"_ingest", "BFS", "WCC"}
+
+    def test_format_mentions_ingestion_share(self):
+        results = graphalytics.run_workflow("kron", "tiny",
+                                            kernels=["BFS"])
+        text = graphalytics.format_workflow("kron", results)
+        assert "ingestion" in text and "BFS" in text and "%" in text

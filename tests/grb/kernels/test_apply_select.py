@@ -1,0 +1,78 @@
+"""Tests for the select-operator registry."""
+
+import numpy as np
+import pytest
+
+from repro.grb._kernels import apply_select as s
+
+
+def _coords():
+    # entries at (0,0) (0,2) (1,1) (2,0) with values 1..4
+    i = np.array([0, 0, 1, 2])
+    j = np.array([0, 2, 1, 0])
+    v = np.array([1.0, 2.0, 3.0, 4.0])
+    return v, i, j
+
+
+class TestPositionalPredicates:
+    def test_tril(self):
+        v, i, j = _coords()
+        np.testing.assert_array_equal(s.TRIL(v, i, j, None),
+                                      [True, False, True, True])
+
+    def test_tril_with_offset(self):
+        v, i, j = _coords()
+        np.testing.assert_array_equal(s.TRIL(v, i, j, -1),
+                                      [False, False, False, True])
+
+    def test_triu(self):
+        v, i, j = _coords()
+        np.testing.assert_array_equal(s.TRIU(v, i, j, None),
+                                      [True, True, True, False])
+
+    def test_diag_offdiag_partition(self):
+        v, i, j = _coords()
+        d = s.DIAG(v, i, j, None)
+        o = s.OFFDIAG(v, i, j, None)
+        np.testing.assert_array_equal(d ^ o, np.ones(4, dtype=bool))
+
+    def test_rowle_colle(self):
+        v, i, j = _coords()
+        np.testing.assert_array_equal(s.ROWLE(v, i, j, 0),
+                                      [True, True, False, False])
+        np.testing.assert_array_equal(s.COLLE(v, i, j, 0),
+                                      [True, False, False, True])
+
+
+class TestValuePredicates:
+    def test_nonzero(self):
+        v = np.array([0.0, 1.0, -2.0])
+        z = np.zeros(3, dtype=np.int64)
+        np.testing.assert_array_equal(s.NONZERO(v, z, z, None),
+                                      [False, True, True])
+
+    @pytest.mark.parametrize("op,thunk,expected", [
+        (s.VALUEEQ, 2.0, [False, True, False, False]),
+        (s.VALUENE, 2.0, [True, False, True, True]),
+        (s.VALUEGT, 2.0, [False, False, True, True]),
+        (s.VALUEGE, 2.0, [False, True, True, True]),
+        (s.VALUELT, 2.0, [True, False, False, False]),
+        (s.VALUELE, 2.0, [True, True, False, False]),
+    ])
+    def test_comparisons(self, op, thunk, expected):
+        v, i, j = _coords()
+        np.testing.assert_array_equal(op(v, i, j, thunk), expected)
+
+
+class TestRegistry:
+    def test_by_name(self):
+        assert s.by_name("tril") is s.TRIL
+        assert s.by_name("valuege") is s.VALUEGE
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            s.by_name("valuetwixt")
+
+    def test_output_always_bool(self):
+        v, i, j = _coords()
+        assert s.VALUEGT(v, i, j, 0).dtype == np.bool_

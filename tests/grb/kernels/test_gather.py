@@ -1,0 +1,94 @@
+"""Tests for the ragged-gather kernels."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.grb._kernels.gather import (
+    concat_ranges,
+    csr_gather_rows,
+    csr_row_lengths,
+    expand_rows,
+)
+
+
+class TestConcatRanges:
+    def test_basic(self):
+        out = concat_ranges(np.array([0, 10]), np.array([3, 2]))
+        np.testing.assert_array_equal(out, [0, 1, 2, 10, 11])
+
+    def test_empty_ranges_skipped(self):
+        out = concat_ranges(np.array([5, 7, 9]), np.array([0, 2, 0]))
+        np.testing.assert_array_equal(out, [7, 8])
+
+    def test_all_empty(self):
+        out = concat_ranges(np.array([1, 2]), np.array([0, 0]))
+        assert out.size == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 5)),
+                    min_size=0, max_size=10))
+    def test_matches_naive(self, spans):
+        starts = np.array([s for s, _ in spans], dtype=np.int64)
+        counts = np.array([c for _, c in spans], dtype=np.int64)
+        expected = np.concatenate(
+            [np.arange(s, s + c) for s, c in spans] or [np.array([], dtype=np.int64)]
+        )
+        np.testing.assert_array_equal(concat_ranges(starts, counts), expected)
+
+
+def _small_csr():
+    # 3x4 matrix: row0 = {1: 10, 3: 30}, row1 = {}, row2 = {0: 5}
+    indptr = np.array([0, 2, 2, 3], dtype=np.int64)
+    indices = np.array([1, 3, 0], dtype=np.int64)
+    values = np.array([10.0, 30.0, 5.0])
+    return indptr, indices, values
+
+
+class TestCsrGather:
+    def test_row_lengths(self):
+        indptr, _, _ = _small_csr()
+        np.testing.assert_array_equal(
+            csr_row_lengths(indptr, np.array([0, 1, 2])), [2, 0, 1])
+
+    def test_gather_single_row(self):
+        indptr, indices, values = _small_csr()
+        rep, cols, vals = csr_gather_rows(indptr, indices, values,
+                                          np.array([0]))
+        np.testing.assert_array_equal(rep, [0, 0])
+        np.testing.assert_array_equal(cols, [1, 3])
+        np.testing.assert_array_equal(vals, [10.0, 30.0])
+
+    def test_gather_preserves_request_order(self):
+        indptr, indices, values = _small_csr()
+        rep, cols, vals = csr_gather_rows(indptr, indices, values,
+                                          np.array([2, 0]))
+        np.testing.assert_array_equal(rep, [0, 1, 1])
+        np.testing.assert_array_equal(cols, [0, 1, 3])
+        np.testing.assert_array_equal(vals, [5.0, 10.0, 30.0])
+
+    def test_gather_empty_row(self):
+        indptr, indices, values = _small_csr()
+        rep, cols, vals = csr_gather_rows(indptr, indices, values,
+                                          np.array([1]))
+        assert rep.size == cols.size == vals.size == 0
+
+    def test_gather_none_values(self):
+        indptr, indices, _ = _small_csr()
+        rep, cols, vals = csr_gather_rows(indptr, indices, None, np.array([0]))
+        assert vals is None
+        np.testing.assert_array_equal(cols, [1, 3])
+
+    def test_gather_repeated_rows(self):
+        indptr, indices, values = _small_csr()
+        rep, cols, _ = csr_gather_rows(indptr, indices, values,
+                                       np.array([0, 0]))
+        np.testing.assert_array_equal(rep, [0, 0, 1, 1])
+        np.testing.assert_array_equal(cols, [1, 3, 1, 3])
+
+
+class TestExpandRows:
+    def test_expand(self):
+        indptr, _, _ = _small_csr()
+        np.testing.assert_array_equal(expand_rows(indptr, 3), [0, 0, 2])
+
+    def test_empty_matrix(self):
+        assert expand_rows(np.zeros(4, dtype=np.int64), 3).size == 0

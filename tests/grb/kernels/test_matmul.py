@@ -1,0 +1,131 @@
+"""Property tests for the semiring matmul kernels vs the dense model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+import dense_model as dm
+from repro import grb
+from repro.grb._kernels.matmul import mxm_expand, mxv_gather, vxm_sparse
+
+SEMIRINGS = ["plus.times", "min.plus", "max.plus", "plus.first",
+             "plus.second", "plus.pair", "any.secondi", "min.second",
+             "any.pair", "min.first"]
+
+
+@st.composite
+def matvec_case(draw, m_max=8, n_max=8):
+    m = draw(st.integers(1, m_max))
+    n = draw(st.integers(1, n_max))
+    ap = np.array(draw(st.lists(st.booleans(), min_size=m * n,
+                                max_size=m * n))).reshape(m, n)
+    av = np.array(draw(st.lists(st.integers(0, 6), min_size=m * n,
+                                max_size=m * n)), dtype=np.float64).reshape(m, n)
+    av[~ap] = 0
+    up = np.array(draw(st.lists(st.booleans(), min_size=n, max_size=n)))
+    uv = np.array(draw(st.lists(st.integers(0, 6), min_size=n, max_size=n)),
+                  dtype=np.float64)
+    uv[~up] = 0
+    return ap, av, up, uv
+
+
+def _matrix(ap, av):
+    r, c = np.nonzero(ap)
+    return grb.Matrix.from_coo(r, c, av[r, c], ap.shape[0], ap.shape[1])
+
+
+class TestVxmSparse:
+    @pytest.mark.parametrize("name", SEMIRINGS)
+    @given(case=matvec_case())
+    def test_matches_dense_model(self, name, case):
+        ap, av, up, uv = case
+        # here u indexes the ROWS of A: transpose the case shape
+        ap_t, av_t = ap.T.copy(), av.T.copy()   # u.size must equal nrows
+        sr = grb.semiring_by_name(name)
+        a = _matrix(ap_t, av_t)
+        u_idx = np.flatnonzero(up).astype(np.int64)
+        w_idx, w_vals = vxm_sparse(u_idx, uv[u_idx], a.indptr, a.indices,
+                                   a.values, sr)
+        ep, ev = dm.semiring_vxm(up, uv, ap_t, av_t, sr)
+        np.testing.assert_array_equal(w_idx, np.flatnonzero(ep),
+                                      err_msg=f"{name}: structure")
+        np.testing.assert_allclose(w_vals.astype(np.float64),
+                                   ev[ep].astype(np.float64),
+                                   err_msg=f"{name}: values")
+
+
+class TestMxvGather:
+    @pytest.mark.parametrize("name", SEMIRINGS)
+    @given(case=matvec_case())
+    def test_matches_dense_model(self, name, case):
+        ap, av, up, uv = case
+        sr = grb.semiring_by_name(name)
+        a = _matrix(ap, av)
+        present = up.copy()
+        dense = uv.copy()
+        rows = np.arange(ap.shape[0], dtype=np.int64)
+        w_idx, w_vals = mxv_gather(a.indptr, a.indices, a.values,
+                                   present, dense, rows, sr)
+        ep, ev = dm.semiring_mxv(ap, av, up, uv, sr)
+        np.testing.assert_array_equal(w_idx, np.flatnonzero(ep),
+                                      err_msg=f"{name}: structure")
+        np.testing.assert_allclose(w_vals.astype(np.float64),
+                                   ev[ep].astype(np.float64),
+                                   err_msg=f"{name}: values")
+
+    @given(case=matvec_case())
+    def test_row_restriction(self, case):
+        """Restricting rows must equal filtering the full result."""
+        ap, av, up, uv = case
+        sr = grb.semiring_by_name("min.plus")
+        a = _matrix(ap, av)
+        rows = np.arange(0, ap.shape[0], 2, dtype=np.int64)
+        w_idx, w_vals = mxv_gather(a.indptr, a.indices, a.values, up, uv,
+                                   rows, sr)
+        full_idx, full_vals = mxv_gather(a.indptr, a.indices, a.values, up,
+                                         uv, np.arange(ap.shape[0],
+                                                       dtype=np.int64), sr)
+        keep = np.isin(full_idx, rows)
+        np.testing.assert_array_equal(w_idx, full_idx[keep])
+        np.testing.assert_allclose(w_vals, full_vals[keep])
+
+
+@st.composite
+def matmat_case(draw, dim=5):
+    m = draw(st.integers(1, dim))
+    k = draw(st.integers(1, dim))
+    n = draw(st.integers(1, dim))
+
+    def mk(r, c):
+        p = np.array(draw(st.lists(st.booleans(), min_size=r * c,
+                                   max_size=r * c))).reshape(r, c)
+        v = np.array(draw(st.lists(st.integers(0, 6), min_size=r * c,
+                                   max_size=r * c)),
+                     dtype=np.float64).reshape(r, c)
+        v[~p] = 0
+        return p, v
+
+    ap, av = mk(m, k)
+    bp, bv = mk(k, n)
+    return ap, av, bp, bv
+
+
+class TestMxmExpand:
+    @pytest.mark.parametrize("name", ["min.plus", "any.secondi", "plus.plus",
+                                      "max.plus", "min.max"])
+    @given(case=matmat_case())
+    def test_matches_dense_model(self, name, case):
+        ap, av, bp, bv = case
+        sr = grb.semiring_by_name(name)
+        a = _matrix(ap, av)
+        bmat = _matrix(bp, bv)
+        keys, vals = mxm_expand(a.indptr, a.indices, a.values, a.nrows,
+                                bmat.indptr, bmat.indices, bmat.values,
+                                bmat.ncols, sr)
+        cp, cv = dm.semiring_mxm(ap, av, bp, bv, sr)
+        r, c = np.nonzero(cp)
+        np.testing.assert_array_equal(keys, r * bmat.ncols + c,
+                                      err_msg=f"{name}: structure")
+        np.testing.assert_allclose(vals.astype(np.float64),
+                                   cv[r, c].astype(np.float64),
+                                   err_msg=f"{name}: values")

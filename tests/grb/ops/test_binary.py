@@ -1,0 +1,132 @@
+"""Tests for binary operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grb.ops import binary as b
+
+ARRS = st.lists(st.integers(-5, 5), min_size=1, max_size=8)
+
+
+class TestArithmetic:
+    def test_plus_minus_times(self):
+        x = np.array([1.0, 2.0, -3.0])
+        y = np.array([4.0, -5.0, 6.0])
+        np.testing.assert_array_equal(b.PLUS(x, y), x + y)
+        np.testing.assert_array_equal(b.MINUS(x, y), x - y)
+        np.testing.assert_array_equal(b.RMINUS(x, y), y - x)
+        np.testing.assert_array_equal(b.TIMES(x, y), x * y)
+
+    def test_div_float(self):
+        x = np.array([1.0, 2.0])
+        y = np.array([4.0, 0.5])
+        np.testing.assert_allclose(b.DIV(x, y), [0.25, 4.0])
+        np.testing.assert_allclose(b.RDIV(x, y), [4.0, 0.25])
+
+    def test_div_integer_floors(self):
+        x = np.array([7, 9], dtype=np.int64)
+        y = np.array([2, 3], dtype=np.int64)
+        np.testing.assert_array_equal(b.DIV(x, y), [3, 3])
+
+    def test_min_max(self):
+        x = np.array([1, 5])
+        y = np.array([3, 2])
+        np.testing.assert_array_equal(b.MIN(x, y), [1, 2])
+        np.testing.assert_array_equal(b.MAX(x, y), [3, 5])
+
+
+class TestSelection:
+    def test_first_second(self):
+        x = np.array([1, 2])
+        y = np.array([9, 8])
+        np.testing.assert_array_equal(b.FIRST(x, y), x)
+        np.testing.assert_array_equal(b.SECOND(x, y), y)
+
+    def test_pair_ignores_values(self):
+        x = np.array([7.5, -2.0])
+        y = np.array([0.0, 3.0])
+        out = b.PAIR(x, y)
+        np.testing.assert_array_equal(out, [1, 1])
+        assert out.dtype == np.uint64
+
+    def test_any_returns_an_argument(self):
+        x = np.array([1, 2])
+        y = np.array([9, 8])
+        out = b.ANY(x, y)
+        assert all(o in (xx, yy) for o, xx, yy in zip(out, x, y))
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("op,ref", [
+        (b.EQ, np.equal), (b.NE, np.not_equal), (b.GT, np.greater),
+        (b.LT, np.less), (b.GE, np.greater_equal), (b.LE, np.less_equal),
+    ])
+    def test_matches_numpy_and_bool_dtype(self, op, ref):
+        x = np.array([1, 2, 3])
+        y = np.array([3, 2, 1])
+        out = op(x, y)
+        assert out.dtype == np.bool_
+        np.testing.assert_array_equal(out, ref(x, y))
+
+    def test_logical(self):
+        x = np.array([True, True, False, False])
+        y = np.array([True, False, True, False])
+        np.testing.assert_array_equal(b.LOR(x, y), x | y)
+        np.testing.assert_array_equal(b.LAND(x, y), x & y)
+        np.testing.assert_array_equal(b.LXOR(x, y), x ^ y)
+
+    def test_iseq_keeps_operand_dtype(self):
+        x = np.array([1.0, 2.0])
+        y = np.array([1.0, 3.0])
+        out = b.ISEQ(x, y)
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, [1.0, 0.0])
+
+
+class TestResultDtype:
+    def test_first_keeps_left(self):
+        assert b.FIRST.result_dtype(np.dtype(np.int32), np.dtype(np.float64)) \
+            == np.int32
+
+    def test_second_keeps_right(self):
+        assert b.SECOND.result_dtype(np.dtype(np.int32), np.dtype(np.float64)) \
+            == np.float64
+
+    def test_plus_promotes(self):
+        assert b.PLUS.result_dtype(np.dtype(np.int32), np.dtype(np.float64)) \
+            == np.float64
+
+    def test_comparison_is_bool(self):
+        assert b.LT.result_dtype(np.dtype(np.int32), np.dtype(np.int32)) \
+            == np.bool_
+
+
+class TestRegistry:
+    def test_by_name(self):
+        assert b.by_name("plus") is b.PLUS
+        assert b.by_name("pair") is b.PAIR
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            b.by_name("frobnicate")
+
+    def test_user_defined(self):
+        op = b.binary_op("__test_hypot", lambda x, y: np.hypot(x, y))
+        assert b.by_name("__test_hypot") is op
+        np.testing.assert_allclose(op(np.array([3.0]), np.array([4.0])), [5.0])
+
+
+class TestCommutativityFlags:
+    @given(ARRS, ARRS)
+    def test_flagged_ops_commute(self, xs, ys):
+        m = min(len(xs), len(ys))
+        x = np.array(xs[:m], dtype=np.int64)
+        y = np.array(ys[:m], dtype=np.int64)
+        for op in (b.PLUS, b.TIMES, b.MIN, b.MAX, b.LOR, b.LAND, b.EQ):
+            assert op.commutative
+            np.testing.assert_array_equal(
+                op(x.astype(bool) if op.name in ("lor", "land") else x,
+                   y.astype(bool) if op.name in ("lor", "land") else y),
+                op(y.astype(bool) if op.name in ("lor", "land") else y,
+                   x.astype(bool) if op.name in ("lor", "land") else x))

@@ -1,0 +1,112 @@
+"""Tests for monoids, including the grouped reduction used by matmul."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grb.ops import monoid as m
+
+
+class TestIdentities:
+    def test_plus_times(self):
+        assert m.PLUS_MONOID.identity(np.dtype(np.float64)) == 0.0
+        assert m.TIMES_MONOID.identity(np.dtype(np.int64)) == 1
+
+    def test_min_max_float(self):
+        assert m.MIN_MONOID.identity(np.dtype(np.float64)) == np.inf
+        assert m.MAX_MONOID.identity(np.dtype(np.float64)) == -np.inf
+
+    def test_min_max_int(self):
+        assert m.MIN_MONOID.identity(np.dtype(np.int32)) == np.iinfo(np.int32).max
+        assert m.MAX_MONOID.identity(np.dtype(np.int32)) == np.iinfo(np.int32).min
+
+    def test_logical(self):
+        assert m.LOR_MONOID.identity(np.dtype(bool)) == False  # noqa: E712
+        assert m.LAND_MONOID.identity(np.dtype(bool)) == True  # noqa: E712
+
+    def test_any_has_no_identity(self):
+        with pytest.raises(ValueError):
+            m.ANY_MONOID.identity(np.dtype(np.int64))
+
+    def test_terminal_values(self):
+        assert m.MIN_MONOID.terminal_fn(np.dtype(np.float64)) == -np.inf
+        assert m.LOR_MONOID.terminal_fn(np.dtype(bool)) == True  # noqa: E712
+
+
+class TestReduceAll:
+    def test_plus(self):
+        assert m.PLUS_MONOID.reduce_all(np.array([1.0, 2.0, 3.0])) == 6.0
+
+    def test_empty_returns_identity(self):
+        assert m.PLUS_MONOID.reduce_all(np.array([], dtype=np.float64)) == 0.0
+        assert m.MIN_MONOID.reduce_all(np.array([], dtype=np.float64)) == np.inf
+
+    def test_any_picks_first(self):
+        assert m.ANY_MONOID.reduce_all(np.array([7, 8, 9])) == 7
+
+    @given(st.lists(st.integers(-10, 10), min_size=1, max_size=20))
+    def test_min_matches_numpy(self, xs):
+        arr = np.array(xs, dtype=np.int64)
+        assert m.MIN_MONOID.reduce_all(arr) == arr.min()
+
+
+class TestReduceGroups:
+    def test_basic_plus(self):
+        keys = np.array([2, 0, 2, 1, 0])
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        k, v = m.PLUS_MONOID.reduce_groups(keys, vals)
+        np.testing.assert_array_equal(k, [0, 1, 2])
+        np.testing.assert_array_equal(v, [7.0, 4.0, 4.0])
+
+    def test_any_picks_first_in_storage_order(self):
+        keys = np.array([5, 5, 5])
+        vals = np.array([30, 10, 20])
+        k, v = m.ANY_MONOID.reduce_groups(keys, vals)
+        np.testing.assert_array_equal(k, [5])
+        np.testing.assert_array_equal(v, [30])
+
+    def test_empty(self):
+        k, v = m.MIN_MONOID.reduce_groups(np.array([], dtype=np.int64),
+                                          np.array([], dtype=np.float64))
+        assert k.size == 0 and v.size == 0
+
+    def test_single_group(self):
+        k, v = m.MAX_MONOID.reduce_groups(np.zeros(4, dtype=np.int64),
+                                          np.array([1, 9, 3, 7]))
+        np.testing.assert_array_equal(k, [0])
+        np.testing.assert_array_equal(v, [9])
+
+    @given(st.lists(st.tuples(st.integers(0, 6), st.integers(-9, 9)),
+                    min_size=1, max_size=40))
+    def test_matches_python_groupby(self, pairs):
+        keys = np.array([p[0] for p in pairs], dtype=np.int64)
+        vals = np.array([p[1] for p in pairs], dtype=np.int64)
+        for mono, fold in ((m.PLUS_MONOID, sum), (m.MIN_MONOID, min),
+                           (m.MAX_MONOID, max)):
+            k, v = mono.reduce_groups(keys, vals)
+            expected = {}
+            for kk, vv in pairs:
+                expected[kk] = fold([expected[kk], vv]) if kk in expected else vv
+            assert dict(zip(k.tolist(), v.tolist())) == expected
+
+    @given(st.lists(st.tuples(st.integers(0, 6), st.integers(-9, 9)),
+                    min_size=1, max_size=40))
+    def test_any_returns_some_group_member(self, pairs):
+        keys = np.array([p[0] for p in pairs], dtype=np.int64)
+        vals = np.array([p[1] for p in pairs], dtype=np.int64)
+        k, v = m.ANY_MONOID.reduce_groups(keys, vals)
+        members = {}
+        for kk, vv in pairs:
+            members.setdefault(kk, set()).add(vv)
+        for kk, vv in zip(k.tolist(), v.tolist()):
+            assert vv in members[kk]
+
+
+class TestRegistry:
+    def test_by_name(self):
+        assert m.by_name("plus") is m.PLUS_MONOID
+        assert m.by_name("any") is m.ANY_MONOID
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            m.by_name("nope")

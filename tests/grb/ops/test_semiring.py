@@ -1,0 +1,82 @@
+"""Tests for semirings, including the Table II inventory."""
+
+import numpy as np
+import pytest
+
+from repro.grb.ops import semiring as sr
+from repro.grb.ops.positional import SECONDI
+
+
+class TestTable2:
+    """Table II of the paper: the semirings its algorithms use."""
+
+    @pytest.mark.parametrize("name,add,mult", [
+        ("plus.times", "plus", "times"),       # "conventional"
+        ("any.secondi", "any", "secondi"),
+        ("min.plus", "min", "plus"),
+        ("plus.first", "plus", "first"),
+        ("plus.second", "plus", "second"),
+        ("plus.pair", "plus", "pair"),
+    ])
+    def test_registered(self, name, add, mult):
+        s = sr.by_name(name)
+        assert s.add.name == add
+        assert s.mult.name == mult
+        assert s.name == name
+
+    def test_min_plus_zero_is_infinity(self):
+        s = sr.MIN_PLUS
+        assert s.add.identity(np.dtype(np.float64)) == np.inf
+
+    def test_conventional_zero_is_zero(self):
+        assert sr.PLUS_TIMES.add.identity(np.dtype(np.uint64)) == 0
+
+    def test_any_secondi_is_positional(self):
+        assert sr.ANY_SECONDI.positional
+        assert sr.ANY_SECONDI.mult is SECONDI
+
+    def test_plus_pair_counts(self):
+        # pair ⊗ always yields 1, so plus.pair counts matched pairs
+        s = sr.PLUS_PAIR
+        prods = s.mult(np.array([3.0, 4.0]), np.array([5.0, 6.0]))
+        assert s.add.reduce_all(prods) == 2
+
+
+class TestDispatchPredicates:
+    def test_scipy_reducible(self):
+        assert sr.PLUS_TIMES.scipy_reducible()
+        assert sr.PLUS_FIRST.scipy_reducible()
+        assert sr.PLUS_SECOND.scipy_reducible()
+        assert sr.PLUS_PAIR.scipy_reducible()
+
+    def test_not_reducible(self):
+        assert not sr.MIN_PLUS.scipy_reducible()
+        assert not sr.ANY_SECONDI.scipy_reducible()
+        assert not sr.LOR_LAND.scipy_reducible()
+        assert not sr.PLUS_PLUS.scipy_reducible()
+
+    def test_mult_dtype_positional(self):
+        assert sr.ANY_SECONDI.mult_dtype(np.dtype(bool), np.dtype(bool)) \
+            == np.int64
+
+    def test_mult_dtype_value(self):
+        assert sr.MIN_PLUS.mult_dtype(np.dtype(np.float64), np.dtype(np.float64)) \
+            == np.float64
+
+
+class TestConstruction:
+    def test_semiring_caches(self):
+        assert sr.semiring("min", "plus") is sr.semiring("min", "plus")
+
+    def test_by_name_requires_dot(self):
+        with pytest.raises(KeyError):
+            sr.by_name("minplus")
+
+    def test_unknown_parts(self):
+        with pytest.raises(KeyError):
+            sr.semiring("min", "frob")
+        with pytest.raises(KeyError):
+            sr.semiring("frob", "plus")
+
+    def test_repr(self):
+        assert "min.plus" in repr(sr.MIN_PLUS)

@@ -1,0 +1,84 @@
+"""Tests for unary and positional operators."""
+
+import numpy as np
+import pytest
+
+from repro.grb.ops import positional as p, unary as u
+
+
+class TestUnary:
+    def test_identity_copies(self):
+        x = np.array([1.0, 2.0])
+        out = u.IDENTITY(x)
+        np.testing.assert_array_equal(out, x)
+        out[0] = 99
+        assert x[0] == 1.0
+
+    def test_ainv_abs(self):
+        x = np.array([1.0, -2.0])
+        np.testing.assert_array_equal(u.AINV(x), [-1.0, 2.0])
+        np.testing.assert_array_equal(u.ABS(x), [1.0, 2.0])
+
+    def test_minv_float(self):
+        np.testing.assert_allclose(u.MINV(np.array([2.0, 4.0])), [0.5, 0.25])
+
+    def test_minv_integer_truncates(self):
+        out = u.MINV(np.array([1, 2], dtype=np.int64))
+        np.testing.assert_array_equal(out, [1, 0])
+        assert out.dtype == np.int64
+
+    def test_lnot_bool_dtype(self):
+        out = u.LNOT(np.array([True, False]))
+        assert out.dtype == np.bool_
+        np.testing.assert_array_equal(out, [False, True])
+
+    def test_one(self):
+        np.testing.assert_array_equal(u.ONE(np.array([5.0, -3.0])), [1.0, 1.0])
+
+    def test_math_ops(self):
+        x = np.array([1.0, 4.0])
+        np.testing.assert_allclose(u.SQRT(x), [1.0, 2.0])
+        np.testing.assert_allclose(u.EXP(np.array([0.0])), [1.0])
+        np.testing.assert_allclose(u.LOG(np.array([1.0])), [0.0])
+
+    def test_positional_flags(self):
+        assert u.ROWINDEX.positional == "i"
+        assert u.COLINDEX.positional == "j"
+        assert u.IDENTITY.positional is None
+
+    def test_registry(self):
+        assert u.by_name("abs") is u.ABS
+        with pytest.raises(KeyError):
+            u.by_name("nope")
+        op = u.unary_op("__test_neg2", lambda x: -2 * x)
+        assert u.by_name("__test_neg2") is op
+
+
+class TestPositional:
+    def test_coordinate_selection(self):
+        i = np.array([10, 11])
+        k = np.array([20, 21])
+        j = np.array([30, 31])
+        np.testing.assert_array_equal(p.FIRSTI.select(i, k, j), i)
+        np.testing.assert_array_equal(p.FIRSTJ.select(i, k, j), k)
+        np.testing.assert_array_equal(p.SECONDI.select(i, k, j), k)
+        np.testing.assert_array_equal(p.SECONDJ.select(i, k, j), j)
+
+    def test_output_dtype(self):
+        out = p.SECONDI.select(np.array([1], dtype=np.int32),
+                               np.array([2], dtype=np.int32),
+                               np.array([3], dtype=np.int32))
+        assert out.dtype == np.int64
+
+    def test_firstj_equals_secondi(self):
+        # both return the contraction index k — the BFS parent id
+        i = np.arange(3)
+        k = np.arange(3) + 10
+        j = np.arange(3) + 20
+        np.testing.assert_array_equal(p.FIRSTJ.select(i, k, j),
+                                      p.SECONDI.select(i, k, j))
+
+    def test_registry(self):
+        assert p.by_name("secondi") is p.SECONDI
+        with pytest.raises(KeyError):
+            p.by_name("thirdk")

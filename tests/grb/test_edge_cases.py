@@ -1,0 +1,147 @@
+"""Edge-case and failure-injection tests across the substrate."""
+
+import numpy as np
+import pytest
+
+from repro import grb
+from repro.grb.errors import GrBInfo
+
+
+class TestDegenerateShapes:
+    def test_1x1_matrix(self):
+        a = grb.Matrix.from_coo([0], [0], [5.0], 1, 1)
+        c = grb.Matrix(grb.FP64, 1, 1)
+        grb.mxm(c, a, a, grb.semiring_by_name("plus.times"))
+        assert c[0, 0] == 25.0
+
+    def test_empty_matrix_operations(self):
+        a = grb.Matrix(grb.FP64, 4, 4)
+        assert a.T.nvals == 0
+        assert a.tril().nvals == 0
+        assert a.reduce_scalar(grb.monoid.PLUS_MONOID) == 0.0
+        assert a.reduce_rowwise(grb.monoid.PLUS_MONOID).nvals == 0
+        assert a.ndiag() == 0
+
+    def test_size_one_vector(self):
+        v = grb.Vector.from_coo([0], [1.0], 1)
+        assert v.reduce(grb.monoid.MIN_MONOID) == 1.0
+        assert v.dup().isequal(v)
+
+    def test_rectangular_matmul_chain(self):
+        a = grb.Matrix.from_dense(np.ones((2, 5)))
+        b = grb.Matrix.from_dense(np.ones((5, 3)))
+        c = grb.Matrix(grb.FP64, 2, 3)
+        grb.mxm(c, a, b, grb.semiring_by_name("plus.times"))
+        np.testing.assert_array_equal(c.to_dense(), np.full((2, 3), 5.0))
+
+    def test_vector_of_all_explicit_zeros(self):
+        v = grb.Vector.from_dense(np.zeros(4))
+        assert v.nvals == 4               # explicit zeros are entries
+        assert v.pattern().nvals == 4
+        assert v.select("nonzero").nvals == 0
+
+
+class TestDtypeBehaviour:
+    def test_uint64_arithmetic(self):
+        v = grb.Vector.from_coo([0, 1], np.array([2, 3], dtype=np.uint64), 2)
+        assert v.dtype == np.uint64
+        assert v.reduce(grb.monoid.PLUS_MONOID) == 5
+
+    def test_bool_matrix_through_plus_pair(self):
+        a = grb.Matrix.from_coo([0, 1], [1, 0], np.ones(2, dtype=bool), 2, 2)
+        c = grb.Matrix(grb.INT64, 2, 2)
+        grb.mxm(c, a, a, grb.semiring_by_name("plus.pair"))
+        assert c[0, 0] == 1 and c[1, 1] == 1
+
+    def test_output_type_casts_result(self):
+        w = grb.Vector(grb.INT32, 3)
+        grb.update(w, grb.Vector.from_coo([0], [2.9], 3))
+        assert w.dtype == np.int32 and w[0] == 2
+
+    def test_float32_round_trip(self):
+        a = grb.Matrix.from_coo([0], [0], np.array([1.5], dtype=np.float32),
+                                1, 1)
+        assert a.dtype == np.float32
+        assert a.T.dtype == np.float32
+
+
+class TestAliasedOperands:
+    """GraphBLAS permits C == A; results must be computed before writing."""
+
+    def test_mxm_output_is_input(self):
+        a = grb.Matrix.from_dense(np.array([[1.0, 1.0], [0.0, 1.0]]))
+        expected = a.to_dense() @ a.to_dense()
+        grb.mxm(a, a, a, grb.semiring_by_name("plus.times"))
+        np.testing.assert_array_equal(a.to_dense(), expected)
+
+    def test_vxm_output_is_input(self):
+        a = grb.Matrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        q = grb.Vector.from_coo([0], [1.0], 2)
+        grb.vxm(q, q, a, grb.semiring_by_name("plus.times"))
+        np.testing.assert_array_equal(q.indices, [1])
+
+    def test_ewise_with_self(self):
+        u = grb.Vector.from_coo([0, 1], [1.0, 2.0], 3)
+        grb.ewise_add(u, u, u, grb.binary.PLUS)
+        np.testing.assert_array_equal(u.values, [2.0, 4.0])
+
+    def test_mask_is_output(self):
+        # p⟨s(q)⟩ = q with p also serving as its own mask source elsewhere
+        q = grb.Vector.from_coo([1], [5.0], 3)
+        grb.update(q, q, mask=grb.structure(q))
+        assert q[1] == 5.0 and q.nvals == 1
+
+
+class TestErrorInfoCodes:
+    def test_dimension_mismatch_code(self):
+        try:
+            grb.Vector(grb.FP64, 2)._check_same_size(grb.Vector(grb.FP64, 3))
+        except grb.DimensionMismatch as e:
+            assert e.info == GrBInfo.DIMENSION_MISMATCH
+        else:  # pragma: no cover
+            pytest.fail("expected DimensionMismatch")
+
+    def test_no_value_code(self):
+        try:
+            _ = grb.Vector(grb.FP64, 2)[0]
+        except grb.NoValue as e:
+            assert e.info == GrBInfo.NO_VALUE
+        else:  # pragma: no cover
+            pytest.fail("expected NoValue")
+
+    def test_index_out_of_bounds_code(self):
+        try:
+            grb.Vector(grb.FP64, 2).get(5)
+        except grb.IndexOutOfBounds as e:
+            assert e.info == GrBInfo.INDEX_OUT_OF_BOUNDS
+        else:  # pragma: no cover
+            pytest.fail("expected IndexOutOfBounds")
+
+    def test_custom_info_override(self):
+        e = grb.GraphBLASError("boom", info=-42)
+        assert e.info == -42
+
+
+class TestIsoAndPatternHelpers:
+    def test_matrix_pattern_type_override(self):
+        a = grb.Matrix.from_coo([0], [1], [3.5], 2, 2)
+        p = a.pattern(grb.INT64)
+        assert p.dtype == np.int64 and p[0, 1] == 1
+
+    def test_vector_iso_after_mutation(self):
+        v = grb.Vector.from_coo([0, 1], [2.0, 2.0], 3)
+        assert v.iso_value() == 2.0
+        v[2] = 3.0
+        assert v.iso_value() is None
+
+
+class TestLargeIndices:
+    def test_million_sized_vector_sparse(self):
+        v = grb.Vector(grb.FP64, 1_000_000)
+        v[999_999] = 1.5
+        assert v[999_999] == 1.5 and v.nvals == 1
+
+    def test_linear_keys_do_not_overflow(self):
+        n = 1 << 20
+        a = grb.Matrix.from_coo([n - 1], [n - 1], [1.0], n, n)
+        assert a.keys()[0] == np.int64(n - 1) * n + (n - 1)

@@ -1,0 +1,134 @@
+"""Tests for masked matrix operations (the BC / TC idioms of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro import grb
+
+
+def _mat(entries, nrows=3, ncols=3, dtype=np.float64):
+    r = np.array([e[0] for e in entries], dtype=np.int64)
+    c = np.array([e[1] for e in entries], dtype=np.int64)
+    v = np.array([e[2] for e in entries], dtype=dtype)
+    return grb.Matrix.from_coo(r, c, v, nrows, ncols)
+
+
+class TestMatrixUpdate:
+    def test_accum_matrix(self):
+        # the BC forward-phase idiom: P += F
+        p = _mat([(0, 0, 1.0)])
+        f = _mat([(0, 0, 2.0), (1, 1, 3.0)])
+        grb.update(p, f, accum=grb.binary.PLUS)
+        assert p[0, 0] == 3.0 and p[1, 1] == 3.0
+
+    def test_masked_matrix_update(self):
+        c = _mat([(0, 0, 1.0), (1, 1, 2.0)])
+        t = _mat([(0, 0, 9.0), (2, 2, 9.0)])
+        m = _mat([(0, 0, 1.0)])
+        grb.update(c, t, mask=grb.structure(m))
+        assert c[0, 0] == 9.0 and c[1, 1] == 2.0
+        assert c.get(2, 2) is None
+
+
+class TestMatrixScalarAssign:
+    def test_bc_level_pattern_idiom(self):
+        # S[d]⟨s(F)⟩ = 1 (Alg. 3 line 8)
+        f = _mat([(0, 1, 7.0), (1, 2, 8.0)])
+        s = grb.Matrix(grb.BOOL, 3, 3)
+        grb.assign_scalar(s, True, mask=grb.structure(f))
+        assert s.nvals == 2
+        assert s[0, 1] == True and s[1, 2] == True  # noqa: E712
+
+    def test_densify_matrix(self):
+        # B(:) = 1.0 (Alg. 3 line 14)
+        b = grb.Matrix(grb.FP64, 2, 3)
+        grb.assign_scalar(b, 1.0)
+        assert b.nvals == 6
+        np.testing.assert_array_equal(b.to_dense(), np.ones((2, 3)))
+
+    def test_submatrix_region_untouched_outside(self):
+        c = _mat([(2, 2, 5.0)])
+        grb.assign_scalar(c, 1.0, indices=([0, 1], [0, 1]))
+        assert c.nvals == 5 and c[2, 2] == 5.0
+
+
+class TestMatrixAssign:
+    def test_project_subgraph_back(self):
+        # the paper's "project an induced subgraph back" use of assign
+        big = grb.Matrix(grb.FP64, 4, 4)
+        sub = _mat([(0, 1, 7.0)], nrows=2, ncols=2)
+        grb.assign(big, sub, indices=([2, 3], [2, 3]))
+        assert big[2, 3] == 7.0 and big.nvals == 1
+
+    def test_assign_all_replaces(self):
+        c = _mat([(0, 0, 1.0)])
+        t = _mat([(1, 1, 2.0)])
+        grb.assign(c, t)
+        assert c.get(0, 0) is None and c[1, 1] == 2.0
+
+    def test_region_entries_missing_from_source_deleted(self):
+        c = _mat([(0, 0, 1.0), (0, 1, 2.0)])
+        empty_sub = grb.Matrix(grb.FP64, 1, 2)
+        grb.assign(c, empty_sub, indices=([0], [0, 1]))
+        assert c.nvals == 0
+
+
+class TestMaskedEwiseMatrix:
+    def test_bc_backward_idiom(self):
+        # W⟨s(S), r⟩ = B div∩ P (Alg. 3 line 17)
+        b = grb.Matrix.from_dense(np.full((2, 2), 6.0))
+        p = _mat([(0, 0, 2.0), (0, 1, 3.0), (1, 1, 4.0)], 2, 2)
+        s = _mat([(0, 0, 1.0), (1, 1, 1.0)], 2, 2)
+        w = grb.Matrix.from_dense(np.full((2, 2), 99.0))
+        grb.ewise_mult(w, b, p, grb.binary.DIV, mask=grb.structure(s),
+                       replace=True)
+        assert w.nvals == 2
+        assert w[0, 0] == 3.0 and w[1, 1] == 1.5
+
+    def test_masked_ewise_add_merges_outside(self):
+        a = _mat([(0, 0, 1.0)], 2, 2)
+        b = _mat([(1, 1, 2.0)], 2, 2)
+        c = _mat([(0, 1, 5.0)], 2, 2)
+        m = _mat([(1, 1, 1.0)], 2, 2)
+        grb.ewise_add(c, a, b, grb.binary.PLUS, mask=m)
+        assert c[1, 1] == 2.0 and c[0, 1] == 5.0 and c.nvals == 2
+
+
+class TestApplySelectMatrix:
+    def test_apply_masked_into_existing(self):
+        src = _mat([(0, 0, -1.0), (1, 1, -2.0)], 2, 2)
+        out = _mat([(0, 1, 7.0)], 2, 2)
+        m = _mat([(0, 0, 1.0)], 2, 2)
+        grb.apply(out, src, grb.unary.ABS, mask=m)
+        assert out[0, 0] == 1.0 and out[0, 1] == 7.0
+        assert out.get(1, 1) is None
+
+    def test_select_into_output(self):
+        src = _mat([(0, 0, 1.0), (1, 0, 2.0), (0, 1, 3.0)], 2, 2)
+        out = grb.Matrix(grb.FP64, 2, 2)
+        grb.select(out, src, "tril")
+        assert out.nvals == 2 and out.get(0, 1) is None
+
+
+class TestKronecker:
+    def test_small_kron_times(self):
+        a = grb.Matrix.from_dense(np.array([[1.0, 2.0]]))
+        b = grb.Matrix.from_dense(np.array([[3.0], [4.0]]))
+        k = grb.kronecker(a, b, grb.binary.TIMES)
+        assert k.shape == (2, 2)
+        np.testing.assert_array_equal(k.to_dense(), np.kron([[1.0, 2.0]],
+                                                            [[3.0], [4.0]]))
+
+    def test_kron_matches_numpy_random(self, rng):
+        da = (rng.random((3, 2)) < 0.6) * rng.integers(1, 5, (3, 2))
+        db = (rng.random((2, 4)) < 0.6) * rng.integers(1, 5, (2, 4))
+        a = grb.Matrix.from_dense(da.astype(np.float64))
+        b = grb.Matrix.from_dense(db.astype(np.float64))
+        k = grb.kronecker(a, b, grb.binary.TIMES)
+        np.testing.assert_array_equal(k.to_dense(), np.kron(da, db))
+
+    def test_kron_structural_pair(self):
+        a = grb.Matrix.from_dense(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        b = grb.Matrix.from_dense(np.array([[5.0]]))
+        k = grb.kronecker(a, b, grb.binary.PAIR)
+        assert set(np.asarray(k.values).tolist()) == {1}

@@ -1,0 +1,177 @@
+"""Tests for masked vector operations (assign / extract / apply / update)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from conftest import vector_pairs
+from repro import grb
+from repro.grb.errors import DimensionMismatch
+
+
+def vec(pairs, size, dtype=np.float64):
+    idx = np.array([p[0] for p in pairs], dtype=np.int64)
+    vals = np.array([p[1] for p in pairs], dtype=dtype)
+    return grb.Vector.from_coo(idx, vals, size)
+
+
+class TestUpdate:
+    def test_plain_update_replaces(self):
+        w = vec([(0, 1.0)], 4)
+        t = vec([(2, 5.0)], 4)
+        grb.update(w, t)
+        np.testing.assert_array_equal(w.indices, [2])
+
+    def test_accum_merges(self):
+        w = vec([(0, 1.0), (2, 2.0)], 4)
+        t = vec([(2, 5.0), (3, 7.0)], 4)
+        grb.update(w, t, accum=grb.binary.PLUS)
+        np.testing.assert_array_equal(w.indices, [0, 2, 3])
+        np.testing.assert_array_equal(w.values, [1.0, 7.0, 7.0])
+
+    def test_masked_update_bfs_idiom(self):
+        # p⟨s(q)⟩ = q : write q's entries into p, keep p elsewhere
+        p = vec([(0, 0.0)], 4)
+        q = vec([(1, 0.0), (2, 0.0)], 4)
+        grb.update(p, q, mask=grb.structure(q))
+        np.testing.assert_array_equal(p.indices, [0, 1, 2])
+
+    def test_size_mismatch(self):
+        with pytest.raises(DimensionMismatch):
+            grb.update(grb.Vector(grb.FP64, 3), grb.Vector(grb.FP64, 4))
+
+    def test_output_keeps_declared_type(self):
+        w = grb.Vector(grb.INT64, 3)
+        grb.update(w, vec([(0, 2.7)], 3))
+        assert w.dtype == np.int64 and w[0] == 2
+
+
+class TestAssignScalar:
+    def test_assign_everywhere_densifies(self):
+        w = grb.Vector(grb.FP64, 4)
+        grb.assign_scalar(w, 2.5)
+        assert w.nvals == 4
+        np.testing.assert_array_equal(w.values, [2.5] * 4)
+
+    def test_assign_at_indices(self):
+        w = vec([(0, 1.0)], 5)
+        grb.assign_scalar(w, 9.0, indices=[2, 4])
+        np.testing.assert_array_equal(w.indices, [0, 2, 4])
+        np.testing.assert_array_equal(w.values, [1.0, 9.0, 9.0])
+
+    def test_assign_with_structural_mask(self):
+        # level BFS idiom: level⟨s(q)⟩ = depth
+        level = vec([(0, 0)], 5, dtype=np.int64)
+        q = vec([(1, 1), (3, 1)], 5, dtype=np.int64)
+        grb.assign_scalar(level, 2, mask=grb.structure(q))
+        np.testing.assert_array_equal(level.indices, [0, 1, 3])
+        np.testing.assert_array_equal(level.values, [0, 2, 2])
+
+    def test_assign_scalar_accum(self):
+        w = vec([(1, 1.0)], 3)
+        grb.assign_scalar(w, 10.0, accum=grb.binary.PLUS)
+        np.testing.assert_array_equal(w.values, [10.0, 11.0, 10.0])
+
+    def test_assign_replace_with_mask(self):
+        w = vec([(0, 1.0), (1, 2.0)], 3)
+        m = vec([(1, 1.0)], 3)
+        grb.assign_scalar(w, 9.0, mask=m, replace=True)
+        np.testing.assert_array_equal(w.indices, [1])
+        np.testing.assert_array_equal(w.values, [9.0])
+
+
+class TestAssignVector:
+    def test_assign_all(self):
+        w = vec([(0, 1.0)], 3)
+        u = vec([(1, 5.0)], 3)
+        grb.assign(w, u)
+        np.testing.assert_array_equal(w.indices, [1])
+
+    def test_assign_into_subrange(self):
+        w = grb.Vector(grb.FP64, 6)
+        u = vec([(0, 10.0), (2, 30.0)], 3)
+        grb.assign(w, u, indices=[5, 4, 3])   # u[k] -> w[indices[k]]
+        np.testing.assert_array_equal(w.indices, [3, 5])
+        np.testing.assert_array_equal(w.values, [30.0, 10.0])
+
+    def test_assign_index_size_mismatch(self):
+        with pytest.raises(DimensionMismatch):
+            grb.assign(grb.Vector(grb.FP64, 6), grb.Vector(grb.FP64, 3),
+                       indices=[0, 1])
+
+
+class TestExtract:
+    def test_extract_subvector(self):
+        u = vec([(1, 10.0), (3, 30.0)], 5)
+        w = grb.Vector(grb.FP64, 3)
+        grb.extract(w, u, [3, 0, 1])
+        np.testing.assert_array_equal(w.indices, [0, 2])
+        np.testing.assert_array_equal(w.values, [30.0, 10.0])
+
+    def test_extract_duplicate_indices_fan_out(self):
+        u = vec([(1, 10.0)], 3)
+        w = grb.Vector(grb.FP64, 4)
+        grb.extract(w, u, [1, 1, 0, 1])
+        np.testing.assert_array_equal(w.indices, [0, 1, 3])
+        np.testing.assert_array_equal(w.values, [10.0, 10.0, 10.0])
+
+    def test_extract_fastsv_grandparent_idiom(self):
+        # gf = f(f): extract with the parent array as indices
+        f = grb.Vector.from_dense(np.array([0, 0, 1, 2], dtype=np.int64))
+        gf = grb.Vector(grb.INT64, 4)
+        grb.extract(gf, f, f.to_dense())
+        np.testing.assert_array_equal(gf.to_dense(), [0, 0, 0, 1])
+
+
+class TestApplySelectMasked:
+    def test_apply_masked(self):
+        u = vec([(0, -1.0), (1, -2.0)], 3)
+        w = vec([(2, 9.0)], 3)
+        m = vec([(0, 1.0)], 3)
+        grb.apply(w, u, grb.unary.ABS, mask=m)
+        np.testing.assert_array_equal(w.indices, [0, 2])
+        np.testing.assert_array_equal(w.values, [1.0, 9.0])
+
+    def test_select_into_output(self):
+        u = vec([(0, 1.0), (1, 5.0), (2, 3.0)], 3)
+        w = grb.Vector(grb.FP64, 3)
+        grb.select(w, u, "valuege", 3.0)
+        np.testing.assert_array_equal(w.indices, [1, 2])
+
+
+class TestEwiseMasked:
+    @given(vector_pairs())
+    def test_masked_ewise_add_vs_unmasked(self, pair):
+        u, v = pair
+        full = grb.Vector(grb.FP64, u.size)
+        grb.ewise_add(full, u, v, grb.binary.PLUS)
+        masked = grb.Vector(grb.FP64, u.size)
+        grb.ewise_add(masked, u, v, grb.binary.PLUS,
+                      mask=grb.structure(u), replace=True)
+        # masked result = full result restricted to u's structure
+        keep = np.isin(full.indices, u.indices)
+        np.testing.assert_array_equal(masked.indices, full.indices[keep])
+        np.testing.assert_array_equal(masked.values, full.values[keep])
+
+    def test_complement_mask(self):
+        u = vec([(0, 1.0), (1, 2.0)], 3)
+        v = vec([(1, 5.0), (2, 7.0)], 3)
+        m = vec([(1, 1.0)], 3)
+        w = grb.Vector(grb.FP64, 3)
+        grb.ewise_add(w, u, v, grb.binary.PLUS, mask=grb.complement(m))
+        np.testing.assert_array_equal(w.indices, [0, 2])
+
+
+class TestReduceInto:
+    def test_reduce_rowwise_masked_accum(self):
+        a = grb.Matrix.from_dense(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        w = grb.Vector.from_dense(np.array([10.0, 20.0]))
+        grb.reduce_rowwise(w, a, grb.monoid.PLUS_MONOID,
+                           accum=grb.binary.PLUS)
+        np.testing.assert_array_equal(w.to_dense(), [13.0, 27.0])
+
+    def test_reduce_colwise(self):
+        a = grb.Matrix.from_dense(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        w = grb.Vector(grb.FP64, 2)
+        grb.reduce_colwise(w, a, grb.monoid.PLUS_MONOID)
+        np.testing.assert_array_equal(w.to_dense(), [4.0, 6.0])

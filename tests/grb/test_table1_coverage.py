@@ -1,0 +1,178 @@
+"""Table I coverage: every operation/method row of the paper's Table I is
+exercised through the public API, in the paper's notation (cited in each
+test).  This is experiment T1 of DESIGN.md.
+"""
+
+import numpy as np
+
+from repro import grb
+
+
+def _a():
+    return grb.Matrix.from_dense(np.array([[1.0, 2.0], [0.0, 3.0]]))
+
+
+def _u(vals=(1.0, 2.0)):
+    return grb.Vector.from_dense(np.array(vals))
+
+
+PLUS_TIMES = grb.semiring_by_name("plus.times")
+
+
+class TestTable1:
+    def test_mxm(self):
+        # C⟨M⟩⊙= A ⊕.⊗ B
+        a = _a()
+        c = grb.Matrix(grb.FP64, 2, 2)
+        grb.mxm(c, a, a, PLUS_TIMES)
+        np.testing.assert_allclose(c.to_dense(), a.to_dense() @ a.to_dense())
+
+    def test_vxm(self):
+        # wᵀ⟨mᵀ⟩⊙= uᵀ ⊕.⊗ A
+        w = grb.Vector(grb.FP64, 2)
+        grb.vxm(w, _u(), _a(), PLUS_TIMES)
+        np.testing.assert_allclose(w.to_dense(), _u().to_dense() @ _a().to_dense())
+
+    def test_mxv(self):
+        # w⟨m⟩⊙= A ⊕.⊗ u
+        w = grb.Vector(grb.FP64, 2)
+        grb.mxv(w, _a(), _u(), PLUS_TIMES)
+        np.testing.assert_allclose(w.to_dense(), _a().to_dense() @ _u().to_dense())
+
+    def test_ewise_add_matrix_and_vector(self):
+        # C⟨M⟩⊙= A op∪ B ; w⟨m⟩⊙= u op∪ v
+        a = _a()
+        c = grb.Matrix(grb.FP64, 2, 2)
+        grb.ewise_add(c, a, a, grb.binary.PLUS)
+        np.testing.assert_allclose(c.to_dense(), 2 * a.to_dense())
+        w = grb.Vector(grb.FP64, 2)
+        grb.ewise_add(w, _u(), _u(), grb.binary.PLUS)
+        np.testing.assert_allclose(w.to_dense(), [2.0, 4.0])
+
+    def test_ewise_mult_matrix_and_vector(self):
+        # C⟨M⟩⊙= A op∩ B ; w⟨m⟩⊙= u op∩ v
+        a = _a()
+        c = grb.Matrix(grb.FP64, 2, 2)
+        grb.ewise_mult(c, a, a, grb.binary.TIMES)
+        assert c[1, 1] == 9.0
+        w = grb.Vector(grb.FP64, 2)
+        grb.ewise_mult(w, _u(), _u(), grb.binary.TIMES)
+        np.testing.assert_allclose(w.to_dense(), [1.0, 4.0])
+
+    def test_extract_submatrix(self):
+        # C⟨M⟩⊙= A(i, j)
+        sub = _a().extract([1], [0, 1])
+        np.testing.assert_allclose(sub.to_dense(), [[0.0, 3.0]])
+
+    def test_extract_column_vector(self):
+        # w⟨m⟩⊙= A(:, j)
+        col = _a().extract_col(1)
+        np.testing.assert_allclose(col.to_dense(), [2.0, 3.0])
+
+    def test_extract_subvector(self):
+        # w⟨m⟩⊙= u(i)
+        w = grb.Vector(grb.FP64, 2)
+        grb.extract(w, _u(), [1, 0])
+        np.testing.assert_allclose(w.to_dense(), [2.0, 1.0])
+
+    def test_assign_submatrix(self):
+        # C⟨M⟩(i, j)⊙= A
+        c = grb.Matrix(grb.FP64, 3, 3)
+        grb.assign(c, _a(), indices=([0, 2], [0, 2]))
+        assert c[2, 2] == 3.0 and c[0, 2] == 2.0
+
+    def test_assign_scalar_to_submatrix(self):
+        # C⟨M⟩(i, j)⊙= s
+        c = grb.Matrix(grb.FP64, 3, 3)
+        grb.assign_scalar(c, 5.0, indices=([0, 1], [1, 2]))
+        assert c.nvals == 4 and c[1, 2] == 5.0
+
+    def test_assign_vector_to_subvector(self):
+        # w⟨m⟩(i)⊙= u
+        w = grb.Vector(grb.FP64, 4)
+        grb.assign(w, _u(), indices=[3, 1])
+        np.testing.assert_allclose(w.to_dense(), [0, 2.0, 0, 1.0])
+
+    def test_assign_scalar_to_subvector(self):
+        # w⟨m⟩(i)⊙= s
+        w = grb.Vector(grb.FP64, 4)
+        grb.assign_scalar(w, 7.0, indices=[0, 2])
+        np.testing.assert_allclose(w.values, [7.0, 7.0])
+
+    def test_apply(self):
+        # C⟨M⟩⊙= f(A, k) ; w⟨m⟩⊙= f(u, k)
+        a = _a().apply(grb.unary.AINV)
+        assert a[0, 0] == -1.0
+        v = _u().apply(grb.unary.AINV)
+        assert v[0] == -1.0
+
+    def test_select(self):
+        # C⟨M⟩⊙= A⟨f(A, k)⟩ ; w⟨m⟩⊙= u⟨f(u, k)⟩
+        assert _a().select("valuegt", 1.5).nvals == 2
+        assert _u().select("valuegt", 1.5).nvals == 1
+
+    def test_reduce_rowwise(self):
+        # w⟨m⟩⊙= [⊕ⱼ A(:, j)]
+        r = _a().reduce_rowwise(grb.monoid.PLUS_MONOID)
+        np.testing.assert_allclose(r.to_dense(), [3.0, 3.0])
+
+    def test_reduce_matrix_to_scalar(self):
+        # s⊙= [⊕ᵢⱼ A(i, j)]
+        assert _a().reduce_scalar(grb.monoid.PLUS_MONOID) == 6.0
+
+    def test_reduce_vector_to_scalar(self):
+        # s⊙= [⊕ᵢ u(i)]
+        assert _u().reduce(grb.monoid.PLUS_MONOID) == 3.0
+
+    def test_transpose(self):
+        # C⟨M⟩⊙= Aᵀ
+        np.testing.assert_allclose(_a().T.to_dense(), _a().to_dense().T)
+
+    def test_dup(self):
+        # C ↤ A ; w ↤ u
+        assert _a().dup().isequal(_a())
+        assert _u().dup().isequal(_u())
+
+    def test_build_from_tuples(self):
+        # C ↤ {i, j, x} ; w ↤ {i, x}
+        c = grb.Matrix.from_coo([0], [1], [5.0], 2, 2)
+        assert c[0, 1] == 5.0
+        w = grb.Vector.from_coo([1], [5.0], 2)
+        assert w[1] == 5.0
+
+    def test_extract_tuples(self):
+        # {i, j, x} ↤ A ; {i, x} ↤ u
+        r, c, x = _a().to_coo()
+        assert r.size == 3 and c.size == 3 and x.size == 3
+        i, xv = _u().to_coo()
+        np.testing.assert_array_equal(i, [0, 1])
+
+    def test_extract_element(self):
+        # s = A(i, j) ; s = u(i)
+        assert _a()[1, 1] == 3.0
+        assert _u()[0] == 1.0
+
+    def test_set_element(self):
+        # C(i, j) = s ; w(i) = s
+        a = _a()
+        a[0, 0] = 9.0
+        assert a[0, 0] == 9.0
+        u = _u()
+        u[0] = 9.0
+        assert u[0] == 9.0
+
+    def test_descriptor_modifiers(self):
+        # transposed operand, complemented/structural/valued masks, replace
+        a = _a()
+        c = grb.Matrix(grb.FP64, 2, 2)
+        grb.mxm(c, a, a, PLUS_TIMES, transpose_b=True)
+        np.testing.assert_allclose(c.to_dense(), a.to_dense() @ a.to_dense().T)
+        m = grb.Vector.from_coo([0], [0.0], 2)   # explicit zero
+        w = grb.Vector(grb.FP64, 2)
+        grb.mxv(w, a, _u(), PLUS_TIMES, mask=m)             # valued: excluded
+        assert w.nvals == 0
+        grb.mxv(w, a, _u(), PLUS_TIMES, mask=grb.structure(m))  # structural
+        assert w.nvals == 1
+        grb.mxv(w, a, _u(), PLUS_TIMES,
+                mask=grb.complement(grb.structure(m)), replace=True)
+        np.testing.assert_array_equal(w.indices, [1])

@@ -1,0 +1,60 @@
+"""Tests for repro.grb.types."""
+
+import numpy as np
+import pytest
+
+from repro.grb import types as t
+
+
+class TestTypeTable:
+    def test_all_types_count(self):
+        assert len(t.ALL_TYPES) == 11
+
+    def test_names_follow_spec(self):
+        for typ in t.ALL_TYPES:
+            assert typ.name.startswith("GrB_")
+
+    @pytest.mark.parametrize("typ", t.ALL_TYPES, ids=lambda x: x.name)
+    def test_round_trip_from_dtype(self, typ):
+        assert t.from_dtype(typ.dtype) is typ
+
+    def test_from_dtype_accepts_dtype_like(self):
+        assert t.from_dtype("float64") is t.FP64
+        assert t.from_dtype(np.int32) is t.INT32
+        assert t.from_dtype(bool) is t.BOOL
+
+    def test_from_dtype_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            t.from_dtype(np.complex128)
+        with pytest.raises(TypeError):
+            t.from_dtype(object)
+
+
+class TestPredicates:
+    def test_boolean(self):
+        assert t.BOOL.is_boolean
+        assert not t.FP64.is_boolean
+
+    def test_integral(self):
+        assert t.INT8.is_integral and t.UINT64.is_integral
+        assert not t.FP32.is_integral
+
+    def test_signed(self):
+        assert t.INT64.is_signed
+        assert not t.UINT64.is_signed
+
+    def test_float(self):
+        assert t.FP32.is_float and t.FP64.is_float
+        assert not t.INT64.is_float
+
+    def test_zero_one(self):
+        assert t.FP64.zero() == 0.0 and t.FP64.one() == 1.0
+        assert t.BOOL.zero() == False  # noqa: E712
+        assert t.UINT8.one() == 1
+
+    def test_type_name(self):
+        assert t.type_name(t.FP64) == "GrB_FP64"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            t.FP64.name = "x"

@@ -1,0 +1,130 @@
+"""Tests for betweenness centrality (Alg. 3) and PageRank (Alg. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import random_graph_np, random_graphs
+from repro import grb
+from repro import lagraph as lg
+from repro.gap import baselines
+from repro.lagraph.errors import PropertyMissing
+
+nx = pytest.importorskip("networkx")
+
+
+def _to_nx(g):
+    r, c, _ = g.A.to_coo()
+    G = nx.DiGraph()
+    G.add_nodes_from(range(g.n))
+    G.add_edges_from(zip(r.tolist(), c.tolist()))
+    return G
+
+
+class TestBetweennessCentrality:
+    def test_advanced_requires_at(self, small_directed_graph):
+        with pytest.raises(PropertyMissing):
+            lg.betweenness_centrality_batch(small_directed_graph, [0])
+
+    def test_diamond_exact(self, small_directed_graph):
+        # node 1 and 2 each lie on half the 0→3 shortest paths
+        cent = lg.betweenness_centrality(small_directed_graph,
+                                         sources=range(4))
+        vals = cent.to_dense()
+        assert vals[0] == 0.0 and vals[3] == 0.0
+        assert vals[1] == pytest.approx(0.5)
+        assert vals[2] == pytest.approx(0.5)
+
+    def test_matches_networkx_exact(self, rng):
+        g = random_graph_np(rng, n=30, p=0.12)
+        cent = lg.betweenness_centrality(g, sources=range(30)).to_dense()
+        ref = nx.betweenness_centrality(_to_nx(g), normalized=False)
+        np.testing.assert_allclose(cent, [ref[i] for i in range(30)],
+                                   atol=1e-9)
+
+    def test_matches_baseline_on_batch(self, rng):
+        g = random_graph_np(rng, n=40, p=0.1)
+        sources = [0, 7, 13]
+        cent = lg.betweenness_centrality(g, sources=sources).to_dense()
+        ref = baselines.betweenness_centrality(g, sources)
+        np.testing.assert_allclose(cent, ref, atol=1e-9)
+
+    @given(g=random_graphs(directed=True, max_n=10))
+    @settings(max_examples=10)
+    def test_property_nonnegative_and_endpoints_zero_on_dag_sources(self, g):
+        cent = lg.betweenness_centrality(g, sources=range(g.n)).to_dense()
+        assert (cent > -1e-9).all()
+
+    def test_batching_is_additive(self, rng):
+        g = random_graph_np(rng, n=25, p=0.15)
+        all_at_once = lg.betweenness_centrality(
+            g, sources=[1, 2, 3, 4], batch_size=4).to_dense()
+        two_batches = lg.betweenness_centrality(
+            g, sources=[1, 2, 3, 4], batch_size=2).to_dense()
+        np.testing.assert_allclose(all_at_once, two_batches, atol=1e-9)
+
+    def test_random_sources_draw(self, rng):
+        g = random_graph_np(rng, n=20, p=0.2)
+        cent = lg.betweenness_centrality(g, batch_size=3, seed=7)
+        assert cent.size == 20
+
+    def test_empty_sources(self, small_directed_graph):
+        small_directed_graph.cache_at()
+        cent = lg.betweenness_centrality_batch(small_directed_graph, [])
+        np.testing.assert_array_equal(cent.to_dense(), np.zeros(4))
+
+
+class TestPageRankGAP:
+    def test_advanced_requires_properties(self, small_directed_graph):
+        with pytest.raises(PropertyMissing):
+            lg.pagerank_gap(small_directed_graph)
+
+    def test_matches_baseline_exactly(self, rng):
+        g = random_graph_np(rng, n=50, p=0.08)
+        rank, iters = lg.pagerank(g, tol=1e-10)
+        ref, ref_iters = baselines.pagerank(g, tol=1e-10)
+        np.testing.assert_allclose(rank.to_dense(), ref, atol=1e-12)
+        assert iters == ref_iters
+
+    def test_dangling_mass_leaks(self):
+        # GAP PR drops dangling mass — the sum falls below 1 (Sec. IV-C)
+        A = grb.Matrix.from_coo([0, 1], [1, 2], [True, True], 3, 3)
+        g = lg.Graph(A, lg.ADJACENCY_DIRECTED)   # node 2 dangles
+        rank, _ = lg.pagerank(g, variant="gap", tol=1e-12, itermax=200)
+        assert rank.to_dense().sum() < 0.999
+
+    def test_respects_itermax(self, rng):
+        g = random_graph_np(rng, n=30, p=0.1)
+        _, iters = lg.pagerank(g, tol=0.0, itermax=5)
+        assert iters == 5
+
+
+class TestPageRankGraphalytics:
+    def test_sums_to_one_with_dangling(self):
+        A = grb.Matrix.from_coo([0, 1], [1, 2], [True, True], 3, 3)
+        g = lg.Graph(A, lg.ADJACENCY_DIRECTED)
+        rank, _ = lg.pagerank(g, variant="graphalytics", tol=1e-12,
+                              itermax=300)
+        assert rank.to_dense().sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_matches_networkx(self, rng):
+        g = random_graph_np(rng, n=40, p=0.1)
+        rank, _ = lg.pagerank(g, variant="graphalytics", tol=1e-12,
+                              itermax=500)
+        ref = nx.pagerank(_to_nx(g), alpha=0.85, tol=1e-13, max_iter=1000)
+        np.testing.assert_allclose(rank.to_dense(),
+                                   [ref[i] for i in range(40)], atol=1e-8)
+
+    def test_variants_agree_without_dangling_nodes(self, rng):
+        # complete cycle: no dangling nodes → the variants coincide
+        n = 12
+        A = grb.Matrix.from_coo(range(n), np.roll(range(n), -1),
+                                np.ones(n, bool), n, n)
+        g = lg.Graph(A, lg.ADJACENCY_DIRECTED)
+        r1, _ = lg.pagerank(g, variant="gap", tol=1e-14, itermax=500)
+        r2, _ = lg.pagerank(g, variant="graphalytics", tol=1e-14, itermax=500)
+        np.testing.assert_allclose(r1.to_dense(), r2.to_dense(), atol=1e-10)
+
+    def test_unknown_variant(self, small_directed_graph):
+        with pytest.raises(ValueError):
+            lg.pagerank(small_directed_graph, variant="bogus")

@@ -1,0 +1,116 @@
+"""Tests for BFS (Algorithms 1 and 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import random_graphs
+from repro import grb
+from repro import lagraph as lg
+from repro.gap import baselines, verify
+from repro.lagraph.errors import PropertyMissing
+
+
+class TestPushOnly:
+    def test_diamond(self, small_directed_graph):
+        p = lg.bfs_parent_push(small_directed_graph, 0)
+        assert p[0] == 0
+        assert p[1] == 0 and p[2] == 0
+        assert p[3] in (1, 2)   # the benign race: any valid parent
+
+    def test_unreached_nodes_have_no_entry(self):
+        A = grb.Matrix.from_coo([0], [1], [True], 3, 3)
+        g = lg.Graph(A, lg.ADJACENCY_DIRECTED)
+        p = lg.bfs_parent_push(g, 0)
+        assert p.nvals == 2 and 2 not in p
+
+    def test_isolated_source(self):
+        A = grb.Matrix.from_coo([1], [2], [True], 3, 3)
+        g = lg.Graph(A, lg.ADJACENCY_DIRECTED)
+        p = lg.bfs_parent_push(g, 0)
+        assert p.nvals == 1 and p[0] == 0
+
+    def test_bad_source(self, small_directed_graph):
+        with pytest.raises(grb.IndexOutOfBounds):
+            lg.bfs_parent_push(small_directed_graph, 7)
+
+    def test_needs_no_cached_properties(self, small_directed_graph):
+        assert small_directed_graph.AT is None
+        lg.bfs_parent_push(small_directed_graph, 0)
+        assert small_directed_graph.AT is None  # and computes none
+
+    @given(g=random_graphs(directed=True))
+    @settings(max_examples=20)
+    def test_valid_bfs_tree_on_random_graphs(self, g):
+        p = lg.bfs_parent_push(g, 0)
+        verify.verify_bfs_parent(g, 0, p)
+
+
+class TestDirectionOptimizing:
+    def test_advanced_mode_demands_properties(self, small_directed_graph):
+        with pytest.raises(PropertyMissing):
+            lg.bfs_parent_do(small_directed_graph, 0)
+        small_directed_graph.cache_at()
+        with pytest.raises(PropertyMissing):
+            lg.bfs_parent_do(small_directed_graph, 0)
+
+    def test_matches_push_reachability(self, small_directed_graph):
+        g = small_directed_graph
+        g.cache_at()
+        g.cache_row_degree()
+        p_push = lg.bfs_parent_push(g, 0)
+        p_do = lg.bfs_parent_do(g, 0)
+        np.testing.assert_array_equal(p_push.indices, p_do.indices)
+
+    @given(g=random_graphs(directed=True))
+    @settings(max_examples=20)
+    def test_valid_tree_on_random_graphs(self, g):
+        g.cache_at()
+        g.cache_row_degree()
+        p = lg.bfs_parent_do(g, 0)
+        verify.verify_bfs_parent(g, 0, p)
+
+    @given(g=random_graphs(directed=False))
+    @settings(max_examples=15)
+    def test_undirected(self, g):
+        g.cache_at()
+        g.cache_row_degree()
+        p = lg.bfs_parent_do(g, 0)
+        verify.verify_bfs_parent(g, 0, p)
+
+
+class TestLevelBFS:
+    def test_diamond_levels(self, small_directed_graph):
+        lv = lg.bfs_level(small_directed_graph, 0)
+        assert lv[0] == 0 and lv[1] == 1 and lv[2] == 1 and lv[3] == 2
+
+    @given(g=random_graphs(directed=True))
+    @settings(max_examples=20)
+    def test_matches_reference(self, g):
+        lv = lg.bfs_level(g, 0)
+        verify.verify_bfs_level(g, 0, lv)
+
+
+class TestBasicMode:
+    def test_returns_requested_outputs(self, small_directed_graph):
+        p, lv = lg.bfs(small_directed_graph, 0, parent=True, level=True)
+        assert p is not None and lv is not None
+        p2, lv2 = lg.bfs(small_directed_graph, 0, parent=False, level=True)
+        assert p2 is None and lv2 is not None
+
+    def test_basic_mode_caches_properties(self, small_directed_graph):
+        g = small_directed_graph
+        lg.bfs(g, 0, direction_optimizing=True)
+        assert g.AT is not None and g.row_degree is not None
+
+    def test_forced_push_does_not_cache(self, small_directed_graph):
+        g = small_directed_graph
+        lg.bfs(g, 0, direction_optimizing=False)
+        assert g.AT is None
+
+    def test_parent_matches_baseline_reached_set(self, rng):
+        from conftest import random_graph_np
+        g = random_graph_np(rng, n=50, p=0.08)
+        p, _ = lg.bfs(g, 3)
+        ref = baselines.bfs_parent(g, 3)
+        np.testing.assert_array_equal(p.indices, np.flatnonzero(ref >= 0))

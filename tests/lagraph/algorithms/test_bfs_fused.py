@@ -1,0 +1,46 @@
+"""Tests for the fused BFS variant (the Sec. VI-B fusion)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import random_graph_np, random_graphs
+from repro import lagraph as lg
+from repro.gap import verify
+
+
+class TestFusedBFS:
+    def test_diamond(self, small_directed_graph):
+        p = lg.bfs_parent_fused(small_directed_graph, 0)
+        assert p[0] == 0 and p[1] == 0 and p[2] == 0
+        assert p[3] in (1, 2)
+
+    def test_matches_push_reached_set(self, rng):
+        g = random_graph_np(rng, n=60, p=0.06)
+        fused = lg.bfs_parent_fused(g, 0)
+        push = lg.bfs_parent_push(g, 0)
+        np.testing.assert_array_equal(fused.indices, push.indices)
+
+    def test_identical_parents_to_push(self, rng):
+        """Both pick the first frontier member in index order — identical
+        trees, not just equivalent ones."""
+        g = random_graph_np(rng, n=50, p=0.08)
+        fused = lg.bfs_parent_fused(g, 2)
+        push = lg.bfs_parent_push(g, 2)
+        assert fused.isequal(push)
+
+    def test_bad_source(self, small_directed_graph):
+        with pytest.raises(Exception):
+            lg.bfs_parent_fused(small_directed_graph, 99)
+
+    @given(g=random_graphs(directed=True))
+    @settings(max_examples=20)
+    def test_property_valid_tree(self, g):
+        p = lg.bfs_parent_fused(g, 0)
+        verify.verify_bfs_parent(g, 0, p)
+
+    @given(g=random_graphs(directed=False))
+    @settings(max_examples=10)
+    def test_property_undirected(self, g):
+        p = lg.bfs_parent_fused(g, 0)
+        verify.verify_bfs_parent(g, 0, p)

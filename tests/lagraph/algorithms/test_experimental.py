@@ -1,0 +1,96 @@
+"""Tests for the experimental tier (Sec. II-E): k-truss and LCC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import random_graph_np, random_graphs
+from repro import grb
+from repro import lagraph as lg
+from repro.lagraph.experimental import ktruss, local_clustering_coefficient
+
+nx = pytest.importorskip("networkx")
+
+
+def _complete_graph(n):
+    dense = np.ones((n, n), dtype=bool)
+    np.fill_diagonal(dense, False)
+    return lg.Graph(grb.Matrix.from_dense(dense), lg.ADJACENCY_UNDIRECTED)
+
+
+def _to_nx(g):
+    r, c, _ = g.A.to_coo()
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n))
+    G.add_edges_from(zip(r.tolist(), c.tolist()))
+    return G
+
+
+class TestKTruss:
+    def test_k3_of_triangle_is_triangle(self, triangle_graph):
+        t = ktruss(triangle_graph, 3)
+        assert t.nvals == 6  # the 3 undirected triangle edges, both ways
+
+    def test_k4_of_triangle_is_empty(self, triangle_graph):
+        assert ktruss(triangle_graph, 4).nvals == 0
+
+    def test_complete_graph_survives(self):
+        g = _complete_graph(5)
+        # K5: every edge supports 3 triangles → survives up to k=5
+        assert ktruss(g, 5).nvals == 20
+        assert ktruss(g, 6).nvals == 0
+
+    def test_rejects_small_k(self, triangle_graph):
+        with pytest.raises(grb.InvalidValue):
+            ktruss(triangle_graph, 2)
+
+    def test_support_values(self, triangle_graph):
+        t = ktruss(triangle_graph, 3)
+        assert set(np.asarray(t.values).tolist()) == {1}
+
+    @given(g=random_graphs(directed=False, max_n=12))
+    @settings(max_examples=10)
+    def test_matches_networkx(self, g):
+        G = _to_nx(g)
+        G.remove_edges_from(nx.selfloop_edges(G))
+        for k in (3, 4):
+            ours = ktruss(g, k)
+            ref = nx.k_truss(G, k)
+            assert ours.nvals == 2 * ref.number_of_edges()
+
+    def test_directed_input_symmetrised(self, rng):
+        g = random_graph_np(rng, n=20, p=0.2, directed=True)
+        t = ktruss(g, 3)
+        assert t.is_symmetric_pattern()
+
+
+class TestLCC:
+    def test_triangle_plus_pendant(self, triangle_graph):
+        lcc = local_clustering_coefficient(triangle_graph).to_dense()
+        assert lcc[0] == pytest.approx(1.0)
+        assert lcc[1] == pytest.approx(1.0)
+        # node 2 has neighbours {0, 1, 3}: one closed pair of three
+        assert lcc[2] == pytest.approx(1.0 / 3.0)
+        assert lcc[3] == 0.0   # degree 1
+
+    def test_complete_graph_all_ones(self):
+        lcc = local_clustering_coefficient(_complete_graph(6)).to_dense()
+        np.testing.assert_allclose(lcc, np.ones(6))
+
+    def test_matches_networkx(self, rng):
+        g = random_graph_np(rng, n=40, p=0.15, directed=False)
+        lcc = local_clustering_coefficient(g).to_dense()
+        ref = nx.clustering(_to_nx(g))
+        np.testing.assert_allclose(lcc, [ref[i] for i in range(40)],
+                                   atol=1e-12)
+
+    @given(g=random_graphs(directed=False, max_n=12))
+    @settings(max_examples=10)
+    def test_property_in_unit_interval(self, g):
+        lcc = local_clustering_coefficient(g).to_dense()
+        assert ((lcc >= 0) & (lcc <= 1 + 1e-12)).all()
+
+    def test_isolated_nodes_zero(self):
+        g = lg.Graph(grb.Matrix(grb.BOOL, 3, 3), lg.ADJACENCY_UNDIRECTED)
+        np.testing.assert_array_equal(
+            local_clustering_coefficient(g).to_dense(), np.zeros(3))

@@ -1,0 +1,180 @@
+"""Tests for the extended experimental tier: MIS, CDLP, MSF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import random_graph_np, random_graphs
+from repro import grb
+from repro import lagraph as lg
+from repro.lagraph.experimental import (
+    cdlp,
+    maximal_independent_set,
+    minimum_spanning_forest,
+)
+
+nx = pytest.importorskip("networkx")
+
+
+def _to_nx(g, weighted=False):
+    r, c, v = g.A.to_coo()
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n))
+    if weighted:
+        G.add_weighted_edges_from(zip(r.tolist(), c.tolist(), v.tolist()))
+    else:
+        G.add_edges_from(zip(r.tolist(), c.tolist()))
+    return G
+
+
+def _assert_independent_and_maximal(g, iset):
+    members = set(iset.indices.tolist())
+    r, c, _ = g.A.to_coo()
+    # independence: no edge inside the set
+    for u, v in zip(r.tolist(), c.tolist()):
+        if u != v:
+            assert not (u in members and v in members), f"edge ({u},{v}) inside"
+    # maximality: every non-member has a member neighbour
+    present = np.zeros(g.n, dtype=bool)
+    present[list(members)] = True
+    for u in range(g.n):
+        if u in members:
+            continue
+        cols, _ = g.A.row(u)
+        nbrs = cols[cols != u]
+        assert present[nbrs].any(), f"node {u} could join"
+
+
+class TestMIS:
+    def test_triangle_plus_pendant(self, triangle_graph):
+        iset = maximal_independent_set(triangle_graph)
+        _assert_independent_and_maximal(triangle_graph, iset)
+
+    def test_isolated_nodes_always_in(self):
+        g = lg.Graph(grb.Matrix(grb.BOOL, 5, 5), lg.ADJACENCY_UNDIRECTED)
+        iset = maximal_independent_set(g)
+        assert iset.nvals == 5
+
+    def test_deterministic_per_seed(self, rng):
+        g = random_graph_np(rng, n=30, p=0.2, directed=False)
+        a = maximal_independent_set(g, seed=1)
+        b = maximal_independent_set(g, seed=1)
+        assert a.isequal(b)
+
+    def test_rejects_directed_without_symmetry(self, small_directed_graph):
+        with pytest.raises(lg.InvalidKind):
+            maximal_independent_set(small_directed_graph)
+
+    def test_self_loops_tolerated(self):
+        A = grb.Matrix.from_coo([0, 0, 1], [0, 1, 0], np.ones(3, bool), 3, 3)
+        g = lg.Graph(A, lg.ADJACENCY_UNDIRECTED)
+        iset = maximal_independent_set(g)
+        assert iset.nvals >= 2   # node 2 isolated + one of {0, 1}
+
+    @given(g=random_graphs(directed=False, max_n=14))
+    @settings(max_examples=15)
+    def test_property_independent_and_maximal(self, g):
+        iset = maximal_independent_set(g, seed=3)
+        _assert_independent_and_maximal(g, iset)
+
+
+class TestCDLP:
+    def test_two_cliques_get_two_labels(self):
+        # two triangles joined by nothing
+        r = [0, 1, 2, 0, 3, 4, 5, 3]
+        c = [1, 2, 0, 2, 4, 5, 3, 5]
+        rr = np.concatenate((r, c))
+        cc = np.concatenate((c, r))
+        A = grb.Matrix.from_coo(rr, cc, np.ones(rr.size, bool), 6, 6,
+                                dup_op=grb.binary.LOR)
+        g = lg.Graph(A, lg.ADJACENCY_UNDIRECTED)
+        labels = cdlp(g).to_dense()
+        assert len(set(labels[:3].tolist())) == 1
+        assert len(set(labels[3:].tolist())) == 1
+        assert labels[0] != labels[3]
+
+    def test_labels_are_node_ids(self, rng):
+        g = random_graph_np(rng, n=20, p=0.2, directed=False)
+        labels = cdlp(g).to_dense()
+        assert ((labels >= 0) & (labels < 20)).all()
+
+    def test_zero_iterations_identity(self, rng):
+        g = random_graph_np(rng, n=10, p=0.3, directed=False)
+        np.testing.assert_array_equal(cdlp(g, iterations=0).to_dense(),
+                                      np.arange(10))
+
+    def test_isolated_nodes_keep_own_label(self):
+        A = grb.Matrix.from_coo([0, 1], [1, 0], np.ones(2, bool), 4, 4)
+        g = lg.Graph(A, lg.ADJACENCY_UNDIRECTED)
+        labels = cdlp(g).to_dense()
+        assert labels[2] == 2 and labels[3] == 3
+
+    def test_tie_breaks_toward_smaller_label(self):
+        # path 0-1-2: node 1 sees labels {0, 2} once each → takes 0
+        A = grb.Matrix.from_coo([0, 1, 1, 2], [1, 0, 2, 1],
+                                np.ones(4, bool), 3, 3)
+        g = lg.Graph(A, lg.ADJACENCY_UNDIRECTED)
+        labels = cdlp(g, iterations=1).to_dense()
+        assert labels[1] == 0
+
+    def test_directed_uses_both_directions(self, small_directed_graph):
+        labels = cdlp(small_directed_graph, iterations=5).to_dense()
+        assert labels.shape == (4,)
+
+    def test_converges_and_stops_early(self, rng):
+        g = random_graph_np(rng, n=30, p=0.15, directed=False)
+        a = cdlp(g, iterations=50).to_dense()
+        b = cdlp(g, iterations=100).to_dense()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMSF:
+    def test_simple_triangle(self):
+        # weights 1, 2, 3: MST takes 1 and 2
+        r = [0, 1, 1, 2, 0, 2]
+        c = [1, 0, 2, 1, 2, 0]
+        w = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0]
+        g = lg.Graph(grb.Matrix.from_coo(r, c, w, 3, 3),
+                     lg.ADJACENCY_UNDIRECTED)
+        forest, total = minimum_spanning_forest(g)
+        assert total == 3.0
+        assert forest.nvals == 4   # two edges, stored symmetrically
+
+    def test_matches_networkx_weight(self, rng):
+        g = random_graph_np(rng, n=40, p=0.12, directed=False, weighted=True)
+        _, total = minimum_spanning_forest(g)
+        ref = nx.minimum_spanning_tree(_to_nx(g, weighted=True))
+        ref_total = sum(d["weight"] for _, _, d in ref.edges(data=True))
+        assert total == pytest.approx(ref_total)
+
+    def test_forest_spans_components(self, rng):
+        g = random_graph_np(rng, n=30, p=0.05, directed=False, weighted=True)
+        forest, _ = minimum_spanning_forest(g)
+        n_components = len(set(
+            lg.connected_components(g).to_dense().tolist()))
+        # a spanning forest has n - #components edges
+        assert forest.nvals // 2 == g.n - n_components
+
+    def test_empty_graph(self):
+        g = lg.Graph(grb.Matrix(grb.FP64, 4, 4), lg.ADJACENCY_UNDIRECTED)
+        forest, total = minimum_spanning_forest(g)
+        assert total == 0.0 and forest.nvals == 0
+
+    def test_forest_edges_subset_of_graph(self, rng):
+        g = random_graph_np(rng, n=25, p=0.15, directed=False, weighted=True)
+        forest, _ = minimum_spanning_forest(g)
+        fr, fc, fw = forest.to_coo()
+        for i, j, w in zip(fr.tolist(), fc.tolist(), fw.tolist()):
+            assert g.A.get(i, j) == w
+
+    def test_rejects_directed(self, small_directed_graph):
+        with pytest.raises(lg.InvalidKind):
+            minimum_spanning_forest(small_directed_graph)
+
+    @given(g=random_graphs(directed=False, weighted=True, max_n=12))
+    @settings(max_examples=15)
+    def test_property_weight_matches_networkx(self, g):
+        _, total = minimum_spanning_forest(g)
+        ref = nx.minimum_spanning_tree(_to_nx(g, weighted=True))
+        ref_total = sum(d["weight"] for _, _, d in ref.edges(data=True))
+        assert total == pytest.approx(ref_total)

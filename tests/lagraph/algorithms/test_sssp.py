@@ -1,0 +1,109 @@
+"""Tests for SSSP (Algorithm 5, delta-stepping)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import random_graph_np, random_graphs
+from repro import grb
+from repro import lagraph as lg
+from repro.gap import baselines, verify
+
+
+def _weighted_diamond():
+    # 0→1 (1), 0→2 (4), 1→3 (2), 2→3 (1): shortest 0→3 = 3 via 1
+    A = grb.Matrix.from_coo([0, 0, 1, 2], [1, 2, 3, 3],
+                            [1.0, 4.0, 2.0, 1.0], 4, 4)
+    return lg.Graph(A, lg.ADJACENCY_DIRECTED)
+
+
+class TestDeltaStepping:
+    def test_diamond(self):
+        d = lg.sssp_delta_stepping(_weighted_diamond(), 0, delta=2.0)
+        assert d[0] == 0.0 and d[1] == 1.0 and d[2] == 4.0 and d[3] == 3.0
+
+    @pytest.mark.parametrize("delta", [0.5, 1.0, 2.0, 10.0, 1000.0])
+    def test_delta_invariance(self, delta):
+        """Any Δ must give the same distances (bucketing is performance-only)."""
+        d = lg.sssp_delta_stepping(_weighted_diamond(), 0, delta=delta)
+        np.testing.assert_allclose(d.to_dense(fill=np.inf)[:4],
+                                   [0.0, 1.0, 4.0, 3.0])
+
+    def test_unreachable_nodes_absent(self):
+        A = grb.Matrix.from_coo([0], [1], [2.0], 3, 3)
+        g = lg.Graph(A, lg.ADJACENCY_DIRECTED)
+        d = lg.sssp_delta_stepping(g, 0, delta=1.0)
+        assert 2 not in d and d.nvals == 2
+
+    def test_rejects_negative_weights(self):
+        A = grb.Matrix.from_coo([0], [1], [-2.0], 2, 2)
+        g = lg.Graph(A, lg.ADJACENCY_DIRECTED)
+        with pytest.raises(grb.InvalidValue):
+            lg.sssp_delta_stepping(g, 0, delta=1.0)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(grb.InvalidValue):
+            lg.sssp_delta_stepping(_weighted_diamond(), 0, delta=0.0)
+
+    def test_bad_source(self):
+        with pytest.raises(grb.IndexOutOfBounds):
+            lg.sssp_delta_stepping(_weighted_diamond(), -1)
+
+    def test_heavy_edges_only(self):
+        # all weights > Δ: everything happens in the heavy phase
+        A = grb.Matrix.from_coo([0, 1], [1, 2], [10.0, 10.0], 3, 3)
+        g = lg.Graph(A, lg.ADJACENCY_DIRECTED)
+        d = lg.sssp_delta_stepping(g, 0, delta=1.0)
+        assert d[2] == 20.0
+
+    def test_matches_dijkstra_on_random(self, rng):
+        g = random_graph_np(rng, n=60, p=0.07, weighted=True)
+        d = lg.sssp_delta_stepping(g, 0, delta=3.0)
+        verify.verify_sssp(g, 0, d)
+
+    @given(g=random_graphs(directed=True, weighted=True))
+    @settings(max_examples=15)
+    def test_property_matches_dijkstra(self, g):
+        d = lg.sssp_delta_stepping(g, 0, delta=2.5)
+        verify.verify_sssp(g, 0, d)
+
+    @given(g=random_graphs(directed=False, weighted=True))
+    @settings(max_examples=10)
+    def test_property_undirected(self, g):
+        d = lg.sssp_delta_stepping(g, 1 % g.n, delta=4.0)
+        verify.verify_sssp(g, 1 % g.n, d)
+
+
+class TestBellmanFord:
+    def test_diamond(self):
+        d = lg.sssp_bellman_ford(_weighted_diamond(), 0)
+        assert d[3] == 3.0
+
+    @given(g=random_graphs(directed=True, weighted=True))
+    @settings(max_examples=15)
+    def test_agrees_with_delta_stepping(self, g):
+        d1 = lg.sssp_bellman_ford(g, 0)
+        d2 = lg.sssp_delta_stepping(g, 0, delta=2.0)
+        assert d1.size == d2.size
+        np.testing.assert_array_equal(d1.indices, d2.indices)
+        np.testing.assert_allclose(d1.values, d2.values)
+
+
+class TestBasicMode:
+    def test_picks_delta_from_weights(self, rng):
+        g = random_graph_np(rng, n=40, p=0.1, weighted=True)
+        d = lg.sssp(g, 0)
+        verify.verify_sssp(g, 0, d)
+
+    def test_boolean_graph_falls_back_to_hop_counts(self, small_directed_graph):
+        d = lg.sssp(small_directed_graph, 0)
+        # boolean weights: True == 1, so distances are hop counts
+        assert d[3] == 2.0
+
+    def test_delta_numpy_baseline_agrees(self, rng):
+        g = random_graph_np(rng, n=50, p=0.08, weighted=True)
+        ours = lg.sssp(g, 2)
+        ref = baselines.sssp_delta_numpy(g, 2, delta=3.0)
+        np.testing.assert_array_equal(ours.indices,
+                                      np.flatnonzero(np.isfinite(ref)))
+        np.testing.assert_allclose(ours.values, ref[ours.indices])

@@ -1,0 +1,161 @@
+"""Tests for triangle counting (Alg. 6) and connected components (Alg. 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import random_graph_np, random_graphs
+from repro import grb
+from repro import lagraph as lg
+from repro.gap import baselines, verify
+from repro.lagraph.algorithms import TC_METHODS
+from repro.lagraph.errors import InvalidKind, PropertyMissing
+
+nx = pytest.importorskip("networkx")
+
+
+def _undirected(rng, n=40, p=0.15):
+    return random_graph_np(rng, n=n, p=p, directed=False)
+
+
+class TestTriangleCountAdvanced:
+    def test_requires_ndiag(self, triangle_graph):
+        with pytest.raises(PropertyMissing):
+            lg.triangle_count(triangle_graph, presort=None)
+
+    def test_requires_symmetry_info_for_directed(self, small_directed_graph):
+        small_directed_graph.cache_ndiag()
+        with pytest.raises(InvalidKind):
+            lg.triangle_count(small_directed_graph, presort=None)
+
+    def test_rejects_nonzero_diagonal(self):
+        A = grb.Matrix.from_coo([0, 1, 0], [1, 0, 0], np.ones(3, bool), 2, 2)
+        g = lg.Graph(A, lg.ADJACENCY_UNDIRECTED)
+        g.cache_ndiag()
+        with pytest.raises(InvalidKind):
+            lg.triangle_count(g, presort=None)
+
+    def test_presort_auto_requires_degree(self, triangle_graph):
+        triangle_graph.cache_ndiag()
+        with pytest.raises(PropertyMissing):
+            lg.triangle_count(triangle_graph, presort="auto")
+
+    def test_triangle_plus_pendant(self, triangle_graph):
+        triangle_graph.cache_ndiag()
+        assert lg.triangle_count(triangle_graph, presort=None) == 1
+
+    @pytest.mark.parametrize("method", TC_METHODS)
+    def test_all_methods_agree(self, rng, method):
+        g = _undirected(rng)
+        g.cache_ndiag()
+        g.cache_row_degree()
+        expected = baselines.triangle_count(g)
+        assert lg.triangle_count(g, method=method, presort=None) == expected
+
+    @pytest.mark.parametrize("presort", [None, "ascending", "descending", "auto"])
+    def test_presort_invariance(self, rng, presort):
+        """The permutation is a performance heuristic — counts must not change."""
+        g = _undirected(rng)
+        g.cache_ndiag()
+        g.cache_row_degree()
+        assert lg.triangle_count(g, presort=presort) == \
+            baselines.triangle_count(g)
+
+    def test_unknown_method(self, triangle_graph):
+        triangle_graph.cache_ndiag()
+        with pytest.raises(ValueError):
+            lg.triangle_count(triangle_graph, method="quantum", presort=None)
+
+    @given(g=random_graphs(directed=False, max_n=12))
+    @settings(max_examples=15)
+    def test_property_matches_networkx(self, g):
+        g.cache_ndiag()
+        if g.ndiag:
+            g = lg.Graph(g.A.offdiag(), lg.ADJACENCY_UNDIRECTED)
+            g.cache_ndiag()
+        r, c, _ = g.A.to_coo()
+        G = nx.Graph()
+        G.add_nodes_from(range(g.n))
+        G.add_edges_from(zip(r.tolist(), c.tolist()))
+        expected = sum(nx.triangles(G).values()) // 3
+        assert lg.triangle_count(g, presort=None) == expected
+
+
+class TestTriangleCountBasic:
+    def test_fixes_up_directed_input(self, rng):
+        g = random_graph_np(rng, n=30, p=0.15, directed=True)
+        count = lg.triangle_count_basic(g)
+        verify.verify_tc(g, count)
+
+    def test_strips_self_loops(self):
+        A = grb.Matrix.from_dense(np.ones((3, 3), dtype=bool))
+        g = lg.Graph(A, lg.ADJACENCY_UNDIRECTED)
+        assert lg.triangle_count_basic(g) == 1
+
+    def test_node_iterator_oracle_agrees(self, rng):
+        g = _undirected(rng, n=25)
+        assert baselines.triangle_count(g) == \
+            baselines.triangle_count_node_iterator(g)
+
+    def test_empty_graph(self):
+        g = lg.Graph(grb.Matrix(grb.BOOL, 5, 5), lg.ADJACENCY_UNDIRECTED)
+        assert lg.triangle_count_basic(g) == 0
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        A = grb.Matrix.from_coo([0, 1, 2, 3], [1, 0, 3, 2],
+                                np.ones(4, bool), 5, 5)
+        g = lg.Graph(A, lg.ADJACENCY_UNDIRECTED)
+        comp = lg.fastsv(g).to_dense()
+        np.testing.assert_array_equal(comp, [0, 0, 2, 2, 4])
+
+    def test_labels_are_min_node_ids(self, rng):
+        g = _undirected(rng, n=50, p=0.04)
+        comp = lg.fastsv(g)
+        verify.verify_cc(g, comp)
+
+    def test_advanced_requires_symmetry(self, small_directed_graph):
+        with pytest.raises(InvalidKind):
+            lg.fastsv(small_directed_graph)
+
+    def test_advanced_accepts_cached_symmetric_directed(self):
+        A = grb.Matrix.from_coo([0, 1], [1, 0], np.ones(2, bool), 3, 3)
+        g = lg.Graph(A, lg.ADJACENCY_DIRECTED)
+        g.cache_symmetric_pattern()
+        comp = lg.fastsv(g).to_dense()
+        np.testing.assert_array_equal(comp, [0, 0, 2])
+
+    def test_basic_mode_symmetrises(self, rng):
+        g = random_graph_np(rng, n=60, p=0.03, directed=True)
+        comp = lg.connected_components(g)
+        verify.verify_cc(g, comp)
+
+    def test_isolated_nodes_are_their_own_component(self):
+        g = lg.Graph(grb.Matrix(grb.BOOL, 4, 4), lg.ADJACENCY_UNDIRECTED)
+        comp = lg.fastsv(g).to_dense()
+        np.testing.assert_array_equal(comp, [0, 1, 2, 3])
+
+    def test_path_graph_single_component(self):
+        n = 30
+        r = np.concatenate([np.arange(n - 1), np.arange(1, n)])
+        c = np.concatenate([np.arange(1, n), np.arange(n - 1)])
+        A = grb.Matrix.from_coo(r, c, np.ones(r.size, bool), n, n)
+        g = lg.Graph(A, lg.ADJACENCY_UNDIRECTED)
+        assert (lg.fastsv(g).to_dense() == 0).all()
+
+    @given(g=random_graphs(directed=False))
+    @settings(max_examples=20)
+    def test_property_matches_scipy(self, g):
+        verify.verify_cc(g, lg.fastsv(g))
+
+    @given(g=random_graphs(directed=True))
+    @settings(max_examples=15)
+    def test_property_weak_components_directed(self, g):
+        verify.verify_cc(g, lg.connected_components(g))
+
+    def test_afforest_baseline_agrees(self, rng):
+        g = _undirected(rng, n=40, p=0.05)
+        np.testing.assert_array_equal(
+            baselines.connected_components(g),
+            baselines.connected_components_afforest(g))

@@ -1,0 +1,175 @@
+"""Tests for the C-style calling convention layer (Secs. II-C/D)."""
+
+import numpy as np
+import pytest
+
+from repro import grb
+from repro import lagraph as lg
+from repro.lagraph import compat
+from repro.lagraph.errors import LAGraphError, MsgBuffer, Status, MSG_LEN
+
+
+def _graph(directed=True):
+    if directed:
+        A = grb.Matrix.from_coo([0, 0, 1, 2], [1, 2, 3, 3],
+                                np.ones(4, bool), 4, 4)
+        return lg.Graph(A, lg.ADJACENCY_DIRECTED)
+    A = grb.Matrix.from_coo([0, 1, 1, 2], [1, 0, 2, 1], np.ones(4, bool), 3, 3)
+    return lg.Graph(A, lg.ADJACENCY_UNDIRECTED)
+
+
+class TestConvention:
+    def test_success_returns_zero_and_clears_msg(self):
+        msg = MsgBuffer()
+        msg.set("stale text")
+        status, = compat.LAGraph_Property_AT(_graph(), msg=msg)
+        assert status == Status.SUCCESS
+        assert msg.value == ""
+
+    def test_warning_positive(self):
+        g = _graph()
+        g.cache_at()
+        status, = compat.LAGraph_Property_AT(g)
+        assert status > 0
+
+    def test_error_negative_with_msg(self):
+        msg = MsgBuffer()
+        g = _graph()
+        g.ndiag = 99  # corrupt
+        result = compat.LAGraph_CheckGraph(g, msg=msg)
+        assert result[0] < 0
+        assert "ndiag" in msg.value
+
+    def test_msg_truncated_to_buffer_length(self):
+        msg = MsgBuffer()
+        msg.set("x" * 10_000)
+        assert len(msg.value) == MSG_LEN - 1
+
+    def test_new_and_delete_move_semantics(self):
+        A = grb.Matrix.from_coo([0], [1], [True], 2, 2)
+        box = [A]
+        status, g = compat.LAGraph_New(box, lg.ADJACENCY_DIRECTED)
+        assert status == 0 and box[0] is None and g.A is A
+        gbox = [g]
+        status, = compat.LAGraph_Delete(gbox)
+        assert status == 0 and gbox[0] is None
+
+    def test_delete_requires_box(self):
+        status, = compat.LAGraph_Delete("not a box")
+        assert status < 0
+
+
+class TestTryCatch:
+    def test_lagraph_try_passes_success_and_warning(self):
+        assert compat.lagraph_try(0) == 0
+        assert compat.lagraph_try(1001) == 1001
+
+    def test_lagraph_try_raises_on_error(self):
+        with pytest.raises(LAGraphError) as e:
+            compat.lagraph_try(Status.INVALID_GRAPH)
+        assert e.value.status == Status.INVALID_GRAPH
+
+    def test_lagraph_try_invokes_catch(self):
+        seen = []
+        with pytest.raises(LAGraphError):
+            compat.lagraph_try(-1002, catch=seen.append)
+        assert seen == [-1002]
+
+    def test_grb_try_tolerates_no_value(self):
+        assert compat.grb_try(0) == 0
+        assert compat.grb_try(1) == 1   # GrB_NO_VALUE
+
+    def test_grb_try_raises(self):
+        with pytest.raises(grb.GraphBLASError):
+            compat.grb_try(-6)
+
+    def test_try_uses_msg_text(self):
+        msg = MsgBuffer()
+        msg.set("something broke")
+        with pytest.raises(LAGraphError, match="something broke"):
+            compat.lagraph_try(-1, msg=msg)
+
+
+class TestAlgorithmWrappers:
+    def test_bfs(self):
+        status, level, parent = compat.LAGraph_BreadthFirstSearch(_graph(), 0)
+        assert status == 0
+        assert parent.get(0) == 0
+        assert level.get(3) == 2
+
+    def test_bfs_bad_source(self):
+        msg = MsgBuffer()
+        result = compat.LAGraph_BreadthFirstSearch(_graph(), 99, msg=msg)
+        assert result[0] < 0
+        assert "99" in msg.value
+
+    def test_bc(self):
+        status, cent = compat.LAGraph_VertexCentrality_Betweenness(
+            _graph(), [0, 1])
+        assert status == 0 and cent.size == 4
+
+    def test_pagerank(self):
+        status, rank, iters = compat.LAGraph_PageRank(_graph())
+        assert status == 0 and iters > 0
+        assert rank.size == 4
+
+    def test_sssp(self):
+        g = _graph()
+        g.A = g.A.apply(grb.unary.ONE).apply(
+            grb.unary.unary_op("__f64", lambda x: x.astype(np.float64)))
+        status, dist = compat.LAGraph_SingleSourceShortestPath(g, 0)
+        assert status == 0
+        assert dist.get(3) == 2.0
+
+    def test_tc(self):
+        status, count = compat.LAGraph_TriangleCount(_graph(directed=False))
+        assert status == 0 and count == 0
+
+    def test_cc(self):
+        status, comp = compat.LAGraph_ConnectedComponents(_graph())
+        assert status == 0
+        assert comp.to_dense().max() == 0  # one weak component
+
+    def test_c_style_decorator(self):
+        @compat.c_style
+        def might_fail(x):
+            if x < 0:
+                raise ValueError("negative")
+            return x * 2
+
+        assert might_fail(3) == (0, 6)
+        msg = MsgBuffer()
+        assert might_fail(-1, msg=msg)[0] < 0
+        assert "negative" in msg.value
+
+
+class TestExperimentalWrappers:
+    def test_ktruss(self):
+        status, truss = compat.LAGraph_KTruss(_graph(directed=False), 3)
+        assert status == 0 and truss.nvals == 0  # path graph: no triangles
+
+    def test_lcc(self):
+        status, lcc = compat.LAGraph_LCC(_graph(directed=False))
+        assert status == 0 and lcc.size == 3
+
+    def test_mis(self):
+        status, iset = compat.LAGraph_MaximalIndependentSet(
+            _graph(directed=False), seed=1)
+        assert status == 0 and iset.nvals >= 1
+
+    def test_cdlp(self):
+        status, labels = compat.LAGraph_CDLP(_graph(directed=False))
+        assert status == 0 and labels.size == 3
+
+    def test_msf_requires_undirected(self):
+        msg = MsgBuffer()
+        result = compat.LAGraph_MSF(_graph(directed=True), msg=msg)
+        assert result[0] < 0 and "undirected" in msg.value
+
+    def test_msf(self):
+        g = _graph(directed=False)
+        g.A = g.A.apply(grb.unary.ONE).apply(
+            grb.unary.unary_op("__w", lambda x: x.astype(np.float64)))
+        g.invalidate_properties()
+        status, forest, total = compat.LAGraph_MSF(g)
+        assert status == 0 and total == 2.0  # path graph: both edges

@@ -1,0 +1,172 @@
+"""Tests for the LAGraph Graph object (Listing 1 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro import grb
+from repro import lagraph as lg
+from repro.lagraph.errors import InvalidGraph, Status
+
+
+def _mat(directed=True):
+    if directed:
+        return grb.Matrix.from_coo([0, 0, 1], [1, 2, 2], np.ones(3, bool), 3, 3)
+    return grb.Matrix.from_coo([0, 1, 1, 2], [1, 0, 2, 1], np.ones(4, bool),
+                               3, 3)
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        assert g.n == 3 and g.nvals == 3
+        assert g.kind is lg.ADJACENCY_DIRECTED
+
+    def test_requires_square(self):
+        with pytest.raises(InvalidGraph):
+            lg.Graph(grb.Matrix(grb.BOOL, 2, 3), lg.ADJACENCY_DIRECTED)
+
+    def test_requires_kind(self):
+        with pytest.raises(InvalidGraph):
+            lg.Graph(_mat(), "directed")
+
+    def test_requires_matrix(self):
+        with pytest.raises(InvalidGraph):
+            lg.Graph(np.eye(3), lg.ADJACENCY_DIRECTED)
+
+    def test_properties_start_unknown(self):
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        assert g.AT is None
+        assert g.row_degree is None and g.col_degree is None
+        assert g.A_pattern_is_symmetric is lg.BOOLEAN_UNKNOWN
+        assert g.ndiag == -1
+
+    def test_move_constructor(self):
+        """LAGraph_New semantics: the caller's reference dies (Listing 1)."""
+        m = _mat()
+        box = [m]
+        g = lg.Graph.new(box, lg.ADJACENCY_DIRECTED)
+        assert box[0] is None
+        assert g.A is m
+
+    def test_move_requires_box(self):
+        with pytest.raises(InvalidGraph):
+            lg.Graph.new(_mat(), lg.ADJACENCY_DIRECTED)
+
+    def test_from_coo(self):
+        g = lg.Graph.from_coo([0, 1], [1, 0], [1.0, 1.0], 2,
+                              lg.ADJACENCY_UNDIRECTED)
+        assert g.n == 2
+
+
+class TestCachedProperties:
+    def test_cache_at_directed(self):
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        assert g.cache_at() == Status.SUCCESS
+        assert g.AT is not None and g.AT is not g.A
+        assert g.AT.isequal(g.A.T)
+
+    def test_cache_at_undirected_aliases_a(self):
+        g = lg.Graph(_mat(directed=False), lg.ADJACENCY_UNDIRECTED)
+        g.cache_at()
+        assert g.AT is g.A
+
+    def test_cache_twice_warns(self):
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        g.cache_at()
+        assert g.cache_at() == Status.CACHE_ALREADY_PRESENT
+
+    def test_degrees(self):
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        g.cache_row_degree()
+        g.cache_col_degree()
+        np.testing.assert_array_equal(g.row_degree.to_dense(), [2, 1, 0])
+        np.testing.assert_array_equal(g.col_degree.to_dense(), [0, 1, 2])
+
+    def test_symmetric_pattern(self):
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        g.cache_symmetric_pattern()
+        assert g.A_pattern_is_symmetric is False
+        h = lg.Graph(_mat(directed=False), lg.ADJACENCY_UNDIRECTED)
+        h.cache_symmetric_pattern()
+        assert h.A_pattern_is_symmetric is True
+
+    def test_ndiag(self):
+        m = _mat()
+        m[1, 1] = True
+        g = lg.Graph(m, lg.ADJACENCY_DIRECTED)
+        g.cache_ndiag()
+        assert g.ndiag == 1
+
+    def test_cache_all_and_invalidate(self):
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        g.cache_all()
+        assert g.AT is not None and g.ndiag == 0
+        g.invalidate_properties()
+        assert g.AT is None and g.ndiag == -1
+        assert g.A_pattern_is_symmetric is lg.BOOLEAN_UNKNOWN
+
+
+class TestCheckGraph:
+    def test_valid_graph_passes(self):
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        g.cache_all()
+        assert g.check() == Status.SUCCESS
+
+    def test_stale_at_detected(self):
+        """The non-opaque contract: user mutation must be caught by check."""
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        g.cache_at()
+        g.A[2, 0] = True   # mutate A without invalidating
+        with pytest.raises(InvalidGraph):
+            g.check()
+
+    def test_stale_degree_detected(self):
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        g.cache_row_degree()
+        g.A[2, 0] = True
+        with pytest.raises(InvalidGraph):
+            g.check()
+
+    def test_wrong_symmetry_flag_detected(self):
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        g.A_pattern_is_symmetric = True  # a lie
+        with pytest.raises(InvalidGraph):
+            g.check()
+
+    def test_wrong_ndiag_detected(self):
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        g.ndiag = 5
+        with pytest.raises(InvalidGraph):
+            g.check()
+
+    def test_undirected_with_asymmetric_pattern(self):
+        g = lg.Graph(_mat(directed=True), lg.ADJACENCY_DIRECTED)
+        g.kind = lg.ADJACENCY_UNDIRECTED  # corrupt the kind
+        with pytest.raises(InvalidGraph):
+            g.check()
+
+    def test_direct_property_installation_allowed(self):
+        """Algorithms may install computed properties directly (Sec. II-A)."""
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        g.AT = g.A.T
+        assert g.check() == Status.SUCCESS
+
+
+class TestDisplay:
+    def test_display_summary(self):
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        text = g.display()
+        assert "directed" in text and "n=3" in text
+
+    def test_display_level2_prints_matrix(self):
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        assert "[" in g.display(level=2)
+
+    def test_repr(self):
+        assert "n=3" in repr(lg.Graph(_mat(), lg.ADJACENCY_DIRECTED))
+
+
+class TestKinds:
+    def test_kind_name(self):
+        assert lg.kind_name(lg.ADJACENCY_DIRECTED) == "directed"
+        assert lg.kind_name(lg.ADJACENCY_UNDIRECTED) == "undirected"
