@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``.  This file exists so environments
+without the ``wheel`` package (where PEP 660 editable builds fail with
+``invalid command 'bdist_wheel'``) can still do a legacy editable install::
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

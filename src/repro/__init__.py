@@ -13,6 +13,10 @@ Subpackages
     The evaluation substrate: GAP-style graph generators, hand-coded
     baseline implementations, verifiers, and the Table III / Table IV
     harness.
+``repro.serve``
+    A concurrent serving engine above ``repro.lagraph``: a versioned graph
+    registry plus a GraphService that coalesces single-source requests into
+    batched multi-source kernels and memoizes results per graph version.
 """
 
 __version__ = "1.0.0"

@@ -91,6 +91,17 @@ def mxv_gather(
     return semiring.add.reduce_groups(i, mult)
 
 
+#: Dense-accumulator guard for pick-one (``any``) reductions in
+#: ``mxm_expand``: use the O(flops + grid) scatter instead of the
+#: O(flops log flops) sort when the output grid is not much larger than the
+#: flop count.  Mirrors SS:GrB's sparse→bitmap format switch (Sec. VI-A of
+#: the paper) — the case that matters is a *tall frontier matrix* (batched
+#: multi-source BFS) whose per-level products are huge but whose output grid
+#: ``ns × n`` is small.
+DENSE_ANY_GRID_SLACK = 8
+DENSE_ANY_GRID_FLOOR = 1 << 20
+
+
 def mxm_expand(
     a_indptr: np.ndarray,
     a_indices: np.ndarray,
@@ -106,6 +117,12 @@ def mxm_expand(
 
     Returns ``(keys, vals)`` with keys linearised as ``i * b_ncols + j``,
     sorted ascending and unique.
+
+    Pick-one (``any``) monoids take a sort-free path when the output grid
+    ``a_nrows × b_ncols`` is affordable: a reversed dense scatter keeps the
+    *first* contribution per output position in expansion order — exactly
+    what ``Monoid.reduce_groups`` returns from its stable sort, at a
+    fraction of the cost for the heavy levels of a batched BFS.
     """
     a_rows = expand_rows(a_indptr, a_nrows)  # i of each A entry
     a_cols = a_indices                        # k of each A entry
@@ -116,4 +133,16 @@ def mxm_expand(
     av = a_values[ent_rep] if a_values is not None else None
     mult = _multiply(semiring, av, b_vals_g, i, k, j)
     keys = i * np.int64(b_ncols) + j
+    grid = int(a_nrows) * int(b_ncols)
+    if (semiring.add.ufunc is None and keys.size
+            and grid <= max(DENSE_ANY_GRID_SLACK * keys.size,
+                            DENSE_ANY_GRID_FLOOR)):
+        buf = np.empty(grid, dtype=mult.dtype)
+        seen = np.zeros(grid, dtype=bool)
+        # reversed writes: the first contribution per key wins, matching the
+        # stable-sort semantics of the generic group reduce
+        buf[keys[::-1]] = mult[::-1]
+        seen[keys] = True
+        out_keys = np.flatnonzero(seen).astype(np.int64)
+        return out_keys, buf[out_keys]
     return semiring.add.reduce_groups(keys, mult)

@@ -24,10 +24,14 @@ from .algorithms import (
     betweenness_centrality_batch,
     connected_components,
     fastsv,
+    msbfs,
+    msbfs_levels,
+    msbfs_parents,
     pagerank,
     pagerank_gap,
     pagerank_gx,
     sssp,
+    sssp_batch,
     sssp_bellman_ford,
     sssp_delta_stepping,
     triangle_count,
@@ -53,8 +57,9 @@ __all__ = [
     "bfs", "bfs_level", "bfs_parent_do", "bfs_parent_fused", "bfs_parent_push",
     "betweenness_centrality", "betweenness_centrality_batch",
     "connected_components", "fastsv",
+    "msbfs", "msbfs_levels", "msbfs_parents",
     "pagerank", "pagerank_gap", "pagerank_gx",
-    "sssp", "sssp_bellman_ford", "sssp_delta_stepping",
+    "sssp", "sssp_batch", "sssp_bellman_ford", "sssp_delta_stepping",
     "triangle_count", "triangle_count_basic", "triangle_count_method",
     "LAGraphError", "InvalidGraph", "InvalidKind", "PropertyMissing",
     "MsgBuffer", "MSG_LEN", "Status",

@@ -17,8 +17,9 @@ Every algorithm comes in the two user modes of Sec. II-B:
 from .bc import betweenness_centrality, betweenness_centrality_batch
 from .bfs import bfs, bfs_level, bfs_parent_do, bfs_parent_fused, bfs_parent_push
 from .cc import connected_components, fastsv
+from .msbfs import msbfs, msbfs_levels, msbfs_parents
 from .pagerank import pagerank, pagerank_gap, pagerank_gx
-from .sssp import sssp, sssp_bellman_ford, sssp_delta_stepping
+from .sssp import sssp, sssp_batch, sssp_bellman_ford, sssp_delta_stepping
 from .tc import (
     METHODS as TC_METHODS,
     triangle_count,
@@ -30,8 +31,9 @@ __all__ = [
     "bfs", "bfs_level", "bfs_parent_do", "bfs_parent_fused", "bfs_parent_push",
     "betweenness_centrality", "betweenness_centrality_batch",
     "connected_components", "fastsv",
+    "msbfs", "msbfs_levels", "msbfs_parents",
     "pagerank", "pagerank_gap", "pagerank_gx",
-    "sssp", "sssp_bellman_ford", "sssp_delta_stepping",
+    "sssp", "sssp_batch", "sssp_bellman_ford", "sssp_delta_stepping",
     "triangle_count", "triangle_count_basic", "triangle_count_method",
     "TC_METHODS",
 ]

@@ -1,0 +1,278 @@
+"""Multi-source BFS with a batched matrix frontier (the Alg. 3 trick, alone).
+
+The paper's batched betweenness centrality (Sec. IV-B) runs ``ns`` BFS
+sweeps simultaneously by stacking the per-source frontiers as the rows of an
+``ns × n`` matrix, turning each level's expansion into one masked
+matrix-matrix multiply.  This module extracts that trick as a standalone
+service kernel: answer many independent BFS queries with one ``mxm`` per
+level instead of one ``vxm`` per level *per source*.
+
+Semantics match the single-source algorithms row by row — bit for bit:
+
+* :func:`msbfs_parents` — row ``k`` equals ``bfs_parent_push(g, sources[k])``.
+  The ``any`` monoid of Alg. 1 picks the first candidate in storage order,
+  which (the frontier being sorted) is the *smallest* frontier node adjacent
+  to the discovered node.  Both execution strategies below preserve exactly
+  that choice.
+* :func:`msbfs_levels` — row ``k`` equals ``bfs_level(g, sources[k])``.
+
+Two execution strategies:
+
+``method="mxm"``
+    The literal batched Alg. 1: one ``any.secondi`` (parents) or
+    ``any.pair`` (levels) masked ``mxm`` per level.  Runs on the flop-order
+    expansion kernel, which takes a sort-free dense-scatter path for ``any``
+    reductions on tall frontier matrices (see
+    :mod:`repro.grb._kernels.matmul`).
+
+``method="pair"`` (parents: ``"probe"``)
+    Frontier expansion as a structural ``plus.pair`` product — algebraically
+    the same pattern, but ``plus.pair`` is SciPy-reducible so each level
+    rides the compiled CSR matmul.  For parents, the witness (which frontier
+    node discovered each new node) is recovered *after* the masked product,
+    only for the newly discovered entries: the parent of ``(i, j)`` is the
+    first in-neighbour of ``j`` (ascending, i.e. ``Aᵀ`` row order) present in
+    row ``i``'s frontier — identical to the ``any.secondi`` pick.  A few
+    vectorised probe rounds against a dense frontier bitmap resolve almost
+    all entries (the early-exit that makes pull steps cheap, Sec. VI-A);
+    stragglers fall back to one ragged gather.
+
+``method="auto"`` picks ``"pair"``/``"probe"`` — the fast path — unless the
+batch is trivially small.  Duplicate sources are allowed (rows are computed
+independently).  Advanced mode: nothing is cached on the graph (``Aᵀ`` for
+the probe comes from the matrix's own transpose cache, or ``G.AT`` when
+already present).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ... import grb
+from ...grb import Matrix, complement, structure
+from ...grb._kernels.gather import csr_gather_rows, expand_rows
+from ..graph import Graph
+
+__all__ = ["msbfs_levels", "msbfs_parents", "msbfs"]
+
+_ANY_SECONDI = grb.semiring("any", "secondi")
+_ANY_PAIR = grb.semiring("any", "pair")
+_PLUS_PAIR = grb.semiring("plus", "pair")
+
+#: Probe rounds against the frontier bitmap before the ragged fallback.
+PROBE_ROUNDS = 16
+#: ``method="auto"`` uses the compiled-product path for batches this big.
+AUTO_BATCH_THRESHOLD = 2
+#: Frontier density (nvals / grid) above which a probe level beats a push
+#: level: the expected number of probes until a hit scales like the inverse
+#: density, so sparse frontiers expand (push), dense frontiers probe (pull)
+#: — the Beamer direction switch of Alg. 2, batched.
+PROBE_DENSITY = 0.05
+
+
+def _check_sources(g: Graph, sources) -> np.ndarray:
+    sources = np.asarray(sources, dtype=np.int64)
+    if sources.ndim != 1:
+        raise grb.InvalidValue("sources must be a 1-D sequence of node ids")
+    if sources.size and (sources.min() < 0 or sources.max() >= g.n):
+        raise grb.IndexOutOfBounds(
+            f"source out of range [0, {g.n}): {sources}")
+    return sources
+
+
+def _transpose_of(g: Graph) -> Matrix:
+    """``Aᵀ`` without mutating the graph: the cached property when present
+    (aliases ``A`` for undirected graphs), else the matrix's own cache."""
+    return g.AT if g.AT is not None else g.A.T
+
+
+# ---------------------------------------------------------------------------
+# parents
+# ---------------------------------------------------------------------------
+
+def _first_frontier_in_neighbor(at_indptr, at_indices, frontier_bits,
+                                row_base, j, probe_rounds=PROBE_ROUNDS):
+    """Parent of each new entry: first in-neighbour of ``j`` in the frontier.
+
+    ``frontier_bits`` is the dense ``ns × n`` frontier bitmap (flattened);
+    ``row_base[e] = i_e * n``.  Every entry is guaranteed a hit (it was just
+    discovered *from* the frontier), so the probe cursors never run past the
+    end of their ``Aᵀ`` rows while unresolved.
+    """
+    m = j.size
+    parent = np.empty(m, dtype=np.int64)
+    unresolved = np.arange(m, dtype=np.int64)
+    cur = at_indptr[j].copy()
+    for _ in range(probe_rounds):
+        if unresolved.size == 0:
+            return parent
+        k = at_indices[cur[unresolved]]
+        hit = frontier_bits[row_base[unresolved] + k]
+        res = unresolved[hit]
+        parent[res] = k[hit]
+        cur[unresolved] += 1
+        unresolved = unresolved[~hit]
+    if unresolved.size:
+        # ragged fallback: scan the full in-neighbour lists of the stragglers
+        ent_rep, kcand, _ = csr_gather_rows(at_indptr, at_indices, None,
+                                            j[unresolved])
+        valid = np.flatnonzero(frontier_bits[row_base[unresolved][ent_rep]
+                                             + kcand])
+        ents = ent_rep[valid]
+        first = np.ones(ents.size, dtype=bool)
+        first[1:] = ents[1:] != ents[:-1]
+        parent[unresolved[ents[first]]] = kcand[valid[first]]
+    return parent
+
+
+def _msbfs_parents_probe(g: Graph, sources: np.ndarray) -> Matrix:
+    """Adaptive strategy: push sparse levels, probe dense ones.
+
+    Sparse frontiers expand through the ``any.secondi`` flop kernel (cost ∝
+    frontier out-degrees — cheap exactly when the frontier is light).  Dense
+    frontiers run the compiled ``plus.pair`` structural product and recover
+    each new node's witness by probing its in-neighbours against a frontier
+    bitmap (a hit lands within a couple of rounds exactly when the frontier
+    is heavy).  Both legs pick the smallest frontier in-neighbour, so the
+    output is independent of the switch points.
+    """
+    a = g.A
+    at = _transpose_of(g)
+    n = g.n
+    ns = sources.size
+    grid = ns * n
+    batch = np.arange(ns, dtype=np.int64)
+    p = Matrix.from_coo(batch, sources, sources, ns, n, typ=grb.INT64,
+                        dup_op=grb.binary.FIRST)
+    f = p.dup()
+    bits = np.zeros(grid, dtype=bool)
+    prev_keys = batch * np.int64(n) + sources
+    bits[prev_keys] = True
+    for _level in range(1, n):
+        probe = f.nvals >= PROBE_DENSITY * grid
+        if probe:
+            # F⟨¬s(P), r⟩ = F plus.pair A — new-frontier *structure* only;
+            # witnesses recovered below at output scale
+            grb.mxm(f, f, a, _PLUS_PAIR,
+                    mask=complement(structure(p)), replace=True)
+        else:
+            # F⟨¬s(P), r⟩ = F any.secondi A — push, values are the parents
+            grb.mxm(f, f, a, _ANY_SECONDI,
+                    mask=complement(structure(p)), replace=True)
+        if f.nvals == 0:
+            break
+        i = expand_rows(f.indptr, ns)
+        j = f.indices
+        row_base = i * np.int64(n)
+        if probe:
+            parents = _first_frontier_in_neighbor(at.indptr, at.indices,
+                                                  bits, row_base, j)
+            t = Matrix(grb.INT64, ns, n)
+            t._set_from_keys(row_base + j, parents)
+            grb.update(p, t, mask=structure(t))
+        else:
+            grb.update(p, f, mask=structure(f))
+        # clear only last level's bits: O(frontier), not O(grid), per level
+        bits[prev_keys] = False
+        prev_keys = row_base + j
+        bits[prev_keys] = True
+    return p
+
+
+def _msbfs_parents_mxm(g: Graph, sources: np.ndarray) -> Matrix:
+    """Literal batched Alg. 1: one ``any.secondi`` masked mxm per level."""
+    a = g.A
+    n = g.n
+    ns = sources.size
+    batch = np.arange(ns, dtype=np.int64)
+    p = Matrix.from_coo(batch, sources, sources, ns, n, typ=grb.INT64,
+                        dup_op=grb.binary.FIRST)
+    f = p.dup()
+    for _level in range(1, n):
+        # F⟨¬s(P), r⟩ = F any.secondi A   (secondi = frontier node = parent)
+        grb.mxm(f, f, a, _ANY_SECONDI,
+                mask=complement(structure(p)), replace=True)
+        if f.nvals == 0:
+            break
+        grb.update(p, f, mask=structure(f))
+    return p
+
+
+def msbfs_parents(g: Graph, sources: Sequence[int], *,
+                  method: str = "auto") -> Matrix:
+    """Batched parents BFS: ``P[k, v]`` is the BFS-tree parent of ``v`` in
+    the sweep rooted at ``sources[k]`` (``P[k, sources[k]] == sources[k]``);
+    unreached ``(k, v)`` pairs have no entry.
+
+    Returns an ``ns × n`` INT64 matrix whose row ``k`` is identical to
+    ``bfs_parent_push(g, sources[k])``, whichever ``method`` runs.
+    """
+    sources = _check_sources(g, sources)
+    if method == "auto":
+        method = "probe" if sources.size >= AUTO_BATCH_THRESHOLD else "mxm"
+    if sources.size == 0:
+        return Matrix(grb.INT64, 0, g.n)
+    if method == "probe":
+        return _msbfs_parents_probe(g, sources)
+    if method == "mxm":
+        return _msbfs_parents_mxm(g, sources)
+    raise grb.InvalidValue(f"unknown msbfs method {method!r}")
+
+
+# ---------------------------------------------------------------------------
+# levels
+# ---------------------------------------------------------------------------
+
+def msbfs_levels(g: Graph, sources: Sequence[int], *,
+                 method: str = "auto") -> Matrix:
+    """Batched level BFS: ``L[k, v]`` is the BFS depth of ``v`` from
+    ``sources[k]`` (source depth 0); unreached pairs have no entry.
+
+    Returns an ``ns × n`` INT64 matrix whose row ``k`` is identical to
+    ``bfs_level(g, sources[k])``.
+    """
+    sources = _check_sources(g, sources)
+    if method == "auto":
+        method = "pair" if sources.size >= AUTO_BATCH_THRESHOLD else "any"
+    if method == "pair":
+        semiring = _PLUS_PAIR      # SciPy-reducible: compiled CSR product
+    elif method == "any":
+        semiring = _ANY_PAIR       # sort-free dense-scatter expansion
+    else:
+        raise grb.InvalidValue(f"unknown msbfs method {method!r}")
+    a = g.A
+    n = g.n
+    ns = sources.size
+    batch = np.arange(ns, dtype=np.int64)
+    lvl = Matrix.from_coo(batch, sources, np.zeros(ns, dtype=np.int64),
+                          ns, n, typ=grb.INT64, dup_op=grb.binary.FIRST)
+    if ns == 0:
+        return lvl
+    f = Matrix.from_coo(batch, sources, np.ones(ns, dtype=np.bool_),
+                        ns, n, dup_op=grb.binary.LOR)
+    for depth in range(1, n):
+        # F⟨¬s(L), r⟩ = F ⊕.pair A — only the pattern is consumed
+        grb.mxm(f, f, a, semiring,
+                mask=complement(structure(lvl)), replace=True)
+        if f.nvals == 0:
+            break
+        # L⟨s(F)⟩ = depth: stamp the depth on the new frontier's pattern
+        # (sparse analogue of bfs_level's assign_scalar, which would expand
+        # the full ns × n key grid per level).
+        t = f.pattern(grb.INT64)
+        t.values[:] = depth
+        grb.update(lvl, t, mask=structure(t))
+    return lvl
+
+
+def msbfs(g: Graph, sources: Sequence[int], *,
+          parent: bool = True, level: bool = False,
+          ) -> Tuple[Matrix | None, Matrix | None]:
+    """Basic-mode batched BFS: returns ``(parents, levels)`` matrices
+    (``None`` for whichever was not requested), one row per source.
+    """
+    p = msbfs_parents(g, sources) if parent else None
+    lv = msbfs_levels(g, sources) if level else None
+    return p, lv

@@ -14,13 +14,15 @@ simplest possible min.plus iteration and as an internal cross-check.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ... import grb
-from ...grb import Vector
+from ...grb import Matrix, Vector
 from ..graph import Graph
 
-__all__ = ["sssp_delta_stepping", "sssp_bellman_ford", "sssp"]
+__all__ = ["sssp_delta_stepping", "sssp_bellman_ford", "sssp", "sssp_batch"]
 
 _MIN_PLUS = grb.semiring("min", "plus")
 
@@ -116,6 +118,60 @@ def sssp_bellman_ford(g: Graph, source: int) -> Vector:
         keep = step.values < old
         frontier = Vector.from_coo(step.indices[keep], step.values[keep], n)
         grb.ewise_add(d, d, frontier, grb.binary.MIN)
+    return d
+
+
+def sssp_batch(g: Graph, sources: Sequence[int]) -> Matrix:
+    """Batched multi-source SSSP: Bellman-Ford over a matrix frontier.
+
+    The matrix analogue of :func:`sssp_bellman_ford`, using the same trick
+    the paper's batched BC uses for BFS (Sec. IV-B): the per-source distance
+    frontiers are the rows of an ``ns × n`` matrix ``F``, so each relaxation
+    round is a single ``min.plus`` ``mxm`` instead of one ``vxm`` per
+    source.  Rows converge independently; a row whose frontier empties stops
+    contributing work.
+
+    Returns the ``ns × n`` FP64 distance matrix: ``D[k, v]`` is the shortest
+    distance from ``sources[k]`` to ``v``, with entries only for reached
+    nodes.  Row ``k`` is identical to ``sssp_bellman_ford(g, sources[k])``
+    (both converge to the exact ``min`` over all paths, accumulating edge
+    weights in path order).
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    if sources.ndim != 1:
+        raise grb.InvalidValue("sources must be a 1-D sequence of node ids")
+    if sources.size and (sources.min() < 0 or sources.max() >= g.n):
+        raise grb.IndexOutOfBounds("SSSP source out of range")
+    _check_weights(g)
+    a = g.A
+    n = g.n
+    ns = sources.size
+    batch = np.arange(ns, dtype=np.int64)
+    d = Matrix.from_coo(batch, sources, np.zeros(ns), ns, n, typ=grb.FP64,
+                        dup_op=grb.binary.FIRST)
+    if ns == 0:
+        return d
+    f = d.dup()
+    step = Matrix(grb.FP64, ns, n)
+    for _ in range(n):
+        if f.nvals == 0:
+            break
+        # step = F min.plus A: tentative distances one relaxation further
+        grb.mxm(step, f, a, _MIN_PLUS, replace=True)
+        # keep only strict improvements over d (sorted-key probe keeps this
+        # sparse; the vector version's dense bitmap would be ns × n here)
+        skeys, svals = step.keys(), step.values
+        dkeys, dvals = d.keys(), d.values
+        pos = np.searchsorted(dkeys, skeys)
+        pos_in = np.minimum(pos, max(dkeys.size - 1, 0))
+        present = (pos < dkeys.size) & (dkeys[pos_in] == skeys) \
+            if dkeys.size else np.zeros(skeys.size, dtype=bool)
+        old = np.where(present, dvals[pos_in] if dvals.size else 0.0, np.inf)
+        keep = svals < old
+        f = Matrix(grb.FP64, ns, n)
+        f._set_from_keys(skeys[keep], svals[keep])
+        # d = d min∪ f
+        grb.ewise_add(d, d, f, grb.binary.MIN)
     return d
 
 

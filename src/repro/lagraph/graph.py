@@ -43,7 +43,7 @@ class Graph:
     """An LAGraph graph: primary components plus cached properties."""
 
     __slots__ = ("A", "kind", "AT", "row_degree", "col_degree",
-                 "A_pattern_is_symmetric", "ndiag")
+                 "A_pattern_is_symmetric", "ndiag", "version")
 
     def __init__(self, A: Matrix, kind: Kind):
         if not isinstance(A, Matrix):
@@ -62,6 +62,11 @@ class Graph:
         self.col_degree: Optional[Vector] = None
         self.A_pattern_is_symmetric: Optional[bool] = BOOLEAN_UNKNOWN
         self.ndiag: int = -1
+        #: monotone content version: bumped by :meth:`invalidate_properties`,
+        #: i.e. whenever ``A`` is (declared) mutated.  Derived results — e.g.
+        #: entries in :mod:`repro.serve`'s memo cache — keyed by
+        #: ``(graph, version)`` die with the adjacency they were computed on.
+        self.version: int = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -163,13 +168,16 @@ class Graph:
         """``LAGraph_DeleteProperties``: drop all cached properties.
 
         Must be called by any code that mutates ``G.A`` (the consistency
-        convention of Sec. II-A).
+        convention of Sec. II-A).  Also bumps :attr:`version`, so externally
+        memoized results keyed by the old version can never be served for the
+        mutated graph.
         """
         self.AT = None
         self.row_degree = None
         self.col_degree = None
         self.A_pattern_is_symmetric = BOOLEAN_UNKNOWN
         self.ndiag = -1
+        self.version += 1
         return Status.SUCCESS
 
     # alias matching the C name
@@ -240,7 +248,8 @@ class Graph:
             f"  cached: AT={'yes' if self.AT is not None else 'no'} "
             f"row_degree={'yes' if self.row_degree is not None else 'no'} "
             f"col_degree={'yes' if self.col_degree is not None else 'no'} "
-            f"symmetric={self.A_pattern_is_symmetric} ndiag={self.ndiag}",
+            f"symmetric={self.A_pattern_is_symmetric} ndiag={self.ndiag} "
+            f"version={self.version}",
         ]
         if level >= 2 and self.n <= 16:
             lines.append(str(self.A.to_dense()))

@@ -1,0 +1,112 @@
+"""Thread-safe LRU result cache.
+
+Entries are keyed by ``(graph_name, epoch, version, query)`` — see
+:meth:`repro.serve.registry.GraphRegistry.key`.  Because the graph version
+is part of the key, invalidation needs no explicit purge: a mutated graph
+simply stops producing hits, and its stale entries age out of the LRU
+order.  ``purge_below`` exists for callers who want the memory back
+eagerly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Tuple
+
+__all__ = ["LRUCache", "CacheStats"]
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance (snapshot copies are returned)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    ``capacity <= 0`` disables caching entirely (every ``get`` misses,
+    ``put`` is a no-op) — handy for benchmarking the uncached path.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = int(capacity)
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key: Hashable, default=None):
+        """Look up ``key``, refreshing its recency on a hit."""
+        with self._lock:
+            val = self._data.get(key, _MISSING)
+            if val is _MISSING:
+                self._stats.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._stats.hits += 1
+            return val
+
+    def peek(self, key: Hashable, default=None):
+        """Look up without touching recency or stats."""
+        with self._lock:
+            val = self._data.get(key, _MISSING)
+            return default if val is _MISSING else val
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert/overwrite ``key``, evicting the LRU entry when full."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self._stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def purge_below(self, graph_name: str, version: int) -> int:
+        """Eagerly drop entries for ``graph_name`` older than ``version``.
+
+        Keys are expected in the service layout
+        ``(name, epoch, version, query)``; foreign keys are left alone.
+        Returns the number of entries removed.
+        """
+        removed = 0
+        with self._lock:
+            for key in [k for k in self._data
+                        if isinstance(k, tuple) and len(k) == 4
+                        and k[0] == graph_name and k[2] < version]:
+                del self._data[key]
+                removed += 1
+        return removed
+
+    def stats(self) -> CacheStats:
+        """A point-in-time copy of the hit/miss/eviction counters."""
+        with self._lock:
+            return CacheStats(self._stats.hits, self._stats.misses,
+                              self._stats.evictions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (f"LRUCache(len={len(self)}, capacity={self.capacity}, "
+                f"hits={s.hits}, misses={s.misses})")

@@ -1,0 +1,121 @@
+"""Request coalescing: turning a stream of queries into batched kernel work.
+
+The queue collects pending requests from any number of submitting threads;
+a drain empties it atomically and plans the work:
+
+* requests for the same ``(graph, coalesce-group)`` collapse into one
+  *batch* answered by a single multi-source kernel call (split into chunks
+  of ``max_batch`` sources);
+* duplicate queries inside a batch share one kernel row — every duplicate
+  future is fanned the same result;
+* non-coalescible queries become singleton batches (deduplicated too).
+
+Planning is pure bookkeeping over immutable query objects, so it is
+trivially testable without a service or an executor.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .requests import Query, _SingleSource
+
+__all__ = ["PendingRequest", "Batch", "CoalescingQueue", "plan_batches"]
+
+
+@dataclass
+class PendingRequest:
+    """One submitted query waiting for a result."""
+
+    graph_name: str
+    query: Query
+    future: Future = field(default_factory=Future)
+
+
+@dataclass
+class Batch:
+    """A unit of kernel work: one graph, one coalesce group (or a single
+    non-coalescible query), plus the requests it will answer.
+
+    ``requests_by_query`` preserves submission order of first appearance;
+    duplicates of a query ride along in its request list.
+    """
+
+    graph_name: str
+    group: Optional[str]                       # None → not coalescible
+    requests_by_query: "Dict[Query, List[PendingRequest]]"
+
+    @property
+    def queries(self) -> List[Query]:
+        return list(self.requests_by_query)
+
+    @property
+    def requests(self) -> List[PendingRequest]:
+        return [r for rs in self.requests_by_query.values() for r in rs]
+
+    @property
+    def sources(self) -> List[int]:
+        """Distinct source vertices, in first-appearance order."""
+        return [int(q.source) for q in self.requests_by_query
+                if isinstance(q, _SingleSource)]
+
+
+def plan_batches(requests: List[PendingRequest],
+                 max_batch: int = 64) -> List[Batch]:
+    """Group drained requests into batches of at most ``max_batch`` queries.
+
+    Coalescible queries group by ``(graph, COALESCE)``; everything else
+    gets a singleton batch per *distinct* query (duplicates still share).
+    """
+    grouped: "Dict[Tuple, Dict[Query, List[PendingRequest]]]" = {}
+    order: List[Tuple] = []
+    for req in requests:
+        tag = req.query.COALESCE
+        if tag is None:
+            gkey = (req.graph_name, None, req.query)
+        else:
+            gkey = (req.graph_name, tag)
+        bucket = grouped.get(gkey)
+        if bucket is None:
+            bucket = grouped[gkey] = {}
+            order.append(gkey)
+        bucket.setdefault(req.query, []).append(req)
+
+    batches: List[Batch] = []
+    for gkey in order:
+        name, tag = gkey[0], gkey[1]
+        bucket = grouped[gkey]
+        if tag is None:
+            batches.append(Batch(name, None, bucket))
+            continue
+        items = list(bucket.items())
+        for lo in range(0, len(items), max_batch):
+            batches.append(Batch(name, tag, dict(items[lo:lo + max_batch])))
+    return batches
+
+
+class CoalescingQueue:
+    """A thread-safe accumulation buffer for pending requests."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending: List[PendingRequest] = []
+
+    def put(self, request: PendingRequest) -> int:
+        """Append; returns the queue depth after insertion."""
+        with self._lock:
+            self._pending.append(request)
+            return len(self._pending)
+
+    def drain(self) -> List[PendingRequest]:
+        """Atomically take everything currently queued (FIFO order)."""
+        with self._lock:
+            out, self._pending = self._pending, []
+            return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pending)

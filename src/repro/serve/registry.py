@@ -1,0 +1,177 @@
+"""Versioned graph registry.
+
+The registry names the graphs a service instance answers queries about and
+pins down *which contents* an answer was computed from.  Identity has two
+components:
+
+* **epoch** — bumped every time a name is (re)bound to a graph object, so a
+  replaced graph can never collide with its predecessor's cache entries;
+* **version** — the graph's own monotone
+  :attr:`~repro.lagraph.graph.Graph.version`, bumped by
+  ``invalidate_properties()`` whenever the adjacency is declared mutated.
+
+``key(name, query)`` snapshots both into the memo-cache key.  All methods
+are safe to call from any thread; mutation helpers run under the registry
+lock so a mutator never interleaves with a concurrent snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..lagraph.graph import Graph
+
+__all__ = ["GraphRegistry", "UnknownGraph"]
+
+
+class UnknownGraph(KeyError):
+    """Raised when a request names a graph the registry does not hold."""
+
+
+class _RWLock:
+    """A writer-preferring readers-writer lock (stdlib has none).
+
+    Many kernel executions may read a graph concurrently; a mutation
+    (``update``/``invalidate``/``register``) waits for readers to drain and
+    excludes new ones, so a kernel can never observe a half-rewritten
+    adjacency."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writer = False
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
+class GraphRegistry:
+    """A named, versioned collection of :class:`~repro.lagraph.graph.Graph`."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._graphs: Dict[str, Graph] = {}
+        self._epochs: Dict[str, int] = {}
+        self._epoch_counter = 0
+        self._rw = _RWLock()
+
+    def reading(self):
+        """Context manager: hold off mutations while a kernel reads.
+
+        The service wraps every kernel execution in this; ``update`` /
+        ``invalidate`` / ``register`` take the write side.  Code that
+        mutates a graph *without* going through the registry must quiesce
+        queries itself (the LAGraph non-opaque contract, one level up).
+        """
+        return self._rw.read()
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+    def register(self, name: str, graph: Graph) -> "GraphRegistry":
+        """Bind ``name`` to ``graph`` (rebinding starts a fresh epoch)."""
+        if not isinstance(graph, Graph):
+            raise TypeError(f"expected a lagraph.Graph, got {type(graph)!r}")
+        with self._rw.write(), self._lock:
+            self._epoch_counter += 1
+            self._graphs[name] = graph
+            self._epochs[name] = self._epoch_counter
+        return self
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._graphs.pop(name, None)
+            self._epochs.pop(name, None)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._graphs)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._graphs
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._graphs)
+
+    # ------------------------------------------------------------------
+    # lookup / snapshotting
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Graph:
+        with self._lock:
+            try:
+                return self._graphs[name]
+            except KeyError:
+                raise UnknownGraph(
+                    f"no graph named {name!r} (have {sorted(self._graphs)})"
+                ) from None
+
+    def snapshot(self, name: str) -> Tuple[Graph, int, int]:
+        """``(graph, epoch, version)`` under one lock acquisition."""
+        with self._lock:
+            g = self.get(name)
+            return g, self._epochs[name], g.version
+
+    def key(self, name: str, query: Optional[Hashable] = None) -> tuple:
+        """The memo-cache key for ``query`` against today's ``name``."""
+        g, epoch, version = self.snapshot(name)
+        return (name, epoch, version, query)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def invalidate(self, name: str) -> int:
+        """Declare ``name``'s adjacency mutated; returns the new version.
+
+        Waits for in-flight kernel reads to drain first, so a result can
+        never be computed half-before/half-after the version bump."""
+        with self._rw.write(), self._lock:
+            g = self.get(name)
+            g.invalidate_properties()
+            return g.version
+
+    def update(self, name: str, mutator: Callable[[Graph], None]) -> int:
+        """Run ``mutator(graph)`` then invalidate, atomically w.r.t. other
+        registry calls *and* in-flight kernel reads.  Returns the new
+        version."""
+        with self._rw.write(), self._lock:
+            g = self.get(name)
+            mutator(g)
+            g.invalidate_properties()
+            return g.version
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            parts = ", ".join(
+                f"{n}@v{self._graphs[n].version}" for n in sorted(self._graphs))
+        return f"GraphRegistry({parts})"

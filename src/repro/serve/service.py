@@ -1,0 +1,337 @@
+"""`GraphService` — the concurrent graph-analytics serving engine.
+
+Request lifecycle::
+
+    submit(name, query)
+      ├─ memo-cache hit?  → future resolved immediately
+      └─ miss → CoalescingQueue → drain task on the pool
+                  ├─ plan_batches(): group by (graph, coalesce-tag),
+                  │   dedupe identical queries, chunk to max_batch
+                  └─ per batch: re-check cache, then ONE kernel call
+                      (msbfs / sssp_batch for single-source groups,
+                       the direct Basic-mode algorithm otherwise),
+                      fan results out to every waiting future
+
+Three guarantees:
+
+* **Identity** — every answer is bit-identical to the direct
+  :mod:`repro.lagraph` call the query documents (batched rows are
+  bit-identical to per-source sweeps; see
+  :mod:`repro.lagraph.algorithms.msbfs`).
+* **Freshness** — results are computed against, and cached under, the
+  graph's ``(epoch, version)`` snapshot taken at execution time, so a
+  ``invalidate()``/``update()`` can never be answered with stale entries
+  (the version bump changes the cache key).
+* **Progress** — every submitted future is eventually resolved with a
+  result or an exception; a drain failure resolves its whole batch
+  exceptionally rather than dropping it.
+
+Throughput notes: batching is the dominant win (one interpreter-level
+kernel drive for dozens of traversals); the thread pool additionally
+overlaps the NumPy/SciPy sections that release the GIL.  Submissions made
+while a drain is in flight simply land in the next drain — callers never
+block on each other.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor, wait as _wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..lagraph.graph import Graph
+from .cache import LRUCache
+from .coalesce import Batch, CoalescingQueue, PendingRequest, plan_batches
+from .registry import GraphRegistry
+from .requests import Query, _SingleSource
+
+__all__ = ["GraphService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters for one service instance."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cache_hits: int = 0          # fast-path + drain-time hits
+    batches: int = 0             # kernel-level units of work executed
+    kernel_calls: int = 0        # actual algorithm invocations (all kinds)
+    coalesced_calls: int = 0     # kernel calls that served a coalescible group
+    coalesced_sources: int = 0   # sources answered through those calls
+    deduplicated: int = 0        # futures resolved by sharing another's result
+
+    @property
+    def kernel_calls_saved(self) -> int:
+        """Single-source sweeps avoided by batching (whole-graph queries
+        such as PageRank are excluded from both sides)."""
+        return self.coalesced_sources - self.coalesced_calls
+
+
+def _copy_result(value):
+    """A private copy for each caller: the memo cache keeps the master.
+
+    Vectors/matrices are non-opaque (callers can write their arrays), so
+    handing out the cached object would let one caller poison every later
+    hit."""
+    if hasattr(value, "dup"):
+        return value.dup()
+    if isinstance(value, tuple):
+        return tuple(_copy_result(v) for v in value)
+    return value
+
+
+class GraphService:
+    """Serve analytics queries over registered graphs, batching and
+    memoizing aggressively.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`GraphRegistry` to serve from (one is created if omitted).
+    max_workers:
+        Thread-pool width for drain tasks.
+    cache_capacity:
+        LRU memo capacity in entries (``0`` disables memoization).
+    max_batch:
+        Maximum sources per multi-source kernel call.
+    """
+
+    def __init__(self, registry: Optional[GraphRegistry] = None, *,
+                 max_workers: int = 4, cache_capacity: int = 1024,
+                 max_batch: int = 64):
+        self.registry = registry if registry is not None else GraphRegistry()
+        self.cache = LRUCache(cache_capacity)
+        self.max_batch = int(max_batch)
+        self._queue = CoalescingQueue()
+        self._executor = ThreadPoolExecutor(max_workers=max_workers,
+                                            thread_name_prefix="graphserve")
+        self._lock = threading.Lock()
+        self._stats = ServiceStats()
+        self._inflight: "set[Future]" = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # registry conveniences
+    # ------------------------------------------------------------------
+    def register(self, name: str, graph: Graph) -> "GraphService":
+        self.registry.register(name, graph)
+        return self
+
+    def invalidate(self, name: str) -> int:
+        """Declare a registered graph mutated (bumps its version)."""
+        return self.registry.invalidate(name)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, name: str, query: Query) -> Future:
+        """Enqueue one query; returns a future for its result."""
+        fut = self._enqueue(name, query)
+        self._kick()
+        return fut
+
+    def submit_many(self, name: str, queries: Sequence[Query]) -> List[Future]:
+        """Enqueue a whole burst, then schedule a single drain — the
+        batching-friendly entry point for bulk workloads."""
+        futs = [self._enqueue(name, q) for q in queries]
+        self._kick()
+        return futs
+
+    def query(self, name: str, query: Query):
+        """Synchronous convenience: ``submit(...).result()``."""
+        return self.submit(name, query).result()
+
+    def query_many(self, name: str, queries: Sequence[Query]) -> list:
+        return [f.result() for f in self.submit_many(name, queries)]
+
+    def _enqueue(self, name: str, query: Query) -> Future:
+        if self._closed:
+            raise RuntimeError("service is shut down")
+        if not isinstance(query, Query):
+            raise TypeError(f"expected a serve.Query, got {type(query)!r}")
+        cached = self.cache.get(self.registry.key(name, query), _SENTINEL)
+        with self._lock:
+            self._stats.submitted += 1
+        fut: Future = Future()
+        if cached is not _SENTINEL:
+            with self._lock:
+                self._stats.cache_hits += 1
+                self._stats.completed += 1
+            fut.set_result(_copy_result(cached))
+            return fut
+        req = PendingRequest(name, query, fut)
+        self._track(fut)
+        self._queue.put(req)
+        return fut
+
+    def _track(self, fut: Future) -> None:
+        with self._lock:
+            self._inflight.add(fut)
+
+        def _done(f: Future):
+            with self._lock:
+                self._inflight.discard(f)
+                self._stats.completed += 1
+                if f.exception() is not None:
+                    self._stats.failed += 1
+        fut.add_done_callback(_done)
+
+    def _kick(self) -> None:
+        if len(self._queue):
+            try:
+                self._executor.submit(self._drain)
+            except RuntimeError:
+                # pool already shutting down: drain on this thread so no
+                # enqueued future is ever abandoned (Progress guarantee)
+                self._drain()
+
+    # ------------------------------------------------------------------
+    # draining / execution
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        requests = self._queue.drain()
+        if not requests:
+            return
+        batches = plan_batches(requests, self.max_batch)
+        if len(batches) == 1:
+            self._run_batch(batches[0])
+            return
+        for batch in batches:
+            try:
+                self._executor.submit(self._run_batch, batch)
+            except RuntimeError:    # shutdown raced the drain: run inline
+                self._run_batch(batch)
+
+    def _run_batch(self, batch: Batch) -> None:
+        # the registry read lock keeps update()/invalidate() from rewriting
+        # the adjacency mid-kernel; the snapshot inside it is therefore
+        # consistent with every array the kernels read.  Futures are
+        # resolved only AFTER the lock is released: set_result runs caller
+        # callbacks synchronously, and a callback taking the write side
+        # (e.g. svc.invalidate) would deadlock against this thread's read.
+        resolutions: List[tuple] = []
+        try:
+            with self.registry.reading():
+                g, epoch, version = self.registry.snapshot(batch.graph_name)
+                self._answer(batch, g, epoch, version, resolutions)
+        except Exception as exc:
+            # apply what was decided before the failure (cached answers,
+            # per-query validation errors), then fail only the remainder
+            self._apply(resolutions)
+            self._fail_batch(batch, exc)
+            return
+        self._apply(resolutions)
+
+    @staticmethod
+    def _apply(resolutions: List[tuple]) -> None:
+        for fut, ok, val in resolutions:
+            if not fut.done():
+                (fut.set_result if ok else fut.set_exception)(val)
+
+    def _answer(self, batch: Batch, g: Graph, epoch: int, version: int,
+                resolutions: List[tuple]) -> None:
+        """Compute the batch's answers, appending deferred future
+        resolutions ``(future, ok, value-or-exception)`` to ``resolutions``
+        for the caller to apply outside the registry read lock (appending
+        in place lets already-decided outcomes survive a later kernel
+        failure)."""
+        name = batch.graph_name
+        results: Dict[Query, object] = {}
+        missing: List[Query] = []
+        for q in batch.queries:
+            key = (name, epoch, version, q)
+            cached = self.cache.get(key, _SENTINEL)
+            if cached is not _SENTINEL:
+                results[q] = cached
+                with self._lock:
+                    self._stats.cache_hits += 1
+                continue
+            try:
+                q.validate(g)
+            except Exception as exc:
+                # an invalid query fails alone, not its whole batch
+                for req in batch.requests_by_query[q]:
+                    resolutions.append((req.future, False, exc))
+                continue
+            missing.append(q)
+
+        if missing:
+            if batch.group is not None and len(missing) > 1:
+                sources = [int(q.source) for q in missing]  # type: ignore[attr-defined]
+                kernel = type(missing[0]).run_batch
+                out = kernel(g, sources)
+                for row, q in enumerate(missing):
+                    results[q] = _SingleSource.extract_row(out, row)
+                with self._lock:
+                    self._stats.kernel_calls += 1
+                    self._stats.coalesced_calls += 1
+                    self._stats.coalesced_sources += len(sources)
+            else:
+                for q in missing:
+                    results[q] = q.run_direct(g)
+                    with self._lock:
+                        self._stats.kernel_calls += 1
+                        if batch.group is not None:
+                            self._stats.coalesced_calls += 1
+                            self._stats.coalesced_sources += 1
+            for q in missing:
+                self.cache.put((name, epoch, version, q), results[q])
+
+        shared = 0
+        for q, reqs in batch.requests_by_query.items():
+            if q not in results:      # failed validation above
+                continue
+            shared += len(reqs) - 1
+            for req in reqs:
+                resolutions.append((req.future, True,
+                                    _copy_result(results[q])))
+        with self._lock:
+            self._stats.batches += 1
+            self._stats.deduplicated += shared
+
+    def _fail_batch(self, batch: Batch, exc: Exception) -> None:
+        for req in batch.requests:
+            if not req.future.done():
+                req.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Block until every request submitted so far is resolved."""
+        self._kick()
+        with self._lock:
+            outstanding = list(self._inflight)
+        if outstanding:
+            _wait(outstanding, timeout=timeout)
+
+    def stats(self) -> ServiceStats:
+        with self._lock:
+            s = self._stats
+            return ServiceStats(s.submitted, s.completed, s.failed,
+                                s.cache_hits, s.batches, s.kernel_calls,
+                                s.coalesced_calls, s.coalesced_sources,
+                                s.deduplicated)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "GraphService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.flush()
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (f"GraphService(graphs={self.registry.names()}, "
+                f"submitted={s.submitted}, batches={s.batches}, "
+                f"cache_hits={s.cache_hits})")
+
+
+_SENTINEL = object()

@@ -1,4 +1,11 @@
-"""Shared fixtures and hypothesis strategies."""
+"""Shared fixtures and the project-wide hypothesis profile.
+
+Strategies and plain graph builders live in :mod:`helpers`
+(``tests/helpers.py``); test modules import them with
+``from helpers import ...``.  The ``sys.path`` insert below makes that (and
+``dense_model``) importable from any test module regardless of pytest's
+import mode.
+"""
 
 from __future__ import annotations
 
@@ -7,10 +14,10 @@ from pathlib import Path
 
 import numpy as np
 
-# make tests/dense_model.py importable from any test module
+# make tests/helpers.py and tests/dense_model.py importable from any module
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 import pytest
-from hypothesis import HealthCheck, settings, strategies as st
+from hypothesis import HealthCheck, settings
 
 from repro import grb
 
@@ -22,88 +29,6 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
-
-
-# ---------------------------------------------------------------------------
-# strategies
-# ---------------------------------------------------------------------------
-
-@st.composite
-def sparse_vectors(draw, max_size: int = 24, dtype=np.float64,
-                   min_size: int = 1, elements=None):
-    """A random grb.Vector with random structure."""
-    size = draw(st.integers(min_size, max_size))
-    n_entries = draw(st.integers(0, size))
-    idx = draw(st.permutations(range(size)))[:n_entries]
-    if elements is None:
-        elements = st.integers(-4, 4)
-    vals = draw(st.lists(elements, min_size=n_entries, max_size=n_entries))
-    return grb.Vector.from_coo(
-        np.array(sorted(idx), dtype=np.int64),
-        np.array(vals, dtype=dtype),
-        size,
-    )
-
-
-@st.composite
-def vector_pairs(draw, max_size: int = 24, dtype=np.float64):
-    """Two random vectors of the same size."""
-    size = draw(st.integers(1, max_size))
-    vs = []
-    for _ in range(2):
-        n_entries = draw(st.integers(0, size))
-        idx = np.array(sorted(draw(st.permutations(range(size)))[:n_entries]),
-                       dtype=np.int64)
-        vals = np.array(
-            draw(st.lists(st.integers(-4, 4), min_size=n_entries,
-                          max_size=n_entries)), dtype=dtype)
-        vs.append(grb.Vector.from_coo(idx, vals, size))
-    return vs[0], vs[1]
-
-
-@st.composite
-def sparse_matrices(draw, max_dim: int = 10, dtype=np.float64,
-                    square: bool = False, elements=None):
-    """A random grb.Matrix."""
-    nrows = draw(st.integers(1, max_dim))
-    ncols = nrows if square else draw(st.integers(1, max_dim))
-    cells = [(i, j) for i in range(nrows) for j in range(ncols)]
-    n_entries = draw(st.integers(0, min(len(cells), 3 * max_dim)))
-    picked = draw(st.permutations(cells))[:n_entries]
-    if elements is None:
-        elements = st.integers(-4, 4)
-    vals = np.array(draw(st.lists(elements, min_size=n_entries,
-                                  max_size=n_entries)), dtype=dtype)
-    r = np.array([p[0] for p in picked], dtype=np.int64)
-    c = np.array([p[1] for p in picked], dtype=np.int64)
-    return grb.Matrix.from_coo(r, c, vals, nrows, ncols)
-
-
-@st.composite
-def random_graphs(draw, max_n: int = 14, directed: bool = True,
-                  weighted: bool = False):
-    """A random lagraph.Graph (loop-free)."""
-    from repro import lagraph as lg
-
-    n = draw(st.integers(2, max_n))
-    cells = [(i, j) for i in range(n) for j in range(n) if i != j]
-    n_edges = draw(st.integers(0, min(len(cells), 4 * n)))
-    picked = draw(st.permutations(cells))[:n_edges]
-    r = np.array([p[0] for p in picked], dtype=np.int64)
-    c = np.array([p[1] for p in picked], dtype=np.int64)
-    if not directed:
-        r, c = np.concatenate((r, c)), np.concatenate((c, r))
-    if weighted:
-        w = np.array(draw(st.lists(st.integers(1, 9), min_size=r.size,
-                                   max_size=r.size)), dtype=np.float64)
-        A = grb.Matrix.from_coo(r, c, w, n, n, dup_op=grb.binary.MIN)
-        if not directed:
-            A = A.ewise_add(A.T, grb.binary.MIN)
-    else:
-        A = grb.Matrix.from_coo(r, c, np.ones(r.size, dtype=np.bool_), n, n,
-                                dup_op=grb.binary.LOR)
-    kind = lg.ADJACENCY_DIRECTED if directed else lg.ADJACENCY_UNDIRECTED
-    return lg.Graph(A, kind)
 
 
 # ---------------------------------------------------------------------------
@@ -134,25 +59,3 @@ def triangle_graph():
     c = np.array([1, 0, 2, 1, 2, 0, 3, 2])
     A = grb.Matrix.from_coo(r, c, np.ones(r.size, dtype=np.bool_), 4, 4)
     return lg.Graph(A, lg.ADJACENCY_UNDIRECTED)
-
-
-def random_graph_np(rng, n=40, p=0.1, directed=True, weighted=False, seed=None):
-    """Plain (non-hypothesis) random graph helper for integration tests."""
-    from repro import lagraph as lg
-
-    if seed is not None:
-        rng = np.random.default_rng(seed)
-    dense = rng.random((n, n)) < p
-    np.fill_diagonal(dense, False)
-    if not directed:
-        dense |= dense.T
-    r, c = np.nonzero(dense)
-    if weighted:
-        vals = rng.integers(1, 10, size=r.size).astype(np.float64)
-        A = grb.Matrix.from_coo(r, c, vals, n, n, dup_op=grb.binary.MIN)
-        if not directed:
-            A = A.ewise_add(A.T, grb.binary.MIN)
-    else:
-        A = grb.Matrix.from_coo(r, c, np.ones(r.size, bool), n, n)
-    kind = lg.ADJACENCY_DIRECTED if directed else lg.ADJACENCY_UNDIRECTED
-    return lg.Graph(A, kind)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import random_graph_np
+from helpers import random_graph_np
 from repro import grb
 from repro import lagraph as lg
 from repro.gap import baselines, verify

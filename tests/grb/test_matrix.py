@@ -5,7 +5,7 @@ import pytest
 import scipy.sparse as sp
 from hypothesis import given
 
-from conftest import sparse_matrices
+from helpers import sparse_matrices
 from repro import grb
 from repro.grb.errors import DimensionMismatch, IndexOutOfBounds, NoValue
 

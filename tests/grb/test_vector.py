@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from conftest import sparse_vectors, vector_pairs
+from helpers import sparse_vectors, vector_pairs
 from repro import grb
 from repro.grb.errors import DimensionMismatch, IndexOutOfBounds, NoValue
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
-from conftest import random_graph_np, random_graphs
+from helpers import random_graph_np, random_graphs
 from repro import grb
 from repro import lagraph as lg
 from repro.gap import baselines

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
-from conftest import random_graphs
+from helpers import random_graphs
 from repro import grb
 from repro import lagraph as lg
 from repro.gap import baselines, verify
@@ -109,7 +109,7 @@ class TestBasicMode:
         assert g.AT is None
 
     def test_parent_matches_baseline_reached_set(self, rng):
-        from conftest import random_graph_np
+        from helpers import random_graph_np
         g = random_graph_np(rng, n=50, p=0.08)
         p, _ = lg.bfs(g, 3)
         ref = baselines.bfs_parent(g, 3)

@@ -1,0 +1,142 @@
+"""Tests for batched multi-source BFS / SSSP (the serving kernels).
+
+The contract under test is strong: every row of a batched sweep is
+*bit-identical* to the corresponding single-source Advanced-mode call,
+whichever execution strategy ran (literal batched mxm, or the adaptive
+compiled-product + witness-probe path).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from helpers import random_graph_np, random_graphs
+from repro import grb
+from repro import lagraph as lg
+
+
+class TestMsbfsParents:
+    @pytest.mark.parametrize("method", ["probe", "mxm"])
+    def test_diamond(self, small_directed_graph, method):
+        p = lg.msbfs_parents(small_directed_graph, [0, 3], method=method)
+        assert p.shape == (2, 4)
+        assert p[0, 0] == 0 and p[0, 1] == 0 and p[0, 2] == 0
+        assert p[1, 3] == 3 and p.extract_row(1).nvals == 1  # 3 reaches nothing
+
+    @pytest.mark.parametrize("method", ["probe", "mxm"])
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_rows_match_single_source_push(self, rng, method, directed):
+        g = random_graph_np(rng, n=60, p=0.08, directed=directed)
+        sources = rng.integers(0, g.n, size=12)
+        p = lg.msbfs_parents(g, sources, method=method)
+        for k, s in enumerate(sources):
+            assert p.extract_row(k).isequal(lg.bfs_parent_push(g, int(s)))
+
+    def test_methods_agree(self, rng):
+        g = random_graph_np(rng, n=50, p=0.1)
+        sources = rng.integers(0, g.n, size=8)
+        assert lg.msbfs_parents(g, sources, method="probe").isequal(
+            lg.msbfs_parents(g, sources, method="mxm"))
+
+    @given(g=random_graphs(directed=True))
+    @settings(max_examples=15)
+    def test_random_graphs_match_push(self, g):
+        sources = np.arange(min(g.n, 5), dtype=np.int64)
+        p = lg.msbfs_parents(g, sources)
+        for k, s in enumerate(sources):
+            assert p.extract_row(k).isequal(lg.bfs_parent_push(g, int(s)))
+
+    def test_duplicate_sources_are_independent_rows(self, small_directed_graph):
+        p = lg.msbfs_parents(small_directed_graph, [0, 0, 1])
+        assert p.extract_row(0).isequal(p.extract_row(1))
+        assert p.extract_row(2).isequal(
+            lg.bfs_parent_push(small_directed_graph, 1))
+
+    def test_empty_batch(self, small_directed_graph):
+        p = lg.msbfs_parents(small_directed_graph, [])
+        assert p.shape == (0, 4) and p.nvals == 0
+
+    def test_bad_source(self, small_directed_graph):
+        with pytest.raises(grb.IndexOutOfBounds):
+            lg.msbfs_parents(small_directed_graph, [0, 9])
+
+    def test_bad_method(self, small_directed_graph):
+        with pytest.raises(grb.InvalidValue):
+            lg.msbfs_parents(small_directed_graph, [0, 1], method="nope")
+
+    def test_computes_no_graph_properties(self, small_directed_graph):
+        lg.msbfs_parents(small_directed_graph, [0, 1])
+        assert small_directed_graph.AT is None
+
+
+class TestMsbfsLevels:
+    @pytest.mark.parametrize("method", ["pair", "any"])
+    def test_diamond(self, small_directed_graph, method):
+        lv = lg.msbfs_levels(small_directed_graph, [0, 1], method=method)
+        assert lv[0, 0] == 0 and lv[0, 1] == 1 and lv[0, 3] == 2
+        assert lv[1, 1] == 0 and lv[1, 3] == 1
+
+    @pytest.mark.parametrize("method", ["pair", "any"])
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_rows_match_single_source(self, rng, method, directed):
+        g = random_graph_np(rng, n=60, p=0.08, directed=directed)
+        sources = rng.integers(0, g.n, size=12)
+        lv = lg.msbfs_levels(g, sources, method=method)
+        for k, s in enumerate(sources):
+            assert lv.extract_row(k).isequal(lg.bfs_level(g, int(s)))
+
+    @given(g=random_graphs(directed=False))
+    @settings(max_examples=15)
+    def test_random_undirected_match(self, g):
+        sources = np.arange(min(g.n, 4), dtype=np.int64)
+        lv = lg.msbfs_levels(g, sources)
+        for k, s in enumerate(sources):
+            assert lv.extract_row(k).isequal(lg.bfs_level(g, int(s)))
+
+    def test_basic_wrapper_returns_requested(self, small_directed_graph):
+        p, lv = lg.msbfs(small_directed_graph, [0, 1], parent=True, level=True)
+        assert p is not None and lv is not None
+        p2, lv2 = lg.msbfs(small_directed_graph, [0], parent=False, level=True)
+        assert p2 is None and lv2 is not None
+
+
+class TestSsspBatch:
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_rows_match_bellman_ford(self, rng, directed):
+        g = random_graph_np(rng, n=50, p=0.1, directed=directed, weighted=True)
+        sources = rng.integers(0, g.n, size=10)
+        d = lg.sssp_batch(g, sources)
+        for k, s in enumerate(sources):
+            assert d.extract_row(k).isequal(lg.sssp_bellman_ford(g, int(s)))
+
+    def test_rows_match_delta_stepping(self, rng):
+        g = random_graph_np(rng, n=40, p=0.12, weighted=True)
+        sources = rng.integers(0, g.n, size=6)
+        d = lg.sssp_batch(g, sources)
+        for k, s in enumerate(sources):
+            assert d.extract_row(k).isequal(
+                lg.sssp_delta_stepping(g, int(s), delta=3.0))
+
+    def test_unreached_nodes_have_no_entry(self):
+        A = grb.Matrix.from_coo([0], [1], [2.0], 3, 3)
+        g = lg.Graph(A, lg.ADJACENCY_DIRECTED)
+        d = lg.sssp_batch(g, [0, 2])
+        assert d.extract_row(0).nvals == 2      # 0 and 1
+        assert d.extract_row(1).nvals == 1      # just the source
+        assert d[0, 1] == 2.0 and d[1, 2] == 0.0
+
+    def test_negative_weights_rejected(self):
+        A = grb.Matrix.from_coo([0], [1], [-1.0], 2, 2)
+        g = lg.Graph(A, lg.ADJACENCY_DIRECTED)
+        with pytest.raises(grb.InvalidValue):
+            lg.sssp_batch(g, [0])
+
+    def test_bad_source(self, rng):
+        g = random_graph_np(rng, n=10, p=0.2, weighted=True)
+        with pytest.raises(grb.IndexOutOfBounds):
+            lg.sssp_batch(g, [0, 99])
+
+    def test_empty_batch(self, rng):
+        g = random_graph_np(rng, n=10, p=0.2, weighted=True)
+        d = lg.sssp_batch(g, [])
+        assert d.shape == (0, 10) and d.nvals == 0

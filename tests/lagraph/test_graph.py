@@ -105,6 +105,25 @@ class TestCachedProperties:
         assert g.AT is None and g.ndiag == -1
         assert g.A_pattern_is_symmetric is lg.BOOLEAN_UNKNOWN
 
+    def test_version_starts_at_zero(self):
+        assert lg.Graph(_mat(), lg.ADJACENCY_DIRECTED).version == 0
+
+    def test_version_bumps_monotonically_on_invalidate(self):
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        for expect in (1, 2, 3):
+            g.invalidate_properties()
+            assert g.version == expect
+
+    def test_caching_does_not_bump_version(self):
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        g.cache_all()
+        assert g.version == 0
+
+    def test_delete_properties_alias_bumps_too(self):
+        g = lg.Graph(_mat(), lg.ADJACENCY_DIRECTED)
+        g.delete_properties()
+        assert g.version == 1
+
 
 class TestCheckGraph:
     def test_valid_graph_passes(self):
