@@ -1,0 +1,112 @@
+"""Storage-format benchmarks: BFS / PageRank per format and auto-policy.
+
+What the groups show, mirroring the Sec. VI-A format-agility story:
+
+``formats-bfs``
+    Parents BFS on kron / urand / road: the fixed-CSR push loop
+    (``bfs_parent_push``, the Alg. 1 reference) vs the storage-engine
+    direction-optimised chooser (``bfs_parent_auto``: push on sparse
+    frontiers, CSC/bitmap pull probes on heavy ones, dense visited set).
+    The contrast tracks Table III: modest gains on the low-diameter
+    graphs, a multiple on the high-diameter road grid, where the push
+    loop pays per-level masked write-backs across hundreds of levels.
+``formats-bfs-adjacency``
+    The same push kernel with the adjacency pinned to each matrix format —
+    demonstrates that non-native formats serve kernels through the
+    canonical CSR view at a bounded, one-off conversion cost.
+``formats-pagerank``
+    PageRank with the vector auto-policy on (rank vectors go bitmap)
+    vs pinned-sparse intermediates.
+
+``test_acceptance_auto_beats_csr_on_road`` is the acceptance guard from
+the storage-engine issue: auto (direction-optimised, policy-backed) BFS
+must beat the fixed-CSR push BFS wall-clock on the road graph.  Like every
+wall-clock assert it is disabled under ``REPRO_SKIP_PERF``.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.grb.storage import policy
+from repro.lagraph import algorithms as alg
+
+bfs_mod = sys.modules["repro.lagraph.algorithms.bfs"]
+
+FORMATS = ("csr", "csc", "bitmap", "hypersparse")
+GRAPHS = ("kron", "urand", "road")
+
+
+def _source(g):
+    rng = np.random.default_rng(0)
+    return int(rng.choice(np.flatnonzero(np.diff(g.A.indptr) > 0)))
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+@pytest.mark.benchmark(group="formats-bfs")
+def test_bfs_push_fixed_csr(benchmark, suite, name):
+    g = suite[name]
+    s = _source(g)
+    benchmark(lambda: alg.bfs_parent_push(g, s))
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+@pytest.mark.benchmark(group="formats-bfs")
+def test_bfs_direction_optimized_auto(benchmark, suite, name):
+    g = suite[name]
+    s = _source(g)
+    alg.bfs_parent_auto(g, s)        # warm the cached CSC view
+    benchmark(lambda: alg.bfs_parent_auto(g, s))
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+@pytest.mark.benchmark(group="formats-bfs-adjacency")
+def test_bfs_push_by_adjacency_format(benchmark, suite, fmt):
+    g = suite["kron"]
+    s = _source(g)
+    a = g.A.dup().set_format(fmt)
+    from repro import lagraph as lg
+
+    g2 = lg.Graph(a, g.kind)
+    alg.bfs_parent_push(g2, s)       # pay any one-off conversions up front
+    benchmark(lambda: alg.bfs_parent_push(g2, s))
+
+
+@pytest.mark.parametrize("name", ("kron", "road"))
+@pytest.mark.parametrize("vectors", ("auto", "sparse-pinned"))
+@pytest.mark.benchmark(group="formats-pagerank")
+def test_pagerank_vector_policy(benchmark, suite, name, vectors, monkeypatch):
+    g = suite[name]
+    if vectors == "sparse-pinned":
+        # disable the bitmap policy: every intermediate stays sparse
+        monkeypatch.setattr(policy, "VECTOR_BITMAP_DENSITY", 2.0)
+    benchmark(lambda: alg.pagerank(g, itermax=10))
+
+
+@pytest.mark.skipif("REPRO_SKIP_PERF" in __import__("os").environ,
+                    reason="perf assertion disabled (noisy shared runner)")
+def test_acceptance_auto_beats_csr_on_road(suite):
+    """Acceptance guard: auto ≥ fixed-CSR on road BFS.
+
+    The storage engine exists to kill the road graph's per-level CSR
+    overhead; direction-optimised BFS on the policy-backed engine must
+    beat the fixed-CSR push reference outright (best-of-3 each)."""
+    import time
+
+    g = suite["road"]
+    s = _source(g)
+    alg.bfs_parent_auto(g, s)                      # warm caches
+
+    def best_of(fn, reps=3):
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    t_auto = best_of(lambda: alg.bfs_parent_auto(g, s))
+    t_csr = best_of(lambda: alg.bfs_parent_push(g, s))
+    assert t_csr >= t_auto, \
+        f"auto {t_auto:.4f}s vs fixed-CSR push {t_csr:.4f}s on road"

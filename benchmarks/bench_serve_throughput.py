@@ -79,6 +79,27 @@ def test_sssp_batched(benchmark, suite_weighted, name):
     benchmark(lambda: alg.sssp_batch(g, srcs))
 
 
+@pytest.mark.parametrize("fused", (True, False), ids=("fused", "unfused"))
+@pytest.mark.benchmark(group="serve-road-fusion")
+def test_road_msbfs_level_fusion(benchmark, suite, fused):
+    """The ROADMAP road-graph follow-up, recorded: near-empty msbfs levels
+    fused into raw-array expansion runs vs the per-level masked-mxm loop.
+    The high-diameter road grid spends hundreds of levels under
+    ``FUSE_FRONTIER_K``, so fusion removes almost every per-level overhead
+    (~13× at small scale); the low-diameter graphs are unaffected."""
+    import sys
+    msbfs_mod = sys.modules["repro.lagraph.algorithms.msbfs"]
+
+    g = suite["road"]
+    srcs = _sources(g)
+    old = msbfs_mod.FUSE_FRONTIER_K
+    msbfs_mod.FUSE_FRONTIER_K = old if fused else 0
+    try:
+        benchmark(lambda: alg.msbfs_levels(g, srcs))
+    finally:
+        msbfs_mod.FUSE_FRONTIER_K = old
+
+
 @pytest.mark.benchmark(group="serve-service")
 def test_service_cold_burst(benchmark, suite):
     """Full engine, cache disabled: queue + coalescing + kernel."""
@@ -133,3 +154,37 @@ def test_acceptance_batched_speedup(suite):
     t_seq = best_of(lambda: [alg.bfs_level(g, int(s)) for s in srcs])
     assert t_seq >= 3.0 * t_batch, \
         f"batched {t_batch:.3f}s vs sequential {t_seq:.3f}s (< 3x)"
+
+
+@pytest.mark.skipif("REPRO_SKIP_PERF" in __import__("os").environ,
+                    reason="perf assertion disabled (noisy shared runner)")
+def test_acceptance_road_fusion_speedup(suite):
+    """Non-benchmark guard for the road follow-up: fusing near-empty msbfs
+    levels must beat the per-level masked-mxm loop on the road grid
+    (≥ 1.5× asserted; ~13× measured at small scale)."""
+    import sys
+    import time
+
+    msbfs_mod = sys.modules["repro.lagraph.algorithms.msbfs"]
+
+    g = suite["road"]
+    srcs = _sources(g)
+    alg.msbfs_levels(g, srcs)                      # warm caches
+
+    def best_of(fn, reps=3):
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    t_fused = best_of(lambda: alg.msbfs_levels(g, srcs))
+    old = msbfs_mod.FUSE_FRONTIER_K
+    msbfs_mod.FUSE_FRONTIER_K = 0
+    try:
+        t_unfused = best_of(lambda: alg.msbfs_levels(g, srcs))
+    finally:
+        msbfs_mod.FUSE_FRONTIER_K = old
+    assert t_unfused >= 1.5 * t_fused, \
+        f"fused {t_fused:.3f}s vs unfused {t_unfused:.3f}s (< 1.5x)"

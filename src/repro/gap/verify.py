@@ -12,7 +12,6 @@ import numpy as np
 
 from ..grb.vector import Vector
 from ..lagraph.graph import Graph
-from ..lagraph.kinds import Kind
 from . import baselines
 
 __all__ = [

@@ -3,6 +3,13 @@
 A select operator is a boolean predicate ``f(value, i, j, thunk)`` evaluated
 on every stored entry; entries where it returns ``False`` are dropped
 (Sec. III-B-f of the paper).  All predicates are vectorised.
+
+Format-aware evaluation: predicates declare whether they read entry
+coordinates (``uses_coords``).  Value-only predicates (``valuegt``,
+``nonzero``, ...) are evaluated without materialising the per-entry row
+array at all, and coordinate predicates pull rows from the storage layer's
+``entry_rows`` — O(live rows + nnz) for hypersparse matrices instead of
+O(nrows + nnz) — via :func:`eval_select`.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import numpy as np
 
 __all__ = [
     "SelectOp",
+    "eval_select",
     "TRIL",
     "TRIU",
     "DIAG",
@@ -36,10 +44,13 @@ class SelectOp:
     """A vectorised entry predicate.
 
     ``fn(values, i, j, thunk) -> bool array``; for vectors ``j`` is zeros.
+    ``uses_coords=False`` marks value-only predicates, which callers may
+    evaluate with ``i``/``j`` set to ``None`` (no coordinate expansion).
     """
 
     name: str
     fn: Callable[[np.ndarray, np.ndarray, np.ndarray, object], np.ndarray]
+    uses_coords: bool = True
 
     def __call__(self, values, i, j, thunk) -> np.ndarray:
         return np.asarray(self.fn(values, i, j, thunk), dtype=bool)
@@ -48,17 +59,29 @@ class SelectOp:
         return f"SelectOp({self.name})"
 
 
+def eval_select(op: "SelectOp", values: np.ndarray, store, thunk) -> np.ndarray:
+    """Keep-mask of a predicate over a matrix store's entries.
+
+    Value-only predicates never touch coordinates; the rest read row ids
+    from the store (hypersparse: O(live) expansion) and column ids from the
+    canonical view.
+    """
+    if not op.uses_coords:
+        return op(values, None, None, thunk)
+    return op(values, store.entry_rows(), store.csr()[1], thunk)
+
+
 TRIL = SelectOp("tril", lambda v, i, j, k: j <= i + (k or 0))
 TRIU = SelectOp("triu", lambda v, i, j, k: j >= i + (k or 0))
 DIAG = SelectOp("diag", lambda v, i, j, k: j == i + (k or 0))
 OFFDIAG = SelectOp("offdiag", lambda v, i, j, k: j != i + (k or 0))
-NONZERO = SelectOp("nonzero", lambda v, i, j, k: v.astype(bool))
-VALUEEQ = SelectOp("valueeq", lambda v, i, j, k: v == k)
-VALUENE = SelectOp("valuene", lambda v, i, j, k: v != k)
-VALUEGT = SelectOp("valuegt", lambda v, i, j, k: v > k)
-VALUEGE = SelectOp("valuege", lambda v, i, j, k: v >= k)
-VALUELT = SelectOp("valuelt", lambda v, i, j, k: v < k)
-VALUELE = SelectOp("valuele", lambda v, i, j, k: v <= k)
+NONZERO = SelectOp("nonzero", lambda v, i, j, k: v.astype(bool), uses_coords=False)
+VALUEEQ = SelectOp("valueeq", lambda v, i, j, k: v == k, uses_coords=False)
+VALUENE = SelectOp("valuene", lambda v, i, j, k: v != k, uses_coords=False)
+VALUEGT = SelectOp("valuegt", lambda v, i, j, k: v > k, uses_coords=False)
+VALUEGE = SelectOp("valuege", lambda v, i, j, k: v >= k, uses_coords=False)
+VALUELT = SelectOp("valuelt", lambda v, i, j, k: v < k, uses_coords=False)
+VALUELE = SelectOp("valuele", lambda v, i, j, k: v <= k, uses_coords=False)
 ROWLE = SelectOp("rowle", lambda v, i, j, k: i <= k)
 COLLE = SelectOp("colle", lambda v, i, j, k: j <= k)
 

@@ -6,13 +6,19 @@ copied through) and ``eWiseMult`` (intersection) from the GraphBLAS spec.
 
 The same kernels serve vectors (keys are indices) and matrices (keys are
 linearised ``i * ncols + j`` coordinates) — callers linearise first.
+
+Format-aware fast path: when both operands are bitmap-resident
+(:mod:`repro.grb.storage.bitmap`), the ``*_merge_bitmap`` variants merge
+the dense flag/value arrays directly — no sorted-key intersection — and
+return the same sorted sparse result, value for value.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["union_merge", "intersect_merge", "setdiff_keys"]
+__all__ = ["union_merge", "intersect_merge", "setdiff_keys",
+           "union_merge_bitmap", "intersect_merge_bitmap", "merge_objects"]
 
 
 def intersect_merge(keys_a, vals_a, keys_b, vals_b, op):
@@ -61,6 +67,58 @@ def union_merge(keys_a, vals_a, keys_b, vals_b, op):
     ))
     order = np.argsort(keys, kind="stable")
     return keys[order], vals[order]
+
+
+def intersect_merge_bitmap(present_a, dense_a, present_b, dense_b, op):
+    """eWiseMult over two bitmap representations.
+
+    Bit-identical to :func:`intersect_merge` on the equivalent sparse
+    operands: same keys (sorted), same values (the op sees the same operand
+    values element-wise), same dtype.
+    """
+    keys = np.flatnonzero(present_a & present_b).astype(np.int64)
+    return keys, op(dense_a[keys], dense_b[keys])
+
+
+def union_merge_bitmap(present_a, dense_a, present_b, dense_b, op):
+    """eWiseAdd over two bitmap representations.
+
+    The op runs only on the overlap; lone entries are copied through with
+    the same dtype-promotion rule as :func:`union_merge`
+    (``result_type(op-result, a, b)``).
+    """
+    both = present_a & present_b
+    overlap = np.flatnonzero(both).astype(np.int64)
+    applied = op(dense_a[overlap], dense_b[overlap])
+    out_dt = np.result_type(applied.dtype, dense_a.dtype, dense_b.dtype)
+    keys = np.flatnonzero(present_a | present_b).astype(np.int64)
+    out = np.zeros(present_a.size, dtype=out_dt)
+    only_a = present_a & ~both
+    out[only_a] = dense_a[only_a].astype(out_dt, copy=False)
+    only_b = present_b & ~both
+    out[only_b] = dense_b[only_b].astype(out_dt, copy=False)
+    out[overlap] = applied.astype(out_dt, copy=False)
+    return keys, out[keys]
+
+
+def merge_objects(a, b, op, *, union: bool):
+    """Element-wise merge of two stored objects, picking the layout-best path.
+
+    ``a``/``b`` are any objects speaking the mask protocol
+    (``_mask_present_dense`` / ``_mask_keys_values`` — both ``Vector`` and
+    ``Matrix``).  When both are bitmap-resident the dense merge runs;
+    otherwise the sorted-key merge.  Returns ``(keys, values)`` either way
+    — identical to the sparse reference by construction.
+    """
+    pa = a._mask_present_dense()
+    pb = b._mask_present_dense() if pa is not None else None
+    if pa is not None and pb is not None:
+        fn = union_merge_bitmap if union else intersect_merge_bitmap
+        return fn(pa[0], pa[1], pb[0], pb[1], op)
+    ka, va = a._mask_keys_values()
+    kb, vb = b._mask_keys_values()
+    fn = union_merge if union else intersect_merge
+    return fn(ka, va, kb, vb, op)
 
 
 def setdiff_keys(keys_a, keys_b):

@@ -49,6 +49,7 @@ def masked_write(
     *,
     accum=None,
     allowed_keys: Optional[np.ndarray] = None,
+    allowed_present: Optional[np.ndarray] = None,
     complement: bool = False,
     replace: bool = False,
     out_dtype: Optional[np.dtype] = None,
@@ -66,6 +67,11 @@ def masked_write(
     allowed_keys:
         Sorted keys selected by the mask *before* complementing, or ``None``
         for "no mask" (everything allowed).
+    allowed_present:
+        Format-aware alternative to ``allowed_keys``: a dense bool array
+        over the full key space (a bitmap-resident mask's own flag array).
+        Membership tests become O(1) gathers instead of sorted-key
+        searches, with identical selection semantics.
     complement:
         Whether the mask is complemented.
     replace:
@@ -84,10 +90,18 @@ def masked_write(
         z_keys, z_vals = t_keys, t_vals
 
     # No mask: the output becomes Z wholesale.
-    if allowed_keys is None and not complement:
+    if allowed_keys is None and allowed_present is None and not complement:
         return z_keys.astype(np.int64, copy=False), z_vals.astype(out_dtype, copy=False)
 
-    if allowed_keys is None:
+    if allowed_present is not None:
+        # bitmap mask fast path: dense membership lookups
+        if complement:
+            inside_z = ~allowed_present[z_keys]
+            outside_c = allowed_present[c_keys]
+        else:
+            inside_z = allowed_present[z_keys]
+            outside_c = ~allowed_present[c_keys]
+    elif allowed_keys is None:
         # complemented "no mask" = empty mask: nothing inside.
         inside_z = np.zeros(z_keys.size, dtype=bool)
         outside_c = np.ones(c_keys.size, dtype=bool)

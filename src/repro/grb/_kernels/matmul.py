@@ -31,9 +31,9 @@ from typing import Optional
 import numpy as np
 
 from ..ops.semiring import Semiring
-from .gather import csr_gather_rows, expand_rows
+from .gather import concat_ranges, csr_gather_rows, expand_rows
 
-__all__ = ["vxm_sparse", "mxv_gather", "mxm_expand"]
+__all__ = ["vxm_sparse", "mxv_gather", "mxm_expand", "mxv_pull_probe"]
 
 
 def _multiply(semiring: Semiring, a_vals, b_vals, i, k, j):
@@ -112,11 +112,16 @@ def mxm_expand(
     b_values: Optional[np.ndarray],
     b_ncols: int,
     semiring: Semiring,
+    a_rows: Optional[np.ndarray] = None,
 ):
     """``C = A ⊕.⊗ B`` by full flop expansion.
 
     Returns ``(keys, vals)`` with keys linearised as ``i * b_ncols + j``,
     sorted ascending and unique.
+
+    ``a_rows`` is the row id of every A entry; pass it when the operand's
+    storage can produce it cheaper than an ``indptr`` walk (hypersparse:
+    O(live rows) — the format-aware fast path for frontier matrices).
 
     Pick-one (``any``) monoids take a sort-free path when the output grid
     ``a_nrows × b_ncols`` is affordable: a reversed dense scatter keeps the
@@ -124,7 +129,8 @@ def mxm_expand(
     what ``Monoid.reduce_groups`` returns from its stable sort, at a
     fraction of the cost for the heavy levels of a batched BFS.
     """
-    a_rows = expand_rows(a_indptr, a_nrows)  # i of each A entry
+    if a_rows is None:
+        a_rows = expand_rows(a_indptr, a_nrows)  # i of each A entry
     a_cols = a_indices                        # k of each A entry
     # For every A entry, gather B row k.
     ent_rep, j, b_vals_g = csr_gather_rows(b_indptr, b_indices, b_values, a_cols)
@@ -146,3 +152,59 @@ def mxm_expand(
         out_keys = np.flatnonzero(seen).astype(np.int64)
         return out_keys, buf[out_keys]
     return semiring.add.reduce_groups(keys, mult)
+
+
+#: Probe rounds before :func:`mxv_pull_probe` falls back to a ragged gather.
+PULL_PROBE_ROUNDS = 16
+
+
+def mxv_pull_probe(
+    at_indptr: np.ndarray,
+    at_indices: np.ndarray,
+    frontier_bits: np.ndarray,
+    rows: np.ndarray,
+    probe_rounds: int = PULL_PROBE_ROUNDS,
+):
+    """The pull step of direction-optimised BFS, natively on CSC arrays.
+
+    For each candidate ``r`` in ``rows`` (the unvisited set), find the
+    *first* entry ``k`` of ``Aᵀ`` row ``r`` (= column ``r`` of ``A``, i.e.
+    ``r``'s in-neighbours in ascending order) with ``frontier_bits[k]``
+    set.  Returns ``(hit_rows, parents)`` — the discovered candidates and
+    the in-neighbour that discovered each.
+
+    Because in-neighbours are scanned ascending, the pick is the *smallest*
+    frontier in-neighbour — exactly the ``any.secondi`` choice of the push
+    kernel, so push and pull levels are interchangeable bit for bit.
+    Candidates without a frontier in-neighbour simply miss (their cursor
+    drains); after ``probe_rounds`` vectorised rounds the stragglers take
+    one ragged gather over their remaining spans.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cur = at_indptr[rows].astype(np.int64, copy=True)
+    end = at_indptr[rows + 1]
+    parent = np.full(rows.size, -1, dtype=np.int64)
+    unresolved = np.flatnonzero(cur < end).astype(np.int64)
+    for _ in range(probe_rounds):
+        if unresolved.size == 0:
+            break
+        k = at_indices[cur[unresolved]]
+        hit = frontier_bits[k]
+        res = unresolved[hit]
+        parent[res] = k[hit]
+        miss = unresolved[~hit]
+        cur[miss] += 1
+        unresolved = miss[cur[miss] < end[miss]]
+    if unresolved.size:
+        # ragged fallback over the unscanned remainder of each span
+        counts = end[unresolved] - cur[unresolved]
+        flat = concat_ranges(cur[unresolved], counts)
+        rep = np.repeat(np.arange(unresolved.size, dtype=np.int64), counts)
+        kcand = at_indices[flat]
+        valid = np.flatnonzero(frontier_bits[kcand])
+        ents = rep[valid]
+        first = np.ones(ents.size, dtype=bool)
+        first[1:] = ents[1:] != ents[:-1]
+        parent[unresolved[ents[first]]] = kcand[valid[first]]
+    found = parent >= 0
+    return rows[found], parent[found]

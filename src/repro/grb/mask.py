@@ -54,6 +54,23 @@ class Mask:
         keys, vals = self.obj._mask_keys_values()
         return mask_allowed_keys(keys, vals, self.structural)
 
+    def allowed_present(self):
+        """Dense membership flags when the mask object is bitmap-resident.
+
+        Returns a bool array over the full key space (``None`` when the
+        object's store is not bitmap): the write-back then resolves the
+        mask with O(1) lookups instead of sorted-key searches.  Valued
+        masks intersect the flags with value truthiness, matching
+        :func:`~repro.grb._kernels.maskwrite.mask_allowed_keys`.
+        """
+        pd = getattr(self.obj, "_mask_present_dense", lambda: None)()
+        if pd is None:
+            return None
+        present, dense = pd
+        if self.structural:
+            return present
+        return present & dense.astype(bool, copy=False)
+
     def __invert__(self) -> "Mask":
         return _dc_replace(self, complemented=not self.complemented)
 

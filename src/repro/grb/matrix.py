@@ -2,15 +2,28 @@
 
 Storage model
 -------------
-CSR: ``indptr`` (``nrows+1``), ``indices`` (column ids, sorted within each
-row, duplicate-free) and ``values``.  Three lazily built caches are
-maintained and invalidated on mutation:
+Entries live in a pluggable *store* (:mod:`repro.grb.storage`): CSR (the
+reference format), CSC (native pull direction / free transpose), bitmap
+(dense flag+value grid) or hypersparse (row-pointer compression).  The
+``indptr`` / ``indices`` / ``values`` attributes of the seed implementation
+survive as properties reading the store's *canonical CSR view* — int64,
+per-row sorted, duplicate-free — so every consumer sees bit-identical
+structure whatever the active format.  The format itself is chosen by
+:mod:`repro.grb.storage.policy` at mutation boundaries, or pinned with
+:meth:`Matrix.set_format`.
 
-* a SciPy ``csr_matrix`` view sharing the same buffers (zero-copy) — used by
-  the plus.times-reducible matmul fast path;
-* the explicit transpose (mirrors LAGraph's cached ``G->AT`` property);
+Three lazily built caches are maintained and invalidated on mutation:
+
+* a SciPy ``csr_matrix`` view sharing the canonical buffers (zero-copy) —
+  used by the plus.times-reducible matmul fast path;
+* the transpose (mirrors LAGraph's cached ``G->AT``), built from the
+  store's cached CSC arrays — free when the store *is* CSC;
 * the linearised COO key array ``i * ncols + j`` — used for mask resolution
   and element-wise merges.
+
+``setElement`` (``C[i, j] = s``) follows the spec's *blocking mode*: calls
+are staged and the store is rebuilt once, at the next read — n staged
+insertions cost one O(nnz + n log n) flush instead of n O(nnz) rebuilds.
 
 As with :class:`~repro.grb.vector.Vector`, internals are intentionally
 non-opaque (LAGraph design, Sec. II-A).
@@ -25,12 +38,13 @@ import scipy.sparse as sp
 
 from . import types as _types
 from ._kernels import apply_select as _selectops
-from ._kernels.ewise import intersect_merge, union_merge
-from ._kernels.gather import expand_rows
-from .errors import DimensionMismatch, IndexOutOfBounds, NoValue
+from ._kernels.ewise import merge_objects, union_merge
+from .errors import DimensionMismatch, IndexOutOfBounds, InvalidValue, NoValue
 from .ops.binary import BinaryOp
 from .ops.monoid import Monoid
 from .ops.unary import UnaryOp
+from .storage import policy as _policy
+from .storage.csr import CSRStore
 from .types import Type, from_dtype
 from .vector import Vector
 
@@ -40,8 +54,8 @@ __all__ = ["Matrix"]
 class Matrix:
     """A sparse matrix of a fixed :class:`~repro.grb.types.Type` and shape."""
 
-    __slots__ = ("nrows", "ncols", "type", "indptr", "indices", "values",
-                 "_scipy", "_transpose", "_keys")
+    __slots__ = ("nrows", "ncols", "type", "_store", "_format",
+                 "_scipy", "_transpose", "_keys", "_pending")
 
     def __init__(self, typ, nrows: int, ncols: int):
         self.type = typ if isinstance(typ, Type) else from_dtype(typ)
@@ -49,12 +63,12 @@ class Matrix:
             raise DimensionMismatch(f"negative dimensions ({nrows}, {ncols})")
         self.nrows = int(nrows)
         self.ncols = int(ncols)
-        self.indptr = np.zeros(nrows + 1, dtype=np.int64)
-        self.indices = np.empty(0, dtype=np.int64)
-        self.values = np.empty(0, dtype=self.type.dtype)
+        self._store = CSRStore.empty(self.nrows, self.ncols, self.type.dtype)
+        self._format = "auto"
         self._scipy = None
         self._transpose = None
         self._keys = None
+        self._pending = None
 
     # ------------------------------------------------------------------
     # construction
@@ -108,6 +122,8 @@ class Matrix:
     def from_scipy(cls, a, typ=None) -> "Matrix":
         """Build from any SciPy sparse matrix (copied, canonicalised)."""
         a = sp.csr_matrix(a)
+        if not a.data.flags.writeable:   # e.g. a frozen canonical-view wrap
+            a = a.copy()
         a.sort_indices()
         a.sum_duplicates()
         if typ is None:
@@ -142,31 +158,129 @@ class Matrix:
         return m
 
     def dup(self) -> "Matrix":
-        """``C ↤ A``: an independent copy."""
+        """``C ↤ A``: an independent copy (same format, same pin)."""
         m = Matrix(self.type, self.nrows, self.ncols)
-        m.indptr = self.indptr.copy()
-        m.indices = self.indices.copy()
-        m.values = self.values.copy()
+        m._store = self._S().copy()
+        m._format = self._format
         return m
+
+    # ------------------------------------------------------------------
+    # storage plumbing
+    # ------------------------------------------------------------------
+    @property
+    def format(self) -> str:
+        """The active storage format (``csr``/``csc``/``bitmap``/``hypersparse``)."""
+        return self._S().fmt
+
+    @property
+    def format_pin(self) -> str:
+        """The requested format: a concrete name, or ``"auto"`` (policy)."""
+        return self._format
+
+    def set_format(self, fmt: str) -> "Matrix":
+        """Pin the storage format (or ``"auto"`` to re-enable the policy).
+
+        Converts immediately; subsequent rebuilds keep the pinned format.
+        Results are unaffected — only the layout (and therefore which kernel
+        fast paths apply) changes.
+        """
+        if fmt not in _policy.MATRIX_FORMATS and fmt != "auto":
+            raise InvalidValue(
+                f"unknown matrix format {fmt!r}; one of "
+                f"{_policy.MATRIX_FORMATS + ('auto',)}")
+        self._flush_pending()
+        indptr, indices, values = self._store.csr()
+        self._format = fmt
+        if fmt == "auto":
+            fmt = _policy.select_matrix_format(
+                self.nrows, self.ncols, indices.size,
+                self._store.live_row_count())
+        if fmt != self._store.fmt:
+            self._store = _policy.matrix_store_from_csr(
+                fmt, indptr, indices, values, self.nrows, self.ncols)
+            self._scipy = None
+            self._transpose = None
+        return self
+
+    def _S(self):
+        """The active store, with staged ``setElement`` calls flushed."""
+        self._flush_pending()
+        return self._store
+
+    def _csr_store_for_write(self):
+        """A CSRStore ready for wholesale array assignment.
+
+        Staged ``setElement`` calls are flushed first (they happened before
+        the assignment, so sequential semantics says they apply first —
+        matching the seed's eager path)."""
+        self._flush_pending()
+        st = self._store
+        if type(st) is not CSRStore:
+            st = CSRStore.from_csr(*st.csr(), st.nrows, st.ncols)
+            self._store = st
+        st._csc = None
+        self._invalidate()
+        return st
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Canonical CSR row pointers (int64, ``nrows + 1``)."""
+        self._flush_pending()
+        return self._store.csr()[0]
+
+    @indptr.setter
+    def indptr(self, arr):
+        self._csr_store_for_write().indptr = arr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Canonical CSR column ids (sorted within each row, unique)."""
+        self._flush_pending()
+        return self._store.csr()[1]
+
+    @indices.setter
+    def indices(self, arr):
+        self._csr_store_for_write().indices = arr
+
+    @property
+    def values(self) -> np.ndarray:
+        """Values aligned with :attr:`indices`."""
+        self._flush_pending()
+        return self._store.csr()[2]
+
+    @values.setter
+    def values(self, arr):
+        self._csr_store_for_write().values = arr
 
     # ------------------------------------------------------------------
     # internal plumbing
     # ------------------------------------------------------------------
     def _set_from_keys(self, keys: np.ndarray, vals: np.ndarray,
                        typ: Optional[Type] = None):
-        """Rebuild CSR from sorted/unique linearised keys (takes ownership)."""
+        """Rebuild storage from sorted/unique linearised keys (takes
+        ownership).  This is the mutation/kernel boundary where the
+        auto-format policy observes density and live rows."""
         if typ is not None:
             self.type = typ
+        keys = keys.astype(np.int64, copy=False)
         ncols = np.int64(self.ncols) if self.ncols else np.int64(1)
         rows = keys // ncols
         cols = keys - rows * ncols
         counts = np.bincount(rows, minlength=self.nrows) if keys.size else \
             np.zeros(self.nrows, dtype=np.int64)
-        self.indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
-        self.indices = cols.astype(np.int64, copy=False)
-        self.values = vals.astype(self.type.dtype, copy=False)
+        indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        indices = cols.astype(np.int64, copy=False)
+        values = vals.astype(self.type.dtype, copy=False)
+        fmt = self._format
+        if fmt == "auto":
+            fmt = _policy.select_matrix_format(
+                self.nrows, self.ncols, keys.size,
+                _policy.observed_live_rows(counts))
+        self._store = _policy.matrix_store_from_keys(
+            fmt, keys, counts, indptr, indices, values,
+            self.nrows, self.ncols)
         self._invalidate()
-        self._keys = keys.astype(np.int64, copy=False)
+        self._keys = keys
 
     def _invalidate(self):
         self._scipy = None
@@ -175,21 +289,35 @@ class Matrix:
 
     def keys(self) -> np.ndarray:
         """Sorted linearised COO keys ``i * ncols + j`` (cached)."""
+        self._flush_pending()
         if self._keys is None:
-            rows = expand_rows(self.indptr, self.nrows)
-            self._keys = rows * np.int64(self.ncols) + self.indices
+            st = self._store
+            self._keys = (st.entry_rows() * np.int64(self.ncols)
+                          + st.csr()[1])
         return self._keys
 
     def _mask_keys_values(self):
         return self.keys(), self.values
 
+    def _mask_present_dense(self):
+        """Flat (present, dense) arrays when the store is bitmap, else None.
+
+        The masked write-back uses this for O(1)-per-key membership instead
+        of sorted-key searches (shared protocol with Vector).
+        """
+        st = self._S()
+        if st.fmt == "bitmap":
+            return st.present_dense()
+        return None
+
     def to_scipy(self) -> sp.csr_matrix:
-        """Zero-copy SciPy CSR view of this matrix (cached).
+        """Zero-copy SciPy CSR view of the canonical arrays (cached).
 
         Boolean matrices are exposed with their native dtype; SciPy handles
         bool CSR for structural operations but matmuls cast first (see
         :mod:`repro.grb.operations`).
         """
+        self._flush_pending()
         if self._scipy is None:
             self._scipy = sp.csr_matrix(
                 (self.values, self.indices, self.indptr),
@@ -202,7 +330,7 @@ class Matrix:
     # ------------------------------------------------------------------
     @property
     def nvals(self) -> int:
-        return int(self.indices.size)
+        return self._S().nvals
 
     @property
     def shape(self):
@@ -214,20 +342,18 @@ class Matrix:
 
     def to_coo(self):
         """``{i, j, x} ↤ A``: copies of row/col/value arrays."""
-        rows = expand_rows(self.indptr, self.nrows)
-        return rows, self.indices.copy(), self.values.copy()
+        st = self._S()
+        return st.entry_rows(), self.indices.copy(), self.values.copy()
 
     def to_dense(self, fill=0) -> np.ndarray:
         out = np.full((self.nrows, self.ncols), fill, dtype=self.type.dtype)
-        rows = expand_rows(self.indptr, self.nrows)
-        out[rows, self.indices] = self.values
+        out[self._S().entry_rows(), self.indices] = self.values
         return out
 
     def clear(self):
-        """Remove all entries (shape and type unchanged)."""
-        self.indptr = np.zeros(self.nrows + 1, dtype=np.int64)
-        self.indices = np.empty(0, dtype=np.int64)
-        self.values = np.empty(0, dtype=self.type.dtype)
+        """Remove all entries (shape, type and format pin unchanged)."""
+        self._pending = None
+        self._store = CSRStore.empty(self.nrows, self.ncols, self.type.dtype)
         self._invalidate()
 
     def get(self, i: int, j: int, default=None):
@@ -235,10 +361,16 @@ class Matrix:
         i, j = int(i), int(j)
         if not (0 <= i < self.nrows and 0 <= j < self.ncols):
             raise IndexOutOfBounds(f"({i}, {j}) out of range {self.shape}")
-        lo, hi = self.indptr[i], self.indptr[i + 1]
-        pos = lo + np.searchsorted(self.indices[lo:hi], j)
-        if pos < hi and self.indices[pos] == j:
-            return self.values[pos]
+        st = self._S()
+        if st.fmt == "bitmap":
+            present, dense = st.present_dense()
+            key = i * self.ncols + j
+            return dense[key] if present[key] else default
+        indptr, indices, values = st.csr()
+        lo, hi = indptr[i], indptr[i + 1]
+        pos = lo + np.searchsorted(indices[lo:hi], j)
+        if pos < hi and indices[pos] == j:
+            return values[pos]
         return default
 
     def __getitem__(self, ij):
@@ -250,23 +382,47 @@ class Matrix:
         return out
 
     def __setitem__(self, ij, value):
-        """``C(i, j) = s``: setElement (rebuilds the row — O(nnz))."""
+        """``C(i, j) = s``: setElement, staged (GraphBLAS blocking mode).
+
+        The entry is queued and the store is rebuilt lazily at the next
+        read; a burst of n calls costs one flush instead of n per-call
+        ``indptr`` rebuilds.  Within a burst, the last write to a position
+        wins — exactly the sequential semantics of the eager path.
+        """
         i, j = int(ij[0]), int(ij[1])
         if not (0 <= i < self.nrows and 0 <= j < self.ncols):
             raise IndexOutOfBounds(f"({i}, {j}) out of range {self.shape}")
-        lo, hi = int(self.indptr[i]), int(self.indptr[i + 1])
-        pos = lo + int(np.searchsorted(self.indices[lo:hi], j))
-        if pos < hi and self.indices[pos] == j:
-            self.values[pos] = value
-            self._scipy = None
-            self._transpose = None
+        if self._pending is None:
+            self._pending = []
+        self._pending.append((i * self.ncols + j, value))
+
+    def setelement(self, i: int, j: int, value):
+        """``GrB_Matrix_setElement`` by name (stages like ``C[i, j] = s``)."""
+        self[i, j] = value
+
+    def _flush_pending(self):
+        """Apply staged ``setElement`` calls in one batched rebuild."""
+        if not self._pending:
             return
-        self.indices = np.insert(self.indices, pos, j)
-        self.values = np.insert(self.values, pos,
-                                np.asarray(value, dtype=self.type.dtype))
-        self.indptr = self.indptr.copy()
-        self.indptr[i + 1:] += 1
-        self._invalidate()
+        pending = self._pending
+        self._pending = None
+        pk = np.array([k for k, _ in pending], dtype=np.int64)
+        pv = np.array([v for _, v in pending]).astype(self.type.dtype,
+                                                      copy=False)
+        # last call per position wins
+        order = np.argsort(pk, kind="stable")
+        pk = pk[order]
+        pv = pv[order]
+        last = np.ones(pk.size, dtype=bool)
+        last[:-1] = pk[1:] != pk[:-1]
+        pk = pk[last]
+        pv = pv[last]
+        st = self._store
+        rows = st.entry_rows()
+        keys = rows * np.int64(self.ncols) + st.csr()[1]
+        merged_keys, merged_vals = union_merge(
+            keys, st.csr()[2], pk, pv, lambda old, new: new)
+        self._set_from_keys(merged_keys, merged_vals)
 
     def row(self, i: int):
         """Stored (column indices, values) of row ``i`` — zero-copy views."""
@@ -301,10 +457,20 @@ class Matrix:
     # ------------------------------------------------------------------
     @property
     def T(self) -> "Matrix":
-        """``Aᵀ`` (cached; the cache is the analogue of ``G->AT``)."""
+        """``Aᵀ`` (cached; the cache is the analogue of ``G->AT``).
+
+        Built from the store's CSC arrays — a cached conversion for CSR
+        stores, and a plain memcpy for matrices pinned to CSC.  The
+        returned matrix owns *copies*: writing into it can never corrupt
+        this matrix's storage (it desyncs only the copy, as in the seed).
+        """
+        self._flush_pending()
         if self._transpose is None:
-            t = Matrix.from_scipy(self.to_scipy().transpose().tocsr(),
-                                  typ=self.type)
+            tip, tix, tvals = self._store.transpose_csr()
+            t = Matrix(self.type, self.ncols, self.nrows)
+            t.indptr = tip.copy()
+            t.indices = tix.copy()
+            t.values = tvals.copy()
             self._transpose = t
         return self._transpose
 
@@ -321,14 +487,18 @@ class Matrix:
         return m
 
     def select(self, op, thunk=None) -> "Matrix":
-        """``A⟨f(A, k)⟩``: keep entries satisfying the predicate."""
+        """``A⟨f(A, k)⟩``: keep entries satisfying the predicate.
+
+        Value-only predicates skip the per-entry row expansion entirely —
+        the format-aware fast path in
+        :mod:`repro.grb._kernels.apply_select`.
+        """
         if isinstance(op, str):
             op = _selectops.by_name(op)
-        rows = expand_rows(self.indptr, self.nrows)
-        keep = op(self.values, rows, self.indices, thunk)
+        st = self._S()
+        keep = _selectops.eval_select(op, st.csr()[2], st, thunk)
         out = Matrix(self.type, self.nrows, self.ncols)
-        keys = rows[keep] * np.int64(self.ncols) + self.indices[keep]
-        out._set_from_keys(keys, self.values[keep])
+        out._set_from_keys(self.keys()[keep], self.values[keep])
         return out
 
     def tril(self, k: int = 0) -> "Matrix":
@@ -345,13 +515,12 @@ class Matrix:
 
     def ndiag(self) -> int:
         """Number of stored diagonal entries."""
-        rows = expand_rows(self.indptr, self.nrows)
-        return int((rows == self.indices).sum())
+        return int((self._S().entry_rows() == self.indices).sum())
 
     def apply(self, op: UnaryOp, thunk=None) -> "Matrix":
         """``f(A, k)``: apply a unary op to every entry."""
         if op.positional == "i":
-            vals = op.fn(expand_rows(self.indptr, self.nrows))
+            vals = op.fn(self._S().entry_rows())
         elif op.positional == "j":
             vals = op.fn(self.indices)
         elif thunk is not None:
@@ -370,10 +539,9 @@ class Matrix:
     # element-wise (unmasked conveniences)
     # ------------------------------------------------------------------
     def ewise_add(self, other: "Matrix", op: BinaryOp) -> "Matrix":
-        """``A op∪ B``: union merge."""
+        """``A op∪ B``: union merge (dense path when both bitmap-resident)."""
         self._check_same_shape(other)
-        keys, vals = union_merge(self.keys(), self.values,
-                                 other.keys(), other.values, op)
+        keys, vals = merge_objects(self, other, op, union=True)
         out = Matrix(from_dtype(vals.dtype), self.nrows, self.ncols)
         out._set_from_keys(keys, vals)
         return out
@@ -381,8 +549,7 @@ class Matrix:
     def ewise_mult(self, other: "Matrix", op: BinaryOp) -> "Matrix":
         """``A op∩ B``: intersection merge."""
         self._check_same_shape(other)
-        keys, vals = intersect_merge(self.keys(), self.values,
-                                     other.keys(), other.values, op)
+        keys, vals = merge_objects(self, other, op, union=False)
         out = Matrix(from_dtype(vals.dtype), self.nrows, self.ncols)
         out._set_from_keys(keys, vals)
         return out
@@ -392,8 +559,7 @@ class Matrix:
     # ------------------------------------------------------------------
     def reduce_rowwise(self, monoid: Monoid) -> Vector:
         """``w = [⊕ⱼ A(:, j)]``: per-row reduction to a column vector."""
-        rows = expand_rows(self.indptr, self.nrows)
-        idx, vals = monoid.reduce_groups(rows, self.values)
+        idx, vals = monoid.reduce_groups(self._S().entry_rows(), self.values)
         w = Vector(from_dtype(vals.dtype) if vals.size else self.type, self.nrows)
         w._set_sparse(idx, vals)
         return w
@@ -423,7 +589,11 @@ class Matrix:
     # comparisons / misc
     # ------------------------------------------------------------------
     def isequal(self, other: "Matrix") -> bool:
-        """Same shape, structure and values (LAGraph ``IsEqual``)."""
+        """Same shape, structure and values (LAGraph ``IsEqual``).
+
+        Compared on the canonical CSR views, so equality is
+        format-independent: a bitmap matrix equals its CSR twin.
+        """
         return (
             self.shape == other.shape
             and self.nvals == other.nvals
@@ -446,4 +616,4 @@ class Matrix:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Matrix({self.type.name}, shape={self.nrows}x{self.ncols}, "
-                f"nvals={self.nvals})")
+                f"nvals={self.nvals}, format={self.format})")

@@ -27,13 +27,13 @@ Matmul dispatch
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp
 
 from ._kernels import apply_select as _selectops
-from ._kernels.ewise import intersect_merge, union_merge
+from ._kernels.ewise import merge_objects
 from ._kernels.gather import expand_rows
 from ._kernels.maskwrite import masked_write
 from ._kernels.matmul import mxm_expand, mxv_gather, vxm_sparse
@@ -68,17 +68,28 @@ del _probe
 # write-back helpers
 # ---------------------------------------------------------------------------
 
+def _mask_selection(mask: Optional[Mask]):
+    """(allowed_keys, allowed_present, complemented) for the write-back.
+
+    Bitmap-resident mask objects resolve through their dense flag array
+    (O(1) membership per key — the storage-layer fast path); everything
+    else materialises the sorted allowed-key set as before.
+    """
+    if mask is None:
+        return None, None, False
+    present = mask.allowed_present()
+    if present is not None:
+        return None, present, mask.complemented
+    return mask.allowed_keys(), None, mask.complemented
+
+
 def _write_vector(w: Vector, t_idx, t_vals, mask: Optional[Mask], accum,
                   replace: bool):
-    allowed = None
-    complemented = False
-    if mask is not None:
-        allowed = mask.allowed_keys()
-        complemented = mask.complemented
+    allowed, present, complemented = _mask_selection(mask)
     keys, vals = masked_write(
         w._idx, w._vals, t_idx, t_vals,
-        accum=accum, allowed_keys=allowed, complement=complemented,
-        replace=replace, out_dtype=w.type.dtype,
+        accum=accum, allowed_keys=allowed, allowed_present=present,
+        complement=complemented, replace=replace, out_dtype=w.type.dtype,
     )
     w._set_sparse(keys, vals)
     return w
@@ -86,15 +97,11 @@ def _write_vector(w: Vector, t_idx, t_vals, mask: Optional[Mask], accum,
 
 def _write_matrix(c: Matrix, t_keys, t_vals, mask: Optional[Mask], accum,
                   replace: bool):
-    allowed = None
-    complemented = False
-    if mask is not None:
-        allowed = mask.allowed_keys()
-        complemented = mask.complemented
+    allowed, present, complemented = _mask_selection(mask)
     keys, vals = masked_write(
         c.keys(), c.values, t_keys, t_vals,
-        accum=accum, allowed_keys=allowed, complement=complemented,
-        replace=replace, out_dtype=c.type.dtype,
+        accum=accum, allowed_keys=allowed, allowed_present=present,
+        complement=complemented, replace=replace, out_dtype=c.type.dtype,
     )
     c._set_from_keys(keys, vals)
     return c
@@ -188,6 +195,11 @@ def _mask_rows(mask: Optional[Mask], nrows: int) -> Optional[np.ndarray]:
     """Row set selected by a vector mask (pre-computation restriction)."""
     if mask is None:
         return None
+    present = mask.allowed_present()
+    if present is not None:       # bitmap-resident mask: flags are storage
+        if mask.complemented:
+            return np.flatnonzero(~present).astype(np.int64)
+        return np.flatnonzero(present).astype(np.int64)
     allowed = mask.allowed_keys()
     if mask.complemented:
         present = np.zeros(nrows, dtype=bool)
@@ -264,9 +276,10 @@ def mxm(c: Matrix, a: Matrix, b: Matrix, semiring: Semiring, *,
     if semiring.scipy_reducible() and a.nvals and b.nvals:
         t_keys, t_vals = _scipy_mxm(a, b, semiring)
     else:
+        # hypersparse A supplies per-entry row ids in O(live rows)
         t_keys, t_vals = mxm_expand(a.indptr, a.indices, a.values, a.nrows,
                                     b.indptr, b.indices, b.values, b.ncols,
-                                    semiring)
+                                    semiring, a_rows=a._S().entry_rows())
     return _write_matrix(c, t_keys, t_vals, mask, accum, replace)
 
 
@@ -285,11 +298,11 @@ def ewise_add(out, a, b, op: BinaryOp, *, mask=None, accum=None,
     if _is_vector(out):
         a._check_same_size(b)
         _check(out.size == a.size, "ewise_add: output size mismatch")
-        keys, vals = union_merge(a._idx, a._vals, b._idx, b._vals, op)
+        keys, vals = merge_objects(a, b, op, union=True)
         return _write_vector(out, keys, vals, mask, accum, replace)
     a._check_same_shape(b)
     _check(out.shape == a.shape, "ewise_add: output shape mismatch")
-    keys, vals = union_merge(a.keys(), a.values, b.keys(), b.values, op)
+    keys, vals = merge_objects(a, b, op, union=True)
     return _write_matrix(out, keys, vals, mask, accum, replace)
 
 
@@ -300,11 +313,11 @@ def ewise_mult(out, a, b, op: BinaryOp, *, mask=None, accum=None,
     if _is_vector(out):
         a._check_same_size(b)
         _check(out.size == a.size, "ewise_mult: output size mismatch")
-        keys, vals = intersect_merge(a._idx, a._vals, b._idx, b._vals, op)
+        keys, vals = merge_objects(a, b, op, union=False)
         return _write_vector(out, keys, vals, mask, accum, replace)
     a._check_same_shape(b)
     _check(out.shape == a.shape, "ewise_mult: output shape mismatch")
-    keys, vals = intersect_merge(a.keys(), a.values, b.keys(), b.values, op)
+    keys, vals = merge_objects(a, b, op, union=False)
     return _write_matrix(out, keys, vals, mask, accum, replace)
 
 

@@ -7,7 +7,7 @@ instead of the values, mirroring SuiteSparse's ``GxB_POSITIONI`` family.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np

@@ -2,12 +2,15 @@
 
 Storage model
 -------------
-The source of truth is the *sparse* representation: a sorted, duplicate-free
-``int64`` index array plus a matching value array.  A *bitmap* representation
-(dense value array + boolean presence array — SS:GrB v4's bitmap format,
-Sec. VI-A of the paper) is maintained as a lazily built cache: pull-direction
-kernels and random lookups use it, and any mutation invalidates it.  This
-mirrors the sparse/bitmap duality the paper credits for the 2× BC gain.
+Entries live in a pluggable *store* (:mod:`repro.grb.storage`): either the
+sparse pair (sorted, duplicate-free ``int64`` indices plus values — the
+seed's source of truth) or a bitmap (dense flag + value arrays — SS:GrB
+v4's bitmap format, Sec. VI-A of the paper).  Which one is authoritative
+is decided by the density policy at every rebuild, or pinned with
+:meth:`Vector.set_format`; the other representation is a lazily built
+cache, so the sparse/bitmap duality the paper credits for the 2× BC gain
+costs nothing to cross.  Bitmap-resident vectors additionally get O(1)
+``setElement``/``removeElement`` and O(1)-per-key mask resolution.
 
 Unlike ``GrB_Vector``, instances are not opaque: ``indices`` / ``values``
 expose the internal arrays (read-only views) because LAGraph's design
@@ -22,11 +25,13 @@ import numpy as np
 
 from . import types as _types
 from ._kernels import apply_select as _selectops
-from ._kernels.ewise import intersect_merge, union_merge
-from .errors import DimensionMismatch, IndexOutOfBounds, NoValue
+from ._kernels.ewise import merge_objects
+from .errors import DimensionMismatch, IndexOutOfBounds, InvalidValue, NoValue
 from .ops.binary import BinaryOp
 from .ops.monoid import Monoid
 from .ops.unary import UnaryOp
+from .storage import policy as _policy
+from .storage.vector import SparseVec
 from .types import Type, from_dtype
 
 __all__ = ["Vector"]
@@ -35,7 +40,7 @@ __all__ = ["Vector"]
 class Vector:
     """A sparse vector of a fixed :class:`~repro.grb.types.Type` and size."""
 
-    __slots__ = ("size", "type", "_idx", "_vals", "_bitmap")
+    __slots__ = ("size", "type", "_store", "_format")
 
     def __init__(self, typ, size: int):
         if isinstance(typ, Type):
@@ -45,9 +50,8 @@ class Vector:
         if size < 0:
             raise DimensionMismatch(f"negative vector size {size}")
         self.size = int(size)
-        self._idx = np.empty(0, dtype=np.int64)
-        self._vals = np.empty(0, dtype=self.type.dtype)
-        self._bitmap = None  # cached (present: bool[n], dense: dtype[n])
+        self._store = SparseVec.empty(self.size, self.type.dtype)
+        self._format = "auto"
 
     # ------------------------------------------------------------------
     # construction
@@ -97,8 +101,7 @@ class Vector:
                     out_vals[g] = dup_op(out_vals[g], sv[pos])
                 si = si[starts]
                 sv = out_vals
-            w._idx = si
-            w._vals = sv.astype(typ.dtype, copy=False)
+            w._set_sparse(si, sv.astype(typ.dtype, copy=False))
         return w
 
     @classmethod
@@ -108,12 +111,11 @@ class Vector:
         typ = from_dtype(dense.dtype)
         w = cls(typ, dense.size)
         if present is None:
-            w._idx = np.arange(dense.size, dtype=np.int64)
-            w._vals = dense.copy()
+            w._set_sparse(np.arange(dense.size, dtype=np.int64), dense.copy())
         else:
             present = np.asarray(present, dtype=bool)
-            w._idx = np.flatnonzero(present).astype(np.int64)
-            w._vals = dense[w._idx].copy()
+            idx = np.flatnonzero(present).astype(np.int64)
+            w._set_sparse(idx, dense[idx].copy())
         return w
 
     @classmethod
@@ -127,29 +129,74 @@ class Vector:
         return cls.from_dense(arr)
 
     def dup(self) -> "Vector":
-        """``w ↤ u``: an independent copy."""
+        """``w ↤ u``: an independent copy (same format, same pin)."""
         w = Vector(self.type, self.size)
-        w._idx = self._idx.copy()
-        w._vals = self._vals.copy()
+        w._store = self._store.copy()
+        w._format = self._format
         return w
+
+    # ------------------------------------------------------------------
+    # storage plumbing
+    # ------------------------------------------------------------------
+    @property
+    def format(self) -> str:
+        """The active storage format (``sparse`` or ``bitmap``)."""
+        return self._store.fmt
+
+    @property
+    def format_pin(self) -> str:
+        """The requested format: a concrete name, or ``"auto"`` (policy)."""
+        return self._format
+
+    def set_format(self, fmt: str) -> "Vector":
+        """Pin the storage format (or ``"auto"`` to re-enable the policy)."""
+        if fmt not in _policy.VECTOR_FORMATS and fmt != "auto":
+            raise InvalidValue(
+                f"unknown vector format {fmt!r}; one of "
+                f"{_policy.VECTOR_FORMATS + ('auto',)}")
+        self._format = fmt
+        idx, vals = self._store.sparse()
+        if fmt == "auto":
+            fmt = _policy.select_vector_format(self.size, idx.size)
+        if fmt != self._store.fmt:
+            self._store = _policy.vector_store_from_sparse(
+                fmt, self.size, idx, vals)
+        return self
+
+    @property
+    def _idx(self) -> np.ndarray:
+        return self._store.sparse()[0]
+
+    @property
+    def _vals(self) -> np.ndarray:
+        return self._store.sparse()[1]
 
     # ------------------------------------------------------------------
     # internal plumbing
     # ------------------------------------------------------------------
     def _set_sparse(self, idx: np.ndarray, vals: np.ndarray, typ: Optional[Type] = None):
-        """Replace contents with sorted/unique ``(idx, vals)`` (takes ownership)."""
+        """Replace contents with sorted/unique ``(idx, vals)`` (takes
+        ownership).  The mutation boundary where the density policy picks
+        the storage format."""
         if typ is not None:
             self.type = typ
-        self._idx = idx.astype(np.int64, copy=False)
-        self._vals = vals.astype(self.type.dtype, copy=False)
-        self._bitmap = None
+        idx = idx.astype(np.int64, copy=False)
+        vals = vals.astype(self.type.dtype, copy=False)
+        fmt = self._format
+        if fmt == "auto":
+            fmt = _policy.select_vector_format(self.size, idx.size)
+        self._store = _policy.vector_store_from_sparse(fmt, self.size, idx, vals)
 
     def _mask_keys_values(self):
         """(keys, values) for mask resolution — shared protocol with Matrix."""
-        return self._idx, self._vals
+        return self._store.sparse()
 
-    def _invalidate(self):
-        self._bitmap = None
+    def _mask_present_dense(self):
+        """(present, dense) when bitmap-resident, else None (mask fast path)."""
+        st = self._store
+        if st.fmt == "bitmap":
+            return st.bitmap()
+        return None
 
     # ------------------------------------------------------------------
     # basic properties & access
@@ -157,7 +204,7 @@ class Vector:
     @property
     def nvals(self) -> int:
         """Number of stored entries (``nvals(u)``)."""
-        return int(self._idx.size)
+        return self._store.nvals
 
     @property
     def indices(self) -> np.ndarray:
@@ -182,14 +229,9 @@ class Vector:
         return self._idx.copy(), self._vals.copy()
 
     def bitmap(self):
-        """The (present, dense) bitmap representation; cached until mutation."""
-        if self._bitmap is None:
-            present = np.zeros(self.size, dtype=bool)
-            present[self._idx] = True
-            dense = np.zeros(self.size, dtype=self.type.dtype)
-            dense[self._idx] = self._vals
-            self._bitmap = (present, dense)
-        return self._bitmap
+        """The (present, dense) representation — the storage itself for
+        bitmap-resident vectors, a cache (until mutation) for sparse ones."""
+        return self._store.bitmap()
 
     def to_dense(self, fill=0) -> np.ndarray:
         """Dense value array with ``fill`` at absent positions."""
@@ -201,18 +243,22 @@ class Vector:
         return out
 
     def clear(self):
-        """Remove all entries (size and type unchanged)."""
-        self._set_sparse(np.empty(0, dtype=np.int64),
-                         np.empty(0, dtype=self.type.dtype))
+        """Remove all entries (size, type and format pin unchanged)."""
+        self._store = SparseVec.empty(self.size, self.type.dtype)
 
     def get(self, i: int, default=None):
         """Value at index ``i`` or ``default`` when absent."""
         i = int(i)
         if not 0 <= i < self.size:
             raise IndexOutOfBounds(f"index {i} out of range [0, {self.size})")
-        pos = np.searchsorted(self._idx, i)
-        if pos < self._idx.size and self._idx[pos] == i:
-            return self._vals[pos]
+        st = self._store
+        if st.fmt == "bitmap":
+            present, dense = st.bitmap()
+            return dense[i] if present[i] else default
+        idx, vals = st.sparse()
+        pos = np.searchsorted(idx, i)
+        if pos < idx.size and idx[pos] == i:
+            return vals[pos]
         return default
 
     def __getitem__(self, i: int):
@@ -224,44 +270,62 @@ class Vector:
         return out
 
     def __setitem__(self, i: int, value):
-        """``u(i) = s``: setElement."""
+        """``u(i) = s``: setElement — O(1) when bitmap-resident."""
         i = int(i)
         if not 0 <= i < self.size:
             raise IndexOutOfBounds(f"index {i} out of range [0, {self.size})")
-        pos = int(np.searchsorted(self._idx, i))
-        if pos < self._idx.size and self._idx[pos] == i:
-            self._vals[pos] = value
+        st = self._store
+        if st.fmt == "bitmap":
+            st.set_element(i, np.asarray(value, dtype=self.type.dtype)[()])
+            return
+        idx, vals = st.sparse()
+        pos = int(np.searchsorted(idx, i))
+        if pos < idx.size and idx[pos] == i:
+            vals[pos] = value
+            st._bm = None
         else:
-            self._idx = np.insert(self._idx, pos, i)
-            self._vals = np.insert(self._vals, pos,
-                                   np.asarray(value, dtype=self.type.dtype))
-        self._bitmap = None
+            self._set_sparse(
+                np.insert(idx, pos, i),
+                np.insert(vals, pos, np.asarray(value, dtype=self.type.dtype)))
 
     def remove_element(self, i: int):
         """Delete the entry at index ``i`` (no-op when absent)."""
-        pos = np.searchsorted(self._idx, i)
-        if pos < self._idx.size and self._idx[pos] == i:
-            self._idx = np.delete(self._idx, pos)
-            self._vals = np.delete(self._vals, pos)
-            self._bitmap = None
+        st = self._store
+        if st.fmt == "bitmap":
+            if 0 <= i < self.size:
+                st.remove_element(int(i))
+            return
+        idx, vals = st.sparse()
+        pos = np.searchsorted(idx, i)
+        if pos < idx.size and idx[pos] == i:
+            self._set_sparse(np.delete(idx, pos), np.delete(vals, pos))
 
     def __contains__(self, i: int) -> bool:
-        pos = np.searchsorted(self._idx, i)
-        return bool(pos < self._idx.size and self._idx[pos] == i)
+        st = self._store
+        if st.fmt == "bitmap":
+            return bool(0 <= i < self.size and st.bitmap()[0][i])
+        idx = st.sparse()[0]
+        pos = np.searchsorted(idx, i)
+        return bool(pos < idx.size and idx[pos] == i)
 
     def __len__(self) -> int:
         return self.size
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Vector({self.type.name}, size={self.size}, nvals={self.nvals})"
+        return (f"Vector({self.type.name}, size={self.size}, "
+                f"nvals={self.nvals}, format={self.format})")
 
     # ------------------------------------------------------------------
     # unmasked element-wise conveniences (masked forms live in operations)
     # ------------------------------------------------------------------
     def ewise_add(self, other: "Vector", op: BinaryOp) -> "Vector":
-        """``u op∪ v``: union merge (Sec. III-B-b)."""
+        """``u op∪ v``: union merge (Sec. III-B-b).
+
+        Two bitmap-resident operands merge densely (no sorted-key
+        intersection); results are bit-identical to the sparse merge.
+        """
         self._check_same_size(other)
-        keys, vals = union_merge(self._idx, self._vals, other._idx, other._vals, op)
+        keys, vals = merge_objects(self, other, op, union=True)
         out = Vector(from_dtype(vals.dtype), self.size)
         out._set_sparse(keys, vals)
         return out
@@ -269,7 +333,7 @@ class Vector:
     def ewise_mult(self, other: "Vector", op: BinaryOp) -> "Vector":
         """``u op∩ v``: intersection merge (Sec. III-B-c)."""
         self._check_same_size(other)
-        keys, vals = intersect_merge(self._idx, self._vals, other._idx, other._vals, op)
+        keys, vals = merge_objects(self, other, op, union=False)
         out = Vector(from_dtype(vals.dtype), self.size)
         out._set_sparse(keys, vals)
         return out
@@ -294,7 +358,11 @@ class Vector:
         """``u⟨f(u, k)⟩``: keep entries where the predicate holds."""
         if isinstance(op, str):
             op = _selectops.by_name(op)
-        keep = op(self._vals, self._idx, np.zeros(self._idx.size, dtype=np.int64), thunk)
+        if op.uses_coords:
+            keep = op(self._vals, self._idx,
+                      np.zeros(self._idx.size, dtype=np.int64), thunk)
+        else:
+            keep = op(self._vals, None, None, thunk)
         out = Vector(self.type, self.size)
         out._set_sparse(self._idx[keep], self._vals[keep])
         return out
@@ -323,7 +391,8 @@ class Vector:
 
     # equality helper used by tests / LAGraph IsEqual
     def isequal(self, other: "Vector") -> bool:
-        """Same size, same structure, element-wise equal values."""
+        """Same size, same structure, element-wise equal values
+        (format-independent: compared on the sparse views)."""
         return (
             self.size == other.size
             and self._idx.size == other._idx.size

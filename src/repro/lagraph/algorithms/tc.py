@@ -29,7 +29,6 @@ diagonal; Advanced mode raises, Basic mode fixes the input up.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ... import grb
 from ...grb import Matrix, structure

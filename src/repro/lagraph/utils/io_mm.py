@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Union
 
 import numpy as np
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, Optional, Tuple
+from typing import Hashable
 
 __all__ = ["LRUCache", "CacheStats"]
 

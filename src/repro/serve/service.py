@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor, wait as _wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..lagraph.graph import Graph
@@ -116,8 +116,17 @@ class GraphService:
     # ------------------------------------------------------------------
     # registry conveniences
     # ------------------------------------------------------------------
-    def register(self, name: str, graph: Graph) -> "GraphService":
+    def register(self, name: str, graph: Graph, *,
+                 warm: bool = False) -> "GraphService":
+        """Bind ``name`` to ``graph``; ``warm=True`` pre-builds the pull
+        machinery (cached transpose / CSC view, row degrees) at registration
+        time so the first direction-optimised or probe-direction query pays
+        no one-off conversion inside its latency budget."""
         self.registry.register(name, graph)
+        if warm:
+            graph.cache_at()
+            graph.cache_row_degree()
+            graph.A._S().transpose_csr()
         return self
 
     def invalidate(self, name: str) -> int:

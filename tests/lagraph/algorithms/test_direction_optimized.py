@@ -1,0 +1,126 @@
+"""Direction-optimised BFS and fused msbfs: parity with the push reference.
+
+``bfs_parent_auto`` (push/pull chooser on the storage engine) and the
+fused msbfs levels must be *identical* — entry for entry — to the
+Alg. 1 push implementations, whatever mix of step kinds ran.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+import sys
+
+from helpers import random_graph_np, random_graphs
+from repro import lagraph as lg
+from repro.gap import datasets, verify
+
+# the algorithm *functions* shadow their submodules on the package, so the
+# tunables (ALPHA / FUSE_FRONTIER_K) are reached through sys.modules
+bfs_mod = sys.modules["repro.lagraph.algorithms.bfs"]
+msbfs_mod = sys.modules["repro.lagraph.algorithms.msbfs"]
+
+
+@pytest.fixture(scope="module")
+def road():
+    return datasets.build("road", "tiny")
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return datasets.build("kron", "tiny")
+
+
+class TestBfsParentAuto:
+    @given(random_graphs())
+    def test_matches_push_on_random_directed(self, g):
+        assert lg.bfs_parent_auto(g, 0).isequal(lg.bfs_parent_push(g, 0))
+
+    @given(random_graphs(directed=False))
+    def test_matches_push_on_random_undirected(self, g):
+        assert lg.bfs_parent_auto(g, 1).isequal(lg.bfs_parent_push(g, 1))
+
+    @pytest.mark.parametrize("name", ("road", "kron"))
+    def test_matches_push_on_suite(self, name, road, kron):
+        g = {"road": road, "kron": kron}[name]
+        rng = np.random.default_rng(0)
+        deg = np.diff(g.A.indptr)
+        for s in rng.choice(np.flatnonzero(deg > 0), 6, replace=False):
+            p = lg.bfs_parent_auto(g, int(s))
+            assert p.isequal(lg.bfs_parent_push(g, int(s)))
+            verify.verify_bfs_parent(g, int(s), p)
+
+    def test_pull_only_matches_push(self, kron, monkeypatch):
+        # force every level through the CSC/bitmap pull probe
+        monkeypatch.setattr(bfs_mod, "ALPHA", float("inf"))
+        monkeypatch.setattr(bfs_mod, "BETA", float("inf"))
+        p_pull = lg.bfs_parent_auto(kron, 0)
+        assert p_pull.isequal(lg.bfs_parent_push(kron, 0))
+
+    def test_push_only_matches_push(self, kron, monkeypatch):
+        monkeypatch.setattr(bfs_mod, "ALPHA", 0.0)   # push always wins
+        p = lg.bfs_parent_auto(kron, 0)
+        assert p.isequal(lg.bfs_parent_push(kron, 0))
+
+    def test_uses_cached_properties_when_present(self, road):
+        road.cache_all()
+        s = int(np.flatnonzero(np.diff(road.A.indptr) > 0)[0])
+        assert lg.bfs_parent_auto(road, s).isequal(lg.bfs_parent_push(road, s))
+
+    def test_csc_pinned_adjacency(self):
+        g = random_graph_np(np.random.default_rng(2), n=50, p=0.1)
+        g.A.set_format("csc")
+        assert lg.bfs_parent_auto(g, 3).isequal(lg.bfs_parent_push(g, 3))
+
+    def test_isolated_source(self):
+        g = random_graph_np(np.random.default_rng(4), n=20, p=0.0)
+        p = lg.bfs_parent_auto(g, 5)
+        assert p.nvals == 1 and p[5] == 5
+
+    def test_basic_mode_routes_through_auto(self, kron):
+        p_do, _ = lg.bfs(kron, 0, direction_optimizing=True)
+        assert p_do.isequal(lg.bfs_parent_push(kron, 0))
+        assert kron.AT is not None          # Basic mode still caches
+
+
+class TestMsbfsFusion:
+    @pytest.mark.parametrize("k", (0, 3, 10**9), ids=("off", "mixed", "always"))
+    def test_parents_identical_at_any_threshold(self, road, k, monkeypatch):
+        monkeypatch.setattr(msbfs_mod, "FUSE_FRONTIER_K", k)
+        rng = np.random.default_rng(1)
+        srcs = rng.choice(np.flatnonzero(np.diff(road.A.indptr) > 0), 5,
+                          replace=False)
+        P = lg.msbfs_parents(road, srcs)
+        for r, s in enumerate(srcs):
+            assert P.extract_row(r).isequal(
+                lg.bfs_parent_push(road, int(s))), (k, r)
+
+    @pytest.mark.parametrize("k", (0, 3, 10**9), ids=("off", "mixed", "always"))
+    def test_levels_identical_at_any_threshold(self, road, k, monkeypatch):
+        monkeypatch.setattr(msbfs_mod, "FUSE_FRONTIER_K", k)
+        rng = np.random.default_rng(1)
+        srcs = rng.choice(np.flatnonzero(np.diff(road.A.indptr) > 0), 5,
+                          replace=False)
+        L = lg.msbfs_levels(road, srcs)
+        for r, s in enumerate(srcs):
+            assert L.extract_row(r).isequal(
+                lg.bfs_level(road, int(s))), (k, r)
+
+    @given(random_graphs(max_n=12))
+    def test_fully_fused_random_graphs(self, g):
+        import unittest.mock as mock
+        srcs = [0, 1, min(2, g.n - 1)]
+        with mock.patch.object(msbfs_mod, "FUSE_FRONTIER_K", 10**9):
+            P = lg.msbfs_parents(g, srcs)
+            L = lg.msbfs_levels(g, srcs)
+        for r, s in enumerate(srcs):
+            assert P.extract_row(r).isequal(lg.bfs_parent_push(g, int(s)))
+            assert L.extract_row(r).isequal(lg.bfs_level(g, int(s)))
+
+    def test_duplicate_sources_fused(self, road, monkeypatch):
+        monkeypatch.setattr(msbfs_mod, "FUSE_FRONTIER_K", 10**9)
+        s = int(np.flatnonzero(np.diff(road.A.indptr) > 0)[0])
+        P = lg.msbfs_parents(road, [s, s])
+        assert P.extract_row(0).isequal(P.extract_row(1))
