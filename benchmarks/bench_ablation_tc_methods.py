@@ -2,10 +2,18 @@
 
 Times all six LAGraph TC methods plus the presort on/off choice, on the
 skewed Kron graph where the ascending-degree permutation matters most.
+
+``test_tc_chooser_mispredictions`` additionally replays every method with
+the :mod:`repro.grb.telemetry` hook installed and reports how often the
+masked-SpGEMM chooser picked the slower path (judged against the *exact*
+work counts the events carry) — mispredictions surface in the test output
+instead of hiding as silent slow paths.
 """
 
 import pytest
 
+from repro.grb import telemetry
+from repro.grb._kernels import masked_matmul as mm
 from repro.lagraph import algorithms as alg
 from repro.lagraph.algorithms.tc import METHODS
 
@@ -22,3 +30,41 @@ def test_tc_method(benchmark, suite, method):
 def test_tc_presort(benchmark, suite, presort):
     g = suite["kron"]
     benchmark(alg.triangle_count, g, method="sandia_lut", presort=presort)
+
+
+def _judged(event):
+    """Re-judge a chooser decision against the exact counts it recorded."""
+    flop_cost = (mm.SCIPY_FLOP_COST if event["scipy_path"]
+                 else mm.EXPAND_FLOP_COST)
+    ideal = ("dot" if event["dot_probes"] * mm.DOT_PROBE_COST
+             <= event["expand_flops"] * flop_cost else "expand")
+    return {**event, "ideal": ideal,
+            "mispredicted": event["method"] != ideal}
+
+
+def test_tc_chooser_mispredictions(suite, monkeypatch, capsys):
+    """Report (never fail on) chooser mispredictions across all methods.
+
+    A misprediction here means the *sampled* flop estimate steered the
+    chooser differently than the exact flop count would have — the cost of
+    sampling, made visible.  The event schema itself is asserted."""
+    monkeypatch.setattr(mm, "MASKED_MIN_NNZ", 0)   # observe every decision
+    g = suite["kron"]
+    events = []
+    with telemetry.capture(events.append):
+        for method in METHODS:
+            alg.triangle_count(g, method=method, presort=None)
+    assert events, "masked multiplies should record chooser decisions"
+    judged = [_judged(e) for e in events]
+    for e in judged:
+        assert e["op"] == "mxm" and e["method"] in ("dot", "expand")
+        assert e["expand_flops"] >= 0 and e["dot_probes"] >= 0
+    missed = [e for e in judged if e["mispredicted"]]
+    with capsys.disabled():
+        print(f"\n[tc-chooser] {len(judged)} decisions, "
+              f"{len(missed)} mispredicted")
+        for e in missed:
+            print(f"  {e['semiring']}: picked {e['method']} "
+                  f"(ideal {e['ideal']}; probes={e['dot_probes']}, "
+                  f"flops={e['expand_flops']}, "
+                  f"est={e['expand_flops_est']:.0f})")

@@ -84,12 +84,13 @@ from .types import (
 from .vector import Vector
 from ._kernels import apply_select as selectops
 from . import storage
+from . import telemetry
 
 __all__ = [
     # objects
     "Matrix", "Vector", "Type", "Mask", "Descriptor", "Semiring",
-    # storage engine
-    "storage",
+    # storage engine / instrumentation
+    "storage", "telemetry",
     # types
     "BOOL", "INT8", "INT16", "INT32", "INT64",
     "UINT8", "UINT16", "UINT32", "UINT64", "FP32", "FP64",

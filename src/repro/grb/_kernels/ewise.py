@@ -124,7 +124,10 @@ def merge_objects(a, b, op, *, union: bool):
 def setdiff_keys(keys_a, keys_b):
     """Boolean mask over ``keys_a`` marking entries *not* present in ``keys_b``.
 
-    Both inputs sorted unique int64.
+    ``keys_b`` must be sorted unique int64; ``keys_a`` may be in any order
+    and contain duplicates (each element is probed independently — the
+    masked-mxm pre-reduce filter relies on this, so keep that property if
+    this is ever rewritten as a merge).
     """
     if keys_b.size == 0:
         return np.ones(keys_a.size, dtype=bool)

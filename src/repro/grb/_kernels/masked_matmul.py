@@ -1,0 +1,362 @@
+"""Mask-driven SpGEMM: compute only what the mask keeps.
+
+The paper's headline matrix algorithms hand SuiteSparse:GraphBLAS a mask it
+exploits *inside* the multiply: triangle counting's ``C⟨s(L)⟩ = L plus.pair
+Uᵀ`` (Sec. IV-E / Alg. 6) touches one dot product per stored edge of ``L``,
+never the full wedge count, and batched BC's per-level masked ``plus.first``
+products (Sec. IV-B / Alg. 3) skip everything the mask will discard anyway.
+This module gives :func:`repro.grb.operations.mxm` the same power:
+
+``masked_dot``
+    The *dot3* kernel (named after cuSPARSE/GraphBLAS "SDDMM-style" masked
+    SpGEMM).  For every mask entry ``(i, j)`` it intersects CSR row
+    ``A(i,:)`` with row ``j`` of ``Bᵀ`` (= column ``j`` of ``B``) — fully
+    vectorised: the *shorter* of the two rows is expanded with
+    :func:`~repro.grb._kernels.gather.concat_ranges` and probed into the
+    other operand's globally sorted ``row·inner + k`` key array with one
+    ``searchsorted`` (the same probe idiom as
+    :func:`~repro.grb._kernels.matmul.mxv_pull_probe`).  Cost is
+    ``O(Σ_(i,j)∈M min(|A(i,:)|, |B(:,j)|) · log nnz)`` — proportional to the
+    mask, not to the flop count of the full product.
+
+``mask-restricted expand`` (implemented in
+:func:`~repro.grb._kernels.matmul.mxm_expand` via ``rows`` / ``key_keep``)
+    For masks the dot kernel cannot serve — complemented masks (BC's
+    ``⟨¬s(P)⟩`` frontier expansion) and exotic semirings — the flop-order
+    expand kernel is restricted to the rows the mask can still write
+    (non-complemented: mask-live rows; complemented: rows whose mask row is
+    not yet full) and its per-flop output is filtered against the mask
+    *before* the group-reduce, so dead contributions never pay the sort.
+
+Cost model / chooser
+--------------------
+:func:`choose_masked_method` compares the exact dot probe count
+(``Σ min(|A row|, |Bᵀ row|)`` over mask entries — O(mask) to compute)
+against a *sampled* flop estimate for the expand/SciPy path, weighted by the
+per-unit cost constants below.  Like :mod:`repro.grb.storage.policy`, every
+threshold is a module-level constant that benchmarks and tests monkeypatch
+to force a path; :data:`DOT_ENABLED` / :data:`MASK_RESTRICT_ENABLED` switch
+the whole engine off for ablation (``benchmarks/bench_masked_mxm.py``).
+
+Bit-identity contract
+---------------------
+Whatever the chooser picks, results are bit-identical to the reference
+"compute the full product, then discard non-mask entries in the write-back"
+pipeline: the dot kernel replays the fallback path's value arithmetic —
+operand casts and k-ascending accumulation order for SciPy-reducible
+semirings, the semiring's own ops in storage order otherwise — and entries
+exist exactly where the pattern product intersects the mask (explicit zeros
+from cancellation survive, as the spec requires).  The property suite in
+``tests/grb/test_masked_mxm.py`` pins this across semirings, mask kinds and
+storage formats.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..ops.monoid import PLUS_MONOID
+from ..ops.semiring import Semiring
+from .gather import concat_ranges, expand_rows
+
+__all__ = [
+    "DOT_ENABLED", "MASK_RESTRICT_ENABLED", "DOT_PROBE_COST",
+    "SCIPY_FLOP_COST", "EXPAND_FLOP_COST", "FLOP_SAMPLE",
+    "MASKED_MIN_NNZ", "LIVE_ROW_FRACTION", "DOT_DENSE_GRID_CAP",
+    "dot_supported", "mask_row_lengths", "dot_probe_cost",
+    "expand_flops_estimate", "expand_flops_exact", "choose_masked_method",
+    "masked_dot",
+]
+
+#: Master switch for the dot3 kernel (ablation / bisection aid).
+DOT_ENABLED = True
+#: Master switch for mask-driven row restriction + pre-reduce filtering on
+#: the fallback (SciPy / expand) paths.
+MASK_RESTRICT_ENABLED = True
+
+#: Relative cost of one dot probe lane (a flag gather / searchsorted) ...
+DOT_PROBE_COST = 0.4
+#: ... versus one flop on SciPy's compiled CSR kernel — whose path also
+#: pays the full product's materialisation and masked write-back, which is
+#: why a probe lane prices close to a compiled flop (measured on kron) ...
+SCIPY_FLOP_COST = 1.0
+#: ... versus one flop on the vectorised gather/sort expand kernel.
+EXPAND_FLOP_COST = 4.0
+#: A-entries sampled for the expand-path flop estimate.
+FLOP_SAMPLE = 512
+
+#: Combined operand nnz below which the masked engine stands down entirely
+#: (no chooser, no row restriction): tiny products are cheaper to compute
+#: in full than to analyse.  The road-grid TC at small scale sits under
+#: this floor; kron sits well above it.
+MASKED_MIN_NNZ = 1 << 15
+
+#: Row restriction only engages when the mask leaves at most this fraction
+#: of the output rows alive — slicing the operand to skip a handful of dead
+#: rows costs more than computing them.
+LIVE_ROW_FRACTION = 0.75
+
+#: ⊗ operators the dot kernel can replay bit-identically.
+_DOT_MULTS = ("pair", "times", "first", "second")
+#: ⊕ monoids whose grouped reduction the dot kernel can replay.
+_DOT_MONOIDS = ("plus", "min", "any")
+
+
+def dot_supported(semiring: Semiring) -> bool:
+    """Whether :func:`masked_dot` can execute this semiring."""
+    return (not semiring.positional
+            and semiring.mult.name in _DOT_MULTS
+            and semiring.add.name in _DOT_MONOIDS)
+
+
+def mask_row_lengths(a_indptr: np.ndarray, bt_indptr: np.ndarray,
+                     rows: np.ndarray, cols: np.ndarray):
+    """``(|A(i,:)|, |Bᵀ(j,:)|)`` per mask entry — shared by the chooser's
+    probe-cost estimate and :func:`masked_dot` (computed once per call)."""
+    return (a_indptr[rows + 1] - a_indptr[rows],
+            bt_indptr[cols + 1] - bt_indptr[cols])
+
+
+def dot_probe_cost(la: np.ndarray, lb: np.ndarray) -> int:
+    """Exact probe count of the dot kernel: ``Σ min(|A(i,:)|, |Bᵀ(j,:)|)``.
+
+    O(mask nvals) — cheap enough that the chooser uses the exact value
+    rather than the ``mask nvals × avg degree`` approximation.
+    """
+    return int(np.minimum(la, lb).sum())
+
+
+def expand_flops_estimate(a_indices: np.ndarray,
+                          b_row_lengths: np.ndarray) -> float:
+    """Sampled flop estimate for the unmasked product ``A ⊕.⊗ B``.
+
+    Samples every ``nnz(A) / FLOP_SAMPLE``-th A entry (deterministic — no
+    RNG) and extrapolates the mean B-row length to the full entry count.
+    """
+    nnz = a_indices.size
+    if nnz == 0:
+        return 0.0
+    step = max(1, nnz // FLOP_SAMPLE)
+    sampled = a_indices[::step]
+    return float(b_row_lengths[sampled].mean()) * nnz
+
+
+def expand_flops_exact(a_indices: np.ndarray,
+                       b_row_lengths: np.ndarray) -> int:
+    """Exact flop count of the unmasked product (telemetry only — O(nnz))."""
+    if a_indices.size == 0:
+        return 0
+    return int(b_row_lengths[a_indices].sum())
+
+
+def choose_masked_method(cost_dot: float, est_flops: float,
+                         scipy_path: bool) -> str:
+    """``"dot"`` or ``"expand"`` from the weighted cost comparison."""
+    if not DOT_ENABLED:
+        return "expand"
+    flop_cost = SCIPY_FLOP_COST if scipy_path else EXPAND_FLOP_COST
+    return "dot" if cost_dot * DOT_PROBE_COST <= est_flops * flop_cost \
+        else "expand"
+
+
+#: Largest ``nrows × inner`` grid for which a probed operand's structure is
+#: densified into a flat bool flag array (O(1) membership per probe lane
+#: instead of an O(log nnz) searchsorted).  Only reachable when the probe
+#: does not need the probed side's *values* (``pair`` / the pattern side of
+#: ``first``/``second``) — which is exactly TC's ``plus.pair`` and BC's
+#: ``plus.first``.
+DOT_DENSE_GRID_CAP = 1 << 26
+
+
+def _row_key_array(indptr: np.ndarray, indices: np.ndarray,
+                   inner: np.int64) -> np.ndarray:
+    """Globally sorted ``row · inner + col`` key of every CSR entry.
+
+    Strictly increasing (rows ascend, columns ascend within each row and are
+    unique), so a single ``searchsorted`` resolves membership of any
+    ``(row, k)`` pair in O(log nnz).
+    """
+    nrows = indptr.size - 1
+    return expand_rows(indptr, nrows) * inner + indices
+
+
+def _probe_membership(indptr: np.ndarray, indices: np.ndarray,
+                      seek: np.ndarray, inner: np.int64, need_pos: bool):
+    """Resolve probe keys against a CSR structure.
+
+    Returns ``(hit, pos)``: a bool mask over ``seek`` and — only when
+    ``need_pos`` (the probed side's values feed the multiply) — the entry
+    position of each probe.  Without positions and within
+    :data:`DOT_DENSE_GRID_CAP`, membership is a single gather from a dense
+    flag array; otherwise one ``searchsorted`` against the sorted
+    ``row·inner + col`` keys.
+    """
+    nrows = indptr.size - 1
+    grid = int(nrows) * int(inner)
+    if not need_pos and grid <= DOT_DENSE_GRID_CAP:
+        flags = np.zeros(grid, dtype=bool)
+        flags[_row_key_array(indptr, indices, inner)] = True
+        return flags[seek], None
+    hay = _row_key_array(indptr, indices, inner)
+    if hay.size == 0:
+        return (np.zeros(seek.size, dtype=bool),
+                np.zeros(seek.size, dtype=np.int64) if need_pos else None)
+    pos = np.searchsorted(hay, seek)
+    safe = np.minimum(pos, hay.size - 1)
+    hit = hay[safe] == seek
+    return hit, (pos if need_pos else None)
+
+
+def masked_dot(
+    a_indptr: np.ndarray,
+    a_indices: np.ndarray,
+    a_values: Optional[np.ndarray],
+    bt_indptr: np.ndarray,
+    bt_indices: np.ndarray,
+    bt_values: Optional[np.ndarray],
+    rows: np.ndarray,
+    cols: np.ndarray,
+    inner: int,
+    semiring: Semiring,
+    cast_dtype: Optional[np.dtype] = None,
+    lengths=None,
+):
+    """Dot products of ``A(i,:) · B(:,j)`` for each mask entry ``(i, j)``.
+
+    Parameters
+    ----------
+    a_indptr, a_indices, a_values:
+        ``A`` in canonical CSR.
+    bt_indptr, bt_indices, bt_values:
+        ``Bᵀ`` in canonical CSR — i.e. the CSC view of ``B``.  For
+        ``mxm(..., transpose_b=True)`` call sites (TC's ``L plus.pair Uᵀ``)
+        this is the *untransposed* operand's own CSR arrays: the golden case
+        where the kernel runs with zero layout conversion.
+    rows, cols:
+        Mask coordinates, aligned, sorted by ``(row, col)`` (the mask's own
+        allowed-key order).
+    inner:
+        The contracted dimension ``A.ncols == B.nrows``.
+    semiring:
+        Must satisfy :func:`dot_supported`.
+    cast_dtype:
+        When set, replay SciPy-fast-path semantics: operands are cast to
+        this dtype before multiplying and accumulation is plain ``+`` in
+        k-ascending order — bit-identical to
+        :func:`repro.grb.operations._scipy_mxm`.  When ``None``, replay
+        :func:`~repro.grb._kernels.matmul.mxm_expand` semantics (the
+        semiring's own ops on the operands' native dtypes).
+    lengths:
+        Optional precomputed :func:`mask_row_lengths` pair — the chooser
+        already derived it, so the kernel need not gather it again.
+
+    Returns
+    -------
+    ``(hit, vals)`` where ``hit`` indexes into ``rows``/``cols`` selecting
+    the mask entries whose dot product has at least one structural
+    contribution (ascending), and ``vals`` holds the ⊕-reduced values.
+    Structure-only multiplies (``pair``) never touch either operand's value
+    array.
+    """
+    mult_name = semiring.mult.name
+    need_av = mult_name in ("times", "first")
+    need_bv = mult_name in ("times", "second")
+    la, lb = lengths if lengths is not None else \
+        mask_row_lengths(a_indptr, bt_indptr, rows, cols)
+    cand = np.flatnonzero((la > 0) & (lb > 0)).astype(np.int64)
+    inner64 = np.int64(inner)
+
+    t_parts: list = []
+    apos_parts: list = []
+    bpos_parts: list = []
+    if cand.size:
+        probe_a = la[cand] <= lb[cand]
+        group_a = cand[probe_a]
+        group_b = cand[~probe_a]
+        if group_a.size:
+            # expand A-side elements, probe them into B's (j, k) structure
+            counts = la[group_a]
+            flat = concat_ranges(a_indptr[rows[group_a]], counts)
+            seek = (np.repeat(cols[group_a], counts) * inner64
+                    + a_indices[flat])
+            hit, pos = _probe_membership(bt_indptr, bt_indices, seek,
+                                         inner64, need_bv)
+            t_parts.append(np.repeat(group_a, counts)[hit])
+            apos_parts.append(flat[hit] if need_av else None)
+            bpos_parts.append(pos[hit] if need_bv else None)
+        if group_b.size:
+            # expand B-side elements, probe them into A's (i, k) structure
+            counts = lb[group_b]
+            flat = concat_ranges(bt_indptr[cols[group_b]], counts)
+            seek = (np.repeat(rows[group_b], counts) * inner64
+                    + bt_indices[flat])
+            hit, pos = _probe_membership(a_indptr, a_indices, seek,
+                                         inner64, need_av)
+            t_parts.append(np.repeat(group_b, counts)[hit])
+            apos_parts.append(pos[hit] if need_av else None)
+            bpos_parts.append(flat[hit] if need_bv else None)
+
+    if t_parts:
+        t = np.concatenate(t_parts)
+        apos = np.concatenate(apos_parts) if need_av else None
+        bpos = np.concatenate(bpos_parts) if need_bv else None
+    else:
+        t = np.empty(0, dtype=np.int64)
+        apos = bpos = t
+
+    # Per-hit multiply.  Within one mask entry, hits arrive in ascending-k
+    # order (both operand rows are sorted), which is exactly the
+    # accumulation order of the SciPy kernel and of mxm_expand's stable
+    # group-reduce — the basis of the bit-identity guarantee.
+    if cast_dtype is not None:
+        dt = np.dtype(cast_dtype)
+        if mult_name == "pair":
+            mult = np.ones(t.size, dtype=dt)
+        elif mult_name == "first":
+            mult = a_values[apos].astype(dt, copy=False)
+        elif mult_name == "second":
+            mult = bt_values[bpos].astype(dt, copy=False)
+        else:
+            mult = (a_values[apos].astype(dt, copy=False)
+                    * bt_values[bpos].astype(dt, copy=False))
+        return _sequential_group_sums(t, mult, rows.size)
+    if mult_name == "pair":
+        mult = np.ones(t.size, dtype=np.uint64)
+    elif mult_name == "first":
+        av = a_values[apos]
+        mult = semiring.mult(av, av)
+    elif mult_name == "second":
+        bv = bt_values[bpos]
+        mult = semiring.mult(bv, bv)
+    else:
+        mult = semiring.mult(a_values[apos], bt_values[bpos])
+    return semiring.add.reduce_groups(t, mult)
+
+
+def _sequential_group_sums(t: np.ndarray, mult: np.ndarray, n_groups: int):
+    """Per-group ``+`` reduction in strict input order.
+
+    SciPy's compiled CSR matmul accumulates each output with a plain
+    sequential loop; ``np.add.reduceat`` switches to pairwise summation on
+    longer segments, which changes the last bits of float sums.  To stay
+    bit-identical to the fast path this replays the sequential order:
+    ``np.bincount``/``np.add.at`` both add contributions in array order.
+    Integer sums are order-independent (wrapping ``+`` is associative), so
+    they take the cheaper sorted ``reduceat`` route.
+    """
+    if t.size == 0:
+        return t, mult
+    dt = mult.dtype
+    if np.issubdtype(dt, np.inexact):
+        seen = np.zeros(n_groups, dtype=bool)
+        seen[t] = True
+        hit = np.flatnonzero(seen).astype(np.int64)
+        if dt == np.float64:
+            sums = np.bincount(t, weights=mult, minlength=n_groups)
+            return hit, sums[hit]
+        buf = np.zeros(n_groups, dtype=dt)
+        np.add.at(buf, t, mult)
+        return hit, buf[hit]
+    return PLUS_MONOID.reduce_groups(t, mult)

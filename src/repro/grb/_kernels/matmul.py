@@ -113,6 +113,8 @@ def mxm_expand(
     b_ncols: int,
     semiring: Semiring,
     a_rows: Optional[np.ndarray] = None,
+    rows: Optional[np.ndarray] = None,
+    key_keep=None,
 ):
     """``C = A ⊕.⊗ B`` by full flop expansion.
 
@@ -123,26 +125,54 @@ def mxm_expand(
     storage can produce it cheaper than an ``indptr`` walk (hypersparse:
     O(live rows) — the format-aware fast path for frontier matrices).
 
+    Mask-driven restriction (:mod:`repro.grb._kernels.masked_matmul`):
+    ``rows`` limits the expansion to a subset of A's rows — the rows the
+    mask can still write — skipping dead rows entirely (``a_rows`` is
+    ignored when given); ``key_keep`` is a ``keys -> bool`` predicate
+    applied to the linearised output coordinates *before* the multiply and
+    group-reduce, so contributions the mask would discard in the write-back
+    never pay the reduction sort.  Both default to off, in which case the
+    result is the seed kernel bit for bit.
+
     Pick-one (``any``) monoids take a sort-free path when the output grid
     ``a_nrows × b_ncols`` is affordable: a reversed dense scatter keeps the
     *first* contribution per output position in expansion order — exactly
     what ``Monoid.reduce_groups`` returns from its stable sort, at a
     fraction of the cost for the heavy levels of a batched BFS.
     """
-    if a_rows is None:
-        a_rows = expand_rows(a_indptr, a_nrows)  # i of each A entry
-    a_cols = a_indices                        # k of each A entry
+    if rows is not None:
+        row_rep, a_cols, a_vals_sub = csr_gather_rows(
+            a_indptr, a_indices, a_values, rows)
+        a_rows = rows[row_rep]                # i of each surviving A entry
+    else:
+        if a_rows is None:
+            a_rows = expand_rows(a_indptr, a_nrows)  # i of each A entry
+        a_cols = a_indices                    # k of each A entry
+        a_vals_sub = a_values
     # For every A entry, gather B row k.
     ent_rep, j, b_vals_g = csr_gather_rows(b_indptr, b_indices, b_values, a_cols)
     i = a_rows[ent_rep]
     k = a_cols[ent_rep]
-    av = a_values[ent_rep] if a_values is not None else None
-    mult = _multiply(semiring, av, b_vals_g, i, k, j)
     keys = i * np.int64(b_ncols) + j
     grid = int(a_nrows) * int(b_ncols)
-    if (semiring.add.ufunc is None and keys.size
-            and grid <= max(DENSE_ANY_GRID_SLACK * keys.size,
-                            DENSE_ANY_GRID_FLOOR)):
+    use_scatter = (semiring.add.ufunc is None and keys.size
+                   and grid <= max(DENSE_ANY_GRID_SLACK * keys.size,
+                                   DENSE_ANY_GRID_FLOOR))
+    if key_keep is not None and not use_scatter:
+        # drop mask-dead contributions before the (sorting) reduce; the
+        # scatter path is already sort-free, so filtering there would only
+        # add membership-test cost
+        keep = key_keep(keys)
+        keys = keys[keep]
+        i = i[keep]
+        k = k[keep]
+        j = j[keep]
+        ent_rep = ent_rep[keep]
+        if b_vals_g is not None:
+            b_vals_g = b_vals_g[keep]
+    av = a_vals_sub[ent_rep] if a_vals_sub is not None else None
+    mult = _multiply(semiring, av, b_vals_g, i, k, j)
+    if use_scatter:
         buf = np.empty(grid, dtype=mult.dtype)
         seen = np.zeros(grid, dtype=bool)
         # reversed writes: the first contribution per key wins, matching the

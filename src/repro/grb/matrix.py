@@ -55,7 +55,8 @@ class Matrix:
     """A sparse matrix of a fixed :class:`~repro.grb.types.Type` and shape."""
 
     __slots__ = ("nrows", "ncols", "type", "_store", "_format",
-                 "_scipy", "_transpose", "_keys", "_pending")
+                 "_scipy", "_pattern_scipy", "_vals_positive",
+                 "_transpose", "_keys", "_pending")
 
     def __init__(self, typ, nrows: int, ncols: int):
         self.type = typ if isinstance(typ, Type) else from_dtype(typ)
@@ -66,6 +67,8 @@ class Matrix:
         self._store = CSRStore.empty(self.nrows, self.ncols, self.type.dtype)
         self._format = "auto"
         self._scipy = None
+        self._pattern_scipy = None
+        self._vals_positive = None
         self._transpose = None
         self._keys = None
         self._pending = None
@@ -284,6 +287,8 @@ class Matrix:
 
     def _invalidate(self):
         self._scipy = None
+        self._pattern_scipy = None
+        self._vals_positive = None
         self._transpose = None
         self._keys = None
 
@@ -324,6 +329,50 @@ class Matrix:
                 shape=(self.nrows, self.ncols),
             )
         return self._scipy
+
+    def pattern_operand(self, dtype) -> sp.csr_matrix:
+        """All-ones SciPy CSR sharing this matrix's canonical structure.
+
+        The matmul fast path substitutes this for an operand whose values
+        the multiply ignores (``pair``, the pattern side of ``first`` /
+        ``second``) and for cancellation-proof structure products.  Cached
+        per store version and dtype — repeated masked multiplies against
+        the same operand stop paying a fresh ones-array + CSR construction
+        per call (see :mod:`repro.grb.operations`).
+        """
+        self._flush_pending()
+        dt = np.dtype(dtype)
+        cache = self._pattern_scipy
+        if cache is None:
+            cache = self._pattern_scipy = {}
+        s = cache.get(dt)
+        if s is None:
+            s = sp.csr_matrix(
+                (np.ones(self.nvals, dtype=dt), self.indices, self.indptr),
+                shape=(self.nrows, self.ncols),
+            )
+            cache[dt] = s
+        return s
+
+    def values_all_ge_one(self) -> bool:
+        """Whether this is a floating matrix with every value ≥ 1 (cached).
+
+        Lets the matmul fast path skip its cancellation-proof pattern pass:
+        IEEE sums and products of float terms that are each ≥ 1 are
+        themselves ≥ 1 (an overflow lands on ``inf``, still nonzero), so no
+        product entry can collapse to an explicit zero SciPy would prune.
+        Mere positivity is NOT enough — tiny positive products underflow to
+        exact 0.0 — and integer wrapping can hit 0, hence the ≥ 1 /
+        floating restriction.  Recomputed lazily after any mutation (the
+        cache dies with the store version).
+        """
+        self._flush_pending()   # staged writes invalidate through the flush
+        if self._vals_positive is None:
+            v = self.values
+            self._vals_positive = bool(
+                np.issubdtype(v.dtype, np.floating)
+                and (v.size == 0 or (v >= 1).all()))
+        return self._vals_positive
 
     # ------------------------------------------------------------------
     # basic properties & access

@@ -13,13 +13,29 @@ declared type; computed values are cast into it.
 
 Matmul dispatch
 ---------------
+* masked ``mxm`` with a non-complemented mask and a dot-replayable semiring
+  (⊗ ∈ {pair, times, first, second}, ⊕ ∈ {plus, min, any}) may run on the
+  *dot3* masked-SpGEMM kernel
+  (:mod:`repro.grb._kernels.masked_matmul`): one sorted-intersection dot
+  product per mask entry, never the full wedge count.  A cost model
+  (exact probe count vs. sampled flop estimate, constants monkeypatchable
+  like :mod:`repro.grb.storage.policy`) decides per call; decisions are
+  observable through :mod:`repro.grb.telemetry`.  This is what makes
+  triangle counting's ``C⟨s(L)⟩ = L plus.pair Uᵀ`` (Alg. 6) and batched
+  BC's backward ``W⟨s(S)⟩ = W plus.first Aᵀ`` levels pay only for
+  mask-resident dot products, with zero call-site changes.
 * ``plus.times``-reducible semirings (Table II's ``plus.first``,
-  ``plus.second``, ``plus.pair`` and the conventional semiring) run on
-  SciPy's compiled CSR kernels, substituting the *pattern* (all-ones
-  values) of an operand where the multiply op ignores that side's values.
+  ``plus.second``, ``plus.pair`` and the conventional semiring) otherwise
+  run on SciPy's compiled CSR kernels, substituting the *pattern*
+  (all-ones values, cached per store version) of an operand where the
+  multiply op ignores that side's values.  A mask restricts the product to
+  mask-live rows before the ``@``; ``≥ 1``-valued float operands skip the
+  cancellation-proof pattern pass.
 * every other semiring (``min.plus``, ``any.secondi``, ...) runs on the
   vectorised gather/group-reduce kernels in
-  :mod:`repro.grb._kernels.matmul`.
+  :mod:`repro.grb._kernels.matmul`, mask-restricted the same way (for
+  complemented masks — BC's ``⟨¬s(P)⟩`` — rows whose mask row is already
+  full are skipped and dead contributions are filtered before the reduce).
 * ``mxv`` restricts computation to the mask-allowed rows *before* doing any
   work — this is what makes the "pull" step of direction-optimised BFS cost
   only the in-degrees of the unvisited nodes (Sec. VI-A).
@@ -32,8 +48,10 @@ from typing import Optional
 import numpy as np
 import scipy.sparse as sp
 
+from . import telemetry
 from ._kernels import apply_select as _selectops
-from ._kernels.ewise import merge_objects
+from ._kernels import masked_matmul as _mm
+from ._kernels.ewise import merge_objects, setdiff_keys
 from ._kernels.gather import expand_rows
 from ._kernels.maskwrite import masked_write
 from ._kernels.matmul import mxm_expand, mxv_gather, vxm_sparse
@@ -116,15 +134,21 @@ def _check(cond: bool, msg: str):
 # matmul fast-path helpers
 # ---------------------------------------------------------------------------
 
-def _scipy_operand(m: Matrix, use_values: bool, dtype) -> sp.csr_matrix:
-    """SciPy CSR of ``m`` with values (cast) or the all-ones pattern."""
+def _scipy_operand(m: Matrix, use_values: bool, dtype):
+    """SciPy CSR of ``m`` with values (cast) or the all-ones pattern.
+
+    Pattern operands come from the per-store-version cache
+    (:meth:`Matrix.pattern_operand`) instead of being rebuilt per call.
+    Both views are cached CSR: SciPy's spmatmul converts non-CSR operands
+    internally *per call*, so feeding a CSC-pinned operand "natively" here
+    would re-pay that conversion every multiply — the cached canonical view
+    pays it once.  (CSC-pinned operands do feed the dot kernel natively:
+    its ``Bᵀ`` input is ``transpose_csr()``, free on a CSC store.)
+    """
     if use_values:
         s = m.to_scipy()
         return s.astype(dtype, copy=False) if s.dtype != dtype else s
-    return sp.csr_matrix(
-        (np.ones(m.nvals, dtype=dtype), m.indices, m.indptr),
-        shape=(m.nrows, m.ncols),
-    )
+    return m.pattern_operand(dtype)
 
 
 def _mult_uses(semiring: Semiring):
@@ -133,28 +157,51 @@ def _mult_uses(semiring: Semiring):
     return name in ("times", "first"), name in ("times", "second")
 
 
-def _scipy_mxm(a: Matrix, b: Matrix, semiring: Semiring):
-    """plus.times-reducible ``C = A ⊕.⊗ B`` on SciPy; returns (keys, vals)."""
-    use_a, use_b = _mult_uses(semiring)
+def _scipy_dtype(a: Matrix, b: Matrix, semiring: Semiring) -> np.dtype:
+    """The computation dtype of the SciPy fast path for these operands."""
     if semiring.mult.name == "pair":
-        dt = np.dtype(np.int64)
-    else:
-        dt = semiring.mult_dtype(a.dtype, b.dtype)
-    if dt == np.bool_:
-        dt = np.dtype(np.int64)
-    prod = _scipy_operand(a, use_a, dt) @ _scipy_operand(b, use_b, dt)
+        return np.dtype(np.int64)
+    dt = semiring.mult_dtype(a.dtype, b.dtype)
+    return np.dtype(np.int64) if dt == np.bool_ else np.dtype(dt)
+
+
+def _scipy_mxm(a: Matrix, b: Matrix, semiring: Semiring,
+               rows: Optional[np.ndarray] = None):
+    """plus.times-reducible ``C = A ⊕.⊗ B`` on SciPy; returns (keys, vals).
+
+    ``rows`` restricts the product to a subset of A's rows (the mask-live
+    rows — dead rows can never survive the write-back, so they are sliced
+    off *before* the ``@``).  The per-(i,j) accumulation order is k-
+    ascending either way, so restricted and full products are bit-identical
+    on the surviving rows.
+    """
+    use_a, use_b = _mult_uses(semiring)
+    dt = _scipy_dtype(a, b, semiring)
+    sa = _scipy_operand(a, use_a, dt)
+    if rows is not None:
+        sa = sa[rows]
+    prod = sa @ _scipy_operand(b, use_b, dt)
     prod = prod.tocsr()
     prod.sort_indices()
-    rows = expand_rows(prod.indptr.astype(np.int64), prod.shape[0])
-    keys = rows * np.int64(prod.shape[1]) + prod.indices.astype(np.int64)
+    prow = expand_rows(prod.indptr.astype(np.int64), prod.shape[0])
+    row_ids = rows[prow] if rows is not None else prow
+    keys = row_ids * np.int64(prod.shape[1]) + prod.indices.astype(np.int64)
     vals = prod.data
-    if not _SCIPY_KEEPS_ZEROS and (use_a or use_b):
-        # structure must come from a cancellation-proof pattern product
-        pat = (_scipy_operand(a, False, np.int64) @
-               _scipy_operand(b, False, np.int64)).tocsr()
+    if (not _SCIPY_KEEPS_ZEROS and (use_a or use_b)
+            and not ((not use_a or a.values_all_ge_one())
+                     and (not use_b or b.values_all_ge_one()))):
+        # structure must come from a cancellation-proof pattern product;
+        # skipped when every value-carrying operand is float with values
+        # ≥ 1 (such products/sums stay ≥ 1 — no underflow-to-zero, no
+        # integer wrap — so SciPy can never have pruned an entry)
+        pa = _scipy_operand(a, False, np.int64)
+        if rows is not None:
+            pa = pa[rows]
+        pat = (pa @ _scipy_operand(b, False, np.int64)).tocsr()
         pat.sort_indices()
         prow = expand_rows(pat.indptr.astype(np.int64), pat.shape[0])
-        pkeys = prow * np.int64(pat.shape[1]) + pat.indices.astype(np.int64)
+        prow_ids = rows[prow] if rows is not None else prow
+        pkeys = prow_ids * np.int64(pat.shape[1]) + pat.indices.astype(np.int64)
         out = np.zeros(pkeys.size, dtype=vals.dtype)
         pos = np.searchsorted(pkeys, keys)
         out[pos] = vals
@@ -256,6 +303,107 @@ def mxv(w: Vector, a: Matrix, u: Vector, semiring: Semiring, *,
     return _write_vector(w, t_idx, t_vals, mask, accum, replace)
 
 
+def _mask_live_rows(mask: Optional[Mask], nrows: int,
+                    ncols: int) -> Optional[np.ndarray]:
+    """Output rows a masked write can still touch (``None`` = all of them).
+
+    Non-complemented masks: rows holding at least one allowed mask entry.
+    Complemented masks: rows whose mask row is not yet *full* (a full row
+    blocks every position — BC's ``⟨¬s(P)⟩`` once a source has reached the
+    whole graph).  Dead rows are sliced off before the product is computed.
+    """
+    if mask is None or not _mm.MASK_RESTRICT_ENABLED:
+        return None
+    present = mask.allowed_present()
+    if present is not None:
+        counts = present.reshape(nrows, ncols).sum(axis=1)
+    elif mask.structural and getattr(mask.obj, "nrows", None) == nrows:
+        # structural matrix mask: per-row allowed counts are just the
+        # stored-entry counts — O(nrows), no key materialisation
+        counts = np.diff(mask.obj.indptr)
+    else:
+        allowed = mask.allowed_keys()
+        counts = np.bincount(allowed // np.int64(ncols), minlength=nrows)
+    live = (counts < ncols) if mask.complemented else (counts > 0)
+    n_live = int(np.count_nonzero(live))
+    if n_live > _mm.LIVE_ROW_FRACTION * nrows:
+        # pruning a sliver of rows costs more (operand slicing) than it saves
+        return None
+    return np.flatnonzero(live).astype(np.int64)
+
+
+def _mask_key_filter(mask: Optional[Mask]):
+    """``keys -> keep`` predicate matching the write-back's mask selection.
+
+    Applied by the expand kernel *before* its group-reduce so contributions
+    the mask would discard never pay the sort.  Bitmap-resident masks
+    resolve with O(1) flag gathers; everything else searches the sorted
+    allowed-key set (the same machinery :func:`masked_write` uses, so the
+    selection is identical by construction).
+    """
+    if mask is None or not _mm.MASK_RESTRICT_ENABLED:
+        return None
+    present = mask.allowed_present()
+    if present is not None:
+        if mask.complemented:
+            return lambda keys: ~present[keys]
+        return lambda keys: present[keys]
+    allowed = mask.allowed_keys()
+    if mask.complemented:
+        return lambda keys: setdiff_keys(keys, allowed)
+    return lambda keys: ~setdiff_keys(keys, allowed)
+
+
+def _masked_dot_mxm(a: Matrix, b: Matrix, transpose_b: bool,
+                    semiring: Semiring, mask: Optional[Mask],
+                    bn_cols: int):
+    """Try the dot3 masked-SpGEMM path; ``None`` means "fall back".
+
+    Feeds the kernel ``Bᵀ`` in CSR form without materialising a transpose:
+    for ``transpose_b=True`` (TC's ``L plus.pair Uᵀ``) that is the operand's
+    own CSR arrays, otherwise the store's cached CSC view — native for
+    CSC-pinned operands (the PR-2 follow-up: no conversion at all).
+    """
+    if (mask is None or mask.complemented or not _mm.DOT_ENABLED
+            or not _mm.dot_supported(semiring)
+            or not a.nvals or not b.nvals):
+        return None
+    allowed = mask.allowed_keys()
+    if allowed.size == 0:
+        return np.empty(0, np.int64), np.empty(0, _scipy_dtype(a, b, semiring))
+    a_ip, a_ix, a_vv = a._S().csr()
+    if transpose_b:
+        bt_ip, bt_ix, bt_vv = b._S().csr()
+        beff_lengths = np.bincount(bt_ix, minlength=b.ncols)
+    else:
+        bt_ip, bt_ix, bt_vv = b._S().transpose_csr()
+        beff_lengths = np.diff(b.indptr)
+    ncols64 = np.int64(bn_cols)
+    rows_m = allowed // ncols64
+    cols_m = allowed - rows_m * ncols64
+    lengths = _mm.mask_row_lengths(a_ip, bt_ip, rows_m, cols_m)
+    cost_dot = _mm.dot_probe_cost(*lengths)
+    est_flops = _mm.expand_flops_estimate(a_ix, beff_lengths)
+    scipy_path = semiring.scipy_reducible()
+    method = _mm.choose_masked_method(cost_dot, est_flops, scipy_path)
+    if telemetry.active():
+        telemetry.record({
+            "op": "mxm", "method": method, "semiring": semiring.name,
+            "mask_nvals": int(allowed.size),
+            "dot_probes": int(cost_dot),
+            "expand_flops_est": float(est_flops),
+            "expand_flops": _mm.expand_flops_exact(a_ix, beff_lengths),
+            "scipy_path": scipy_path,
+        })
+    if method != "dot":
+        return None
+    cast_dt = _scipy_dtype(a, b, semiring) if scipy_path else None
+    hit, vals = _mm.masked_dot(a_ip, a_ix, a_vv, bt_ip, bt_ix, bt_vv,
+                               rows_m, cols_m, a.ncols, semiring,
+                               cast_dtype=cast_dt, lengths=lengths)
+    return allowed[hit], vals
+
+
 def mxm(c: Matrix, a: Matrix, b: Matrix, semiring: Semiring, *,
         mask=None, accum: Optional[BinaryOp] = None, replace: bool = False,
         transpose_a: bool = False, transpose_b: bool = False):
@@ -264,23 +412,40 @@ def mxm(c: Matrix, a: Matrix, b: Matrix, semiring: Semiring, *,
     ``transpose_b=True`` mirrors the descriptor-based ``F Bᵀ`` pull step of
     the paper's BC (Sec. IV-B): the transpose is taken from the operand's
     cache, never re-materialised per call.
+
+    With a mask, the multiply itself is mask-driven (see the module
+    docstring and :mod:`repro.grb._kernels.masked_matmul`): a cost model
+    routes non-complemented masks to the dot3 kernel when cheaper, and
+    restricts the SciPy / expand fallbacks to mask-live rows either way.
+    Results are bit-identical to the unmasked-then-write reference on every
+    path.
     """
     if transpose_a:
         a = a.T
-    if transpose_b:
-        b = b.T
-    _check(a.ncols == b.nrows, f"mxm: A.ncols {a.ncols} != B.nrows {b.nrows}")
-    _check(c.nrows == a.nrows and c.ncols == b.ncols,
-           f"mxm: C shape {c.shape} != ({a.nrows}, {b.ncols})")
+    bn_rows = b.ncols if transpose_b else b.nrows
+    bn_cols = b.nrows if transpose_b else b.ncols
+    _check(a.ncols == bn_rows, f"mxm: A.ncols {a.ncols} != B.nrows {bn_rows}")
+    _check(c.nrows == a.nrows and c.ncols == bn_cols,
+           f"mxm: C shape {c.shape} != ({a.nrows}, {bn_cols})")
     mask = as_mask(mask)
-    if semiring.scipy_reducible() and a.nvals and b.nvals:
-        t_keys, t_vals = _scipy_mxm(a, b, semiring)
-    else:
-        # hypersparse A supplies per-entry row ids in O(live rows)
-        t_keys, t_vals = mxm_expand(a.indptr, a.indices, a.values, a.nrows,
-                                    b.indptr, b.indices, b.values, b.ncols,
-                                    semiring, a_rows=a._S().entry_rows())
-    return _write_matrix(c, t_keys, t_vals, mask, accum, replace)
+    # tiny products are cheaper to compute in full than to analyse
+    engine = mask is not None and a.nvals + b.nvals >= _mm.MASKED_MIN_NNZ
+    t = _masked_dot_mxm(a, b, transpose_b, semiring, mask, bn_cols) \
+        if engine else None
+    if t is None:
+        if transpose_b:
+            b = b.T
+        rows = _mask_live_rows(mask, a.nrows, b.ncols) if engine else None
+        if semiring.scipy_reducible() and a.nvals and b.nvals:
+            t = _scipy_mxm(a, b, semiring, rows=rows)
+        else:
+            # hypersparse A supplies per-entry row ids in O(live rows)
+            t = mxm_expand(a.indptr, a.indices, a.values, a.nrows,
+                           b.indptr, b.indices, b.values, b.ncols, semiring,
+                           a_rows=a._S().entry_rows() if rows is None else None,
+                           rows=rows,
+                           key_keep=_mask_key_filter(mask) if engine else None)
+    return _write_matrix(c, t[0], t[1], mask, accum, replace)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,72 @@
+"""Opt-in kernel telemetry.
+
+Performance choosers (the masked-SpGEMM dot-vs-expand decision in
+:func:`repro.grb.operations.mxm`, via
+:mod:`repro.grb._kernels.masked_matmul`) normally run silently.  Installing
+a hook makes every decision observable — estimated versus actual work, the
+method picked, the mask size — so benchmarks such as
+``benchmarks/bench_ablation_tc_methods.py`` can report *mispredictions*
+(cases where the chooser picked the slower path) instead of leaving slow
+paths silent.
+
+The hook is process-global and **off by default**: with no hook installed,
+recording is a single ``is None`` check and no event dictionaries (or the
+exact-flop counts some events carry) are ever materialised.
+
+Usage::
+
+    from repro.grb import telemetry
+
+    events = []
+    with telemetry.capture(events.append):
+        triangle_count(g)
+    mispredicted = [e for e in events if e.get("mispredicted")]
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+__all__ = ["set_hook", "clear_hook", "active", "record", "capture"]
+
+_hook: Optional[Callable[[dict], None]] = None
+
+
+def set_hook(fn: Optional[Callable[[dict], None]]):
+    """Install ``fn`` as the telemetry sink; returns the previous hook.
+
+    ``fn`` receives one ``dict`` per recorded event, synchronously, on the
+    thread that made the decision — keep it cheap (append to a list).
+    """
+    global _hook
+    prev = _hook
+    _hook = fn
+    return prev
+
+
+def clear_hook() -> None:
+    """Remove the installed hook (telemetry goes back to zero-cost)."""
+    set_hook(None)
+
+
+def active() -> bool:
+    """Whether a hook is installed (kernels gate expensive-to-compute
+    event fields — e.g. exact flop counts — on this)."""
+    return _hook is not None
+
+
+def record(event: dict) -> None:
+    """Deliver ``event`` to the hook, if any."""
+    if _hook is not None:
+        _hook(event)
+
+
+@contextmanager
+def capture(fn: Callable[[dict], None]):
+    """Scoped hook installation (restores the previous hook on exit)."""
+    prev = set_hook(fn)
+    try:
+        yield
+    finally:
+        set_hook(prev)

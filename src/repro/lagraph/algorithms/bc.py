@@ -23,6 +23,14 @@ Backward (dependency) phase — descending ``i``::
 to ``i = 1``.)
 
 The GAP benchmark uses ``ns = 4`` sources per batch.
+
+Both phases lean on the mask-driven SpGEMM engine
+(:mod:`repro.grb._kernels.masked_matmul`) with zero call-site changes: the
+backward ``W⟨s(S[i-1])⟩`` levels are dot-eligible (structural,
+non-complemented masks), and the forward ``⟨¬s(P)⟩`` expansion gets the
+complemented-mask row restriction — rows whose ``P`` row is already full
+(a source that reached the whole graph) are never multiplied.  Results are
+bit-identical to the unmasked-then-write reference.
 """
 
 from __future__ import annotations

@@ -25,6 +25,16 @@ sandia_ult   ``C⟨s(U)⟩ = U plus.pair Lᵀ``  (dot style)
 
 All methods require an undirected graph (symmetric pattern) with an empty
 diagonal; Advanced mode raises, Basic mode fixes the input up.
+
+Every method's masked multiply runs on the mask-driven SpGEMM engine
+(:mod:`repro.grb._kernels.masked_matmul`): when the cost model favours it,
+``C⟨s(L)⟩ = L plus.pair Uᵀ`` is computed as one sorted-intersection dot
+product per stored edge of the mask — the way SS:GrB executes Alg. 6 —
+instead of materialising the full wedge product and discarding non-edges.
+For the ``transpose_b`` dot-style methods the kernel reads the second
+operand's own CSR arrays as ``Bᵀ``, so no transpose is ever built.  The
+counts are bit-identical either way; ``benchmarks/bench_masked_mxm.py``
+carries the ≥3× acceptance guard against the expand path.
 """
 
 from __future__ import annotations

@@ -12,6 +12,11 @@ LAGraph's experimental ``LAGraph_KTruss``)::
 Experimental algorithms ship faster and with fewer guarantees than the
 stable tier — mirrored here by a lighter precondition story (the function
 symmetrises and cleans its input itself).
+
+The per-iteration support product ``C⟨s(A)⟩ = A plus.pair A`` rides the
+mask-driven SpGEMM engine (:mod:`repro.grb._kernels.masked_matmul`): one
+edge-wise neighbourhood intersection per surviving edge, which keeps
+shrinking as the truss does.
 """
 
 from __future__ import annotations

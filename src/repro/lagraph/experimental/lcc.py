@@ -6,9 +6,11 @@ For each node ``v`` with degree ``d(v) ≥ 2``::
 
 where ``tri(v)`` is the number of triangles through ``v``.  The triangle
 counts per node come from the row-wise reduction of the masked
-``plus.pair`` product (the same product triangle counting uses) — this is
-the Graphalytics LCC kernel, one of the end-to-end workloads the paper
-names as future work (Sec. VII).
+``plus.pair`` product — the same product triangle counting uses, served by
+the same mask-driven SpGEMM engine
+(:mod:`repro.grb._kernels.masked_matmul`) — this is the Graphalytics LCC
+kernel, one of the end-to-end workloads the paper names as future work
+(Sec. VII).
 """
 
 from __future__ import annotations

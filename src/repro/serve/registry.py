@@ -107,6 +107,21 @@ class GraphRegistry:
             self._epochs[name] = self._epoch_counter
         return self
 
+    def register_if_absent(self, name: str, graph: Graph) -> bool:
+        """Bind ``name`` to ``graph`` only if unbound; returns whether it
+        bound.  One atomic check-and-bind under the registry locks — the
+        primitive lazy (submit-side) registration needs so racing
+        submitters agree on whichever binding landed first."""
+        if not isinstance(graph, Graph):
+            raise TypeError(f"expected a lagraph.Graph, got {type(graph)!r}")
+        with self._rw.write(), self._lock:
+            if name in self._graphs:
+                return False
+            self._epoch_counter += 1
+            self._graphs[name] = graph
+            self._epochs[name] = self._epoch_counter
+            return True
+
     def unregister(self, name: str) -> None:
         with self._lock:
             self._graphs.pop(name, None)

@@ -116,18 +116,55 @@ class GraphService:
     # ------------------------------------------------------------------
     # registry conveniences
     # ------------------------------------------------------------------
+    #: Valid values for ``register(warm=)`` besides the booleans.
+    WARM_PROFILES = ("default", "pull", "msbfs")
+
     def register(self, name: str, graph: Graph, *,
-                 warm: bool = False) -> "GraphService":
-        """Bind ``name`` to ``graph``; ``warm=True`` pre-builds the pull
-        machinery (cached transpose / CSC view, row degrees) at registration
-        time so the first direction-optimised or probe-direction query pays
-        no one-off conversion inside its latency budget."""
+                 warm=False) -> "GraphService":
+        """Bind ``name`` to ``graph``, optionally pre-warming it.
+
+        ``warm`` selects how much machinery to build at registration time,
+        so the first query pays no one-off conversions inside its latency
+        budget:
+
+        * ``True`` / ``"default"`` — the pull machinery: cached transpose /
+          CSC view and row degrees.
+        * ``"pull"`` — default, plus the adjacency is *pinned* to the CSC
+          storage format (``set_format("csc")``): pull-direction kernels
+          and the masked-SpGEMM engine's ``Bᵀ`` feed then read the store's
+          native arrays with zero conversion (the canonical CSR view is
+          pre-derived here, so push kernels lose nothing).
+        * ``"msbfs"`` — default, plus the all-ones pattern operands the
+          batched-frontier ``plus.pair`` multiplies read are pre-built
+          (they are cached per store version, see
+          :meth:`repro.grb.Matrix.pattern_operand`).  Frontier matrices
+          themselves pick hypersparse automatically through the storage
+          policy once sources complete — the adjacency-side operands are
+          what registration can usefully pre-pin.
+        """
         self.registry.register(name, graph)
         if warm:
-            graph.cache_at()
-            graph.cache_row_degree()
-            graph.A._S().transpose_csr()
+            self._warm_graph(graph, warm)
         return self
+
+    @staticmethod
+    def _warm_graph(graph: Graph, profile) -> None:
+        if profile is True:
+            profile = "default"
+        if profile not in GraphService.WARM_PROFILES:
+            raise ValueError(
+                f"unknown warm profile {profile!r}; one of "
+                f"{GraphService.WARM_PROFILES} (or True/False)")
+        if profile == "pull":
+            # pin FIRST: the one CSR→CSC conversion happens here, and the
+            # transpose/CSC warm below is then free on the native store
+            graph.A.set_format("csc")
+        graph.cache_at()
+        graph.cache_row_degree()
+        graph.A._S().transpose_csr()
+        if profile == "msbfs":
+            import numpy as np
+            graph.A.pattern_operand(np.int64)
 
     def invalidate(self, name: str) -> int:
         """Declare a registered graph mutated (bumps its version)."""
@@ -136,18 +173,45 @@ class GraphService:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    def submit(self, name: str, query: Query) -> Future:
-        """Enqueue one query; returns a future for its result."""
+    def submit(self, name: str, query: Query, *,
+               graph: Optional[Graph] = None, warm=False) -> Future:
+        """Enqueue one query; returns a future for its result.
+
+        ``graph`` enables *lazy registration*: when ``name`` is not yet
+        registered, it is bound (and warmed per ``warm`` — same profiles as
+        :meth:`register`) before the query is enqueued.  An already
+        registered name ignores both arguments, so racing lazy submitters
+        agree on whichever binding landed first.
+        """
+        self._maybe_register(name, graph, warm)
         fut = self._enqueue(name, query)
         self._kick()
         return fut
 
-    def submit_many(self, name: str, queries: Sequence[Query]) -> List[Future]:
+    def submit_many(self, name: str, queries: Sequence[Query], *,
+                    graph: Optional[Graph] = None,
+                    warm=False) -> List[Future]:
         """Enqueue a whole burst, then schedule a single drain — the
-        batching-friendly entry point for bulk workloads."""
+        batching-friendly entry point for bulk workloads.  ``graph`` /
+        ``warm`` lazily register as in :meth:`submit`."""
+        self._maybe_register(name, graph, warm)
         futs = [self._enqueue(name, q) for q in queries]
         self._kick()
         return futs
+
+    def _maybe_register(self, name: str, graph: Optional[Graph],
+                        warm) -> None:
+        if graph is None or name in self.registry:
+            return
+        # warm BEFORE publishing: once the name is bound, concurrent
+        # queries may execute against the graph, and they must never race
+        # the in-place format pin / cache builds (a racing loser warms its
+        # own unpublished graph — wasted work, never a hazard)
+        if warm:
+            self._warm_graph(graph, warm)
+        # atomic check-and-bind: racing lazy submitters can both reach
+        # here, but only one binding lands
+        self.registry.register_if_absent(name, graph)
 
     def query(self, name: str, query: Query):
         """Synchronous convenience: ``submit(...).result()``."""

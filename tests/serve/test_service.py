@@ -256,3 +256,82 @@ class TestErrorsAndLifecycle:
         for t in threads:
             t.join()
         assert not errs
+
+
+class TestWarmProfiles:
+    """register(warm=) format pre-pinning and submit-side lazy registration."""
+
+    def test_warm_default_builds_pull_machinery(self, service, rng):
+        g = random_graph_np(rng, n=40, p=0.1)
+        service.register("warmed", g, warm=True)
+        assert g.AT is not None and g.row_degree is not None
+
+    def test_warm_pull_pins_csc(self, service, rng):
+        g = random_graph_np(rng, n=40, p=0.1)
+        service.register("pull", g, warm="pull")
+        assert g.A.format == "csc" and g.A.format_pin == "csc"
+        # queries still answer identically on the pinned layout
+        res = service.query("pull", serve.BFSLevels(0))
+        assert res.isequal(lg.bfs_level(g, 0))
+
+    def test_warm_msbfs_prebuilds_pattern_operands(self, service, rng):
+        g = random_graph_np(rng, n=40, p=0.1)
+        service.register("ms", g, warm="msbfs")
+        assert g.A._pattern_scipy is not None
+        assert np.dtype(np.int64) in g.A._pattern_scipy
+
+    def test_unknown_warm_profile_rejected(self, service, rng):
+        g = random_graph_np(rng, n=10, p=0.2)
+        with pytest.raises(ValueError):
+            service.register("bad", g, warm="nope")
+
+    def test_submit_lazy_registration(self, service, rng):
+        g = random_graph_np(rng, n=40, p=0.1)
+        assert "lazy" not in service.registry
+        res = service.submit("lazy", serve.BFSLevels(0), graph=g,
+                             warm=True).result(30)
+        assert "lazy" in service.registry
+        assert g.AT is not None                      # warmed on the way in
+        assert res.isequal(lg.bfs_level(g, 0))
+
+    def test_submit_lazy_registration_ignores_rebind(self, service, rng):
+        g1 = random_graph_np(rng, n=30, p=0.1)
+        g2 = random_graph_np(rng, n=35, p=0.1)
+        service.submit("one", serve.BFSLevels(0), graph=g1).result(30)
+        # an already bound name ignores the graph argument entirely
+        res = service.submit("one", serve.BFSLevels(0), graph=g2).result(30)
+        assert res.isequal(lg.bfs_level(g1, 0))
+        assert service.registry.get("one") is g1
+
+    def test_submit_many_lazy_registration(self, service, rng):
+        g = random_graph_np(rng, n=40, p=0.1)
+        futs = service.submit_many(
+            "bulk", [serve.BFSLevels(s) for s in (0, 1, 2)], graph=g)
+        for s, f in zip((0, 1, 2), futs):
+            assert f.result(30).isequal(lg.bfs_level(g, s))
+
+    def test_concurrent_lazy_registration_single_binding(self, service, rng):
+        """Racing lazy submitters must agree on one binding (atomic
+        register-if-absent), and every future must answer for it."""
+        import threading
+        graphs = [random_graph_np(np.random.default_rng(i), n=30, p=0.15)
+                  for i in range(6)]
+        results, errs = [None] * 6, []
+
+        def client(i):
+            try:
+                results[i] = service.submit(
+                    "raced", serve.BFSLevels(0), graph=graphs[i]).result(30)
+            except Exception as e:  # pragma: no cover
+                errs.append(e)
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errs
+        winner = service.registry.get("raced")
+        assert winner in graphs
+        expect = lg.bfs_level(winner, 0)
+        for r in results:
+            assert r.isequal(expect)
