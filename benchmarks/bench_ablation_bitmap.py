@@ -13,7 +13,8 @@ import numpy as np
 import pytest
 
 from repro import grb
-from repro.grb import operations as ops
+
+from repro.grb.engine import cost
 
 
 def _frontier(n, density, seed=0):
@@ -28,7 +29,7 @@ def test_mxv_dense_bitmap_path(benchmark, suite, density, monkeypatch):
     g = suite["kron"]
     a = g.A.pattern(grb.FP64)
     u = _frontier(g.n, density)
-    monkeypatch.setattr(ops, "DENSE_PULL_FRACTION", 0.0)  # always bitmap/scipy
+    monkeypatch.setattr(cost, "DENSE_PULL_FRACTION", 0.0)  # always bitmap/scipy
     sr = grb.semiring_by_name("plus.second")
 
     def run():
@@ -45,7 +46,7 @@ def test_mxv_sparse_gather_path(benchmark, suite, density, monkeypatch):
     g = suite["kron"]
     a = g.A.pattern(grb.FP64)
     u = _frontier(g.n, density)
-    monkeypatch.setattr(ops, "DENSE_PULL_FRACTION", 2.0)  # never bitmap/scipy
+    monkeypatch.setattr(cost, "DENSE_PULL_FRACTION", 2.0)  # never bitmap/scipy
     sr = grb.semiring_by_name("plus.second")
 
     def run():

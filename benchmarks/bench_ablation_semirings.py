@@ -13,7 +13,8 @@ Two design choices are measured:
 import pytest
 
 from repro import grb
-from repro.grb import operations as ops
+
+from repro.grb.engine import cost
 
 
 def _frontier(g, frac=0.5):
@@ -47,7 +48,7 @@ def test_vxm_gather_path(benchmark, suite, semiring, monkeypatch):
     a = g.A.pattern(grb.FP64)
     u = _frontier(g)
     sr = grb.semiring_by_name(semiring)
-    monkeypatch.setattr(ops, "DENSE_PULL_FRACTION", 2.0)  # force gather
+    monkeypatch.setattr(cost, "DENSE_PULL_FRACTION", 2.0)  # force gather
 
     def run():
         w = grb.Vector(grb.FP64, g.n)

@@ -13,7 +13,7 @@ instead of hiding as silent slow paths.
 import pytest
 
 from repro.grb import telemetry
-from repro.grb._kernels import masked_matmul as mm
+from repro.grb.engine import cost
 from repro.lagraph import algorithms as alg
 from repro.lagraph.algorithms.tc import METHODS
 
@@ -34,10 +34,10 @@ def test_tc_presort(benchmark, suite, presort):
 
 def _judged(event):
     """Re-judge a chooser decision against the exact counts it recorded."""
-    flop_cost = (mm.SCIPY_FLOP_COST if event["scipy_path"]
-                 else mm.EXPAND_FLOP_COST)
-    ideal = ("dot" if event["dot_probes"] * mm.DOT_PROBE_COST
-             <= event["expand_flops"] * flop_cost else "expand")
+    ideal = cost.choose_masked_method(
+        event["dot_probes"], event["expand_flops"],
+        scipy_path=event["scipy_path"], mask_nvals=event["mask_nvals"],
+        est_out_nnz=event["est_out_nnz"])
     return {**event, "ideal": ideal,
             "mispredicted": event["method"] != ideal}
 
@@ -48,16 +48,19 @@ def test_tc_chooser_mispredictions(suite, monkeypatch, capsys):
     A misprediction here means the *sampled* flop estimate steered the
     chooser differently than the exact flop count would have — the cost of
     sampling, made visible.  The event schema itself is asserted."""
-    monkeypatch.setattr(mm, "MASKED_MIN_NNZ", 0)   # observe every decision
+    monkeypatch.setattr(cost, "MASKED_MIN_NNZ", 0)   # observe every decision
     g = suite["kron"]
     events = []
     with telemetry.capture(events.append):
         for method in METHODS:
             alg.triangle_count(g, method=method, presort=None)
+    # every dispatch records a decision now; the chooser events are the
+    # mxm ones carrying the probe/flop analysis
+    events = [e for e in events if e["op"] == "mxm" and "dot_probes" in e]
     assert events, "masked multiplies should record chooser decisions"
     judged = [_judged(e) for e in events]
     for e in judged:
-        assert e["op"] == "mxm" and e["method"] in ("dot", "expand")
+        assert e["op"] == "mxm" and e["method"] in ("dot", "fallback")
         assert e["expand_flops"] >= 0 and e["dot_probes"] >= 0
     missed = [e for e in judged if e["mispredicted"]]
     with capsys.disabled():

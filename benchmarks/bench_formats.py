@@ -24,15 +24,12 @@ must beat the fixed-CSR push BFS wall-clock on the road graph.  Like every
 wall-clock assert it is disabled under ``REPRO_SKIP_PERF``.
 """
 
-import sys
 
 import numpy as np
 import pytest
 
 from repro.grb.storage import policy
 from repro.lagraph import algorithms as alg
-
-bfs_mod = sys.modules["repro.lagraph.algorithms.bfs"]
 
 FORMATS = ("csr", "csc", "bitmap", "hypersparse")
 GRAPHS = ("kron", "urand", "road")

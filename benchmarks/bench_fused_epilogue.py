@@ -1,0 +1,124 @@
+"""Epilogue-fusion benchmarks: what fused plans buy the rewritten hot loops.
+
+Every group runs an algorithm twice — fusion on (engine default) vs off
+(``cost.FUSION_ENABLED = False``, which decomposes every fused plan into
+the seed sequence with materialised intermediates) — results bit-identical
+either way (pinned by ``tests/grb/engine/test_planner_parity.py``).
+
+Groups:
+
+``fused-pagerank``
+    The Alg. 4 iteration.  Fusion replaces the union-merge write-back of
+    the ``mxv`` accumulate step with one dense add
+    (``mxv-fused-dense-accum`` — the structural counts product dies with
+    it) and computes the L1 convergence delta from the ``t − r`` merge's
+    output pass without materialising the difference vector.
+``fused-sssp``
+    Bellman-Ford: the strict-improvement filter rides the relaxation
+    kernel as a ``select`` epilogue (bitmap membership instead of a sorted
+    ``isin`` probe; no step vector).
+``fused-lcc``
+    Graphalytics LCC: per-node triangle counts as a ``reduce_rowwise``
+    epilogue on the masked SpGEMM — the n × n triangle matrix is never
+    built.
+
+``test_acceptance_fused_pagerank`` is the PR-4 acceptance guard: fused
+PageRank must beat the unfused decomposition by ≥ 1.3× on the small-tier
+kron graph, with bit-identical ranks.  Like every wall-clock assert it is
+disabled under ``REPRO_SKIP_PERF``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.gap import datasets
+from repro.grb.engine import cost
+from repro.lagraph.algorithms.pagerank import pagerank
+from repro.lagraph.algorithms.sssp import sssp_bellman_ford
+from repro.lagraph.experimental.lcc import local_clustering_coefficient
+
+
+def _fusion_off(monkeypatch):
+    monkeypatch.setattr(cost, "FUSION_ENABLED", False)
+
+
+@pytest.mark.parametrize("name", ("kron", "urand"))
+@pytest.mark.parametrize("fusion", ("fused", "off"))
+@pytest.mark.benchmark(group="fused-pagerank")
+def test_pagerank(benchmark, suite, name, fusion, monkeypatch):
+    g = suite[name]
+    if fusion == "off":
+        _fusion_off(monkeypatch)
+    benchmark(pagerank, g)
+
+
+@pytest.mark.parametrize("fusion", ("fused", "off"))
+@pytest.mark.benchmark(group="fused-sssp")
+def test_sssp_bellman_ford(benchmark, suite_weighted, sources, fusion,
+                           monkeypatch):
+    g = suite_weighted["kron"]
+    src = int(sources(g)[0])
+    if fusion == "off":
+        _fusion_off(monkeypatch)
+    benchmark(sssp_bellman_ford, g, src)
+
+
+@pytest.mark.parametrize("fusion", ("fused", "off"))
+@pytest.mark.benchmark(group="fused-lcc")
+def test_lcc(benchmark, suite, fusion, monkeypatch):
+    g = suite["kron"]
+    if fusion == "off":
+        _fusion_off(monkeypatch)
+    benchmark(local_clustering_coefficient, g)
+
+
+def test_fusion_results_match(suite, monkeypatch):
+    """Smoke-level identity: fusion on == off on the bench inputs (the
+    exhaustive parity suite lives in tests/grb/engine/)."""
+    g = suite["kron"]
+    r_on, it_on = pagerank(g)
+    l_on = local_clustering_coefficient(g)
+    _fusion_off(monkeypatch)
+    r_off, it_off = pagerank(g)
+    l_off = local_clustering_coefficient(g)
+    assert it_on == it_off
+    np.testing.assert_array_equal(r_on.values, r_off.values)
+    np.testing.assert_array_equal(l_on.values, l_off.values)
+
+
+@pytest.mark.skipif("REPRO_SKIP_PERF" in os.environ,
+                    reason="perf assertion disabled (noisy shared runner)")
+def test_acceptance_fused_pagerank(monkeypatch):
+    """Acceptance guard: fused PageRank ≥ 1.3× unfused on kron small.
+
+    The fusion exists to stop paying for intermediates the iteration
+    immediately consumes — the union-merge sorts, the structural counts
+    product, the difference vector; on the small-tier kron graph the fused
+    loop must beat the decomposed one by at least 1.3× wall-clock,
+    best-of-3 each, with identical ranks and iteration counts."""
+    import time
+
+    g = datasets.build("kron", "small")
+    g.cache_all()
+
+    def best_of(fn, reps=3):
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    r_on, it_on = pagerank(g)
+    t_fused = best_of(lambda: pagerank(g))
+    monkeypatch.setattr(cost, "FUSION_ENABLED", False)
+    r_off, it_off = pagerank(g)
+    t_plain = best_of(lambda: pagerank(g))
+    assert it_on == it_off
+    np.testing.assert_array_equal(r_on.indices, r_off.indices)
+    np.testing.assert_array_equal(r_on.values, r_off.values)
+    assert t_plain >= 1.3 * t_fused, \
+        f"fused {t_fused:.4f}s vs unfused {t_plain:.4f}s " \
+        f"({t_plain / t_fused:.2f}x < 1.3x)"

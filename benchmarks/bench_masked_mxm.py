@@ -31,20 +31,21 @@ import numpy as np
 import pytest
 
 from repro.gap import datasets
-from repro.grb._kernels import masked_matmul as mm
+from repro.grb.engine import cost
 from repro.grb.ops.semiring import Semiring
 from repro.lagraph import algorithms as alg
 from repro.lagraph.algorithms import bc
 
 
 def _engine_off(monkeypatch):
-    monkeypatch.setattr(mm, "DOT_ENABLED", False)
-    monkeypatch.setattr(mm, "MASK_RESTRICT_ENABLED", False)
+    monkeypatch.setattr(cost, "DOT_ENABLED", False)
+    monkeypatch.setattr(cost, "MASK_RESTRICT_ENABLED", False)
 
 
 def _force_dot(monkeypatch):
-    monkeypatch.setattr(mm, "DOT_PROBE_COST", 0.0)
-    monkeypatch.setattr(mm, "MASKED_MIN_NNZ", 0)
+    monkeypatch.setattr(cost, "DOT_PROBE_COST", 0.0)
+    monkeypatch.setattr(cost, "DOT_WRITE_COST", 0.0)
+    monkeypatch.setattr(cost, "MASKED_MIN_NNZ", 0)
 
 
 def _force_expand_kernel(monkeypatch):
@@ -125,8 +126,8 @@ def test_acceptance_masked_tc_3x(monkeypatch):
     tc_expand = alg.triangle_count(g, method="sandia_lut", presort=None)
     t_expand = best_of(
         lambda: alg.triangle_count(g, method="sandia_lut", presort=None))
-    monkeypatch.setattr(mm, "DOT_ENABLED", True)
-    monkeypatch.setattr(mm, "MASK_RESTRICT_ENABLED", True)
+    monkeypatch.setattr(cost, "DOT_ENABLED", True)
+    monkeypatch.setattr(cost, "MASK_RESTRICT_ENABLED", True)
     _force_dot(monkeypatch)
     tc_dot = alg.triangle_count(g, method="sandia_lut", presort=None)
     t_dot = best_of(

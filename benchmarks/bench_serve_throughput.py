@@ -18,6 +18,7 @@ import pytest
 
 from repro.lagraph import algorithms as alg
 from repro import serve
+from repro.grb.engine import cost
 
 from conftest import GRAPHS
 
@@ -85,19 +86,17 @@ def test_road_msbfs_level_fusion(benchmark, suite, fused):
     """The ROADMAP road-graph follow-up, recorded: near-empty msbfs levels
     fused into raw-array expansion runs vs the per-level masked-mxm loop.
     The high-diameter road grid spends hundreds of levels under
-    ``FUSE_FRONTIER_K``, so fusion removes almost every per-level overhead
+    ``cost.MSBFS_FUSE_FRONTIER_K``, so fusion removes almost every
+    per-level overhead
     (~13× at small scale); the low-diameter graphs are unaffected."""
-    import sys
-    msbfs_mod = sys.modules["repro.lagraph.algorithms.msbfs"]
-
     g = suite["road"]
     srcs = _sources(g)
-    old = msbfs_mod.FUSE_FRONTIER_K
-    msbfs_mod.FUSE_FRONTIER_K = old if fused else 0
+    old = cost.MSBFS_FUSE_FRONTIER_K
+    cost.MSBFS_FUSE_FRONTIER_K = old if fused else 0
     try:
         benchmark(lambda: alg.msbfs_levels(g, srcs))
     finally:
-        msbfs_mod.FUSE_FRONTIER_K = old
+        cost.MSBFS_FUSE_FRONTIER_K = old
 
 
 @pytest.mark.benchmark(group="serve-service")
@@ -162,10 +161,7 @@ def test_acceptance_road_fusion_speedup(suite):
     """Non-benchmark guard for the road follow-up: fusing near-empty msbfs
     levels must beat the per-level masked-mxm loop on the road grid
     (≥ 1.5× asserted; ~13× measured at small scale)."""
-    import sys
     import time
-
-    msbfs_mod = sys.modules["repro.lagraph.algorithms.msbfs"]
 
     g = suite["road"]
     srcs = _sources(g)
@@ -180,11 +176,11 @@ def test_acceptance_road_fusion_speedup(suite):
         return min(times)
 
     t_fused = best_of(lambda: alg.msbfs_levels(g, srcs))
-    old = msbfs_mod.FUSE_FRONTIER_K
-    msbfs_mod.FUSE_FRONTIER_K = 0
+    old = cost.MSBFS_FUSE_FRONTIER_K
+    cost.MSBFS_FUSE_FRONTIER_K = 0
     try:
         t_unfused = best_of(lambda: alg.msbfs_levels(g, srcs))
     finally:
-        msbfs_mod.FUSE_FRONTIER_K = old
+        cost.MSBFS_FUSE_FRONTIER_K = old
     assert t_unfused >= 1.5 * t_fused, \
         f"fused {t_fused:.3f}s vs unfused {t_unfused:.3f}s (< 1.5x)"

@@ -85,12 +85,13 @@ from .vector import Vector
 from ._kernels import apply_select as selectops
 from . import storage
 from . import telemetry
+from . import engine
 
 __all__ = [
     # objects
     "Matrix", "Vector", "Type", "Mask", "Descriptor", "Semiring",
-    # storage engine / instrumentation
-    "storage", "telemetry",
+    # execution engine / storage engine / instrumentation
+    "engine", "storage", "telemetry",
     # types
     "BOOL", "INT8", "INT16", "INT32", "INT64",
     "UINT8", "UINT16", "UINT32", "UINT64", "FP32", "FP64",

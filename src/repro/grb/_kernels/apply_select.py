@@ -21,6 +21,7 @@ import numpy as np
 
 __all__ = [
     "SelectOp",
+    "eval_unary",
     "eval_select",
     "TRIL",
     "TRIU",
@@ -46,17 +47,46 @@ class SelectOp:
     ``fn(values, i, j, thunk) -> bool array``; for vectors ``j`` is zeros.
     ``uses_coords=False`` marks value-only predicates, which callers may
     evaluate with ``i``/``j`` set to ``None`` (no coordinate expansion).
+    ``keyed=True`` marks predicates that accept the *linearised* matrix
+    coordinate directly (``i`` = ``row·ncols + col`` keys, ``j=None``):
+    fused epilogues then skip the div/mod split a kernel's raw key output
+    would otherwise round-trip through (the op must still handle real
+    ``(i, j)`` pairs for the materialised path).
     """
 
     name: str
     fn: Callable[[np.ndarray, np.ndarray, np.ndarray, object], np.ndarray]
     uses_coords: bool = True
+    keyed: bool = False
 
     def __call__(self, values, i, j, thunk) -> np.ndarray:
         return np.asarray(self.fn(values, i, j, thunk), dtype=bool)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SelectOp({self.name})"
+
+
+def eval_unary(op, values: np.ndarray, thunk, rows, cols) -> np.ndarray:
+    """Evaluate a ``UnaryOp`` over entry arrays — the one definition of
+    apply's value semantics (positional i/j dispatch, thunk arity, the
+    ``out_dtype`` cast), shared by ``Vector.apply`` / ``Matrix.apply`` and
+    the engine's apply rule and fused epilogues so the paths cannot drift.
+
+    ``rows`` / ``cols`` are zero-arg callables supplying the coordinate
+    arrays; they are invoked only for positional ops, so value ops never
+    pay a coordinate expansion.
+    """
+    if op.positional == "i":
+        out = op.fn(rows())
+    elif op.positional == "j":
+        out = op.fn(cols())
+    elif thunk is not None:
+        out = op.fn(values, thunk)
+    else:
+        out = op.fn(values)
+    if op.out_dtype is not None:
+        out = out.astype(op.out_dtype, copy=False)
+    return out
 
 
 def eval_select(op: "SelectOp", values: np.ndarray, store, thunk) -> np.ndarray:

@@ -5,7 +5,10 @@ exploits *inside* the multiply: triangle counting's ``C⟨s(L)⟩ = L plus.pair
 Uᵀ`` (Sec. IV-E / Alg. 6) touches one dot product per stored edge of ``L``,
 never the full wedge count, and batched BC's per-level masked ``plus.first``
 products (Sec. IV-B / Alg. 3) skip everything the mask will discard anyway.
-This module gives :func:`repro.grb.operations.mxm` the same power:
+This module is the *kernel*; which multiplies run it is decided by the
+``mxm-masked-dot`` planner rule in :mod:`repro.grb.engine.executors`, under
+the unified cost model in :mod:`repro.grb.engine.cost` (probe count + one
+write per mask entry versus estimated flops + product materialisation).
 
 ``masked_dot``
     The *dot3* kernel (named after cuSPARSE/GraphBLAS "SDDMM-style" masked
@@ -13,42 +16,35 @@ This module gives :func:`repro.grb.operations.mxm` the same power:
     ``A(i,:)`` with row ``j`` of ``Bᵀ`` (= column ``j`` of ``B``) — fully
     vectorised: the *shorter* of the two rows is expanded with
     :func:`~repro.grb._kernels.gather.concat_ranges` and probed into the
-    other operand's globally sorted ``row·inner + k`` key array with one
-    ``searchsorted`` (the same probe idiom as
-    :func:`~repro.grb._kernels.matmul.mxv_pull_probe`).  Cost is
-    ``O(Σ_(i,j)∈M min(|A(i,:)|, |B(:,j)|) · log nnz)`` — proportional to the
-    mask, not to the flop count of the full product.
+    other operand.  Cost is ``O(Σ_(i,j)∈M min(|A(i,:)|, |B(:,j)|))`` probe
+    lanes — proportional to the mask, not to the flop count of the full
+    product.
 
-``mask-restricted expand`` (implemented in
-:func:`~repro.grb._kernels.matmul.mxm_expand` via ``rows`` / ``key_keep``)
-    For masks the dot kernel cannot serve — complemented masks (BC's
-    ``⟨¬s(P)⟩`` frontier expansion) and exotic semirings — the flop-order
-    expand kernel is restricted to the rows the mask can still write
-    (non-complemented: mask-live rows; complemented: rows whose mask row is
-    not yet full) and its per-flop output is filtered against the mask
-    *before* the group-reduce, so dead contributions never pay the sort.
+Probe resolution is itself a small per-call chooser with three
+mechanisms, all bit-identical:
 
-Cost model / chooser
---------------------
-:func:`choose_masked_method` compares the exact dot probe count
-(``Σ min(|A row|, |Bᵀ row|)`` over mask entries — O(mask) to compute)
-against a *sampled* flop estimate for the expand/SciPy path, weighted by the
-per-unit cost constants below.  Like :mod:`repro.grb.storage.policy`, every
-threshold is a module-level constant that benchmarks and tests monkeypatch
-to force a path; :data:`DOT_ENABLED` / :data:`MASK_RESTRICT_ENABLED` switch
-the whole engine off for ablation (``benchmarks/bench_masked_mxm.py``).
+* **dense flags** — when the probed side's values are unused and its grid
+  fits :data:`DOT_DENSE_GRID_CAP`, membership is one O(1) gather from a
+  dense bool array (TC's ``plus.pair``, BC's ``plus.first``);
+* **bounded (galloping) search** — when the probe lanes are few relative
+  to the probed operand's nnz (:data:`BOUNDED_PROBE_NNZ_RATIO`, the very
+  asymmetric-rows regime), each lane binary-searches only its target
+  *row span* — O(lanes · log max-row) — and the O(nnz) global key array is
+  never materialised;
+* **global searchsorted** — otherwise: one ``searchsorted`` against the
+  sorted ``row·inner + col`` keys of every entry.
 
 Bit-identity contract
 ---------------------
-Whatever the chooser picks, results are bit-identical to the reference
+Whatever path resolves a probe, results are bit-identical to the reference
 "compute the full product, then discard non-mask entries in the write-back"
 pipeline: the dot kernel replays the fallback path's value arithmetic —
 operand casts and k-ascending accumulation order for SciPy-reducible
 semirings, the semiring's own ops in storage order otherwise — and entries
 exist exactly where the pattern product intersects the mask (explicit zeros
-from cancellation survive, as the spec requires).  The property suite in
-``tests/grb/test_masked_mxm.py`` pins this across semirings, mask kinds and
-storage formats.
+from cancellation survive, as the spec requires).  The property suites in
+``tests/grb/test_masked_mxm.py`` and ``tests/grb/engine/`` pin this across
+semirings, mask kinds and storage formats.
 """
 
 from __future__ import annotations
@@ -62,41 +58,9 @@ from ..ops.semiring import Semiring
 from .gather import concat_ranges, expand_rows
 
 __all__ = [
-    "DOT_ENABLED", "MASK_RESTRICT_ENABLED", "DOT_PROBE_COST",
-    "SCIPY_FLOP_COST", "EXPAND_FLOP_COST", "FLOP_SAMPLE",
-    "MASKED_MIN_NNZ", "LIVE_ROW_FRACTION", "DOT_DENSE_GRID_CAP",
-    "dot_supported", "mask_row_lengths", "dot_probe_cost",
-    "expand_flops_estimate", "expand_flops_exact", "choose_masked_method",
-    "masked_dot",
+    "DOT_DENSE_GRID_CAP", "BOUNDED_PROBE_NNZ_RATIO",
+    "dot_supported", "bounded_searchsorted", "masked_dot",
 ]
-
-#: Master switch for the dot3 kernel (ablation / bisection aid).
-DOT_ENABLED = True
-#: Master switch for mask-driven row restriction + pre-reduce filtering on
-#: the fallback (SciPy / expand) paths.
-MASK_RESTRICT_ENABLED = True
-
-#: Relative cost of one dot probe lane (a flag gather / searchsorted) ...
-DOT_PROBE_COST = 0.4
-#: ... versus one flop on SciPy's compiled CSR kernel — whose path also
-#: pays the full product's materialisation and masked write-back, which is
-#: why a probe lane prices close to a compiled flop (measured on kron) ...
-SCIPY_FLOP_COST = 1.0
-#: ... versus one flop on the vectorised gather/sort expand kernel.
-EXPAND_FLOP_COST = 4.0
-#: A-entries sampled for the expand-path flop estimate.
-FLOP_SAMPLE = 512
-
-#: Combined operand nnz below which the masked engine stands down entirely
-#: (no chooser, no row restriction): tiny products are cheaper to compute
-#: in full than to analyse.  The road-grid TC at small scale sits under
-#: this floor; kron sits well above it.
-MASKED_MIN_NNZ = 1 << 15
-
-#: Row restriction only engages when the mask leaves at most this fraction
-#: of the output rows alive — slicing the operand to skip a handful of dead
-#: rows costs more than computing them.
-LIVE_ROW_FRACTION = 0.75
 
 #: ⊗ operators the dot kernel can replay bit-identically.
 _DOT_MULTS = ("pair", "times", "first", "second")
@@ -111,63 +75,20 @@ def dot_supported(semiring: Semiring) -> bool:
             and semiring.add.name in _DOT_MONOIDS)
 
 
-def mask_row_lengths(a_indptr: np.ndarray, bt_indptr: np.ndarray,
-                     rows: np.ndarray, cols: np.ndarray):
-    """``(|A(i,:)|, |Bᵀ(j,:)|)`` per mask entry — shared by the chooser's
-    probe-cost estimate and :func:`masked_dot` (computed once per call)."""
-    return (a_indptr[rows + 1] - a_indptr[rows],
-            bt_indptr[cols + 1] - bt_indptr[cols])
-
-
-def dot_probe_cost(la: np.ndarray, lb: np.ndarray) -> int:
-    """Exact probe count of the dot kernel: ``Σ min(|A(i,:)|, |Bᵀ(j,:)|)``.
-
-    O(mask nvals) — cheap enough that the chooser uses the exact value
-    rather than the ``mask nvals × avg degree`` approximation.
-    """
-    return int(np.minimum(la, lb).sum())
-
-
-def expand_flops_estimate(a_indices: np.ndarray,
-                          b_row_lengths: np.ndarray) -> float:
-    """Sampled flop estimate for the unmasked product ``A ⊕.⊗ B``.
-
-    Samples every ``nnz(A) / FLOP_SAMPLE``-th A entry (deterministic — no
-    RNG) and extrapolates the mean B-row length to the full entry count.
-    """
-    nnz = a_indices.size
-    if nnz == 0:
-        return 0.0
-    step = max(1, nnz // FLOP_SAMPLE)
-    sampled = a_indices[::step]
-    return float(b_row_lengths[sampled].mean()) * nnz
-
-
-def expand_flops_exact(a_indices: np.ndarray,
-                       b_row_lengths: np.ndarray) -> int:
-    """Exact flop count of the unmasked product (telemetry only — O(nnz))."""
-    if a_indices.size == 0:
-        return 0
-    return int(b_row_lengths[a_indices].sum())
-
-
-def choose_masked_method(cost_dot: float, est_flops: float,
-                         scipy_path: bool) -> str:
-    """``"dot"`` or ``"expand"`` from the weighted cost comparison."""
-    if not DOT_ENABLED:
-        return "expand"
-    flop_cost = SCIPY_FLOP_COST if scipy_path else EXPAND_FLOP_COST
-    return "dot" if cost_dot * DOT_PROBE_COST <= est_flops * flop_cost \
-        else "expand"
-
-
 #: Largest ``nrows × inner`` grid for which a probed operand's structure is
-#: densified into a flat bool flag array (O(1) membership per probe lane
-#: instead of an O(log nnz) searchsorted).  Only reachable when the probe
-#: does not need the probed side's *values* (``pair`` / the pattern side of
-#: ``first``/``second``) — which is exactly TC's ``plus.pair`` and BC's
-#: ``plus.first``.
+#: densified into a flat bool flag array (O(1) membership per probe lane).
+#: Only reachable when the probe does not need the probed side's *values*
+#: (``pair`` / the pattern side of ``first``/``second``) — which is exactly
+#: TC's ``plus.pair`` and BC's ``plus.first``.  A kernel-mechanism cap, not
+#: a planner constant — it tunes how a chosen kernel executes.
 DOT_DENSE_GRID_CAP = 1 << 26
+
+#: Probe-lane count below this fraction of the probed operand's nnz takes
+#: the bounded (galloping) search: building the O(nnz) dense flags / global
+#: key array would dominate, so each lane binary-searches its target row
+#: span instead.  This is the very-asymmetric-rows regime — a small mask
+#: whose entries intersect short rows against a huge operand.
+BOUNDED_PROBE_NNZ_RATIO = 0.125
 
 
 def _row_key_array(indptr: np.ndarray, indices: np.ndarray,
@@ -182,16 +103,72 @@ def _row_key_array(indptr: np.ndarray, indices: np.ndarray,
     return expand_rows(indptr, nrows) * inner + indices
 
 
+def bounded_searchsorted(arr: np.ndarray, lo: np.ndarray, hi: np.ndarray,
+                         targets: np.ndarray) -> np.ndarray:
+    """Vectorised binary search of ``targets[t]`` in ``arr[lo[t]:hi[t])``.
+
+    Each span must be sorted ascending (CSR row invariant).  Returns the
+    per-lane insertion point — the same contract as ``np.searchsorted``
+    restricted to the span, expressed as a global position into ``arr``.
+    Runs ``ceil(log2(max span))`` full-vector rounds: the classic
+    branch-free bisection, which is what makes the asymmetric-row probe
+    O(lanes · log max-row) instead of O(nnz + lanes · log nnz).
+    """
+    lo = lo.astype(np.int64, copy=True)
+    hi = hi.astype(np.int64, copy=True)
+    if lo.size == 0:
+        return lo
+    max_span = int((hi - lo).max())
+    while max_span > 0:
+        active = lo < hi
+        mid = (lo + hi) >> 1
+        # inactive lanes read a safe position; their lo/hi never move
+        probe = np.where(active, mid, 0)
+        go_right = active & (arr[probe] < targets)
+        lo = np.where(go_right, mid + 1, lo)
+        hi = np.where(active & ~go_right, mid, hi)
+        max_span >>= 1
+    return lo
+
+
+def _probe_bounded(indptr: np.ndarray, indices: np.ndarray,
+                   probe_rows: np.ndarray, probe_cols: np.ndarray,
+                   need_pos: bool):
+    """Span-bounded (galloping) probe resolution.
+
+    Each lane binary-searches only ``indices[indptr[row]:indptr[row+1])``
+    — O(lanes · log max-row), and the probed operand's O(nnz) key/flag
+    arrays are never materialised.  Chosen by :func:`masked_dot` when the
+    lane count is small relative to the probed nnz (the very
+    asymmetric-rows regime).
+    """
+    nnz = indices.size
+    if nnz == 0:
+        return (np.zeros(probe_rows.size, dtype=bool),
+                np.zeros(probe_rows.size, dtype=np.int64) if need_pos
+                else None)
+    lo = indptr[probe_rows]
+    hi = indptr[probe_rows + 1]
+    pos = bounded_searchsorted(indices, lo, hi, probe_cols)
+    safe = np.minimum(pos, nnz - 1)
+    hit = (pos < hi) & (indices[safe] == probe_cols)
+    return hit, (pos if need_pos else None)
+
+
 def _probe_membership(indptr: np.ndarray, indices: np.ndarray,
                       seek: np.ndarray, inner: np.int64, need_pos: bool):
-    """Resolve probe keys against a CSR structure.
+    """Resolve linearised ``row · inner + col`` probe keys against a CSR
+    structure (dense flags within :data:`DOT_DENSE_GRID_CAP`, one global
+    ``searchsorted`` otherwise).
 
-    Returns ``(hit, pos)``: a bool mask over ``seek`` and — only when
-    ``need_pos`` (the probed side's values feed the multiply) — the entry
-    position of each probe.  Without positions and within
-    :data:`DOT_DENSE_GRID_CAP`, membership is a single gather from a dense
-    flag array; otherwise one ``searchsorted`` against the sorted
-    ``row·inner + col`` keys.
+    ``seek`` must be built by the caller as one expression over
+    refcount-1 temporaries so NumPy's in-place temporary elision kicks in
+    — computing it here from named factor arrays would force an extra
+    lanes-sized allocation per probe group.
+
+    Returns ``(hit, pos)``: a bool mask over the probe lanes and — only
+    when ``need_pos`` (the probed side's values feed the multiply) — the
+    entry position of each probe.
     """
     nrows = indptr.size - 1
     grid = int(nrows) * int(inner)
@@ -245,12 +222,14 @@ def masked_dot(
         When set, replay SciPy-fast-path semantics: operands are cast to
         this dtype before multiplying and accumulation is plain ``+`` in
         k-ascending order — bit-identical to
-        :func:`repro.grb.operations._scipy_mxm`.  When ``None``, replay
-        :func:`~repro.grb._kernels.matmul.mxm_expand` semantics (the
+        :func:`repro.grb.engine.executors.scipy_mxm`.  When ``None``,
+        replay :func:`~repro.grb._kernels.matmul.mxm_expand` semantics (the
         semiring's own ops on the operands' native dtypes).
     lengths:
-        Optional precomputed :func:`mask_row_lengths` pair — the chooser
-        already derived it, so the kernel need not gather it again.
+        Optional precomputed ``(|A(i,:)|, |Bᵀ(j,:)|)`` pair per mask entry
+        — the chooser already derived it (from per-row/per-column entry
+        counts, without materialising any layout conversion), so the
+        kernel need not gather it again.
 
     Returns
     -------
@@ -263,8 +242,11 @@ def masked_dot(
     mult_name = semiring.mult.name
     need_av = mult_name in ("times", "first")
     need_bv = mult_name in ("times", "second")
-    la, lb = lengths if lengths is not None else \
-        mask_row_lengths(a_indptr, bt_indptr, rows, cols)
+    if lengths is not None:
+        la, lb = lengths
+    else:
+        la = a_indptr[rows + 1] - a_indptr[rows]
+        lb = bt_indptr[cols + 1] - bt_indptr[cols]
     cand = np.flatnonzero((la > 0) & (lb > 0)).astype(np.int64)
     inner64 = np.int64(inner)
 
@@ -279,10 +261,17 @@ def masked_dot(
             # expand A-side elements, probe them into B's (j, k) structure
             counts = la[group_a]
             flat = concat_ranges(a_indptr[rows[group_a]], counts)
-            seek = (np.repeat(cols[group_a], counts) * inner64
-                    + a_indices[flat])
-            hit, pos = _probe_membership(bt_indptr, bt_indices, seek,
-                                         inner64, need_bv)
+            if flat.size < BOUNDED_PROBE_NNZ_RATIO * bt_indices.size:
+                hit, pos = _probe_bounded(bt_indptr, bt_indices,
+                                          np.repeat(cols[group_a], counts),
+                                          a_indices[flat], need_bv)
+            else:
+                # one expression over refcount-1 temporaries: the multiply
+                # and add elide in place (no extra lanes-sized allocation)
+                seek = np.repeat(cols[group_a], counts) * inner64 \
+                    + a_indices[flat]
+                hit, pos = _probe_membership(bt_indptr, bt_indices, seek,
+                                             inner64, need_bv)
             t_parts.append(np.repeat(group_a, counts)[hit])
             apos_parts.append(flat[hit] if need_av else None)
             bpos_parts.append(pos[hit] if need_bv else None)
@@ -290,10 +279,15 @@ def masked_dot(
             # expand B-side elements, probe them into A's (i, k) structure
             counts = lb[group_b]
             flat = concat_ranges(bt_indptr[cols[group_b]], counts)
-            seek = (np.repeat(rows[group_b], counts) * inner64
-                    + bt_indices[flat])
-            hit, pos = _probe_membership(a_indptr, a_indices, seek,
-                                         inner64, need_av)
+            if flat.size < BOUNDED_PROBE_NNZ_RATIO * a_indices.size:
+                hit, pos = _probe_bounded(a_indptr, a_indices,
+                                          np.repeat(rows[group_b], counts),
+                                          bt_indices[flat], need_av)
+            else:
+                seek = np.repeat(rows[group_b], counts) * inner64 \
+                    + bt_indices[flat]
+                hit, pos = _probe_membership(a_indptr, a_indices, seek,
+                                             inner64, need_av)
             t_parts.append(np.repeat(group_b, counts)[hit])
             apos_parts.append(pos[hit] if need_av else None)
             bpos_parts.append(flat[hit] if need_bv else None)

@@ -1,0 +1,112 @@
+"""``repro.grb.engine`` — the unified plan/dispatch layer.
+
+Every GraphBLAS call is first described as a small :class:`Plan` object
+(op, operands + formats, mask kind, accumulator, descriptor bits, output
+target), then routed through the registered planner rules
+(:mod:`~repro.grb.engine.rules`) under one cost model
+(:mod:`~repro.grb.engine.cost`).  The scattered pre-engine choosers — the
+masked-mxm dot-vs-fallback decision, the Beamer push/pull heuristic, the
+per-kernel format fast paths — all live here now, as rules whose decisions
+share the :mod:`repro.grb.telemetry` event stream and whose constants are
+monkeypatchable in one module.
+
+Quick tour::
+
+    from repro.grb import engine
+
+    # the operations layer does this for every call:
+    engine.execute(engine.plan_mxv(w, A, u, sr, accum=plus))
+
+    # algorithm hot loops fuse consumers onto the producing kernel:
+    tri, vals = engine.execute(
+        engine.plan_mxm(None, A, A, plus_pair, mask=structure(A))
+              .then_reduce_rowwise(PLUS_MONOID))
+
+    # and force paths for tests / ablations:
+    with engine.force_rule("mxv", "mxv-gather"):
+        ...
+
+``out=None`` plans return raw ``(keys, values)`` arrays (or a scalar after
+``then_reduce_scalar``) — the single-consumer fusion contract.  Setting
+``cost.FUSION_ENABLED = False`` decomposes every fused chain into the seed
+sequence with materialised intermediates, the bit-identity reference.
+"""
+
+from __future__ import annotations
+
+from . import cost
+from .plan import (
+    Epilogue,
+    Plan,
+    plan_apply,
+    plan_assign,
+    plan_assign_scalar,
+    plan_bfs_step,
+    plan_ewise_add,
+    plan_ewise_mult,
+    plan_mxm,
+    plan_mxv,
+    plan_select,
+    plan_vxm,
+)
+from .rules import PlanningError, Rule, dispatch, force_rule, register, rules_for
+from . import executors  # noqa: F401  (imports register the rule set)
+from .executors import write_matrix, write_vector
+
+__all__ = [
+    "cost", "Plan", "Epilogue", "execute", "dispatch",
+    "plan_mxm", "plan_mxv", "plan_vxm", "plan_ewise_add", "plan_ewise_mult",
+    "plan_apply", "plan_select", "plan_assign", "plan_assign_scalar",
+    "plan_bfs_step", "choose_direction", "preplan",
+    "Rule", "register", "rules_for", "force_rule", "PlanningError",
+    "write_vector", "write_matrix",
+]
+
+
+def execute(plan: Plan):
+    """Route a plan through the rule registry and run the claiming rule."""
+    return dispatch(plan)
+
+
+def choose_direction(frontier_edges: float, unexplored_edges: float,
+                     frontier_nvals: int, n: int) -> str:
+    """``"push"`` or ``"pull"`` for one frontier-expansion step.
+
+    The Beamer chooser (GAP's alpha/beta heuristic), routed through the
+    ``bfs_step`` rule pair so the decision is forceable
+    (``cost.PUSHPULL_ALPHA`` / ``cost.PUSHPULL_BETA``) and shows up in the
+    telemetry stream like every other planner decision.
+    """
+    return dispatch(plan_bfs_step(frontier_edges, unexplored_edges,
+                                  frontier_nvals, n))
+
+
+def preplan(a, *, profile: str = "default") -> dict:
+    """Pre-build the operand state the planner's preferred rules read.
+
+    Serving stacks call this at graph-registration time so the first query
+    pays no one-off conversions: the canonical CSR view, the cached
+    CSC/transpose arrays (what ``mxm-masked-dot`` feeds as ``Bᵀ`` and the
+    pull kernels probe), and — under the ``"msbfs"`` profile — the all-ones
+    pattern operands of the structural multiplies.  Returns a summary dict
+    (also recorded as a ``preplan`` telemetry event when a hook is active).
+    """
+    import numpy as np
+
+    from .. import telemetry
+
+    st = a._S()
+    st.csr()
+    st.transpose_csr()
+    built = ["csr", "transpose_csr"]
+    if profile == "msbfs":
+        a.pattern_operand(np.int64)
+        built.append("pattern_operand")
+    summary = {
+        "op": "preplan", "profile": profile, "format": a.format,
+        "nrows": a.nrows, "ncols": a.ncols, "nvals": a.nvals,
+        "built": tuple(built),
+    }
+    if telemetry.active():
+        telemetry.record(summary)
+    return summary

@@ -1,0 +1,196 @@
+"""The unified cost model: every tunable the planner consults, in one place.
+
+Before the engine existed these constants were scattered — the masked-mxm
+chooser lived in ``_kernels/masked_matmul.py``, the dense-pull threshold in
+``operations.py``, the Beamer push/pull constants in
+``lagraph/algorithms/bfs.py``.  Planner rules (:mod:`repro.grb.engine.rules`)
+now read *this* module at decision time, so monkeypatching any constant here
+re-routes every call that consults it — the same forcing idiom
+:mod:`repro.grb.storage.policy` established::
+
+    monkeypatch.setattr(cost, "DOT_PROBE_COST", 0.0)   # force the dot kernel
+    monkeypatch.setattr(cost, "FUSION_ENABLED", False) # decompose epilogues
+
+Kernel *mechanism* caps (e.g. the dense-flag grid cap of the dot probe)
+stay next to their kernels: they tune how a chosen kernel executes, not
+which kernel is chosen.
+
+Cost units are relative: one compiled SciPy flop ≡ 1.0.  The write-cost
+terms price the part of a multiply the flop counts miss — materialising and
+mask-filtering the product (``FALLBACK_WRITE_COST`` per estimated product
+entry) versus emitting at most one output per mask entry
+(``DOT_WRITE_COST``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    # switches
+    "DOT_ENABLED", "MASK_RESTRICT_ENABLED", "FUSION_ENABLED",
+    # masked-mxm chooser
+    "DOT_PROBE_COST", "SCIPY_FLOP_COST", "EXPAND_FLOP_COST", "FLOP_SAMPLE",
+    "MASKED_MIN_NNZ", "LIVE_ROW_FRACTION",
+    "DOT_WRITE_COST", "FALLBACK_WRITE_COST",
+    # mxv / vxm density chooser
+    "DENSE_PULL_FRACTION",
+    # batched-frontier (msbfs) choosers
+    "MSBFS_AUTO_BATCH_THRESHOLD", "MSBFS_PROBE_DENSITY",
+    "MSBFS_FUSE_FRONTIER_K",
+    # frontier-direction (Beamer) chooser
+    "PUSHPULL_ALPHA", "PUSHPULL_BETA", "BFS_DO_MIN_AVG_DEGREE",
+    # estimators
+    "dot_probe_cost", "expand_flops_estimate", "expand_flops_exact",
+    "product_nnz_estimate", "choose_masked_method",
+]
+
+# ---------------------------------------------------------------------------
+# master switches (ablation / bisection aids)
+# ---------------------------------------------------------------------------
+
+#: Master switch for the dot3 masked-SpGEMM kernel.
+DOT_ENABLED = True
+#: Master switch for mask-driven row restriction + pre-reduce filtering on
+#: the fallback (SciPy / expand) mxm paths.
+MASK_RESTRICT_ENABLED = True
+#: Master switch for epilogue fusion: with ``False`` every fused plan
+#: decomposes into the seed sequence (materialised intermediates between
+#: stages) — what ``benchmarks/bench_fused_epilogue.py`` measures against.
+FUSION_ENABLED = True
+
+# ---------------------------------------------------------------------------
+# masked-mxm chooser (dot3 vs mask-restricted fallback)
+# ---------------------------------------------------------------------------
+
+#: Relative cost of one dot probe lane (a flag gather / bounded or global
+#: searchsorted) ...
+DOT_PROBE_COST = 0.4
+#: ... versus one flop on SciPy's compiled CSR kernel ...
+SCIPY_FLOP_COST = 1.0
+#: ... versus one flop on the vectorised gather/sort expand kernel.
+EXPAND_FLOP_COST = 4.0
+#: A-entries sampled for the expand-path flop estimate.
+FLOP_SAMPLE = 512
+
+#: Cost of emitting one dot output candidate (≤ one per mask entry).
+DOT_WRITE_COST = 0.5
+#: Cost of materialising + mask-filtering one estimated product entry on
+#: the fallback paths — the output-write term the flop counts miss.
+FALLBACK_WRITE_COST = 1.0
+
+#: Combined operand nnz below which the masked engine stands down entirely
+#: (no chooser, no row restriction): tiny products are cheaper to compute
+#: in full than to analyse.
+MASKED_MIN_NNZ = 1 << 15
+
+#: Row restriction only engages when the mask leaves at most this fraction
+#: of the output rows alive — slicing the operand to skip a handful of dead
+#: rows costs more than computing them.
+LIVE_ROW_FRACTION = 0.75
+
+# ---------------------------------------------------------------------------
+# mxv / vxm density chooser
+# ---------------------------------------------------------------------------
+
+#: Frontier density above which plus-reducible mxv/vxm switch to the dense
+#: (SciPy) path.  Mirrors SS:GrB's sparse→bitmap heuristic.
+DENSE_PULL_FRACTION = 0.10
+
+# ---------------------------------------------------------------------------
+# batched-frontier (msbfs) choosers
+# ---------------------------------------------------------------------------
+
+#: ``method="auto"`` msbfs uses the compiled-product path for batches this
+#: big (below it, per-source sweeps win).
+MSBFS_AUTO_BATCH_THRESHOLD = 2
+#: Frontier density (nvals / grid) above which a probe level beats a push
+#: level: the expected number of probes until a hit scales like the
+#: inverse density — the Beamer direction switch of Alg. 2, batched.
+MSBFS_PROBE_DENSITY = 0.05
+#: Frontiers with fewer live entries than this skip the masked ``mxm``
+#: entirely: consecutive near-empty levels run as raw-array neighbour
+#: expansions and merge into the output once per run (~13× on the small
+#: road grid, 64 sources).  0 disables level fusion.
+MSBFS_FUSE_FRONTIER_K = 8192
+
+# ---------------------------------------------------------------------------
+# frontier-direction (push/pull) chooser
+# ---------------------------------------------------------------------------
+
+#: Beamer heuristic constants (GAP uses alpha=15, beta=18): pull when the
+#: frontier's out-edges outnumber the unexplored edges / alpha, push while
+#: the frontier holds fewer than n / beta vertices.
+PUSHPULL_ALPHA = 15.0
+PUSHPULL_BETA = 18.0
+
+#: Average degree at/above which Basic-mode BFS opts into direction
+#: optimisation (the transpose build has to amortise).
+BFS_DO_MIN_AVG_DEGREE = 4.0
+
+
+# ---------------------------------------------------------------------------
+# estimators
+# ---------------------------------------------------------------------------
+
+def dot_probe_cost(la: np.ndarray, lb: np.ndarray) -> int:
+    """Exact probe count of the dot kernel: ``Σ min(|A(i,:)|, |Bᵀ(j,:)|)``.
+
+    O(mask nvals) — cheap enough that the chooser uses the exact value
+    rather than the ``mask nvals × avg degree`` approximation.
+    """
+    return int(np.minimum(la, lb).sum())
+
+
+def expand_flops_estimate(a_indices: np.ndarray,
+                          b_row_lengths: np.ndarray) -> float:
+    """Sampled flop estimate for the unmasked product ``A ⊕.⊗ B``.
+
+    Samples every ``nnz(A) / FLOP_SAMPLE``-th A entry (deterministic — no
+    RNG) and extrapolates the mean B-row length to the full entry count.
+    """
+    nnz = a_indices.size
+    if nnz == 0:
+        return 0.0
+    step = max(1, nnz // FLOP_SAMPLE)
+    sampled = a_indices[::step]
+    return float(b_row_lengths[sampled].mean()) * nnz
+
+
+def expand_flops_exact(a_indices: np.ndarray,
+                       b_row_lengths: np.ndarray) -> int:
+    """Exact flop count of the unmasked product (telemetry only — O(nnz))."""
+    if a_indices.size == 0:
+        return 0
+    return int(b_row_lengths[a_indices].sum())
+
+
+def product_nnz_estimate(est_flops: float, nrows: int, ncols: int) -> float:
+    """Estimated stored-entry count of the full product.
+
+    Crude but cheap: the product can't hold more entries than it performs
+    flops, nor more than the output grid.  This is the write-cost input —
+    it only needs to be the right order of magnitude, and it is exact in
+    the two regimes that matter (flop-sparse products, where every flop
+    tends to land on a fresh entry, and near-dense products capped by the
+    grid).
+    """
+    return min(est_flops, float(nrows) * float(ncols))
+
+
+def choose_masked_method(cost_dot: float, est_flops: float, *,
+                         scipy_path: bool, mask_nvals: int = 0,
+                         est_out_nnz: float = 0.0) -> str:
+    """``"dot"`` or ``"fallback"`` from the weighted cost comparison.
+
+    Both sides price compute *and* output writing: the dot kernel emits at
+    most one entry per mask entry, while the fallback materialises the
+    estimated full product and discards the non-mask part in the
+    write-back.
+    """
+    if not DOT_ENABLED:
+        return "fallback"
+    flop_cost = SCIPY_FLOP_COST if scipy_path else EXPAND_FLOP_COST
+    dot_total = cost_dot * DOT_PROBE_COST + mask_nvals * DOT_WRITE_COST
+    fb_total = est_flops * flop_cost + est_out_nnz * FALLBACK_WRITE_COST
+    return "dot" if dot_total <= fb_total else "fallback"

@@ -1,0 +1,1049 @@
+"""Execution strategies: the rules behind every plan, and their kernels' glue.
+
+This module is where the scattered pre-engine dispatch logic of
+``operations.py`` now lives, reorganised as registered planner rules:
+
+* ``mxm`` — ``mxm-masked-dot`` (the dot3 masked-SpGEMM kernel, claimed via
+  the unified chooser in :mod:`repro.grb.engine.cost`), ``mxm-scipy``
+  (compiled plus.times-reducible path, mask-restricted to live rows) and
+  ``mxm-expand`` (the always-applicable flop-expansion reference).
+* ``mxv`` / ``vxm`` — ``*-fused-dense-accum`` (epilogue-fused dense
+  accumulate, see below), the SciPy dense path above
+  :data:`~repro.grb.engine.cost.DENSE_PULL_FRACTION` frontier density, and
+  the sparse gather/push reference.
+* ``ewise_add`` / ``ewise_mult`` — bitmap-layout dense merge when both
+  operands are bitmap-resident, sorted-key merge otherwise (the format
+  fast path that used to hide inside ``merge_objects``).
+* ``apply`` / ``select`` — entry-wise evaluation directly on the source's
+  arrays (value-only selects never expand coordinates — the
+  ``apply_select`` fast path, now a visible rule).
+* ``assign`` / ``assign_scalar`` — the spec's sub-range write transaction.
+* ``bfs_step`` — the Beamer push/pull chooser as a planning-only rule pair.
+
+Every rule funnels its kernel's raw ``(keys, values)`` result through
+:func:`finish`, which applies any fused epilogues *before* the single
+masked write-back — an ``apply``/``select`` riding on a multiply or merge
+never materialises an intermediate object (unless
+:data:`~repro.grb.engine.cost.FUSION_ENABLED` is off, in which case the
+chain decomposes into the seed sequence, which is the bit-identity
+reference).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .. import telemetry
+from .._kernels import apply_select as _selectops
+from .._kernels import masked_matmul as _mm
+from .._kernels.ewise import (
+    intersect_merge,
+    intersect_merge_bitmap,
+    setdiff_keys,
+    union_merge,
+    union_merge_bitmap,
+)
+from .._kernels.gather import expand_rows
+from .._kernels.maskwrite import masked_write
+from .._kernels.matmul import mxm_expand, mxv_gather, vxm_sparse
+from ..mask import Mask
+from ..matrix import Matrix
+from ..ops.semiring import Semiring
+from ..types import from_dtype
+from ..vector import Vector
+from . import cost
+from .plan import Plan
+from .rules import register
+
+__all__ = ["write_vector", "write_matrix", "finish", "scipy_mxm",
+           "scipy_mxv", "mask_live_rows", "mask_key_filter"]
+
+# SciPy keeps explicit zeros produced by cancellation in sparse matmul; probe
+# once so the fast path knows whether structure needs a separate pattern
+# product.
+_probe = sp.csr_matrix(np.array([[1.0, -1.0]])) @ sp.csr_matrix(np.array([[1.0], [1.0]]))
+_SCIPY_KEEPS_ZEROS = _probe.nnz == 1
+del _probe
+
+
+# ---------------------------------------------------------------------------
+# write-back helpers (the spec transaction, shared by every rule)
+# ---------------------------------------------------------------------------
+
+def _mask_selection(mask: Optional[Mask]):
+    """(allowed_keys, allowed_present, complemented) for the write-back.
+
+    Bitmap-resident mask objects resolve through their dense flag array
+    (O(1) membership per key — the storage-layer fast path); everything
+    else materialises the sorted allowed-key set.
+    """
+    if mask is None:
+        return None, None, False
+    present = mask.allowed_present()
+    if present is not None:
+        return None, present, mask.complemented
+    return mask.allowed_keys(), None, mask.complemented
+
+
+def write_vector(w: Vector, t_idx, t_vals, mask: Optional[Mask], accum,
+                 replace: bool):
+    allowed, present, complemented = _mask_selection(mask)
+    keys, vals = masked_write(
+        w._idx, w._vals, t_idx, t_vals,
+        accum=accum, allowed_keys=allowed, allowed_present=present,
+        complement=complemented, replace=replace, out_dtype=w.type.dtype,
+    )
+    w._set_sparse(keys, vals)
+    return w
+
+
+def write_matrix(c: Matrix, t_keys, t_vals, mask: Optional[Mask], accum,
+                 replace: bool):
+    allowed, present, complemented = _mask_selection(mask)
+    keys, vals = masked_write(
+        c.keys(), c.values, t_keys, t_vals,
+        accum=accum, allowed_keys=allowed, allowed_present=present,
+        complement=complemented, replace=replace, out_dtype=c.type.dtype,
+    )
+    c._set_from_keys(keys, vals)
+    return c
+
+
+# ---------------------------------------------------------------------------
+# epilogue application
+# ---------------------------------------------------------------------------
+
+def _epilogue_arrays(ep, keys, vals, is_vector: bool, ncols: int):
+    """Run one epilogue directly on raw output arrays (the fused path)."""
+    if ep.kind == "apply":
+        out = _selectops.eval_unary(
+            ep.op, vals, ep.thunk,
+            rows=lambda: keys if is_vector else keys // np.int64(ncols),
+            cols=lambda: (np.zeros(keys.size, dtype=np.int64) if is_vector
+                          else keys % np.int64(ncols)))
+        return keys, out
+    if ep.kind == "select":
+        op = ep.op
+        if not op.uses_coords:
+            keep = op(vals, None, None, ep.thunk)
+        elif is_vector:
+            keep = op(vals, keys, np.zeros(keys.size, dtype=np.int64),
+                      ep.thunk)
+        elif getattr(op, "keyed", False):
+            # keyed predicate: consumes the linearised keys as-is, no
+            # div/mod coordinate round-trip
+            keep = op(vals, keys, None, ep.thunk)
+        else:
+            keep = op(vals, keys // np.int64(ncols), keys % np.int64(ncols),
+                      ep.thunk)
+        return keys[keep], vals[keep]
+    if ep.kind == "reduce_rowwise":
+        rows = keys if is_vector else keys // np.int64(ncols)
+        return ep.op.reduce_groups(rows, vals)
+    if ep.kind == "reduce_scalar":
+        return ep.op.reduce_all(np.abs(vals) if ep.absolute else vals)
+    raise ValueError(f"unknown epilogue kind {ep.kind!r}")
+
+
+def _epilogue_materialised(ep, keys, vals, is_vector: bool, size,
+                           nrows, ncols):
+    """Run one epilogue through a materialised intermediate (fusion off).
+
+    This replays the seed sequence exactly — build the object, call its
+    method, re-extract the arrays — and is the bit-identity reference the
+    fused path is tested against (and the baseline the fusion benchmark
+    measures).
+    """
+    if is_vector:
+        obj = Vector(from_dtype(vals.dtype), size)
+        obj._set_sparse(keys, vals)
+    else:
+        obj = Matrix(from_dtype(vals.dtype), nrows, ncols)
+        obj._set_from_keys(keys, vals)
+    if ep.kind == "apply":
+        t = obj.apply(ep.op, ep.thunk)
+    elif ep.kind == "select":
+        t = obj.select(ep.op, ep.thunk)
+    elif ep.kind == "reduce_rowwise":
+        t = obj.reduce_rowwise(ep.op)
+        return t._idx, t._vals
+    elif ep.kind == "reduce_scalar":
+        v = obj._vals if is_vector else obj.values
+        return ep.op.reduce_all(np.abs(v) if ep.absolute else v)
+    else:
+        raise ValueError(f"unknown epilogue kind {ep.kind!r}")
+    if is_vector:
+        return t._idx, t._vals
+    return t.keys(), t.values
+
+
+def finish(plan: Plan, keys, vals, *, is_vector: bool, size=None,
+           nrows=None, ncols=None):
+    """Apply fused epilogues, then resolve the plan's output contract.
+
+    ``out=None`` plans yield raw ``(keys, values)`` (or the scalar of a
+    ``reduce_scalar`` chain); otherwise the single masked write-back runs
+    on the post-epilogue arrays.  The plan's mask/accum/replace describe
+    that *final* write — with no output object, a mask instead restricts
+    the computed result itself (``T⟨M⟩``), applied before any epilogue
+    consumes it, so ``plan_mxm(None, A, A, sr, mask=...)`` yields exactly
+    the entries a masked write into an empty output would keep.
+    """
+    if (plan.out is None and plan.mask is not None
+            and not plan.meta.get("_premasked")):
+        # fallback-kernel output can carry non-mask entries; the dot rule's
+        # cannot (it computes per mask entry) and marks itself _premasked
+        allowed, present, complemented = _mask_selection(plan.mask)
+        keys, vals = masked_write(
+            np.empty(0, np.int64), np.empty(0, vals.dtype), keys, vals,
+            accum=None, allowed_keys=allowed, allowed_present=present,
+            complement=complemented, replace=True, out_dtype=vals.dtype)
+    fused = cost.FUSION_ENABLED
+    for i, ep in enumerate(plan.epilogues):
+        if ep.kind == "reduce_rowwise":
+            # the chain becomes a vector of per-row values
+            if fused:
+                keys, vals = _epilogue_arrays(ep, keys, vals, is_vector,
+                                              ncols)
+            else:
+                keys, vals = _epilogue_materialised(
+                    ep, keys, vals, is_vector, size, nrows, ncols)
+            is_vector, size = True, nrows
+            continue
+        if ep.kind == "reduce_scalar":
+            if fused:
+                return _epilogue_arrays(ep, keys, vals, is_vector, ncols)
+            return _epilogue_materialised(ep, keys, vals, is_vector, size,
+                                          nrows, ncols)
+        if fused:
+            keys, vals = _epilogue_arrays(ep, keys, vals, is_vector, ncols)
+        else:
+            keys, vals = _epilogue_materialised(ep, keys, vals, is_vector,
+                                                size, nrows, ncols)
+    if plan.out is None:
+        return keys, vals
+    if is_vector:
+        return write_vector(plan.out, keys, vals, plan.mask, plan.accum,
+                            plan.replace)
+    return write_matrix(plan.out, keys, vals, plan.mask, plan.accum,
+                        plan.replace)
+
+
+# ---------------------------------------------------------------------------
+# matmul fast-path helpers
+# ---------------------------------------------------------------------------
+
+def _scipy_operand(m: Matrix, use_values: bool, dtype):
+    """SciPy CSR of ``m`` with values (cast) or the all-ones pattern.
+
+    Pattern operands come from the per-store-version cache
+    (:meth:`Matrix.pattern_operand`) instead of being rebuilt per call.
+    Both views are cached CSR: SciPy's spmatmul converts non-CSR operands
+    internally *per call*, so feeding a CSC-pinned operand "natively" here
+    would re-pay that conversion every multiply — the cached canonical view
+    pays it once.  (CSC-pinned operands do feed the dot kernel natively:
+    its ``Bᵀ`` input is ``transpose_csr()``, free on a CSC store.)
+    """
+    if use_values:
+        s = m.to_scipy()
+        return s.astype(dtype, copy=False) if s.dtype != dtype else s
+    return m.pattern_operand(dtype)
+
+
+def _mult_uses(semiring: Semiring):
+    """Which operands' values the multiply op reads: (use_a, use_b)."""
+    name = semiring.mult.name
+    return name in ("times", "first"), name in ("times", "second")
+
+
+def _scipy_dtype(a: Matrix, b, semiring: Semiring) -> np.dtype:
+    """The computation dtype of the SciPy fast path for these operands."""
+    if semiring.mult.name == "pair":
+        return np.dtype(np.int64)
+    dt = semiring.mult_dtype(a.dtype, b.dtype)
+    return np.dtype(np.int64) if dt == np.bool_ else np.dtype(dt)
+
+
+def scipy_mxm(a: Matrix, b: Matrix, semiring: Semiring,
+              rows: Optional[np.ndarray] = None):
+    """plus.times-reducible ``C = A ⊕.⊗ B`` on SciPy; returns (keys, vals).
+
+    ``rows`` restricts the product to a subset of A's rows (the mask-live
+    rows — dead rows can never survive the write-back, so they are sliced
+    off *before* the ``@``).  The per-(i,j) accumulation order is k-
+    ascending either way, so restricted and full products are bit-identical
+    on the surviving rows.
+    """
+    use_a, use_b = _mult_uses(semiring)
+    dt = _scipy_dtype(a, b, semiring)
+    sa = _scipy_operand(a, use_a, dt)
+    if rows is not None:
+        sa = sa[rows]
+    prod = sa @ _scipy_operand(b, use_b, dt)
+    prod = prod.tocsr()
+    prod.sort_indices()
+    prow = expand_rows(prod.indptr.astype(np.int64), prod.shape[0])
+    row_ids = rows[prow] if rows is not None else prow
+    keys = row_ids * np.int64(prod.shape[1]) + prod.indices.astype(np.int64)
+    vals = prod.data
+    if (not _SCIPY_KEEPS_ZEROS and (use_a or use_b)
+            and not ((not use_a or a.values_all_ge_one())
+                     and (not use_b or b.values_all_ge_one()))):
+        # structure must come from a cancellation-proof pattern product;
+        # skipped when every value-carrying operand is float with values
+        # ≥ 1 (such products/sums stay ≥ 1 — no underflow-to-zero, no
+        # integer wrap — so SciPy can never have pruned an entry)
+        pa = _scipy_operand(a, False, np.int64)
+        if rows is not None:
+            pa = pa[rows]
+        pat = (pa @ _scipy_operand(b, False, np.int64)).tocsr()
+        pat.sort_indices()
+        prow = expand_rows(pat.indptr.astype(np.int64), pat.shape[0])
+        prow_ids = rows[prow] if rows is not None else prow
+        pkeys = prow_ids * np.int64(pat.shape[1]) + pat.indices.astype(np.int64)
+        out = np.zeros(pkeys.size, dtype=vals.dtype)
+        pos = np.searchsorted(pkeys, keys)
+        out[pos] = vals
+        return pkeys, out
+    return keys, vals
+
+
+def scipy_mxv(a: Matrix, u: Vector, semiring: Semiring, *,
+              swap_operands: bool = False):
+    """plus-reducible dense ``w = A ⊕.⊗ u``; returns (idx, vals).
+
+    ``swap_operands=True`` is used by vxm (``uᵀ A`` computed as ``Aᵀ u``):
+    there the vector is the *first* multiply operand, so ``first``/``second``
+    exchange which side's values they read.  Value structure: absent vector
+    entries carry 0 in the bitmap and therefore vanish under plus.times
+    arithmetic; the entry *structure* comes from a cancellation-proof
+    pattern product.
+    """
+    use_a, use_b = _mult_uses(semiring)
+    if swap_operands and semiring.mult.name in ("first", "second"):
+        use_a, use_b = use_b, use_a
+    if semiring.mult.name == "pair":
+        dt = np.dtype(np.int64)
+    else:
+        dt = semiring.mult_dtype(a.dtype, u.dtype)
+    if dt == np.bool_:
+        dt = np.dtype(np.int64)
+    present, dense = u.bitmap()
+    sa = _scipy_operand(a, use_a, dt)
+    uvec = dense.astype(dt, copy=False) if use_b else present.astype(dt)
+    w_dense = sa @ uvec
+    counts = _scipy_operand(a, False, np.int64) @ present.astype(np.int64)
+    idx = np.flatnonzero(counts > 0).astype(np.int64)
+    return idx, w_dense[idx]
+
+
+def _mask_rows(mask: Optional[Mask], nrows: int) -> Optional[np.ndarray]:
+    """Row set selected by a vector mask (pre-computation restriction)."""
+    if mask is None:
+        return None
+    present = mask.allowed_present()
+    if present is not None:       # bitmap-resident mask: flags are storage
+        if mask.complemented:
+            return np.flatnonzero(~present).astype(np.int64)
+        return np.flatnonzero(present).astype(np.int64)
+    allowed = mask.allowed_keys()
+    if mask.complemented:
+        present = np.zeros(nrows, dtype=bool)
+        present[allowed] = True
+        return np.flatnonzero(~present).astype(np.int64)
+    return allowed
+
+
+def mask_live_rows(mask: Optional[Mask], nrows: int,
+                   ncols: int) -> Optional[np.ndarray]:
+    """Output rows a masked write can still touch (``None`` = all of them).
+
+    Non-complemented masks: rows holding at least one allowed mask entry.
+    Complemented masks: rows whose mask row is not yet *full* (a full row
+    blocks every position — BC's ``⟨¬s(P)⟩`` once a source has reached the
+    whole graph).  Dead rows are sliced off before the product is computed.
+    """
+    if mask is None or not cost.MASK_RESTRICT_ENABLED:
+        return None
+    present = mask.allowed_present()
+    if present is not None:
+        counts = present.reshape(nrows, ncols).sum(axis=1)
+    elif mask.structural and getattr(mask.obj, "nrows", None) == nrows:
+        # structural matrix mask: per-row allowed counts are just the
+        # stored-entry counts — O(nrows), no key materialisation
+        counts = np.diff(mask.obj.indptr)
+    else:
+        allowed = mask.allowed_keys()
+        counts = np.bincount(allowed // np.int64(ncols), minlength=nrows)
+    live = (counts < ncols) if mask.complemented else (counts > 0)
+    n_live = int(np.count_nonzero(live))
+    if n_live > cost.LIVE_ROW_FRACTION * nrows:
+        # pruning a sliver of rows costs more (operand slicing) than it saves
+        return None
+    return np.flatnonzero(live).astype(np.int64)
+
+
+def mask_key_filter(mask: Optional[Mask]):
+    """``keys -> keep`` predicate matching the write-back's mask selection.
+
+    Applied by the expand kernel *before* its group-reduce so contributions
+    the mask would discard never pay the sort.  Bitmap-resident masks
+    resolve with O(1) flag gathers; everything else searches the sorted
+    allowed-key set (the same machinery :func:`masked_write` uses, so the
+    selection is identical by construction).
+    """
+    if mask is None or not cost.MASK_RESTRICT_ENABLED:
+        return None
+    present = mask.allowed_present()
+    if present is not None:
+        if mask.complemented:
+            return lambda keys: ~present[keys]
+        return lambda keys: present[keys]
+    allowed = mask.allowed_keys()
+    if mask.complemented:
+        return lambda keys: setdiff_keys(keys, allowed)
+    return lambda keys: ~setdiff_keys(keys, allowed)
+
+
+# ---------------------------------------------------------------------------
+# mxm rules
+# ---------------------------------------------------------------------------
+
+def _mask_engaged(plan: Plan) -> bool:
+    """Whether the masked engine analyses this product at all (tiny
+    products are cheaper to compute in full than to analyse)."""
+    a, b = plan.args
+    return (plan.mask is not None
+            and a.nvals + b.nvals >= cost.MASKED_MIN_NNZ)
+
+
+def _col_lengths(m: Matrix) -> np.ndarray:
+    """Stored-entry count per column — conversion-free on every format.
+
+    CSC-pinned stores (and CSR stores whose transpose is already cached —
+    e.g. after :func:`repro.grb.engine.preplan`) read column pointers
+    directly, an O(ncols) diff; everything else counts the canonical CSR
+    column ids with one O(nnz) bincount.  This is what lets the chooser
+    price the dot kernel *without* building ``Bᵀ`` first (the transpose is
+    deferred until the dot rule actually claims the plan)."""
+    st = m._S()
+    if st.fmt == "csc" or getattr(st, "_csc", None) is not None:
+        return np.diff(st.transpose_csr()[0])
+    return np.bincount(st.csr()[1], minlength=m.ncols)
+
+
+def _row_lengths(m: Matrix) -> np.ndarray:
+    """Stored-entry count per row — conversion-free on every format."""
+    st = m._S()
+    if st.fmt == "csc" and getattr(st, "_csr", None) is None:
+        return np.bincount(st.transpose_csr()[1], minlength=m.nrows)
+    return np.diff(st.csr()[0])
+
+
+@register("mxm", "mxm-masked-dot")
+class _MxmMaskedDot:
+    """One sorted-intersection dot product per mask entry (dot3 kernel).
+
+    Claims the plan when the unified chooser prices the probe work (plus
+    the ≤ 1-output-per-mask-entry write) below the fallback's estimated
+    flops plus product materialisation.  Feeds the kernel ``Bᵀ`` in CSR
+    form without materialising a transpose: for ``transpose_b=True`` (TC's
+    ``L plus.pair Uᵀ``) that is the operand's own CSR arrays, otherwise the
+    store's cached CSC view — native for CSC-pinned operands.
+    """
+
+    @staticmethod
+    def applies(plan: Plan):
+        a, b = plan.args
+        sr = plan.operator
+        mask = plan.mask
+        if (not _mask_engaged(plan) or mask.complemented
+                or not cost.DOT_ENABLED or not _mm.dot_supported(sr)
+                or not a.nvals or not b.nvals):
+            return None
+        allowed = mask.allowed_keys()
+        bn_cols = plan.meta["_bn_cols"]
+        if allowed.size == 0:
+            plan.meta["_dot"] = (allowed, None, None, None, None)
+            return {"method": "dot", "mask_nvals": 0}
+        a_ip, a_ix, _ = a._S().csr()
+        # Bᵀ's per-row lengths and B-effective's per-row lengths without
+        # materialising any layout conversion: the Bᵀ feed itself (the
+        # store's cached CSC view for transpose_b=False) is built only
+        # when this rule claims the plan — a fallback-routed multiply
+        # never pays it
+        if plan.transpose_b:
+            bt_row_lengths = _row_lengths(b)
+            beff_lengths = _col_lengths(b)
+        else:
+            bt_row_lengths = _col_lengths(b)
+            beff_lengths = _row_lengths(b)
+        ncols64 = np.int64(bn_cols)
+        rows_m = allowed // ncols64
+        cols_m = allowed - rows_m * ncols64
+        lengths = (a_ip[rows_m + 1] - a_ip[rows_m], bt_row_lengths[cols_m])
+        cost_dot = cost.dot_probe_cost(*lengths)
+        est_flops = cost.expand_flops_estimate(a_ix, beff_lengths)
+        scipy_path = sr.scipy_reducible()
+        est_out = cost.product_nnz_estimate(est_flops, a.nrows, bn_cols)
+        method = cost.choose_masked_method(
+            cost_dot, est_flops, scipy_path=scipy_path,
+            mask_nvals=allowed.size, est_out_nnz=est_out)
+        decision = {
+            "method": "dot" if method == "dot" else "fallback",
+            "semiring": sr.name,
+            "mask_nvals": int(allowed.size),
+            "dot_probes": int(cost_dot),
+            "expand_flops_est": float(est_flops),
+            "est_out_nnz": float(est_out),
+            "scipy_path": scipy_path,
+        }
+        if telemetry.active():
+            decision["expand_flops"] = cost.expand_flops_exact(a_ix,
+                                                               beff_lengths)
+        if method != "dot":
+            plan.meta.update(decision)     # survives into the fallback event
+            return None
+        plan.meta["_dot"] = (allowed, rows_m, cols_m, lengths, None)
+        return decision
+
+    @staticmethod
+    def run(plan: Plan, detail: dict):
+        a, b = plan.args
+        sr = plan.operator
+        allowed, rows_m, cols_m, lengths, _ = plan.meta.pop("_dot")
+        bn_cols = plan.meta["_bn_cols"]
+        if rows_m is None:                     # empty mask: empty product
+            t_keys = np.empty(0, np.int64)
+            t_vals = np.empty(0, _scipy_dtype(a, b, sr))
+        else:
+            a_ip, a_ix, a_vv = a._S().csr()
+            # the Bᵀ feed, paid only now that the dot kernel is chosen:
+            # the operand's own CSR for transpose_b (zero conversion), the
+            # store's cached/native CSC view otherwise
+            bt_ip, bt_ix, bt_vv = b._S().csr() if plan.transpose_b \
+                else b._S().transpose_csr()
+            cast_dt = _scipy_dtype(a, b, sr) if sr.scipy_reducible() else None
+            hit, t_vals = _mm.masked_dot(a_ip, a_ix, a_vv,
+                                         bt_ip, bt_ix, bt_vv,
+                                         rows_m, cols_m, a.ncols, sr,
+                                         cast_dtype=cast_dt, lengths=lengths)
+            t_keys = allowed[hit]
+        plan.meta["_premasked"] = True  # output ⊆ mask by construction
+        return finish(plan, t_keys, t_vals, is_vector=False,
+                      nrows=a.nrows, ncols=bn_cols)
+
+
+@register("mxm", "mxm-scipy")
+class _MxmScipy:
+    """Compiled CSR multiply for plus.times-reducible semirings,
+    mask-restricted to live output rows when the masked engine engages."""
+
+    @staticmethod
+    def applies(plan: Plan):
+        a, b = plan.args
+        if plan.operator.scipy_reducible() and a.nvals and b.nvals:
+            return {"method": plan.meta.get("method", "scipy")}
+        return None
+
+    @staticmethod
+    def run(plan: Plan, detail: dict):
+        a, b = plan.args
+        if plan.transpose_b:
+            b = b.T
+        rows = mask_live_rows(plan.mask, a.nrows, b.ncols) \
+            if _mask_engaged(plan) else None
+        keys, vals = scipy_mxm(a, b, plan.operator, rows=rows)
+        return finish(plan, keys, vals, is_vector=False,
+                      nrows=a.nrows, ncols=b.ncols)
+
+
+@register("mxm", "mxm-expand")
+class _MxmExpand:
+    """Flop-order expansion + group-reduce: the always-applicable
+    reference, serving every semiring the other rules cannot."""
+
+    @staticmethod
+    def applies(plan: Plan):
+        return {"method": plan.meta.get("method", "expand")}
+
+    @staticmethod
+    def run(plan: Plan, detail: dict):
+        a, b = plan.args
+        if plan.transpose_b:
+            b = b.T
+        engaged = _mask_engaged(plan)
+        rows = mask_live_rows(plan.mask, a.nrows, b.ncols) if engaged else None
+        keys, vals = mxm_expand(
+            a.indptr, a.indices, a.values, a.nrows,
+            b.indptr, b.indices, b.values, b.ncols, plan.operator,
+            a_rows=a._S().entry_rows() if rows is None else None,
+            rows=rows,
+            key_keep=mask_key_filter(plan.mask) if engaged else None)
+        return finish(plan, keys, vals, is_vector=False,
+                      nrows=a.nrows, ncols=b.ncols)
+
+
+# ---------------------------------------------------------------------------
+# mxv / vxm rules
+# ---------------------------------------------------------------------------
+
+def _dense_frontier(u: Vector, a: Matrix) -> bool:
+    return (u.nvals > cost.DENSE_PULL_FRACTION * u.size
+            and a.nvals > 0 and u.nvals > 0)
+
+
+@register("mxv", "mxv-fused-dense-accum")
+class _MxvFusedDenseAccum:
+    """``w ⊙= A ⊕.⊗ u`` accumulated straight into a full output's dense
+    array — the masked-accum write-back fusion.
+
+    When the output is *full* (an entry at every position — PageRank's rank
+    vector after ``assign_scalar``) and the accumulator is plain ``plus``,
+    the spec transaction degenerates to ``w_dense += t_dense``: the union
+    merge (two n-sized sorts) and the structural counts product of the
+    SciPy path are both dead work, because the output structure is known
+    full in advance.  Restricted to multiplies whose matrix side is a
+    pattern (``⊗ = second``): each product term is then exactly the
+    vector's dense value (0.0 at absent positions), so adding the full
+    dense product replays the reference values bit for bit — the only
+    divergence is ``-0.0 + 0.0 = +0.0``, which compares equal.
+    """
+
+    @staticmethod
+    def applies(plan: Plan):
+        if (not cost.FUSION_ENABLED or plan.mask is not None or plan.replace
+                or plan.epilogues or plan.out is None):
+            return None
+        a, u = plan.args
+        w = plan.out
+        sr = plan.operator
+        if (getattr(plan.accum, "name", None) == "plus"
+                and w.nvals == w.size and w.size > 0
+                and np.issubdtype(w.type.dtype, np.floating)
+                and sr.scipy_reducible() and sr.mult.name == "second"
+                and _dense_frontier(u, a)):
+            return {"method": "fused-dense-accum"}
+        return None
+
+    @staticmethod
+    def run(plan: Plan, detail: dict):
+        a, u = plan.args
+        w = plan.out
+        sr = plan.operator
+        dt = sr.mult_dtype(a.dtype, u.dtype)
+        if dt == np.bool_:
+            dt = np.dtype(np.int64)
+        _, dense = u.bitmap()
+        t_dense = _scipy_operand(a, False, dt) @ dense.astype(dt, copy=False)
+        _, w_dense = w.bitmap()
+        out = (w_dense + t_dense).astype(w.type.dtype, copy=False)
+        w._set_sparse(np.arange(w.size, dtype=np.int64), out)
+        return w
+
+
+@register("mxv", "mxv-scipy-dense")
+class _MxvScipyDense:
+    """Compiled dense matvec for plus-reducible semirings on heavy
+    frontiers (unmasked — the mask path restricts rows instead)."""
+
+    @staticmethod
+    def applies(plan: Plan):
+        a, u = plan.args
+        if (plan.operator.scipy_reducible() and plan.mask is None
+                and _dense_frontier(u, a)):
+            return {"method": "scipy-dense"}
+        return None
+
+    @staticmethod
+    def run(plan: Plan, detail: dict):
+        a, u = plan.args
+        idx, vals = scipy_mxv(a, u, plan.operator)
+        return finish(plan, idx, vals, is_vector=True, size=a.nrows)
+
+
+@register("mxv", "mxv-gather")
+class _MxvGather:
+    """Row-gather reference: only the mask-selected rows of ``A`` are
+    examined (the complemented-structural-mask BFS pull touches exactly
+    the unvisited rows)."""
+
+    @staticmethod
+    def applies(plan: Plan):
+        return {"method": "gather"}
+
+    @staticmethod
+    def run(plan: Plan, detail: dict):
+        a, u = plan.args
+        rows = _mask_rows(plan.mask, a.nrows)
+        if rows is None:
+            rows = np.arange(a.nrows, dtype=np.int64)
+        present, dense = u.bitmap()
+        idx, vals = mxv_gather(a.indptr, a.indices, a.values,
+                               present, dense, rows, plan.operator)
+        return finish(plan, idx, vals, is_vector=True, size=a.nrows)
+
+
+@register("vxm", "vxm-scipy-dense")
+class _VxmScipyDense:
+    """Dense path for heavy frontiers: ``uᵀ A`` computed as ``Aᵀ u`` on
+    the cached transpose."""
+
+    @staticmethod
+    def applies(plan: Plan):
+        u, a = plan.args
+        if plan.operator.scipy_reducible() and _dense_frontier(u, a):
+            return {"method": "scipy-dense"}
+        return None
+
+    @staticmethod
+    def run(plan: Plan, detail: dict):
+        u, a = plan.args
+        idx, vals = scipy_mxv(a.T, u, plan.operator, swap_operands=True)
+        return finish(plan, idx, vals, is_vector=True, size=a.ncols)
+
+
+@register("vxm", "vxm-sparse-push")
+class _VxmSparsePush:
+    """Sparse-frontier push reference: cost ∝ total frontier out-degree."""
+
+    @staticmethod
+    def applies(plan: Plan):
+        return {"method": "sparse-push"}
+
+    @staticmethod
+    def run(plan: Plan, detail: dict):
+        u, a = plan.args
+        idx, vals = vxm_sparse(u._idx, u._vals, a.indptr, a.indices,
+                               a.values, plan.operator)
+        return finish(plan, idx, vals, is_vector=True, size=a.ncols)
+
+
+# ---------------------------------------------------------------------------
+# ewise rules (the bitmap fast path, made a visible decision)
+# ---------------------------------------------------------------------------
+
+def _ewise_run(plan: Plan, keys, vals):
+    a = plan.args[0]
+    if isinstance(a, Vector):
+        return finish(plan, keys, vals, is_vector=True, size=a.size)
+    return finish(plan, keys, vals, is_vector=False,
+                  nrows=a.nrows, ncols=a.ncols)
+
+
+class _EwiseBitmapBase:
+    """Dense flag/value merge when both operands are bitmap-resident —
+    no sorted-key intersection, identical results by construction."""
+
+    union = True
+
+    @classmethod
+    def applies(cls, plan: Plan):
+        a, b = plan.args
+        pa = a._mask_present_dense()
+        if pa is None:
+            return None
+        pb = b._mask_present_dense()
+        if pb is None:
+            return None
+        plan.meta["_bitmaps"] = (pa, pb)
+        return {"layout": "bitmap"}
+
+    @classmethod
+    def run(cls, plan: Plan, detail: dict):
+        pa, pb = plan.meta.pop("_bitmaps")
+        fn = union_merge_bitmap if cls.union else intersect_merge_bitmap
+        keys, vals = fn(pa[0], pa[1], pb[0], pb[1], plan.operator)
+        return _ewise_run(plan, keys, vals)
+
+
+class _EwiseSortedBase:
+    """Sorted-key merge over the operands' sparse views (reference)."""
+
+    union = True
+
+    @classmethod
+    def applies(cls, plan: Plan):
+        return {"layout": "sorted"}
+
+    @classmethod
+    def run(cls, plan: Plan, detail: dict):
+        a, b = plan.args
+        ka, va = a._mask_keys_values()
+        kb, vb = b._mask_keys_values()
+        fn = union_merge if cls.union else intersect_merge
+        keys, vals = fn(ka, va, kb, vb, plan.operator)
+        return _ewise_run(plan, keys, vals)
+
+
+@register("ewise_add", "ewise-bitmap-merge")
+class _EwiseAddBitmap(_EwiseBitmapBase):
+    union = True
+
+
+@register("ewise_add", "ewise-sorted-merge")
+class _EwiseAddSorted(_EwiseSortedBase):
+    union = True
+
+
+@register("ewise_mult", "ewise-bitmap-merge")
+class _EwiseMultBitmap(_EwiseBitmapBase):
+    union = False
+
+
+@register("ewise_mult", "ewise-sorted-merge")
+class _EwiseMultSorted(_EwiseSortedBase):
+    union = False
+
+
+# ---------------------------------------------------------------------------
+# apply / select rules
+# ---------------------------------------------------------------------------
+
+@register("apply", "apply-entrywise")
+class _ApplyEntrywise:
+    """``f(A, k)`` evaluated directly on the source's arrays — the
+    structure is inherited, so no intermediate object is ever built."""
+
+    @staticmethod
+    def applies(plan: Plan):
+        return {"positional": plan.operator.positional or "value"}
+
+    @staticmethod
+    def run(plan: Plan, detail: dict):
+        src = plan.args[0]
+        op = plan.operator
+        thunk = plan.meta.get("_thunk")
+        if isinstance(src, Vector):
+            idx = src._idx
+            vals = _selectops.eval_unary(
+                op, src._vals, thunk, rows=lambda: idx,
+                cols=lambda: np.zeros(idx.size, dtype=np.int64))
+            return finish(plan, idx, vals, is_vector=True, size=src.size)
+        vals = _selectops.eval_unary(
+            op, src.values, thunk, rows=lambda: src._S().entry_rows(),
+            cols=lambda: src.indices)
+        return finish(plan, src.keys(), vals, is_vector=False,
+                      nrows=src.nrows, ncols=src.ncols)
+
+
+class _SelectBase:
+    @staticmethod
+    def _finish(plan, keep):
+        src = plan.args[0]
+        if isinstance(src, Vector):
+            return finish(plan, src._idx[keep], src._vals[keep],
+                          is_vector=True, size=src.size)
+        return finish(plan, src.keys()[keep], src.values[keep],
+                      is_vector=False, nrows=src.nrows, ncols=src.ncols)
+
+
+@register("select", "select-value-only")
+class _SelectValueOnly(_SelectBase):
+    """Value-only predicates never expand entry coordinates — the
+    format-aware fast path, now a visible rule."""
+
+    @staticmethod
+    def applies(plan: Plan):
+        if not plan.operator.uses_coords:
+            return {"path": "value-only"}
+        return None
+
+    @classmethod
+    def run(cls, plan: Plan, detail: dict):
+        src = plan.args[0]
+        vals = src._vals if isinstance(src, Vector) else src.values
+        keep = plan.operator(vals, None, None, plan.meta.get("_thunk"))
+        return cls._finish(plan, keep)
+
+
+@register("select", "select-coords")
+class _SelectCoords(_SelectBase):
+    """Coordinate predicates read row ids from the store (hypersparse:
+    O(live) expansion) and column ids from the canonical view."""
+
+    @staticmethod
+    def applies(plan: Plan):
+        return {"path": "coords"}
+
+    @classmethod
+    def run(cls, plan: Plan, detail: dict):
+        src = plan.args[0]
+        op = plan.operator
+        thunk = plan.meta.get("_thunk")
+        if isinstance(src, Vector):
+            keep = op(src._vals, src._idx,
+                      np.zeros(src._idx.size, dtype=np.int64), thunk)
+        else:
+            st = src._S()
+            keep = op(st.csr()[2], st.entry_rows(), st.csr()[1], thunk)
+        return cls._finish(plan, keep)
+
+
+# ---------------------------------------------------------------------------
+# assign / assign_scalar rules (the spec's sub-range write transaction)
+# ---------------------------------------------------------------------------
+
+def _region_write(out, region_keys, t_keys, t_vals, mask: Optional[Mask],
+                  accum, replace: bool):
+    """Write ``T`` into the sub-range ``region_keys`` of ``out``.
+
+    Assign semantics: inside the region (∩ mask) the output becomes exactly
+    ``Z``; positions outside the region are never touched.  The effective
+    allowed set is the region intersected with the (possibly complemented)
+    mask, after which the write-back runs un-complemented.  With
+    ``replace=True`` entries inside the region but outside the mask are
+    cleared (subassign-style replace).
+    """
+    is_vec = isinstance(out, Vector)
+    if mask is None:
+        allowed = region_keys
+    else:
+        m_allowed = mask.allowed_keys()
+        if mask.complemented:
+            keep = ~np.isin(region_keys, m_allowed, assume_unique=False)
+        else:
+            keep = np.isin(region_keys, m_allowed, assume_unique=False)
+        allowed = region_keys[keep]
+        if replace:
+            # subassign replace: clear region entries the mask rejects
+            c_keys = out._idx if is_vec else out.keys()
+            c_vals = out._vals if is_vec else out.values
+            keys, vals = masked_write(
+                c_keys, c_vals, np.empty(0, np.int64),
+                np.empty(0, out.type.dtype), accum=None,
+                allowed_keys=region_keys[~keep], complement=False,
+                replace=False, out_dtype=out.type.dtype)
+            if is_vec:
+                out._set_sparse(keys, vals)
+            else:
+                out._set_from_keys(keys, vals)
+    c_keys = out._idx if is_vec else out.keys()
+    c_vals = out._vals if is_vec else out.values
+    keys, vals = masked_write(
+        c_keys, c_vals, t_keys, t_vals, accum=accum,
+        allowed_keys=allowed, complement=False, replace=False,
+        out_dtype=out.type.dtype)
+    if is_vec:
+        out._set_sparse(keys, vals)
+    else:
+        out._set_from_keys(keys, vals)
+    return out
+
+
+@register("assign", "assign-region")
+class _AssignRegion:
+    @staticmethod
+    def applies(plan: Plan):
+        return {"target": "vector" if isinstance(plan.out, Vector)
+                else "matrix"}
+
+    @staticmethod
+    def run(plan: Plan, detail: dict):
+        from ..errors import DimensionMismatch
+        w = plan.out
+        u = plan.args[0]
+        indices = plan.meta.get("_indices")
+        mask, accum, replace = plan.mask, plan.accum, plan.replace
+        if isinstance(w, Vector):
+            if indices is None:
+                return write_vector(w, u._idx, u._vals, mask, accum, replace)
+            indices = np.asarray(indices, dtype=np.int64)
+            if u.size != indices.size:
+                raise DimensionMismatch("assign: index list size mismatch")
+            t_idx = indices[u._idx]
+            t_vals = u._vals
+            order = np.argsort(t_idx, kind="stable")
+            region = np.unique(indices)
+            return _region_write(w, region, t_idx[order], t_vals[order],
+                                 mask, accum, replace)
+        rows, cols = (None, None) if indices is None else indices
+        whole = rows is None and cols is None
+        rows = np.arange(w.nrows, dtype=np.int64) if rows is None \
+            else np.asarray(rows, dtype=np.int64)
+        cols = np.arange(w.ncols, dtype=np.int64) if cols is None \
+            else np.asarray(cols, dtype=np.int64)
+        if not (u.nrows == rows.size and u.ncols == cols.size):
+            raise DimensionMismatch("assign: submatrix shape mismatch")
+        ur, uc, uv = u.to_coo()
+        t_keys = rows[ur] * np.int64(w.ncols) + cols[uc]
+        order = np.argsort(t_keys, kind="stable")
+        if whole:
+            return write_matrix(w, t_keys[order], uv[order], mask, accum,
+                                replace)
+        region = np.unique(
+            (np.unique(rows)[:, None] * np.int64(w.ncols) +
+             np.unique(cols)[None, :]).ravel())
+        return _region_write(w, region, t_keys[order], uv[order], mask,
+                             accum, replace)
+
+
+@register("assign_scalar", "assign-scalar-region")
+class _AssignScalarRegion:
+    @staticmethod
+    def applies(plan: Plan):
+        return {"target": "vector" if isinstance(plan.out, Vector)
+                else "matrix"}
+
+    @staticmethod
+    def run(plan: Plan, detail: dict):
+        w = plan.out
+        value = plan.operator
+        indices = plan.meta.get("_indices")
+        mask, accum, replace = plan.mask, plan.accum, plan.replace
+        if isinstance(w, Vector):
+            whole = indices is None
+            idx = np.arange(w.size, dtype=np.int64) if whole \
+                else np.unique(np.asarray(indices, dtype=np.int64))
+            vals = np.full(idx.size, value, dtype=w.type.dtype)
+            if whole:
+                return write_vector(w, idx, vals, mask, accum, replace)
+            return _region_write(w, idx, idx, vals, mask, accum, replace)
+        rows, cols = (None, None) if indices is None else indices
+        whole = rows is None and cols is None
+        rows = np.arange(w.nrows, dtype=np.int64) if rows is None \
+            else np.unique(np.asarray(rows, dtype=np.int64))
+        cols = np.arange(w.ncols, dtype=np.int64) if cols is None \
+            else np.unique(np.asarray(cols, dtype=np.int64))
+        t_keys = (rows[:, None] * np.int64(w.ncols) + cols[None, :]).ravel()
+        t_vals = np.full(t_keys.size, value, dtype=w.type.dtype)
+        if whole:
+            return write_matrix(w, t_keys, t_vals, mask, accum, replace)
+        return _region_write(w, t_keys, t_keys, t_vals, mask, accum, replace)
+
+
+# ---------------------------------------------------------------------------
+# frontier-direction rules (the Beamer chooser, registry-resident)
+# ---------------------------------------------------------------------------
+
+@register("bfs_step", "bfs-push")
+class _BfsPush:
+    """Push while the frontier is light: cost ∝ frontier out-degrees."""
+
+    @staticmethod
+    def applies(plan: Plan):
+        m = plan.meta
+        if (m["frontier_edges"] * cost.PUSHPULL_ALPHA < m["unexplored_edges"]
+                or m["frontier_nvals"] < m["n"] / cost.PUSHPULL_BETA):
+            return {"direction": "push"}
+        return None
+
+    @staticmethod
+    def run(plan: Plan, detail: dict):
+        return "push"
+
+
+@register("bfs_step", "bfs-pull")
+class _BfsPull:
+    """Pull once the frontier is heavy: cost ∝ unvisited in-degrees."""
+
+    @staticmethod
+    def applies(plan: Plan):
+        return {"direction": "pull"}
+
+    @staticmethod
+    def run(plan: Plan, detail: dict):
+        return "pull"

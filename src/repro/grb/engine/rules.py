@@ -1,0 +1,128 @@
+"""The planner rule registry: one place where execution strategies live.
+
+Every :class:`~repro.grb.engine.plan.Plan` is routed through the ordered
+rule list registered for its operation kind.  A rule inspects the plan
+(operand formats, mask kind, the cost model in
+:mod:`repro.grb.engine.cost`) and either *claims* it — returning a decision
+detail dict — or declines with ``None``.  The first claiming rule executes
+the plan; its name and detail become one :mod:`repro.grb.telemetry`
+decision event, so every chooser in the system is observable through the
+same hook.
+
+Rules are tried in registration order, most-specialised first; the last
+rule for each kind is an always-applicable reference strategy, so dispatch
+cannot fall through.  A rule that declines may stash partial analysis in
+``plan.meta`` (e.g. the masked-mxm chooser's probe/flop counts) — dispatch
+merges it into whichever event is eventually emitted.
+
+Forcing
+-------
+Most forcing goes through the cost constants (zero a cost, raise a
+threshold — the idiom the parity suite uses), but :func:`force_rule` pins a
+kind to one named rule outright::
+
+    with engine.force_rule("mxv", "mxv-gather"):
+        ...   # every mxv in this block runs the gather strategy
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+from .. import telemetry
+from .plan import Plan
+
+__all__ = ["Rule", "register", "rules_for", "dispatch", "force_rule",
+           "PlanningError"]
+
+
+class PlanningError(RuntimeError):
+    """No registered rule claimed a plan (a registry misconfiguration)."""
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named execution strategy for one operation kind."""
+
+    op: str
+    name: str
+    applies: Callable[[Plan], Optional[dict]]
+    run: Callable[[Plan, dict], object]
+
+
+_REGISTRY: Dict[str, List[Rule]] = {}
+# context-local like the telemetry hook: a force_rule block in one request
+# or thread can never reroute the plans of another (and nested blocks
+# restore cleanly — each block snapshots an immutable mapping)
+_forced_var: ContextVar[Mapping[str, str]] = ContextVar(
+    "repro_grb_engine_forced_rules", default={})
+
+
+def register(op: str, name: str):
+    """Class/function decorator registering ``(applies, run)`` for ``op``.
+
+    The decorated object must expose ``applies(plan) -> Optional[dict]``
+    and ``run(plan, detail)``.  Registration order is trial order.
+    """
+    def deco(obj):
+        rule = Rule(op, name, obj.applies, obj.run)
+        _REGISTRY.setdefault(op, []).append(rule)
+        return obj
+    return deco
+
+
+def rules_for(op: str) -> List[Rule]:
+    """The registered rules for an operation kind, in trial order."""
+    return list(_REGISTRY.get(op, ()))
+
+
+@contextmanager
+def force_rule(op: str, name: str):
+    """Pin operation kind ``op`` to the rule called ``name`` for the block.
+
+    The pinned rule's ``applies`` is still consulted (it may compute the
+    detail the executor needs) but every other rule is skipped; a pinned
+    rule that declines raises :class:`PlanningError` rather than falling
+    through, so a test forcing a path can never silently measure another.
+    """
+    if not any(r.name == name for r in _REGISTRY.get(op, ())):
+        raise KeyError(f"no rule {name!r} registered for op {op!r}")
+    token = _forced_var.set({**_forced_var.get(), op: name})
+    try:
+        yield
+    finally:
+        _forced_var.reset(token)
+
+
+def dispatch(plan: Plan):
+    """Route ``plan`` through its rule list and execute the claiming rule."""
+    try:
+        rules = _REGISTRY[plan.op]
+    except KeyError:
+        raise PlanningError(f"no rules registered for op {plan.op!r}") \
+            from None
+    forced = _forced_var.get().get(plan.op)
+    for rule in rules:
+        if forced is not None and rule.name != forced:
+            continue
+        detail = rule.applies(plan)
+        if detail is None:
+            if forced is not None:
+                raise PlanningError(
+                    f"forced rule {forced!r} declined plan {plan.op!r}")
+            continue
+        if telemetry.active():
+            event = plan.describe()
+            event.update(plan.meta)
+            event.update(detail)
+            event["rule"] = rule.name
+            # private planner scratch (underscore keys: builder operands,
+            # rule work arrays) never belongs in an event
+            for k in [k for k in event if k.startswith("_")]:
+                del event[k]
+            telemetry.record(event)
+        return rule.run(plan, detail)
+    raise PlanningError(f"no rule claimed plan {plan.op!r}")

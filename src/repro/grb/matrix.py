@@ -568,16 +568,9 @@ class Matrix:
 
     def apply(self, op: UnaryOp, thunk=None) -> "Matrix":
         """``f(A, k)``: apply a unary op to every entry."""
-        if op.positional == "i":
-            vals = op.fn(self._S().entry_rows())
-        elif op.positional == "j":
-            vals = op.fn(self.indices)
-        elif thunk is not None:
-            vals = op.fn(self.values, thunk)
-        else:
-            vals = op.fn(self.values)
-        if op.out_dtype is not None:
-            vals = vals.astype(op.out_dtype, copy=False)
+        vals = _selectops.eval_unary(
+            op, self.values, thunk, rows=lambda: self._S().entry_rows(),
+            cols=lambda: self.indices)
         out = Matrix(from_dtype(vals.dtype), self.nrows, self.ncols)
         out.indptr = self.indptr.copy()
         out.indices = self.indices.copy()

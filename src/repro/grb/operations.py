@@ -5,40 +5,27 @@ Each function mirrors one row of Table I, written in the C API's
 
     vxm(w, u, A, semiring, mask=..., accum=..., replace=...)   # wᵀ⟨mᵀ⟩⊙= uᵀ ⊕.⊗ A
 
+Every call is *described before it is executed*: the function builds a
+:class:`~repro.grb.engine.plan.Plan` (op, operands, mask kind, accumulator,
+descriptor bits, output target) and hands it to
+:func:`repro.grb.engine.execute`, which routes it through the registered
+planner rules under the unified cost model
+(:mod:`repro.grb.engine.cost`).  The kernel strategies themselves — the
+dot3 masked SpGEMM, the SciPy dense paths, the bitmap merges, the gather
+references — live in :mod:`repro.grb.engine.executors`; their decisions
+are observable through :mod:`repro.grb.telemetry` and forceable through
+the cost constants (or :func:`repro.grb.engine.force_rule`).
+
 All operations share the write-back transaction implemented in
 :mod:`repro.grb._kernels.maskwrite`: compute ``T``, merge with the
 accumulator, then write through the (possibly structural / complemented)
 mask, honouring replace semantics.  The output object always keeps its
 declared type; computed values are cast into it.
 
-Matmul dispatch
----------------
-* masked ``mxm`` with a non-complemented mask and a dot-replayable semiring
-  (⊗ ∈ {pair, times, first, second}, ⊕ ∈ {plus, min, any}) may run on the
-  *dot3* masked-SpGEMM kernel
-  (:mod:`repro.grb._kernels.masked_matmul`): one sorted-intersection dot
-  product per mask entry, never the full wedge count.  A cost model
-  (exact probe count vs. sampled flop estimate, constants monkeypatchable
-  like :mod:`repro.grb.storage.policy`) decides per call; decisions are
-  observable through :mod:`repro.grb.telemetry`.  This is what makes
-  triangle counting's ``C⟨s(L)⟩ = L plus.pair Uᵀ`` (Alg. 6) and batched
-  BC's backward ``W⟨s(S)⟩ = W plus.first Aᵀ`` levels pay only for
-  mask-resident dot products, with zero call-site changes.
-* ``plus.times``-reducible semirings (Table II's ``plus.first``,
-  ``plus.second``, ``plus.pair`` and the conventional semiring) otherwise
-  run on SciPy's compiled CSR kernels, substituting the *pattern*
-  (all-ones values, cached per store version) of an operand where the
-  multiply op ignores that side's values.  A mask restricts the product to
-  mask-live rows before the ``@``; ``≥ 1``-valued float operands skip the
-  cancellation-proof pattern pass.
-* every other semiring (``min.plus``, ``any.secondi``, ...) runs on the
-  vectorised gather/group-reduce kernels in
-  :mod:`repro.grb._kernels.matmul`, mask-restricted the same way (for
-  complemented masks — BC's ``⟨¬s(P)⟩`` — rows whose mask row is already
-  full are skipped and dead contributions are filtered before the reduce).
-* ``mxv`` restricts computation to the mask-allowed rows *before* doing any
-  work — this is what makes the "pull" step of direction-optimised BFS cost
-  only the in-degrees of the unvisited nodes (Sec. VI-A).
+Algorithm hot loops that want more than one operation per output pass use
+the engine's *fused plans* directly (``plan_mxv(...).then_select(...)``,
+``plan_mxm(...).then_reduce_rowwise(...)``) — see the "Execution engine"
+section of the README.
 """
 
 from __future__ import annotations
@@ -46,17 +33,11 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
-import scipy.sparse as sp
 
-from . import telemetry
+from . import engine
 from ._kernels import apply_select as _selectops
-from ._kernels import masked_matmul as _mm
-from ._kernels.ewise import merge_objects, setdiff_keys
-from ._kernels.gather import expand_rows
-from ._kernels.maskwrite import masked_write
-from ._kernels.matmul import mxm_expand, mxv_gather, vxm_sparse
 from .errors import DimensionMismatch
-from .mask import Mask, as_mask
+from .mask import as_mask
 from .matrix import Matrix
 from .ops.binary import BinaryOp
 from .ops.monoid import Monoid
@@ -67,62 +48,8 @@ from .vector import Vector
 __all__ = [
     "vxm", "mxv", "mxm", "ewise_add", "ewise_mult", "apply", "select",
     "assign", "assign_scalar", "extract", "update", "reduce_rowwise",
-    "reduce_colwise", "transpose", "kronecker", "DENSE_PULL_FRACTION",
+    "reduce_colwise", "transpose", "kronecker",
 ]
-
-#: Frontier density above which plus-reducible mxv/vxm switch to the dense
-#: (SciPy) path.  Mirrors SS:GrB's sparse→bitmap heuristic.
-DENSE_PULL_FRACTION = 0.10
-
-# SciPy keeps explicit zeros produced by cancellation in sparse matmul; probe
-# once so the fast path knows whether structure needs a separate pattern
-# product.
-_probe = sp.csr_matrix(np.array([[1.0, -1.0]])) @ sp.csr_matrix(np.array([[1.0], [1.0]]))
-_SCIPY_KEEPS_ZEROS = _probe.nnz == 1
-del _probe
-
-
-# ---------------------------------------------------------------------------
-# write-back helpers
-# ---------------------------------------------------------------------------
-
-def _mask_selection(mask: Optional[Mask]):
-    """(allowed_keys, allowed_present, complemented) for the write-back.
-
-    Bitmap-resident mask objects resolve through their dense flag array
-    (O(1) membership per key — the storage-layer fast path); everything
-    else materialises the sorted allowed-key set as before.
-    """
-    if mask is None:
-        return None, None, False
-    present = mask.allowed_present()
-    if present is not None:
-        return None, present, mask.complemented
-    return mask.allowed_keys(), None, mask.complemented
-
-
-def _write_vector(w: Vector, t_idx, t_vals, mask: Optional[Mask], accum,
-                  replace: bool):
-    allowed, present, complemented = _mask_selection(mask)
-    keys, vals = masked_write(
-        w._idx, w._vals, t_idx, t_vals,
-        accum=accum, allowed_keys=allowed, allowed_present=present,
-        complement=complemented, replace=replace, out_dtype=w.type.dtype,
-    )
-    w._set_sparse(keys, vals)
-    return w
-
-
-def _write_matrix(c: Matrix, t_keys, t_vals, mask: Optional[Mask], accum,
-                  replace: bool):
-    allowed, present, complemented = _mask_selection(mask)
-    keys, vals = masked_write(
-        c.keys(), c.values, t_keys, t_vals,
-        accum=accum, allowed_keys=allowed, allowed_present=present,
-        complement=complemented, replace=replace, out_dtype=c.type.dtype,
-    )
-    c._set_from_keys(keys, vals)
-    return c
 
 
 def _check(cond: bool, msg: str):
@@ -130,129 +57,8 @@ def _check(cond: bool, msg: str):
         raise DimensionMismatch(msg)
 
 
-# ---------------------------------------------------------------------------
-# matmul fast-path helpers
-# ---------------------------------------------------------------------------
-
-def _scipy_operand(m: Matrix, use_values: bool, dtype):
-    """SciPy CSR of ``m`` with values (cast) or the all-ones pattern.
-
-    Pattern operands come from the per-store-version cache
-    (:meth:`Matrix.pattern_operand`) instead of being rebuilt per call.
-    Both views are cached CSR: SciPy's spmatmul converts non-CSR operands
-    internally *per call*, so feeding a CSC-pinned operand "natively" here
-    would re-pay that conversion every multiply — the cached canonical view
-    pays it once.  (CSC-pinned operands do feed the dot kernel natively:
-    its ``Bᵀ`` input is ``transpose_csr()``, free on a CSC store.)
-    """
-    if use_values:
-        s = m.to_scipy()
-        return s.astype(dtype, copy=False) if s.dtype != dtype else s
-    return m.pattern_operand(dtype)
-
-
-def _mult_uses(semiring: Semiring):
-    """Which operands' values the multiply op reads: (use_a, use_b)."""
-    name = semiring.mult.name
-    return name in ("times", "first"), name in ("times", "second")
-
-
-def _scipy_dtype(a: Matrix, b: Matrix, semiring: Semiring) -> np.dtype:
-    """The computation dtype of the SciPy fast path for these operands."""
-    if semiring.mult.name == "pair":
-        return np.dtype(np.int64)
-    dt = semiring.mult_dtype(a.dtype, b.dtype)
-    return np.dtype(np.int64) if dt == np.bool_ else np.dtype(dt)
-
-
-def _scipy_mxm(a: Matrix, b: Matrix, semiring: Semiring,
-               rows: Optional[np.ndarray] = None):
-    """plus.times-reducible ``C = A ⊕.⊗ B`` on SciPy; returns (keys, vals).
-
-    ``rows`` restricts the product to a subset of A's rows (the mask-live
-    rows — dead rows can never survive the write-back, so they are sliced
-    off *before* the ``@``).  The per-(i,j) accumulation order is k-
-    ascending either way, so restricted and full products are bit-identical
-    on the surviving rows.
-    """
-    use_a, use_b = _mult_uses(semiring)
-    dt = _scipy_dtype(a, b, semiring)
-    sa = _scipy_operand(a, use_a, dt)
-    if rows is not None:
-        sa = sa[rows]
-    prod = sa @ _scipy_operand(b, use_b, dt)
-    prod = prod.tocsr()
-    prod.sort_indices()
-    prow = expand_rows(prod.indptr.astype(np.int64), prod.shape[0])
-    row_ids = rows[prow] if rows is not None else prow
-    keys = row_ids * np.int64(prod.shape[1]) + prod.indices.astype(np.int64)
-    vals = prod.data
-    if (not _SCIPY_KEEPS_ZEROS and (use_a or use_b)
-            and not ((not use_a or a.values_all_ge_one())
-                     and (not use_b or b.values_all_ge_one()))):
-        # structure must come from a cancellation-proof pattern product;
-        # skipped when every value-carrying operand is float with values
-        # ≥ 1 (such products/sums stay ≥ 1 — no underflow-to-zero, no
-        # integer wrap — so SciPy can never have pruned an entry)
-        pa = _scipy_operand(a, False, np.int64)
-        if rows is not None:
-            pa = pa[rows]
-        pat = (pa @ _scipy_operand(b, False, np.int64)).tocsr()
-        pat.sort_indices()
-        prow = expand_rows(pat.indptr.astype(np.int64), pat.shape[0])
-        prow_ids = rows[prow] if rows is not None else prow
-        pkeys = prow_ids * np.int64(pat.shape[1]) + pat.indices.astype(np.int64)
-        out = np.zeros(pkeys.size, dtype=vals.dtype)
-        pos = np.searchsorted(pkeys, keys)
-        out[pos] = vals
-        return pkeys, out
-    return keys, vals
-
-
-def _scipy_mxv(a: Matrix, u: Vector, semiring: Semiring, *,
-               swap_operands: bool = False):
-    """plus-reducible dense ``w = A ⊕.⊗ u``; returns (idx, vals).
-
-    ``swap_operands=True`` is used by vxm (``uᵀ A`` computed as ``Aᵀ u``):
-    there the vector is the *first* multiply operand, so ``first``/``second``
-    exchange which side's values they read.  Value structure: absent vector
-    entries carry 0 in the bitmap and therefore vanish under plus.times
-    arithmetic; the entry *structure* comes from a cancellation-proof
-    pattern product.
-    """
-    use_a, use_b = _mult_uses(semiring)
-    if swap_operands and semiring.mult.name in ("first", "second"):
-        use_a, use_b = use_b, use_a
-    if semiring.mult.name == "pair":
-        dt = np.dtype(np.int64)
-    else:
-        dt = semiring.mult_dtype(a.dtype, u.dtype)
-    if dt == np.bool_:
-        dt = np.dtype(np.int64)
-    present, dense = u.bitmap()
-    sa = _scipy_operand(a, use_a, dt)
-    uvec = dense.astype(dt, copy=False) if use_b else present.astype(dt)
-    w_dense = sa @ uvec
-    counts = _scipy_operand(a, False, np.int64) @ present.astype(np.int64)
-    idx = np.flatnonzero(counts > 0).astype(np.int64)
-    return idx, w_dense[idx]
-
-
-def _mask_rows(mask: Optional[Mask], nrows: int) -> Optional[np.ndarray]:
-    """Row set selected by a vector mask (pre-computation restriction)."""
-    if mask is None:
-        return None
-    present = mask.allowed_present()
-    if present is not None:       # bitmap-resident mask: flags are storage
-        if mask.complemented:
-            return np.flatnonzero(~present).astype(np.int64)
-        return np.flatnonzero(present).astype(np.int64)
-    allowed = mask.allowed_keys()
-    if mask.complemented:
-        present = np.zeros(nrows, dtype=bool)
-        present[allowed] = True
-        return np.flatnonzero(~present).astype(np.int64)
-    return allowed
+def _is_vector(x) -> bool:
+    return isinstance(x, Vector)
 
 
 # ---------------------------------------------------------------------------
@@ -264,18 +70,11 @@ def vxm(w: Vector, u: Vector, a: Matrix, semiring: Semiring, *,
     """``wᵀ⟨mᵀ⟩⊙= uᵀ ⊕.⊗ A`` — the "push" direction.
 
     Cost is proportional to the total out-degree of ``u``'s entries on the
-    sparse path; dense plus-reducible inputs take the SciPy path.
+    sparse path; dense plus-reducible inputs take the SciPy path
+    (``vxm-scipy-dense`` above ``cost.DENSE_PULL_FRACTION`` density).
     """
-    _check(u.size == a.nrows, f"vxm: u.size {u.size} != A.nrows {a.nrows}")
-    _check(w.size == a.ncols, f"vxm: w.size {w.size} != A.ncols {a.ncols}")
-    mask = as_mask(mask)
-    if (semiring.scipy_reducible() and u.nvals > DENSE_PULL_FRACTION * u.size
-            and a.nvals > 0 and u.nvals > 0):
-        t_idx, t_vals = _scipy_mxv(a.T, u, semiring, swap_operands=True)
-    else:
-        t_idx, t_vals = vxm_sparse(u._idx, u._vals, a.indptr, a.indices,
-                                   a.values, semiring)
-    return _write_vector(w, t_idx, t_vals, mask, accum, replace)
+    return engine.execute(engine.plan_vxm(
+        w, u, a, semiring, mask=mask, accum=accum, replace=replace))
 
 
 def mxv(w: Vector, a: Matrix, u: Vector, semiring: Semiring, *,
@@ -284,124 +83,12 @@ def mxv(w: Vector, a: Matrix, u: Vector, semiring: Semiring, *,
 
     When a mask is supplied, only the mask-selected rows of ``A`` are
     examined (the complemented-structural-mask BFS pull touches exactly the
-    unvisited rows).
+    unvisited rows).  A plain-``plus`` accumulate into a *full* float
+    output fuses the write-back into the multiply's output pass
+    (``mxv-fused-dense-accum`` — PageRank's hot step).
     """
-    _check(u.size == a.ncols, f"mxv: u.size {u.size} != A.ncols {a.ncols}")
-    _check(w.size == a.nrows, f"mxv: w.size {w.size} != A.nrows {a.nrows}")
-    mask = as_mask(mask)
-    if (semiring.scipy_reducible() and mask is None
-            and u.nvals > DENSE_PULL_FRACTION * u.size
-            and a.nvals > 0 and u.nvals > 0):
-        t_idx, t_vals = _scipy_mxv(a, u, semiring)
-    else:
-        rows = _mask_rows(mask, a.nrows)
-        if rows is None:
-            rows = np.arange(a.nrows, dtype=np.int64)
-        present, dense = u.bitmap()
-        t_idx, t_vals = mxv_gather(a.indptr, a.indices, a.values,
-                                   present, dense, rows, semiring)
-    return _write_vector(w, t_idx, t_vals, mask, accum, replace)
-
-
-def _mask_live_rows(mask: Optional[Mask], nrows: int,
-                    ncols: int) -> Optional[np.ndarray]:
-    """Output rows a masked write can still touch (``None`` = all of them).
-
-    Non-complemented masks: rows holding at least one allowed mask entry.
-    Complemented masks: rows whose mask row is not yet *full* (a full row
-    blocks every position — BC's ``⟨¬s(P)⟩`` once a source has reached the
-    whole graph).  Dead rows are sliced off before the product is computed.
-    """
-    if mask is None or not _mm.MASK_RESTRICT_ENABLED:
-        return None
-    present = mask.allowed_present()
-    if present is not None:
-        counts = present.reshape(nrows, ncols).sum(axis=1)
-    elif mask.structural and getattr(mask.obj, "nrows", None) == nrows:
-        # structural matrix mask: per-row allowed counts are just the
-        # stored-entry counts — O(nrows), no key materialisation
-        counts = np.diff(mask.obj.indptr)
-    else:
-        allowed = mask.allowed_keys()
-        counts = np.bincount(allowed // np.int64(ncols), minlength=nrows)
-    live = (counts < ncols) if mask.complemented else (counts > 0)
-    n_live = int(np.count_nonzero(live))
-    if n_live > _mm.LIVE_ROW_FRACTION * nrows:
-        # pruning a sliver of rows costs more (operand slicing) than it saves
-        return None
-    return np.flatnonzero(live).astype(np.int64)
-
-
-def _mask_key_filter(mask: Optional[Mask]):
-    """``keys -> keep`` predicate matching the write-back's mask selection.
-
-    Applied by the expand kernel *before* its group-reduce so contributions
-    the mask would discard never pay the sort.  Bitmap-resident masks
-    resolve with O(1) flag gathers; everything else searches the sorted
-    allowed-key set (the same machinery :func:`masked_write` uses, so the
-    selection is identical by construction).
-    """
-    if mask is None or not _mm.MASK_RESTRICT_ENABLED:
-        return None
-    present = mask.allowed_present()
-    if present is not None:
-        if mask.complemented:
-            return lambda keys: ~present[keys]
-        return lambda keys: present[keys]
-    allowed = mask.allowed_keys()
-    if mask.complemented:
-        return lambda keys: setdiff_keys(keys, allowed)
-    return lambda keys: ~setdiff_keys(keys, allowed)
-
-
-def _masked_dot_mxm(a: Matrix, b: Matrix, transpose_b: bool,
-                    semiring: Semiring, mask: Optional[Mask],
-                    bn_cols: int):
-    """Try the dot3 masked-SpGEMM path; ``None`` means "fall back".
-
-    Feeds the kernel ``Bᵀ`` in CSR form without materialising a transpose:
-    for ``transpose_b=True`` (TC's ``L plus.pair Uᵀ``) that is the operand's
-    own CSR arrays, otherwise the store's cached CSC view — native for
-    CSC-pinned operands (the PR-2 follow-up: no conversion at all).
-    """
-    if (mask is None or mask.complemented or not _mm.DOT_ENABLED
-            or not _mm.dot_supported(semiring)
-            or not a.nvals or not b.nvals):
-        return None
-    allowed = mask.allowed_keys()
-    if allowed.size == 0:
-        return np.empty(0, np.int64), np.empty(0, _scipy_dtype(a, b, semiring))
-    a_ip, a_ix, a_vv = a._S().csr()
-    if transpose_b:
-        bt_ip, bt_ix, bt_vv = b._S().csr()
-        beff_lengths = np.bincount(bt_ix, minlength=b.ncols)
-    else:
-        bt_ip, bt_ix, bt_vv = b._S().transpose_csr()
-        beff_lengths = np.diff(b.indptr)
-    ncols64 = np.int64(bn_cols)
-    rows_m = allowed // ncols64
-    cols_m = allowed - rows_m * ncols64
-    lengths = _mm.mask_row_lengths(a_ip, bt_ip, rows_m, cols_m)
-    cost_dot = _mm.dot_probe_cost(*lengths)
-    est_flops = _mm.expand_flops_estimate(a_ix, beff_lengths)
-    scipy_path = semiring.scipy_reducible()
-    method = _mm.choose_masked_method(cost_dot, est_flops, scipy_path)
-    if telemetry.active():
-        telemetry.record({
-            "op": "mxm", "method": method, "semiring": semiring.name,
-            "mask_nvals": int(allowed.size),
-            "dot_probes": int(cost_dot),
-            "expand_flops_est": float(est_flops),
-            "expand_flops": _mm.expand_flops_exact(a_ix, beff_lengths),
-            "scipy_path": scipy_path,
-        })
-    if method != "dot":
-        return None
-    cast_dt = _scipy_dtype(a, b, semiring) if scipy_path else None
-    hit, vals = _mm.masked_dot(a_ip, a_ix, a_vv, bt_ip, bt_ix, bt_vv,
-                               rows_m, cols_m, a.ncols, semiring,
-                               cast_dtype=cast_dt, lengths=lengths)
-    return allowed[hit], vals
+    return engine.execute(engine.plan_mxv(
+        w, a, u, semiring, mask=mask, accum=accum, replace=replace))
 
 
 def mxm(c: Matrix, a: Matrix, b: Matrix, semiring: Semiring, *,
@@ -413,77 +100,34 @@ def mxm(c: Matrix, a: Matrix, b: Matrix, semiring: Semiring, *,
     the paper's BC (Sec. IV-B): the transpose is taken from the operand's
     cache, never re-materialised per call.
 
-    With a mask, the multiply itself is mask-driven (see the module
-    docstring and :mod:`repro.grb._kernels.masked_matmul`): a cost model
-    routes non-complemented masks to the dot3 kernel when cheaper, and
-    restricts the SciPy / expand fallbacks to mask-live rows either way.
-    Results are bit-identical to the unmasked-then-write reference on every
-    path.
+    With a mask, the multiply itself is mask-driven: the planner routes
+    non-complemented masks to the dot3 kernel
+    (:mod:`repro.grb._kernels.masked_matmul`) when the unified cost model
+    prices it cheaper, and restricts the SciPy / expand fallbacks to
+    mask-live rows either way.  Results are bit-identical to the
+    unmasked-then-write reference on every path.
     """
-    if transpose_a:
-        a = a.T
-    bn_rows = b.ncols if transpose_b else b.nrows
-    bn_cols = b.nrows if transpose_b else b.ncols
-    _check(a.ncols == bn_rows, f"mxm: A.ncols {a.ncols} != B.nrows {bn_rows}")
-    _check(c.nrows == a.nrows and c.ncols == bn_cols,
-           f"mxm: C shape {c.shape} != ({a.nrows}, {bn_cols})")
-    mask = as_mask(mask)
-    # tiny products are cheaper to compute in full than to analyse
-    engine = mask is not None and a.nvals + b.nvals >= _mm.MASKED_MIN_NNZ
-    t = _masked_dot_mxm(a, b, transpose_b, semiring, mask, bn_cols) \
-        if engine else None
-    if t is None:
-        if transpose_b:
-            b = b.T
-        rows = _mask_live_rows(mask, a.nrows, b.ncols) if engine else None
-        if semiring.scipy_reducible() and a.nvals and b.nvals:
-            t = _scipy_mxm(a, b, semiring, rows=rows)
-        else:
-            # hypersparse A supplies per-entry row ids in O(live rows)
-            t = mxm_expand(a.indptr, a.indices, a.values, a.nrows,
-                           b.indptr, b.indices, b.values, b.ncols, semiring,
-                           a_rows=a._S().entry_rows() if rows is None else None,
-                           rows=rows,
-                           key_keep=_mask_key_filter(mask) if engine else None)
-    return _write_matrix(c, t[0], t[1], mask, accum, replace)
+    return engine.execute(engine.plan_mxm(
+        c, a, b, semiring, mask=mask, accum=accum, replace=replace,
+        transpose_a=transpose_a, transpose_b=transpose_b))
 
 
 # ---------------------------------------------------------------------------
 # element-wise
 # ---------------------------------------------------------------------------
 
-def _is_vector(x) -> bool:
-    return isinstance(x, Vector)
-
-
 def ewise_add(out, a, b, op: BinaryOp, *, mask=None, accum=None,
               replace: bool = False):
     """``C⟨M⟩⊙= A op∪ B`` (union of structures; op only on the overlap)."""
-    mask = as_mask(mask)
-    if _is_vector(out):
-        a._check_same_size(b)
-        _check(out.size == a.size, "ewise_add: output size mismatch")
-        keys, vals = merge_objects(a, b, op, union=True)
-        return _write_vector(out, keys, vals, mask, accum, replace)
-    a._check_same_shape(b)
-    _check(out.shape == a.shape, "ewise_add: output shape mismatch")
-    keys, vals = merge_objects(a, b, op, union=True)
-    return _write_matrix(out, keys, vals, mask, accum, replace)
+    return engine.execute(engine.plan_ewise_add(
+        out, a, b, op, mask=mask, accum=accum, replace=replace))
 
 
 def ewise_mult(out, a, b, op: BinaryOp, *, mask=None, accum=None,
                replace: bool = False):
     """``C⟨M⟩⊙= A op∩ B`` (intersection of structures)."""
-    mask = as_mask(mask)
-    if _is_vector(out):
-        a._check_same_size(b)
-        _check(out.size == a.size, "ewise_mult: output size mismatch")
-        keys, vals = merge_objects(a, b, op, union=False)
-        return _write_vector(out, keys, vals, mask, accum, replace)
-    a._check_same_shape(b)
-    _check(out.shape == a.shape, "ewise_mult: output shape mismatch")
-    keys, vals = merge_objects(a, b, op, union=False)
-    return _write_matrix(out, keys, vals, mask, accum, replace)
+    return engine.execute(engine.plan_ewise_mult(
+        out, a, b, op, mask=mask, accum=accum, replace=replace))
 
 
 # ---------------------------------------------------------------------------
@@ -493,11 +137,8 @@ def ewise_mult(out, a, b, op: BinaryOp, *, mask=None, accum=None,
 def apply(out, src, op: UnaryOp, thunk=None, *, mask=None, accum=None,
           replace: bool = False):
     """``C⟨M⟩⊙= f(A, k)``."""
-    t = src.apply(op, thunk)
-    mask = as_mask(mask)
-    if _is_vector(out):
-        return _write_vector(out, t._idx, t._vals, mask, accum, replace)
-    return _write_matrix(out, t.keys(), t.values, mask, accum, replace)
+    return engine.execute(engine.plan_apply(
+        out, src, op, thunk, mask=mask, accum=accum, replace=replace))
 
 
 def select(out, src, op, thunk=None, *, mask=None, accum=None,
@@ -505,11 +146,8 @@ def select(out, src, op, thunk=None, *, mask=None, accum=None,
     """``C⟨M⟩⊙= A⟨f(A, k)⟩``: filter entries by a predicate."""
     if isinstance(op, str):
         op = _selectops.by_name(op)
-    t = src.select(op, thunk)
-    mask = as_mask(mask)
-    if _is_vector(out):
-        return _write_vector(out, t._idx, t._vals, mask, accum, replace)
-    return _write_matrix(out, t.keys(), t.values, mask, accum, replace)
+    return engine.execute(engine.plan_select(
+        out, src, op, thunk, mask=mask, accum=accum, replace=replace))
 
 
 def update(out, t, *, mask=None, accum=None, replace: bool = False):
@@ -521,66 +159,14 @@ def update(out, t, *, mask=None, accum=None, replace: bool = False):
     mask = as_mask(mask)
     if _is_vector(out):
         _check(out.size == t.size, "update: size mismatch")
-        return _write_vector(out, t._idx, t._vals, mask, accum, replace)
+        return engine.write_vector(out, t._idx, t._vals, mask, accum, replace)
     _check(out.shape == t.shape, "update: shape mismatch")
-    return _write_matrix(out, t.keys(), t.values, mask, accum, replace)
+    return engine.write_matrix(out, t.keys(), t.values, mask, accum, replace)
 
 
 # ---------------------------------------------------------------------------
 # assign / extract
 # ---------------------------------------------------------------------------
-
-def _region_write(out, region_keys, t_keys, t_vals, mask: Optional[Mask],
-                  accum, replace: bool):
-    """Write ``T`` into the sub-range ``region_keys`` of ``out``.
-
-    Assign semantics: inside the region (∩ mask) the output becomes exactly
-    ``Z``; positions outside the region are never touched.  The effective
-    allowed set is the region intersected with the (possibly complemented)
-    mask, after which the write-back runs un-complemented.  With
-    ``replace=True`` entries inside the region but outside the mask are
-    cleared (subassign-style replace).
-    """
-    if mask is None:
-        allowed = region_keys
-    else:
-        m_allowed = mask.allowed_keys()
-        if mask.complemented:
-            keep = ~np.isin(region_keys, m_allowed, assume_unique=False)
-        else:
-            keep = np.isin(region_keys, m_allowed, assume_unique=False)
-        allowed = region_keys[keep]
-        if replace:
-            # subassign replace: clear region entries the mask rejects
-            allowed_for_clear = region_keys
-            if _is_vector(out):
-                keys, vals = masked_write(
-                    out._idx, out._vals, np.empty(0, np.int64),
-                    np.empty(0, out.type.dtype), accum=None,
-                    allowed_keys=allowed_for_clear[~keep], complement=False,
-                    replace=False, out_dtype=out.type.dtype)
-                out._set_sparse(keys, vals)
-            else:
-                keys, vals = masked_write(
-                    out.keys(), out.values, np.empty(0, np.int64),
-                    np.empty(0, out.type.dtype), accum=None,
-                    allowed_keys=allowed_for_clear[~keep], complement=False,
-                    replace=False, out_dtype=out.type.dtype)
-                out._set_from_keys(keys, vals)
-    if _is_vector(out):
-        keys, vals = masked_write(
-            out._idx, out._vals, t_keys, t_vals, accum=accum,
-            allowed_keys=allowed, complement=False, replace=False,
-            out_dtype=out.type.dtype)
-        out._set_sparse(keys, vals)
-    else:
-        keys, vals = masked_write(
-            out.keys(), out.values, t_keys, t_vals, accum=accum,
-            allowed_keys=allowed, complement=False, replace=False,
-            out_dtype=out.type.dtype)
-        out._set_from_keys(keys, vals)
-    return out
-
 
 def assign(w, u, indices=None, *, mask=None, accum=None, replace: bool = False):
     """``w⟨m⟩(i)⊙= u`` — assign a vector (or matrix) into a sub-range.
@@ -590,36 +176,8 @@ def assign(w, u, indices=None, *, mask=None, accum=None, replace: bool = False):
     modified; inside the range the output takes ``u``'s pattern (so range
     positions absent from ``u`` lose their entry, per the spec).
     """
-    mask = as_mask(mask)
-    if _is_vector(w):
-        if indices is None:
-            return _write_vector(w, u._idx, u._vals, mask, accum, replace)
-        indices = np.asarray(indices, dtype=np.int64)
-        _check(u.size == indices.size, "assign: index list size mismatch")
-        t_idx = indices[u._idx]
-        t_vals = u._vals
-        order = np.argsort(t_idx, kind="stable")
-        region = np.unique(indices)
-        return _region_write(w, region, t_idx[order], t_vals[order], mask,
-                             accum, replace)
-    rows, cols = (None, None) if indices is None else indices
-    whole = rows is None and cols is None
-    rows = np.arange(w.nrows, dtype=np.int64) if rows is None \
-        else np.asarray(rows, dtype=np.int64)
-    cols = np.arange(w.ncols, dtype=np.int64) if cols is None \
-        else np.asarray(cols, dtype=np.int64)
-    _check(u.nrows == rows.size and u.ncols == cols.size,
-           "assign: submatrix shape mismatch")
-    ur, uc, uv = u.to_coo()
-    t_keys = rows[ur] * np.int64(w.ncols) + cols[uc]
-    order = np.argsort(t_keys, kind="stable")
-    if whole:
-        return _write_matrix(w, t_keys[order], uv[order], mask, accum, replace)
-    region = np.unique(
-        (np.unique(rows)[:, None] * np.int64(w.ncols) +
-         np.unique(cols)[None, :]).ravel())
-    return _region_write(w, region, t_keys[order], uv[order], mask, accum,
-                         replace)
+    return engine.execute(engine.plan_assign(
+        w, u, indices, mask=mask, accum=accum, replace=replace))
 
 
 def assign_scalar(w, value, indices=None, *, mask=None, accum=None,
@@ -631,26 +189,8 @@ def assign_scalar(w, value, indices=None, *, mask=None, accum=None,
     (``r(0:n-1) = teleport``, ``B(:) = 1.0``).  Positions outside the index
     range are never modified.
     """
-    mask = as_mask(mask)
-    if _is_vector(w):
-        whole = indices is None
-        idx = np.arange(w.size, dtype=np.int64) if whole \
-            else np.unique(np.asarray(indices, dtype=np.int64))
-        vals = np.full(idx.size, value, dtype=w.type.dtype)
-        if whole:
-            return _write_vector(w, idx, vals, mask, accum, replace)
-        return _region_write(w, idx, idx, vals, mask, accum, replace)
-    rows, cols = (None, None) if indices is None else indices
-    whole = rows is None and cols is None
-    rows = np.arange(w.nrows, dtype=np.int64) if rows is None \
-        else np.unique(np.asarray(rows, dtype=np.int64))
-    cols = np.arange(w.ncols, dtype=np.int64) if cols is None \
-        else np.unique(np.asarray(cols, dtype=np.int64))
-    t_keys = (rows[:, None] * np.int64(w.ncols) + cols[None, :]).ravel()
-    t_vals = np.full(t_keys.size, value, dtype=w.type.dtype)
-    if whole:
-        return _write_matrix(w, t_keys, t_vals, mask, accum, replace)
-    return _region_write(w, t_keys, t_keys, t_vals, mask, accum, replace)
+    return engine.execute(engine.plan_assign_scalar(
+        w, value, indices, mask=mask, accum=accum, replace=replace))
 
 
 def extract(w, u, indices, *, mask=None, accum=None, replace: bool = False):
@@ -666,7 +206,7 @@ def extract(w, u, indices, *, mask=None, accum=None, replace: bool = False):
     hit = present[indices]
     t_idx = np.flatnonzero(hit).astype(np.int64)
     t_vals = dense[indices[t_idx]]
-    return _write_vector(w, t_idx, t_vals, mask, accum, replace)
+    return engine.write_vector(w, t_idx, t_vals, mask, accum, replace)
 
 
 # ---------------------------------------------------------------------------
@@ -678,7 +218,8 @@ def reduce_rowwise(w: Vector, a: Matrix, monoid: Monoid, *, mask=None,
     """``w⟨m⟩⊙= [⊕ⱼ A(:, j)]``: per-row reduction into a vector."""
     _check(w.size == a.nrows, "reduce_rowwise: output size mismatch")
     t = a.reduce_rowwise(monoid)
-    return _write_vector(w, t._idx, t._vals, as_mask(mask), accum, replace)
+    return engine.write_vector(w, t._idx, t._vals, as_mask(mask), accum,
+                               replace)
 
 
 def reduce_colwise(w: Vector, a: Matrix, monoid: Monoid, *, mask=None,
@@ -686,7 +227,8 @@ def reduce_colwise(w: Vector, a: Matrix, monoid: Monoid, *, mask=None,
     """``w⟨m⟩⊙= [⊕ᵢ A(i, :)]``: per-column reduction into a vector."""
     _check(w.size == a.ncols, "reduce_colwise: output size mismatch")
     t = a.reduce_colwise(monoid)
-    return _write_vector(w, t._idx, t._vals, as_mask(mask), accum, replace)
+    return engine.write_vector(w, t._idx, t._vals, as_mask(mask), accum,
+                               replace)
 
 
 def transpose(c: Matrix, a: Matrix, *, mask=None, accum=None,
@@ -695,7 +237,8 @@ def transpose(c: Matrix, a: Matrix, *, mask=None, accum=None,
     _check(c.nrows == a.ncols and c.ncols == a.nrows,
            f"transpose: C shape {c.shape} != ({a.ncols}, {a.nrows})")
     t = a.T
-    return _write_matrix(c, t.keys(), t.values, as_mask(mask), accum, replace)
+    return engine.write_matrix(c, t.keys(), t.values, as_mask(mask), accum,
+                               replace)
 
 
 # ---------------------------------------------------------------------------

@@ -1,17 +1,23 @@
-"""Opt-in kernel telemetry.
+"""Opt-in, context-local kernel telemetry.
 
-Performance choosers (the masked-SpGEMM dot-vs-expand decision in
-:func:`repro.grb.operations.mxm`, via
-:mod:`repro.grb._kernels.masked_matmul`) normally run silently.  Installing
-a hook makes every decision observable — estimated versus actual work, the
-method picked, the mask size — so benchmarks such as
+Planner rules (:mod:`repro.grb.engine`) normally decide silently.
+Installing a hook makes every decision observable — the rule picked, the
+estimated versus actual work, the mask size — so benchmarks such as
 ``benchmarks/bench_ablation_tc_methods.py`` can report *mispredictions*
 (cases where the chooser picked the slower path) instead of leaving slow
 paths silent.
 
-The hook is process-global and **off by default**: with no hook installed,
-recording is a single ``is None`` check and no event dictionaries (or the
-exact-flop counts some events carry) are ever materialised.
+The hook is **context-local** (:mod:`contextvars`) and off by default:
+with no hook installed, recording is a single ``ContextVar`` read and no
+event dictionaries (or the exact-flop counts some events carry) are ever
+materialised.  Context locality is what makes telemetry safe under the
+concurrent serving engine: two requests capturing events in parallel each
+see exactly their own decisions — a worker thread executing a request runs
+under a copy of the *submitter's* context
+(:mod:`repro.serve.service`), so events neither interleave across
+requests nor leak into unrelated threads.  (A plain ``threading.Thread``
+starts with a fresh context and therefore no hook; propagate one
+explicitly with ``contextvars.copy_context()`` when needed.)
 
 Usage::
 
@@ -26,22 +32,24 @@ Usage::
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Callable, Optional
 
 __all__ = ["set_hook", "clear_hook", "active", "record", "capture"]
 
-_hook: Optional[Callable[[dict], None]] = None
+_hook_var: ContextVar[Optional[Callable[[dict], None]]] = ContextVar(
+    "repro_grb_telemetry_hook", default=None)
 
 
 def set_hook(fn: Optional[Callable[[dict], None]]):
-    """Install ``fn`` as the telemetry sink; returns the previous hook.
+    """Install ``fn`` as the telemetry sink *in this context*; returns the
+    previously installed hook.
 
     ``fn`` receives one ``dict`` per recorded event, synchronously, on the
     thread that made the decision — keep it cheap (append to a list).
     """
-    global _hook
-    prev = _hook
-    _hook = fn
+    prev = _hook_var.get()
+    _hook_var.set(fn)
     return prev
 
 
@@ -51,15 +59,16 @@ def clear_hook() -> None:
 
 
 def active() -> bool:
-    """Whether a hook is installed (kernels gate expensive-to-compute
-    event fields — e.g. exact flop counts — on this)."""
-    return _hook is not None
+    """Whether a hook is installed in this context (kernels gate
+    expensive-to-compute event fields — e.g. exact flop counts — on this)."""
+    return _hook_var.get() is not None
 
 
 def record(event: dict) -> None:
-    """Deliver ``event`` to the hook, if any."""
-    if _hook is not None:
-        _hook(event)
+    """Deliver ``event`` to this context's hook, if any."""
+    hook = _hook_var.get()
+    if hook is not None:
+        hook(event)
 
 
 @contextmanager

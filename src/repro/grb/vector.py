@@ -340,16 +340,9 @@ class Vector:
 
     def apply(self, op: UnaryOp, thunk=None) -> "Vector":
         """``f(u, k)``: apply a unary op to every entry (Sec. III-B-f)."""
-        if op.positional == "i":
-            vals = op.fn(self._idx)
-        elif op.positional == "j":
-            vals = op.fn(np.zeros(self._idx.size, dtype=np.int64))
-        elif thunk is not None:
-            vals = op.fn(self._vals, thunk)
-        else:
-            vals = op.fn(self._vals)
-        if op.out_dtype is not None:
-            vals = vals.astype(op.out_dtype, copy=False)
+        vals = _selectops.eval_unary(
+            op, self._vals, thunk, rows=lambda: self._idx,
+            cols=lambda: np.zeros(self._idx.size, dtype=np.int64))
         out = Vector(from_dtype(vals.dtype), self.size)
         out._set_sparse(self._idx.copy(), vals)
         return out

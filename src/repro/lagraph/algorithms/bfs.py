@@ -10,9 +10,13 @@ picking one parent) in a single step.  The follow-up
 Direction optimisation (Alg. 2): a *push* step costs the total out-degree
 of the frontier; a *pull* step (``AT any.secondi q`` restricted to the
 unvisited rows by the complemented structural mask) costs the total
-in-degree of the unvisited set.  The heuristic below is the Beamer-style
-one the GAP benchmark uses: pull while the frontier is heavy, push while it
-is sparse.
+in-degree of the unvisited set.  The per-level push/pull decision is the
+Beamer-style heuristic the GAP benchmark uses, now resident in the
+execution engine's rule registry
+(:func:`repro.grb.engine.choose_direction`; constants
+``PUSHPULL_ALPHA`` / ``PUSHPULL_BETA`` in :mod:`repro.grb.engine.cost`),
+so it is forceable and telemetry-observable like every other planner
+decision.
 
 Advanced entry points follow Sec. II-B strictly: they never compute cached
 properties (``bfs_parent`` with ``direction_optimizing=True`` demands a
@@ -27,7 +31,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ... import grb
-from ...grb import Vector, complement, structure
+from ...grb import Vector, complement, engine, structure
+from ...grb.engine import cost as _cost
 from ..errors import PropertyMissing
 from ..graph import Graph
 
@@ -36,10 +41,6 @@ __all__ = ["bfs", "bfs_parent_push", "bfs_parent_do", "bfs_parent_auto",
 
 _ANY_SECONDI = grb.semiring("any", "secondi")
 _ANY_PAIR = grb.semiring("any", "pair")
-
-#: Beamer heuristic constants (GAP uses alpha=15, beta=18).
-ALPHA = 15.0
-BETA = 18.0
 
 
 def _check_source(g: Graph, source: int):
@@ -96,7 +97,8 @@ def bfs_parent_do(g: Graph, source: int) -> Vector:
     for _level in range(1, n):
         frontier_edges = float(out_deg[q.indices].sum())
         unexplored = max(total_edges - scanned, 0.0)
-        push = frontier_edges * ALPHA < unexplored or q.nvals < n / BETA
+        push = engine.choose_direction(frontier_edges, unexplored,
+                                       q.nvals, n) == "push"
         if push:
             grb.vxm(q, q, a, _ANY_SECONDI,
                     mask=complement(structure(p)), replace=True)
@@ -157,8 +159,8 @@ def bfs_parent_auto(g: Graph, source: int) -> Vector:
     for _level in range(1, n):
         frontier_edges = float(out_deg[frontier].sum())
         unexplored = max(total_edges - scanned, 0.0)
-        push = (frontier_edges * ALPHA < unexplored
-                or frontier.size < n / BETA)
+        push = engine.choose_direction(frontier_edges, unexplored,
+                                       frontier.size, n) == "push"
         if push:
             idx, par = vxm_sparse(frontier,
                                   np.zeros(frontier.size, dtype=np.int64),
@@ -256,7 +258,8 @@ def bfs(g: Graph, source: int, *,
     if parent:
         use_do = direction_optimizing
         if use_do is None:
-            use_do = g.nvals >= 4 * g.n  # dense enough for pull to pay off
+            # dense enough for pull (and the transpose build) to pay off
+            use_do = g.nvals >= _cost.BFS_DO_MIN_AVG_DEGREE * g.n
         if use_do:
             g.cache_at()          # Basic mode may compute properties
             g.cache_row_degree()

@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ... import grb
-from ...grb import Vector
+from ...grb import Vector, engine
 from ..errors import InvalidKind
 from ..graph import Graph
 from ..kinds import Kind
@@ -50,13 +50,15 @@ def fastsv(g: Graph) -> Vector:
     n = g.n
     f = np.arange(n, dtype=np.int64)       # parent vector
     gf = f.copy()                          # grandparents
-    mngf_vec = Vector(grb.INT64, n)
 
     while True:
-        # Step 1a: mngf(i) = min over neighbours j of gf(j)
-        grb.mxv(mngf_vec, a, Vector.from_dense(gf), _MIN_SECOND, replace=True)
-        present, dense = mngf_vec.bitmap()
-        mngf = np.where(present, dense, gf)  # isolated nodes: no-op
+        # Step 1a: mngf(i) = min over neighbours j of gf(j) — raw kernel
+        # output scattered over the grandparent array (isolated nodes keep
+        # gf), no intermediate vector or bitmap materialised
+        idx, vals = engine.execute(
+            engine.plan_mxv(None, a, Vector.from_dense(gf), _MIN_SECOND))
+        mngf = gf.copy()
+        mngf[idx] = vals
         # Step 1b: stochastic hooking — duplicate-tolerant min scatter
         x = f.copy()
         np.minimum.at(f, x, mngf)

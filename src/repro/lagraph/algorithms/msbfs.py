@@ -43,7 +43,8 @@ independently).  Advanced mode: nothing is cached on the graph (``Aᵀ`` for
 the probe comes from the matrix's own transpose cache, or ``G.AT`` when
 already present).
 
-Level fusion: whatever the method, frontiers under :data:`FUSE_FRONTIER_K`
+Level fusion: whatever the method, frontiers under
+:data:`repro.grb.engine.cost.MSBFS_FUSE_FRONTIER_K`
 live entries skip the matrix machinery — consecutive near-empty levels run
 as raw-array neighbour expansions against a dense discovered-set bitmap,
 and their discoveries merge into the output once per fused run.  This is
@@ -60,6 +61,7 @@ import numpy as np
 
 from ... import grb
 from ...grb import Matrix, complement, structure
+from ...grb.engine import cost as _cost
 from ...grb._kernels.gather import csr_gather_rows
 from ..graph import Graph
 
@@ -69,25 +71,18 @@ _ANY_SECONDI = grb.semiring("any", "secondi")
 _ANY_PAIR = grb.semiring("any", "pair")
 _PLUS_PAIR = grb.semiring("plus", "pair")
 
-#: Probe rounds against the frontier bitmap before the ragged fallback.
+#: Probe rounds against the frontier bitmap before the ragged fallback
+#: (a kernel-mechanism cap; the *chooser* constants live in the engine's
+#: unified cost model — ``MSBFS_AUTO_BATCH_THRESHOLD``,
+#: ``MSBFS_PROBE_DENSITY`` and ``MSBFS_FUSE_FRONTIER_K`` in
+#: :mod:`repro.grb.engine.cost` — read at call time, monkeypatchable like
+#: every other planner tunable).  The fusion threshold is the ROADMAP
+#: road-graph follow-up: a high-diameter batch spends hundreds of levels
+#: on slim frontiers, and per-level mxm + mask-write + output-rebuild
+#: overhead dominates the actual expansion work (~13× on the small road
+#: grid, 64 sources); low-diameter graphs blow past the threshold after a
+#: level or two and keep the compiled product.
 PROBE_ROUNDS = 16
-#: ``method="auto"`` uses the compiled-product path for batches this big.
-AUTO_BATCH_THRESHOLD = 2
-#: Frontier density (nvals / grid) above which a probe level beats a push
-#: level: the expected number of probes until a hit scales like the inverse
-#: density, so sparse frontiers expand (push), dense frontiers probe (pull)
-#: — the Beamer direction switch of Alg. 2, batched.
-PROBE_DENSITY = 0.05
-#: Frontiers with fewer live entries than this skip the masked ``mxm``
-#: entirely: the level is *fused* — consecutive near-empty levels run as
-#: raw-array neighbour expansions and merge into the output once per run.
-#: This is the ROADMAP road-graph follow-up: a high-diameter batch spends
-#: hundreds of levels on slim frontiers, and per-level mxm + mask-write +
-#: output-rebuild overhead dominates the actual expansion work (~13× on
-#: the small road grid, 64 sources).  Low-diameter graphs blow past the
-#: threshold after a level or two and keep the compiled product; 0
-#: disables fusion.
-FUSE_FRONTIER_K = 8192
 
 
 def _check_sources(g: Graph, sources) -> np.ndarray:
@@ -208,7 +203,7 @@ def _msbfs_parents_probe(g: Graph, sources: np.ndarray) -> Matrix:
     frontiers run the compiled ``plus.pair`` structural product and recover
     each new node's witness by probing its in-neighbours against a frontier
     bitmap (a hit lands within a couple of rounds exactly when the frontier
-    is heavy).  Frontiers below :data:`FUSE_FRONTIER_K` live entries leave
+    is heavy).  Frontiers below ``MSBFS_FUSE_FRONTIER_K`` live entries leave
     the matrix machinery entirely: consecutive near-empty levels run as
     raw-array neighbour expansions (fused run) and merge into ``P`` once at
     the end of the run.  All three legs pick the smallest frontier
@@ -234,7 +229,7 @@ def _msbfs_parents_probe(g: Graph, sources: np.ndarray) -> Matrix:
     acc_vals: list = []
     for _level in range(1, n):
         cur_nvals = f.nvals if f_keys is None else f_keys.size
-        if 0 < cur_nvals < FUSE_FRONTIER_K:
+        if 0 < cur_nvals < _cost.MSBFS_FUSE_FRONTIER_K:
             # fused level: no mxm, no mask-write, no per-level P rebuild
             fk = f.keys() if f_keys is None else f_keys
             new_keys, new_par = _fused_expand(a, fk, n, vbits)
@@ -254,7 +249,7 @@ def _msbfs_parents_probe(g: Graph, sources: np.ndarray) -> Matrix:
             prev_keys = f_keys
             bits[prev_keys] = True
             f_keys = f_vals = None
-        probe = f.nvals >= PROBE_DENSITY * grid
+        probe = f.nvals >= _cost.MSBFS_PROBE_DENSITY * grid
         if probe:
             # F⟨¬s(P), r⟩ = F plus.pair A — new-frontier *structure* only;
             # witnesses recovered below at output scale
@@ -316,7 +311,8 @@ def msbfs_parents(g: Graph, sources: Sequence[int], *,
     """
     sources = _check_sources(g, sources)
     if method == "auto":
-        method = "probe" if sources.size >= AUTO_BATCH_THRESHOLD else "mxm"
+        method = "probe" if sources.size >= _cost.MSBFS_AUTO_BATCH_THRESHOLD \
+            else "mxm"
     if sources.size == 0:
         return Matrix(grb.INT64, 0, g.n)
     if method == "probe":
@@ -340,7 +336,8 @@ def msbfs_levels(g: Graph, sources: Sequence[int], *,
     """
     sources = _check_sources(g, sources)
     if method == "auto":
-        method = "pair" if sources.size >= AUTO_BATCH_THRESHOLD else "any"
+        method = "pair" if sources.size >= _cost.MSBFS_AUTO_BATCH_THRESHOLD \
+            else "any"
     if method == "pair":
         semiring = _PLUS_PAIR      # SciPy-reducible: compiled CSR product
     elif method == "any":
@@ -364,8 +361,8 @@ def msbfs_levels(g: Graph, sources: Sequence[int], *,
     acc_vals: list = []
     for depth in range(1, n):
         cur_nvals = f.nvals if f_keys is None else f_keys.size
-        if 0 < cur_nvals < FUSE_FRONTIER_K:
-            # fused level (see FUSE_FRONTIER_K): one gather per level, one
+        if 0 < cur_nvals < _cost.MSBFS_FUSE_FRONTIER_K:
+            # fused level (see MSBFS_FUSE_FRONTIER_K): one gather per level, one
             # sorted merge per *run* — no mxm, no pattern stamp, no masked
             # update, no per-level L rebuild
             fk = f.keys() if f_keys is None else f_keys

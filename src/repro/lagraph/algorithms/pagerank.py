@@ -11,6 +11,27 @@ Two variants, exactly as the paper ships them:
   comparison with ``pr.cc``.
 
 Both iterate until the L1 norm of the rank change drops below ``tol``.
+
+Fused hot loop
+--------------
+The iteration runs on the execution engine's fused plans
+(:mod:`repro.grb.engine`):
+
+* the ``mxv`` accumulate step hits the ``mxv-fused-dense-accum`` rule —
+  the rank vector is *full* after the teleport assign, so the spec's
+  union-merge write-back degenerates to one dense add and the structural
+  counts product of the SciPy path is dead work (skipped);
+* the convergence check is a ``reduce_scalar`` epilogue riding on the
+  ``t − r`` merge — the L1 delta is computed from the merge's output pass
+  and no difference vector is ever materialised (its seed counterpart was
+  written and immediately overwritten);
+* the Graphalytics variant fuses its damping ``apply`` onto the
+  out-degree-division merge (one output pass instead of two).
+
+With :data:`repro.grb.engine.cost.FUSION_ENABLED` off, every fused plan
+decomposes into the seed sequence — that is the baseline
+``benchmarks/bench_fused_epilogue.py`` measures against, and results are
+bit-identical either way.
 """
 
 from __future__ import annotations
@@ -20,13 +41,15 @@ from typing import Tuple
 import numpy as np
 
 from ... import grb
-from ...grb import Vector
+from ...grb import Vector, engine
 from ..errors import PropertyMissing
 from ..graph import Graph
 
 __all__ = ["pagerank_gap", "pagerank_gx", "pagerank"]
 
 _PLUS_SECOND = grb.semiring("plus", "second")
+_PR_SCALE = grb.unary.unary_op("__pr_scale", lambda x, damping: x / damping)
+_GX_DAMP = grb.unary.unary_op("__gx_damp", lambda x, damping: x * damping)
 
 
 def _require(g: Graph):
@@ -34,6 +57,13 @@ def _require(g: Graph):
         raise PropertyMissing("pagerank requires cached G.AT")
     if g.row_degree is None:
         raise PropertyMissing("pagerank requires cached G.row_degree")
+
+
+def _l1_delta(t: Vector, r: Vector) -> float:
+    """``‖t − r‖₁`` as a fused merge + reduce (no difference vector)."""
+    return float(engine.execute(
+        engine.plan_ewise_mult(None, t, r, grb.binary.MINUS)
+              .then_reduce_scalar(grb.monoid.PLUS_MONOID, absolute=True)))
 
 
 def pagerank_gap(g: Graph, damping: float = 0.85, tol: float = 1e-4,
@@ -51,7 +81,7 @@ def pagerank_gap(g: Graph, damping: float = 0.85, tol: float = 1e-4,
     # d = rowdegree / damping, entries only where degree > 0 — dangling
     # nodes have no entry, so their mass silently vanishes (GAP behaviour).
     dout = g.row_degree.select("valuegt", 0)
-    d = dout.apply(grb.unary.unary_op("__pr_scale", lambda x: x / damping))
+    d = dout.apply(_PR_SCALE, damping)
 
     r = Vector.from_dense(np.full(n, 1.0 / n))
     t = Vector(grb.FP64, n)
@@ -62,10 +92,10 @@ def pagerank_gap(g: Graph, damping: float = 0.85, tol: float = 1e-4,
         t, r = r, t                       # swap: t is now the prior rank
         grb.ewise_mult(w, t, d, grb.binary.DIV)
         grb.assign_scalar(r, teleport)
+        # r is full here, so the plus-accum write fuses into the multiply's
+        # output pass (mxv-fused-dense-accum)
         grb.mxv(r, at, w, _PLUS_SECOND, accum=grb.binary.PLUS)
-        # t = |t - r|; 1-norm of the change
-        grb.ewise_mult(t, t, r, grb.binary.MINUS)
-        delta = float(np.abs(t.values).sum())
+        delta = _l1_delta(t, r)
         if delta < tol:
             break
     return r, iters
@@ -95,16 +125,16 @@ def pagerank_gx(g: Graph, damping: float = 0.85, tol: float = 1e-4,
     for _k in range(itermax):
         iters += 1
         t, r = r, t
-        # w = damping * t / outdegree, entries only for non-dangling nodes
-        grb.ewise_mult(w, t, dout, grb.binary.DIV)
-        grb.apply(w, w, grb.unary.unary_op(
-            "__gx_damp", lambda x, dmp=damping: x * dmp))
+        # w = damping * t / outdegree, entries only for non-dangling nodes;
+        # the damping apply rides the division merge's output pass
+        engine.execute(
+            engine.plan_ewise_mult(w, t, dout, grb.binary.DIV)
+                  .then_apply(_GX_DAMP, damping))
         _, t_dense = t.bitmap()
         redistributed = damping * float(t_dense[dangling].sum()) / n
         grb.assign_scalar(r, teleport + redistributed)
         grb.mxv(r, at, w, _PLUS_SECOND, accum=grb.binary.PLUS)
-        grb.ewise_mult(t, t, r, grb.binary.MINUS)
-        delta = float(np.abs(t.values).sum())
+        delta = _l1_delta(t, r)
         if delta < tol:
             break
     return r, iters

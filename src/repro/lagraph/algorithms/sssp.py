@@ -10,6 +10,18 @@ ever a member (the ``e`` accumulator of Alg. 5).
 
 A Bellman-Ford fallback (:func:`sssp_bellman_ford`) is provided both as the
 simplest possible min.plus iteration and as an internal cross-check.
+
+Fused hot loops
+---------------
+Every relaxation round ends with the same question — *which tentative
+distances strictly improve on the current ones?* — so the relaxation
+``vxm``/``mxm`` plans carry a fused ``select`` epilogue
+(:mod:`repro.grb.engine`): the improvement predicate runs inside the
+kernel's output pass, against the distance vector's bitmap (O(1)
+membership per candidate instead of the seed's sorted ``isin`` probe), and
+the rejected candidates never materialise an intermediate object.
+Results are bit-identical; ``cost.FUSION_ENABLED = False`` restores the
+materialised sequence.
 """
 
 from __future__ import annotations
@@ -19,12 +31,44 @@ from typing import Sequence
 import numpy as np
 
 from ... import grb
-from ...grb import Matrix, Vector
+from ...grb import Matrix, Vector, engine
+from ...grb._kernels.apply_select import SelectOp
 from ..graph import Graph
 
 __all__ = ["sssp_delta_stepping", "sssp_bellman_ford", "sssp", "sssp_batch"]
 
 _MIN_PLUS = grb.semiring("min", "plus")
+
+
+def _improves_vec(v, i, j, thunk):
+    """Keep candidates strictly below the current distance at their index.
+
+    ``thunk`` is the distance vector's ``(present, dense)`` bitmap — absent
+    positions count as +inf, exactly the seed's ``isin``-based probe.
+    """
+    present, dense = thunk
+    return v < np.where(present[i], dense[i], np.inf)
+
+
+def _improves_mat(v, i, j, thunk):
+    """Matrix twin of :func:`_improves_vec` for the batched frontier.
+
+    ``thunk`` is ``(ncols, d_keys, d_vals)``: current distances as sorted
+    linearised keys (the ``ns × n`` bitmap would be the whole grid).
+    Keyed predicate: when fused it receives the kernel's linearised keys
+    directly (``j=None``) — no div/mod coordinate round-trip."""
+    ncols, dkeys, dvals = thunk
+    keys = i if j is None else i * np.int64(ncols) + j
+    pos = np.searchsorted(dkeys, keys)
+    pos_in = np.minimum(pos, max(dkeys.size - 1, 0))
+    present = (pos < dkeys.size) & (dkeys[pos_in] == keys) \
+        if dkeys.size else np.zeros(keys.size, dtype=bool)
+    old = np.where(present, dvals[pos_in] if dvals.size else 0.0, np.inf)
+    return v < old
+
+
+_IMPROVES_VEC = SelectOp("__sssp_improves", _improves_vec)
+_IMPROVES_MAT = SelectOp("__sssp_improves_mat", _improves_mat, keyed=True)
 
 
 def _check_weights(g: Graph):
@@ -69,17 +113,20 @@ def sssp_delta_stepping(g: Graph, source: int, delta: float = 2.0) -> Vector:
         ever = np.zeros(n, dtype=bool)  # the "e" accumulator of Alg. 5
         while tbi.nvals:
             ever[tbi.indices] = True
-            grb.vxm(treq, tbi, al, _MIN_PLUS, replace=True)
-            # keep only strict improvements over current t
-            _, t_dense = t.bitmap()
-            t_at = np.where(np.isin(treq.indices, t.indices),
-                            t_dense[treq.indices], np.inf)
-            improved = treq.values < t_at
-            # t = t min∪ tReq
+            # raw relaxation arrays: no intermediate write-back, and the
+            # improvement probe reads t's bitmap (O(1) membership) instead
+            # of a sorted isin search
+            tq_idx, tq_vals = engine.execute(
+                engine.plan_vxm(None, tbi, al, _MIN_PLUS))
+            present, t_dense = t.bitmap()
+            t_at = np.where(present[tq_idx], t_dense[tq_idx], np.inf)
+            improved = tq_vals < t_at
+            # t = t min∪ tReq (the full relaxation, as Alg. 5 requires)
+            treq._set_sparse(tq_idx, tq_vals.astype(np.float64, copy=False))
             grb.ewise_add(t, t, treq, grb.binary.MIN)
             # next inner frontier: improved nodes that (still) fall in bucket i
-            keep = improved & (treq.values >= lo) & (treq.values < hi)
-            tbi = Vector.from_coo(treq.indices[keep], treq.values[keep], n)
+            keep = improved & (tq_vals >= lo) & (tq_vals < hi)
+            tbi = Vector.from_coo(tq_idx[keep], tq_vals[keep], n)
         # heavy-edge relaxation from every node that visited bucket i
         th_idx = np.flatnonzero(ever).astype(np.int64)
         if th_idx.size:
@@ -106,17 +153,15 @@ def sssp_bellman_ford(g: Graph, source: int) -> Vector:
     d = Vector(grb.FP64, n)
     d[source] = 0.0
     frontier = d.dup()
-    step = Vector(grb.FP64, n)
     for _ in range(n):
         if frontier.nvals == 0:
             break
-        grb.vxm(step, frontier, a, _MIN_PLUS, replace=True)
-        # which relaxations improve on d?
-        _, d_dense = d.bitmap()
-        present = np.isin(step.indices, d.indices)
-        old = np.where(present, d_dense[step.indices], np.inf)
-        keep = step.values < old
-        frontier = Vector.from_coo(step.indices[keep], step.values[keep], n)
+        # the improvement filter rides the relaxation kernel's output pass:
+        # rejected candidates never materialise an intermediate vector
+        f_idx, f_vals = engine.execute(
+            engine.plan_vxm(None, frontier, a, _MIN_PLUS)
+                  .then_select(_IMPROVES_VEC, d.bitmap()))
+        frontier = Vector.from_coo(f_idx, f_vals, n)
         grb.ewise_add(d, d, frontier, grb.binary.MIN)
     return d
 
@@ -152,24 +197,18 @@ def sssp_batch(g: Graph, sources: Sequence[int]) -> Matrix:
     if ns == 0:
         return d
     f = d.dup()
-    step = Matrix(grb.FP64, ns, n)
     for _ in range(n):
         if f.nvals == 0:
             break
-        # step = F min.plus A: tentative distances one relaxation further
-        grb.mxm(step, f, a, _MIN_PLUS, replace=True)
-        # keep only strict improvements over d (sorted-key probe keeps this
-        # sparse; the vector version's dense bitmap would be ns × n here)
-        skeys, svals = step.keys(), step.values
-        dkeys, dvals = d.keys(), d.values
-        pos = np.searchsorted(dkeys, skeys)
-        pos_in = np.minimum(pos, max(dkeys.size - 1, 0))
-        present = (pos < dkeys.size) & (dkeys[pos_in] == skeys) \
-            if dkeys.size else np.zeros(skeys.size, dtype=bool)
-        old = np.where(present, dvals[pos_in] if dvals.size else 0.0, np.inf)
-        keep = svals < old
+        # step = F min.plus A with the strict-improvement filter fused onto
+        # the kernel's output pass (sorted-key probe against d — the vector
+        # version's dense bitmap would be ns × n here); the unimproved
+        # relaxations never materialise a step matrix
+        keys, vals = engine.execute(
+            engine.plan_mxm(None, f, a, _MIN_PLUS)
+                  .then_select(_IMPROVES_MAT, (n, d.keys(), d.values)))
         f = Matrix(grb.FP64, ns, n)
-        f._set_from_keys(skeys[keep], svals[keep])
+        f._set_from_keys(keys, vals)
         # d = d min∪ f
         grb.ewise_add(d, d, f, grb.binary.MIN)
     return d

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ... import grb
-from ...grb import Matrix, Vector, structure
+from ...grb import Vector, engine, structure
 from ..graph import Graph
 from ..kinds import Kind
 
@@ -33,6 +33,11 @@ def local_clustering_coefficient(g: Graph) -> Vector:
     Directed inputs are symmetrised first (Graphalytics treats the graph as
     undirected for LCC); self-edges are ignored.  Nodes with degree < 2
     get coefficient 0.
+
+    The per-node triangle counts ride the masked multiply as a fused
+    ``reduce_rowwise`` epilogue: the row sums are taken from the masked
+    SpGEMM kernel's output pass, and the ``n × n`` triangle matrix the seed
+    materialised is never built.
     """
     a = g.A.pattern(grb.INT64)
     if g.kind is not Kind.ADJACENCY_UNDIRECTED:
@@ -40,10 +45,14 @@ def local_clustering_coefficient(g: Graph) -> Vector:
     if a.ndiag():
         a = a.offdiag()
     n = a.nrows
-    # triangles through each edge, then per node
-    c = Matrix(grb.INT64, n, n)
-    grb.mxm(c, a, a, _PLUS_PAIR, mask=structure(a))
-    tri_per_node = c.reduce_rowwise(grb.monoid.PLUS_MONOID).to_dense() / 2.0
+    # triangles through each edge, reduced per node inside the multiply's
+    # output pass
+    rows, sums = engine.execute(
+        engine.plan_mxm(None, a, a, _PLUS_PAIR, mask=structure(a))
+              .then_reduce_rowwise(grb.monoid.PLUS_MONOID))
+    tri = np.zeros(n, dtype=np.float64)
+    tri[rows] = sums
+    tri_per_node = tri / 2.0
     deg = a.row_degrees().to_dense().astype(np.float64)
     denom = deg * (deg - 1.0) / 2.0
     with np.errstate(divide="ignore", invalid="ignore"):

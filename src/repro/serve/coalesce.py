@@ -16,6 +16,7 @@ trivially testable without a service or an executor.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from concurrent.futures import Future
 from dataclasses import dataclass, field
@@ -28,11 +29,18 @@ __all__ = ["PendingRequest", "Batch", "CoalescingQueue", "plan_batches"]
 
 @dataclass
 class PendingRequest:
-    """One submitted query waiting for a result."""
+    """One submitted query waiting for a result.
+
+    ``ctx`` is the submitter's :mod:`contextvars` snapshot: drain workers
+    execute kernels under it, so context-local state — in particular the
+    :mod:`repro.grb.telemetry` hook — follows the request onto the pool
+    instead of leaking between concurrent submissions.
+    """
 
     graph_name: str
     query: Query
     future: Future = field(default_factory=Future)
+    ctx: Optional[contextvars.Context] = None
 
 
 @dataclass

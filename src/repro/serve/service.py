@@ -35,11 +35,13 @@ block on each other.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor, wait as _wait
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..grb import engine
 from ..lagraph.graph import Graph
 from .cache import LRUCache
 from .coalesce import Batch, CoalescingQueue, PendingRequest, plan_batches
@@ -157,14 +159,15 @@ class GraphService:
                 f"{GraphService.WARM_PROFILES} (or True/False)")
         if profile == "pull":
             # pin FIRST: the one CSR→CSC conversion happens here, and the
-            # transpose/CSC warm below is then free on the native store
+            # pre-planning below is then free on the native store
             graph.A.set_format("csc")
         graph.cache_at()
         graph.cache_row_degree()
-        graph.A._S().transpose_csr()
-        if profile == "msbfs":
-            import numpy as np
-            graph.A.pattern_operand(np.int64)
+        # pre-plan: build the operand state the engine's preferred rules
+        # read (canonical CSR, the CSC/transpose feed of the dot and pull
+        # kernels, pattern operands under "msbfs"), so the first query
+        # pays no one-off conversions inside its latency budget
+        engine.preplan(graph.A, profile=profile)
 
     def invalidate(self, name: str) -> int:
         """Declare a registered graph mutated (bumps its version)."""
@@ -235,7 +238,7 @@ class GraphService:
                 self._stats.completed += 1
             fut.set_result(_copy_result(cached))
             return fut
-        req = PendingRequest(name, query, fut)
+        req = PendingRequest(name, query, fut, contextvars.copy_context())
         self._track(fut)
         self._queue.put(req)
         return fut
@@ -332,10 +335,16 @@ class GraphService:
             missing.append(q)
 
         if missing:
+            # kernels run under the submitting request's contextvars
+            # snapshot: a telemetry hook installed by one caller observes
+            # exactly its own query's decisions (a coalesced batch runs
+            # under its first requester's context — one kernel call cannot
+            # answer to several hooks)
             if batch.group is not None and len(missing) > 1:
                 sources = [int(q.source) for q in missing]  # type: ignore[attr-defined]
                 kernel = type(missing[0]).run_batch
-                out = kernel(g, sources)
+                out = self._in_request_ctx(
+                    batch, missing[0], kernel, g, sources)
                 for row, q in enumerate(missing):
                     results[q] = _SingleSource.extract_row(out, row)
                 with self._lock:
@@ -344,7 +353,8 @@ class GraphService:
                     self._stats.coalesced_sources += len(sources)
             else:
                 for q in missing:
-                    results[q] = q.run_direct(g)
+                    results[q] = self._in_request_ctx(
+                        batch, q, q.run_direct, g)
                     with self._lock:
                         self._stats.kernel_calls += 1
                         if batch.group is not None:
@@ -364,6 +374,17 @@ class GraphService:
         with self._lock:
             self._stats.batches += 1
             self._stats.deduplicated += shared
+
+    @staticmethod
+    def _in_request_ctx(batch: Batch, q, fn, *args):
+        """Run ``fn(*args)`` under the context snapshot of the first
+        pending request for query ``q`` (each request carries its own
+        ``copy_context()``, so a context is never entered twice)."""
+        reqs = batch.requests_by_query.get(q)
+        ctx = reqs[0].ctx if reqs else None
+        if ctx is None:
+            return fn(*args)
+        return ctx.run(fn, *args)
 
     def _fail_batch(self, batch: Batch, exc: Exception) -> None:
         for req in batch.requests:

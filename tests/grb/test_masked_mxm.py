@@ -23,6 +23,7 @@ from repro import grb
 from repro.gap import datasets
 from repro.grb import telemetry
 from repro.grb._kernels import masked_matmul as mm
+from repro.grb.engine import cost
 from repro.lagraph import algorithms as alg
 from repro.lagraph.algorithms import bc
 from repro.lagraph.experimental.ktruss import ktruss
@@ -36,17 +37,18 @@ DOT_SEMIRINGS = ["plus.pair", "plus.times", "plus.first", "plus.second",
 
 
 def _force_dot(monkeypatch):
-    monkeypatch.setattr(mm, "DOT_PROBE_COST", 0.0)
-    monkeypatch.setattr(mm, "MASKED_MIN_NNZ", 0)
+    monkeypatch.setattr(cost, "DOT_PROBE_COST", 0.0)
+    monkeypatch.setattr(cost, "DOT_WRITE_COST", 0.0)
+    monkeypatch.setattr(cost, "MASKED_MIN_NNZ", 0)
 
 
 def _seed_path(monkeypatch):
-    monkeypatch.setattr(mm, "DOT_ENABLED", False)
-    monkeypatch.setattr(mm, "MASK_RESTRICT_ENABLED", False)
+    monkeypatch.setattr(cost, "DOT_ENABLED", False)
+    monkeypatch.setattr(cost, "MASK_RESTRICT_ENABLED", False)
 
 
 def _engine_default(monkeypatch):
-    monkeypatch.setattr(mm, "MASKED_MIN_NNZ", 0)
+    monkeypatch.setattr(cost, "MASKED_MIN_NNZ", 0)
 
 
 def assert_same_matrix(got: grb.Matrix, ref: grb.Matrix, ctx=""):
@@ -154,10 +156,15 @@ class TestDotEquivalence:
         _force_dot(monkeypatch)
         c1 = grb.Matrix(grb.INT64, 30, 30)
         grb.mxm(c1, a, a, sr, mask=grb.structure(mobj))
-        monkeypatch.setattr(mm, "DOT_DENSE_GRID_CAP", 0)  # force searchsorted
+        monkeypatch.setattr(mm, "DOT_DENSE_GRID_CAP", 0)  # no dense flags
+        monkeypatch.setattr(mm, "BOUNDED_PROBE_NNZ_RATIO", 0.0)  # force global
         c2 = grb.Matrix(grb.INT64, 30, 30)
         grb.mxm(c2, a, a, sr, mask=grb.structure(mobj))
         assert_same_matrix(c2, c1)
+        monkeypatch.setattr(mm, "BOUNDED_PROBE_NNZ_RATIO", 1e18)  # force bounded
+        c3 = grb.Matrix(grb.INT64, 30, 30)
+        grb.mxm(c3, a, a, sr, mask=grb.structure(mobj))
+        assert_same_matrix(c3, c1)
 
 
 class TestCrossFormat:
@@ -225,8 +232,8 @@ class TestRestrictedFallbacks:
         _seed_path(monkeypatch)
         ref = run()
         monkeypatch.undo()
-        monkeypatch.setattr(mm, "MASKED_MIN_NNZ", 0)
-        monkeypatch.setattr(mm, "DOT_ENABLED", False)  # isolate restriction
+        monkeypatch.setattr(cost, "MASKED_MIN_NNZ", 0)
+        monkeypatch.setattr(cost, "DOT_ENABLED", False)  # isolate restriction
         got = run()
         assert_same_matrix(got, ref, f"{name} c={complemented}")
 
@@ -240,8 +247,8 @@ class TestRestrictedFallbacks:
         r, c = np.nonzero(np.vstack([np.ones((6, 12)), np.zeros((6, 12))]))
         mobj = grb.Matrix.from_coo(r, c, np.ones(r.size), 12, 12)
         mask = grb.complement(grb.structure(mobj))
-        monkeypatch.setattr(mm, "MASKED_MIN_NNZ", 0)
-        monkeypatch.setattr(mm, "LIVE_ROW_FRACTION", 1.0)
+        monkeypatch.setattr(cost, "MASKED_MIN_NNZ", 0)
+        monkeypatch.setattr(cost, "LIVE_ROW_FRACTION", 1.0)
         got = grb.Matrix(grb.FP64, 12, 12)
         grb.mxm(got, a, b, grb.semiring_by_name("plus.times"),
                 mask=mask, replace=True)
@@ -263,7 +270,8 @@ class TestAlgorithmParity:
     def test_tc_methods_engine_parity(self, suite_graphs, method, monkeypatch):
         for name, g in suite_graphs.items():
             _engine_default(monkeypatch)
-            monkeypatch.setattr(mm, "DOT_PROBE_COST", 0.0)  # force the kernel
+            monkeypatch.setattr(cost, "DOT_PROBE_COST", 0.0)  # force the kernel
+            monkeypatch.setattr(cost, "DOT_WRITE_COST", 0.0)
             on = alg.triangle_count_basic(g, method=method)
             monkeypatch.undo()
             _seed_path(monkeypatch)
@@ -275,7 +283,8 @@ class TestAlgorithmParity:
         for name, g in suite_graphs.items():
             g.cache_at()
             _engine_default(monkeypatch)
-            monkeypatch.setattr(mm, "DOT_PROBE_COST", 0.0)
+            monkeypatch.setattr(cost, "DOT_PROBE_COST", 0.0)
+            monkeypatch.setattr(cost, "DOT_WRITE_COST", 0.0)
             on = bc.betweenness_centrality_batch(g, [0, 1, 2, 3])
             monkeypatch.undo()
             _seed_path(monkeypatch)
@@ -287,7 +296,8 @@ class TestAlgorithmParity:
     def test_ktruss_lcc_engine_parity(self, suite_graphs, monkeypatch):
         g = suite_graphs["kron"]
         _engine_default(monkeypatch)
-        monkeypatch.setattr(mm, "DOT_PROBE_COST", 0.0)
+        monkeypatch.setattr(cost, "DOT_PROBE_COST", 0.0)
+        monkeypatch.setattr(cost, "DOT_WRITE_COST", 0.0)
         k_on = ktruss(g, 4)
         l_on = local_clustering_coefficient(g)
         monkeypatch.undo()
@@ -301,16 +311,31 @@ class TestAlgorithmParity:
 
 class TestChooserAndTelemetry:
     def test_chooser_constants_flip_decision(self):
-        assert mm.choose_masked_method(100, 1000, scipy_path=True) == "dot"
-        assert mm.choose_masked_method(10_000, 1000, scipy_path=True) == "expand"
+        assert cost.choose_masked_method(100, 1000,
+                                         scipy_path=True) == "dot"
+        assert cost.choose_masked_method(10_000, 1000,
+                                         scipy_path=True) == "fallback"
         # the expand kernel is pricier per flop than SciPy, so the same
         # probe count flips back to dot off the compiled path
-        cost = 1000 / mm.DOT_PROBE_COST
-        assert mm.choose_masked_method(cost * 2, 1000, scipy_path=False) == "dot"
+        probes = 1000 / cost.DOT_PROBE_COST
+        assert cost.choose_masked_method(probes * 2, 1000,
+                                         scipy_path=False) == "dot"
 
-    def test_dot_disabled_forces_expand(self, monkeypatch):
-        monkeypatch.setattr(mm, "DOT_ENABLED", False)
-        assert mm.choose_masked_method(0, 10**9, scipy_path=True) == "expand"
+    def test_chooser_write_cost_term(self):
+        """A huge mask (one write per entry) can out-price a cheap product:
+        the output-write term is what tips it (satellite of PR 4)."""
+        assert cost.choose_masked_method(
+            10, 100, scipy_path=True, mask_nvals=10_000,
+            est_out_nnz=10) == "fallback"
+        # same probe work, tiny mask: dot wins again
+        assert cost.choose_masked_method(
+            10, 100, scipy_path=True, mask_nvals=10,
+            est_out_nnz=10) == "dot"
+
+    def test_dot_disabled_forces_fallback(self, monkeypatch):
+        monkeypatch.setattr(cost, "DOT_ENABLED", False)
+        assert cost.choose_masked_method(0, 10**9,
+                                         scipy_path=True) == "fallback"
 
     def test_telemetry_records_decisions(self, monkeypatch):
         _engine_default(monkeypatch)
@@ -323,7 +348,8 @@ class TestChooserAndTelemetry:
                     mask=grb.structure(a))
         assert len(events) == 1
         e = events[0]
-        assert e["op"] == "mxm" and e["method"] in ("dot", "expand")
+        assert e["op"] == "mxm" and e["method"] in ("dot", "fallback")
+        assert e["rule"].startswith("mxm-")
         assert e["semiring"] == "plus.pair"
         assert e["dot_probes"] >= 0 and e["expand_flops"] >= 0
         assert e["mask_nvals"] == a.nvals

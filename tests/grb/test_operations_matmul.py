@@ -12,6 +12,7 @@ from hypothesis import given, strategies as st
 import dense_model as dm
 from repro import grb
 from repro.grb import operations as ops
+from repro.grb.engine import cost
 
 REDUCIBLE = ["plus.times", "plus.first", "plus.second", "plus.pair"]
 
@@ -38,7 +39,7 @@ class TestFastPathEquivalence:
         u = _random_vector(rng, 12, density=0.9)   # dense: scipy path
         w_fast = grb.Vector(grb.FP64, 9)
         grb.vxm(w_fast, u, a, sr)
-        monkeypatch.setattr(ops, "DENSE_PULL_FRACTION", 2.0)  # force gather
+        monkeypatch.setattr(cost, "DENSE_PULL_FRACTION", 2.0)  # force gather
         w_slow = grb.Vector(grb.FP64, 9)
         grb.vxm(w_slow, u, a, sr)
         assert w_fast.isequal(w_slow), name
@@ -50,7 +51,7 @@ class TestFastPathEquivalence:
         u = _random_vector(rng, 12, density=0.9)
         w_fast = grb.Vector(grb.FP64, 9)
         grb.mxv(w_fast, a, u, sr)
-        monkeypatch.setattr(ops, "DENSE_PULL_FRACTION", 2.0)
+        monkeypatch.setattr(cost, "DENSE_PULL_FRACTION", 2.0)
         w_slow = grb.Vector(grb.FP64, 9)
         grb.mxv(w_slow, a, u, sr)
         assert w_fast.isequal(w_slow), name

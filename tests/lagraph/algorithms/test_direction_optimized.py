@@ -11,16 +11,14 @@ import numpy as np
 import pytest
 from hypothesis import given
 
-import sys
 
 from helpers import random_graph_np, random_graphs
 from repro import lagraph as lg
 from repro.gap import datasets, verify
+from repro.grb.engine import cost
 
-# the algorithm *functions* shadow their submodules on the package, so the
-# tunables (ALPHA / FUSE_FRONTIER_K) are reached through sys.modules
-bfs_mod = sys.modules["repro.lagraph.algorithms.bfs"]
-msbfs_mod = sys.modules["repro.lagraph.algorithms.msbfs"]
+# every chooser tunable (push/pull constants, msbfs fusion threshold)
+# lives in the engine's unified cost model
 
 
 @pytest.fixture(scope="module")
@@ -54,13 +52,13 @@ class TestBfsParentAuto:
 
     def test_pull_only_matches_push(self, kron, monkeypatch):
         # force every level through the CSC/bitmap pull probe
-        monkeypatch.setattr(bfs_mod, "ALPHA", float("inf"))
-        monkeypatch.setattr(bfs_mod, "BETA", float("inf"))
+        monkeypatch.setattr(cost, "PUSHPULL_ALPHA", float("inf"))
+        monkeypatch.setattr(cost, "PUSHPULL_BETA", float("inf"))
         p_pull = lg.bfs_parent_auto(kron, 0)
         assert p_pull.isequal(lg.bfs_parent_push(kron, 0))
 
     def test_push_only_matches_push(self, kron, monkeypatch):
-        monkeypatch.setattr(bfs_mod, "ALPHA", 0.0)   # push always wins
+        monkeypatch.setattr(cost, "PUSHPULL_ALPHA", 0.0)   # push always wins
         p = lg.bfs_parent_auto(kron, 0)
         assert p.isequal(lg.bfs_parent_push(kron, 0))
 
@@ -88,7 +86,7 @@ class TestBfsParentAuto:
 class TestMsbfsFusion:
     @pytest.mark.parametrize("k", (0, 3, 10**9), ids=("off", "mixed", "always"))
     def test_parents_identical_at_any_threshold(self, road, k, monkeypatch):
-        monkeypatch.setattr(msbfs_mod, "FUSE_FRONTIER_K", k)
+        monkeypatch.setattr(cost, "MSBFS_FUSE_FRONTIER_K", k)
         rng = np.random.default_rng(1)
         srcs = rng.choice(np.flatnonzero(np.diff(road.A.indptr) > 0), 5,
                           replace=False)
@@ -99,7 +97,7 @@ class TestMsbfsFusion:
 
     @pytest.mark.parametrize("k", (0, 3, 10**9), ids=("off", "mixed", "always"))
     def test_levels_identical_at_any_threshold(self, road, k, monkeypatch):
-        monkeypatch.setattr(msbfs_mod, "FUSE_FRONTIER_K", k)
+        monkeypatch.setattr(cost, "MSBFS_FUSE_FRONTIER_K", k)
         rng = np.random.default_rng(1)
         srcs = rng.choice(np.flatnonzero(np.diff(road.A.indptr) > 0), 5,
                           replace=False)
@@ -112,7 +110,7 @@ class TestMsbfsFusion:
     def test_fully_fused_random_graphs(self, g):
         import unittest.mock as mock
         srcs = [0, 1, min(2, g.n - 1)]
-        with mock.patch.object(msbfs_mod, "FUSE_FRONTIER_K", 10**9):
+        with mock.patch.object(cost, "MSBFS_FUSE_FRONTIER_K", 10**9):
             P = lg.msbfs_parents(g, srcs)
             L = lg.msbfs_levels(g, srcs)
         for r, s in enumerate(srcs):
@@ -120,7 +118,7 @@ class TestMsbfsFusion:
             assert L.extract_row(r).isequal(lg.bfs_level(g, int(s)))
 
     def test_duplicate_sources_fused(self, road, monkeypatch):
-        monkeypatch.setattr(msbfs_mod, "FUSE_FRONTIER_K", 10**9)
+        monkeypatch.setattr(cost, "MSBFS_FUSE_FRONTIER_K", 10**9)
         s = int(np.flatnonzero(np.diff(road.A.indptr) > 0)[0])
         P = lg.msbfs_parents(road, [s, s])
         assert P.extract_row(0).isequal(P.extract_row(1))
