@@ -184,3 +184,36 @@ def test_acceptance_road_fusion_speedup(suite):
         cost.MSBFS_FUSE_FRONTIER_K = old
     assert t_unfused >= 1.5 * t_fused, \
         f"fused {t_fused:.3f}s vs unfused {t_unfused:.3f}s (< 1.5x)"
+
+
+def test_report_plan_cache_counters(suite, capsys):
+    """Plan-cache observability: serve the same analytics query repeatedly
+    (memoization off, so every request re-dispatches) and surface the
+    engine's keyed plan cache counters — the hit/miss/invalidation stream
+    that also flows through ``grb.telemetry`` (``plan_cache`` field on
+    decision events, ``op="plancache"`` invalidation events).  Repeats
+    after the first should hit: lineage signatures survive the per-query
+    operand rebuild, and entries die with the adjacency's *store*
+    version, so only an actual content mutation forces re-analysis."""
+    from repro.grb import telemetry
+    from repro.grb.engine import plancache
+
+    g = suite["kron"]
+    plancache.clear()
+    events = []
+    with telemetry.capture(events.append):
+        with serve.GraphService(max_workers=2, cache_capacity=0) as svc:
+            svc.register("kron", g, warm=True)
+            for _ in range(4):
+                svc.query("kron", serve.TriangleCount())
+            stats = svc.plan_cache_stats()
+    decisions = [e.get("plan_cache") for e in events if "plan_cache" in e]
+    with capsys.disabled():
+        print(f"\n[plan-cache] serve 4x TriangleCount (memo off): "
+              f"hits={stats.hits} misses={stats.misses} "
+              f"invalidations={stats.invalidations} "
+              f"hit_rate={stats.hit_rate:.2f} "
+              f"feed_bytes={stats.feed_bytes} "
+              f"telemetry_marks={len(decisions)}")
+    assert stats.hits > 0, "repeated serve queries should hit the plan cache"
+    assert "hit" in decisions and "miss" in decisions

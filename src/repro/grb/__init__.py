@@ -21,6 +21,7 @@ from . import operations as ops_module  # noqa: F401  (kept importable)
 from .descriptor import (
     DESC_C,
     DESC_DEFAULT,
+    DESC_LAZY,
     DESC_R,
     DESC_RC,
     DESC_RS,
@@ -31,6 +32,7 @@ from .descriptor import (
     DESC_T1,
     Descriptor,
 )
+from .expr import Deferred, deferred, evaluate
 from .errors import (
     DimensionMismatch,
     DomainMismatch,
@@ -86,12 +88,15 @@ from ._kernels import apply_select as selectops
 from . import storage
 from . import telemetry
 from . import engine
+from . import expr
 
 __all__ = [
     # objects
     "Matrix", "Vector", "Type", "Mask", "Descriptor", "Semiring",
-    # execution engine / storage engine / instrumentation
-    "engine", "storage", "telemetry",
+    # execution engine / storage engine / instrumentation / lazy layer
+    "engine", "storage", "telemetry", "expr",
+    # non-blocking mode
+    "deferred", "evaluate", "Deferred",
     # types
     "BOOL", "INT8", "INT16", "INT32", "INT64",
     "UINT8", "UINT16", "UINT32", "UINT64", "FP32", "FP64",
@@ -107,7 +112,7 @@ __all__ = [
     "selectops",
     # descriptors
     "DESC_DEFAULT", "DESC_R", "DESC_S", "DESC_C", "DESC_SC", "DESC_RS",
-    "DESC_RC", "DESC_RSC", "DESC_T0", "DESC_T1",
+    "DESC_RC", "DESC_RSC", "DESC_T0", "DESC_T1", "DESC_LAZY",
     # errors
     "GraphBLASError", "GrBInfo", "NoValue", "DimensionMismatch",
     "DomainMismatch", "IndexOutOfBounds", "InvalidValue", "InvalidObject",

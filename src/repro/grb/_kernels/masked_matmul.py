@@ -58,6 +58,7 @@ from ..ops.semiring import Semiring
 from .gather import concat_ranges, expand_rows
 
 __all__ = [
+    "masked_dot_probe", "masked_dot_reduce",
     "DOT_DENSE_GRID_CAP", "BOUNDED_PROBE_NNZ_RATIO",
     "dot_supported", "bounded_searchsorted", "masked_dot",
 ]
@@ -242,6 +243,34 @@ def masked_dot(
     mult_name = semiring.mult.name
     need_av = mult_name in ("times", "first")
     need_bv = mult_name in ("times", "second")
+    probe = masked_dot_probe(a_indptr, a_indices, bt_indptr, bt_indices,
+                             rows, cols, inner, need_av, need_bv,
+                             lengths=lengths)
+    return masked_dot_reduce(probe, a_values, bt_values, rows.size,
+                             semiring, cast_dtype=cast_dtype)
+
+
+def masked_dot_probe(
+    a_indptr: np.ndarray,
+    a_indices: np.ndarray,
+    bt_indptr: np.ndarray,
+    bt_indices: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    inner: int,
+    need_av: bool,
+    need_bv: bool,
+    lengths=None,
+):
+    """The structure-resolution stage of :func:`masked_dot`.
+
+    Returns ``(t, apos, bpos)``: per structural hit, the mask-entry group
+    id and — when the respective side's values feed the multiply — the
+    operand entry positions.  A pure function of the operand *structures*
+    and the mask coordinates, which is what makes it a reusable plan-cache
+    operand feed (:mod:`repro.grb.engine.plancache`): repeated identical
+    masked multiplies skip every probe and re-run only the value stage.
+    """
     if lengths is not None:
         la, lb = lengths
     else:
@@ -299,6 +328,22 @@ def masked_dot(
     else:
         t = np.empty(0, dtype=np.int64)
         apos = bpos = t
+    return t, apos, bpos
+
+
+def masked_dot_reduce(
+    probe,
+    a_values: Optional[np.ndarray],
+    bt_values: Optional[np.ndarray],
+    n_mask: int,
+    semiring: Semiring,
+    cast_dtype: Optional[np.dtype] = None,
+):
+    """The value stage of :func:`masked_dot`: multiply + ⊕-reduce the
+    structural hits resolved by :func:`masked_dot_probe`."""
+    t, apos, bpos = probe
+    rows_size = n_mask
+    mult_name = semiring.mult.name
 
     # Per-hit multiply.  Within one mask entry, hits arrive in ascending-k
     # order (both operand rows are sorted), which is exactly the
@@ -315,7 +360,7 @@ def masked_dot(
         else:
             mult = (a_values[apos].astype(dt, copy=False)
                     * bt_values[bpos].astype(dt, copy=False))
-        return _sequential_group_sums(t, mult, rows.size)
+        return _sequential_group_sums(t, mult, rows_size)
     if mult_name == "pair":
         mult = np.ones(t.size, dtype=np.uint64)
     elif mult_name == "first":

@@ -35,6 +35,7 @@ sequence with materialised intermediates, the bit-identity reference.
 from __future__ import annotations
 
 from . import cost
+from . import plancache
 from .plan import (
     Epilogue,
     Plan,
@@ -47,17 +48,29 @@ from .plan import (
     plan_mxm,
     plan_mxv,
     plan_select,
+    plan_update,
     plan_vxm,
 )
-from .rules import PlanningError, Rule, dispatch, force_rule, register, rules_for
+from .rules import (
+    PlanningError,
+    Rule,
+    analyze,
+    dispatch,
+    force_rule,
+    register,
+    rules_for,
+)
 from . import executors  # noqa: F401  (imports register the rule set)
+from . import multiplan  # noqa: F401  (imports register the fusion rules)
 from .executors import write_matrix, write_vector
+from .multiplan import MultiPlan
 
 __all__ = [
-    "cost", "Plan", "Epilogue", "execute", "dispatch",
+    "cost", "plancache", "Plan", "Epilogue", "MultiPlan",
+    "execute", "dispatch", "analyze",
     "plan_mxm", "plan_mxv", "plan_vxm", "plan_ewise_add", "plan_ewise_mult",
     "plan_apply", "plan_select", "plan_assign", "plan_assign_scalar",
-    "plan_bfs_step", "choose_direction", "preplan",
+    "plan_update", "plan_bfs_step", "choose_direction", "preplan",
     "Rule", "register", "rules_for", "force_rule", "PlanningError",
     "write_vector", "write_matrix",
 ]
@@ -81,15 +94,21 @@ def choose_direction(frontier_edges: float, unexplored_edges: float,
                                   frontier_nvals, n))
 
 
-def preplan(a, *, profile: str = "default") -> dict:
-    """Pre-build the operand state the planner's preferred rules read.
+def preplan(a, *, profile: str = "default", plans=()) -> dict:
+    """Warm the planner: operand state *and* cached decisions.
 
     Serving stacks call this at graph-registration time so the first query
     pays no one-off conversions: the canonical CSR view, the cached
     CSC/transpose arrays (what ``mxm-masked-dot`` feeds as ``Bᵀ`` and the
     pull kernels probe), and — under the ``"msbfs"`` profile — the all-ones
-    pattern operands of the structural multiplies.  Returns a summary dict
-    (also recorded as a ``preplan`` telemetry event when a hook is active).
+    pattern operands of the structural multiplies.
+
+    ``plans`` warms *decisions*, not just operand state: each plan is run
+    through the rule choosers (:func:`analyze`) **without executing**, so
+    its claimed rule and operand feeds land in the keyed plan cache
+    (:mod:`~repro.grb.engine.plancache`) and the first real dispatch of
+    the same shape is a hit.  Returns a summary dict (also recorded as a
+    ``preplan`` telemetry event when a hook is active).
     """
     import numpy as np
 
@@ -102,10 +121,11 @@ def preplan(a, *, profile: str = "default") -> dict:
     if profile == "msbfs":
         a.pattern_operand(np.int64)
         built.append("pattern_operand")
+    warmed = tuple(analyze(p) for p in plans)
     summary = {
         "op": "preplan", "profile": profile, "format": a.format,
         "nrows": a.nrows, "ncols": a.ncols, "nvals": a.nvals,
-        "built": tuple(built),
+        "built": tuple(built), "warmed_rules": warmed,
     }
     if telemetry.active():
         telemetry.record(summary)

@@ -29,6 +29,7 @@ import numpy as np
 __all__ = [
     # switches
     "DOT_ENABLED", "MASK_RESTRICT_ENABLED", "FUSION_ENABLED",
+    "MULTI_FUSION_ENABLED", "PLAN_CACHE_ENABLED",
     # masked-mxm chooser
     "DOT_PROBE_COST", "SCIPY_FLOP_COST", "EXPAND_FLOP_COST", "FLOP_SAMPLE",
     "MASKED_MIN_NNZ", "LIVE_ROW_FRACTION",
@@ -57,7 +58,19 @@ MASK_RESTRICT_ENABLED = True
 #: Master switch for epilogue fusion: with ``False`` every fused plan
 #: decomposes into the seed sequence (materialised intermediates between
 #: stages) — what ``benchmarks/bench_fused_epilogue.py`` measures against.
+#: Also gates multi-output fusion (below): off means *every* chain — single
+#: or multi consumer — replays the call-at-a-time reference.
 FUSION_ENABLED = True
+#: Multi-output fusion in :mod:`repro.grb.engine.multiplan`: two consumers
+#: of one producer executing in the producer's single output pass.  Only
+#: effective when ``FUSION_ENABLED`` is also on; switch off independently
+#: to ablate just the DAG-level fusion while epilogues stay fused.
+MULTI_FUSION_ENABLED = True
+#: The keyed plan cache (:mod:`repro.grb.engine.plancache`): repeated
+#: identical dispatches skip the rule choosers and reuse the claimed
+#: rule's operand feeds.  ``False`` re-analyses every call (the cold
+#: baseline ``benchmarks/bench_plan_cache.py`` measures against).
+PLAN_CACHE_ENABLED = True
 
 # ---------------------------------------------------------------------------
 # masked-mxm chooser (dot3 vs mask-restricted fallback)

@@ -514,7 +514,7 @@ class _MxmMaskedDot:
     def run(plan: Plan, detail: dict):
         a, b = plan.args
         sr = plan.operator
-        allowed, rows_m, cols_m, lengths, _ = plan.meta.pop("_dot")
+        allowed, rows_m, cols_m, lengths, _ = plan.meta["_dot"]
         bn_cols = plan.meta["_bn_cols"]
         if rows_m is None:                     # empty mask: empty product
             t_keys = np.empty(0, np.int64)
@@ -527,14 +527,37 @@ class _MxmMaskedDot:
             bt_ip, bt_ix, bt_vv = b._S().csr() if plan.transpose_b \
                 else b._S().transpose_csr()
             cast_dt = _scipy_dtype(a, b, sr) if sr.scipy_reducible() else None
-            hit, t_vals = _mm.masked_dot(a_ip, a_ix, a_vv,
-                                         bt_ip, bt_ix, bt_vv,
-                                         rows_m, cols_m, a.ncols, sr,
-                                         cast_dtype=cast_dt, lengths=lengths)
+            probe = plan.meta.get("_dot_probe")
+            if probe is None:
+                # the structure-resolution stage — a pure function of the
+                # operand structures and the mask, stashed as a plan-cache
+                # feed: a repeated identical multiply re-runs only the
+                # value stage below
+                mult = sr.mult.name
+                probe = _mm.masked_dot_probe(
+                    a_ip, a_ix, bt_ip, bt_ix, rows_m, cols_m, a.ncols,
+                    mult in ("times", "first"), mult in ("times", "second"),
+                    lengths=lengths)
+                plan.meta["_dot_probe"] = probe
+            hit, t_vals = _mm.masked_dot_reduce(probe, a_vv, bt_vv,
+                                                rows_m.size, sr,
+                                                cast_dtype=cast_dt)
             t_keys = allowed[hit]
         plan.meta["_premasked"] = True  # output ⊆ mask by construction
         return finish(plan, t_keys, t_vals, is_vector=False,
                       nrows=a.nrows, ncols=bn_cols)
+
+
+def _live_rows_feed(plan: Plan, nrows: int, ncols: int):
+    """The mask-live row set, computed once per plan shape.
+
+    Stashed under ``plan.meta["_rows"]`` (a plan-cache feed key): a cached
+    dispatch of the same shape re-attaches it, so the O(nnz) live-row scan
+    is skipped along with the chooser."""
+    if "_rows" not in plan.meta:
+        plan.meta["_rows"] = mask_live_rows(plan.mask, nrows, ncols) \
+            if _mask_engaged(plan) else None
+    return plan.meta["_rows"]
 
 
 @register("mxm", "mxm-scipy")
@@ -546,6 +569,7 @@ class _MxmScipy:
     def applies(plan: Plan):
         a, b = plan.args
         if plan.operator.scipy_reducible() and a.nvals and b.nvals:
+            _live_rows_feed(plan, a.nrows, plan.meta["_bn_cols"])
             return {"method": plan.meta.get("method", "scipy")}
         return None
 
@@ -554,8 +578,7 @@ class _MxmScipy:
         a, b = plan.args
         if plan.transpose_b:
             b = b.T
-        rows = mask_live_rows(plan.mask, a.nrows, b.ncols) \
-            if _mask_engaged(plan) else None
+        rows = _live_rows_feed(plan, a.nrows, b.ncols)
         keys, vals = scipy_mxm(a, b, plan.operator, rows=rows)
         return finish(plan, keys, vals, is_vector=False,
                       nrows=a.nrows, ncols=b.ncols)
@@ -568,6 +591,8 @@ class _MxmExpand:
 
     @staticmethod
     def applies(plan: Plan):
+        a, _ = plan.args
+        _live_rows_feed(plan, a.nrows, plan.meta["_bn_cols"])
         return {"method": plan.meta.get("method", "expand")}
 
     @staticmethod
@@ -576,7 +601,7 @@ class _MxmExpand:
         if plan.transpose_b:
             b = b.T
         engaged = _mask_engaged(plan)
-        rows = mask_live_rows(plan.mask, a.nrows, b.ncols) if engaged else None
+        rows = _live_rows_feed(plan, a.nrows, b.ncols)
         keys, vals = mxm_expand(
             a.indptr, a.indices, a.values, a.nrows,
             b.indptr, b.indices, b.values, b.ncols, plan.operator,
@@ -606,11 +631,17 @@ class _MxvFusedDenseAccum:
     the spec transaction degenerates to ``w_dense += t_dense``: the union
     merge (two n-sized sorts) and the structural counts product of the
     SciPy path are both dead work, because the output structure is known
-    full in advance.  Restricted to multiplies whose matrix side is a
-    pattern (``⊗ = second``): each product term is then exactly the
-    vector's dense value (0.0 at absent positions), so adding the full
-    dense product replays the reference values bit for bit — the only
-    divergence is ``-0.0 + 0.0 = +0.0``, which compares equal.
+    full in advance.
+
+    Adding the *full* dense product is bit-identical to the reference as
+    long as no off-structure position can produce a non-zero: those
+    positions are sums of ``term · 0`` (the vector's absent entries carry
+    0 in its bitmap), which is exactly 0 for finite terms but NaN for
+    ``±inf · 0``.  Multiplies whose matrix side is a pattern
+    (``⊗ = second``) are immune by construction; ``times``/``first``
+    multiplies qualify when :meth:`Matrix.values_all_finite` holds — the
+    cached per-store-version guard that closes the ``inf·0`` edge (the
+    only divergence left is ``-0.0 + 0.0 = +0.0``, which compares equal).
     """
 
     @staticmethod
@@ -621,12 +652,18 @@ class _MxvFusedDenseAccum:
         a, u = plan.args
         w = plan.out
         sr = plan.operator
+        mult = sr.mult.name
+        # "second"/"pair" read no matrix values (pattern side — exact zeros
+        # off structure by construction); "times"/"first" need every stored
+        # value finite so no inf·0 NaN can leak into untouched positions
+        safe = mult in ("second", "pair") or (
+            mult in ("times", "first") and a.values_all_finite())
         if (getattr(plan.accum, "name", None) == "plus"
                 and w.nvals == w.size and w.size > 0
                 and np.issubdtype(w.type.dtype, np.floating)
-                and sr.scipy_reducible() and sr.mult.name == "second"
+                and sr.scipy_reducible() and safe
                 and _dense_frontier(u, a)):
-            return {"method": "fused-dense-accum"}
+            return {"method": "fused-dense-accum", "mult": mult}
         return None
 
     @staticmethod
@@ -634,11 +671,17 @@ class _MxvFusedDenseAccum:
         a, u = plan.args
         w = plan.out
         sr = plan.operator
-        dt = sr.mult_dtype(a.dtype, u.dtype)
+        use_a, use_b = _mult_uses(sr)
+        if sr.mult.name == "pair":
+            dt = np.dtype(np.int64)
+        else:
+            dt = sr.mult_dtype(a.dtype, u.dtype)
         if dt == np.bool_:
             dt = np.dtype(np.int64)
-        _, dense = u.bitmap()
-        t_dense = _scipy_operand(a, False, dt) @ dense.astype(dt, copy=False)
+        present, dense = u.bitmap()
+        sa = _scipy_operand(a, use_a, dt)
+        uvec = dense.astype(dt, copy=False) if use_b else present.astype(dt)
+        t_dense = sa @ uvec
         _, w_dense = w.bitmap()
         out = (w_dense + t_dense).astype(w.type.dtype, copy=False)
         w._set_sparse(np.arange(w.size, dtype=np.int64), out)
@@ -881,6 +924,34 @@ class _SelectCoords(_SelectBase):
             st = src._S()
             keep = op(st.csr()[2], st.entry_rows(), st.csr()[1], thunk)
         return cls._finish(plan, keep)
+
+
+# ---------------------------------------------------------------------------
+# update rule (C⟨M⟩⊙= T — a bare write-back transaction)
+# ---------------------------------------------------------------------------
+
+@register("update", "update-write")
+class _UpdateWrite:
+    """``C⟨M⟩⊙= T``: the write-back transaction with no compute stage.
+
+    Plannable so the lazy layer can record it; when an ``update``
+    immediately consumes a producing kernel's output, the multi-output
+    fusion rules (:mod:`repro.grb.engine.multiplan`) absorb it into that
+    kernel's output pass instead."""
+
+    @staticmethod
+    def applies(plan: Plan):
+        return {"target": "vector" if isinstance(plan.out, Vector)
+                else "matrix"}
+
+    @staticmethod
+    def run(plan: Plan, detail: dict):
+        t = plan.args[0]
+        if isinstance(plan.out, Vector):
+            return write_vector(plan.out, t._idx, t._vals, plan.mask,
+                                plan.accum, plan.replace)
+        return write_matrix(plan.out, t.keys(), t.values, plan.mask,
+                            plan.accum, plan.replace)
 
 
 # ---------------------------------------------------------------------------

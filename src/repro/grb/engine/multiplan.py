@@ -1,0 +1,255 @@
+"""MultiPlan execution: a ready expression subgraph, fused where possible.
+
+When the lazy layer (:mod:`repro.grb.expr`) materialises a subgraph, the
+nodes arrive here in record order (a valid topological order).  Before
+dispatching them one by one, :class:`MultiPlan` tries the registered
+**multi-output fusion rules**: patterns where two consumers of one
+producer can execute inside the producer's single output pass, so the
+intermediate write-back machinery between them is never paid.  This is the
+step beyond PR 4's epilogue fusion, which could only fuse consumers
+hanging off a *single* producing call.
+
+Shipped rules
+-------------
+``fused-frontier-parent``
+    ``vxm``/``mxv`` (no accum, ``replace=True``) into a frontier ``q``
+    immediately followed by ``update(p, q, mask=structure(q))`` — the two
+    calls of Alg. 1's BFS level.  The kernel's raw output writes the
+    frontier directly (the replace write-back degenerates to a plain set)
+    and the parents take one disjoint union merge, skipping the update's
+    full mask-resolution pass.  This is the engine-resident form of the
+    hand fusion ``bfs_parent_fused`` used to perform outside the plan
+    layer.
+``fused-improve-merge``
+    A ``vxm``/``mxv`` relaxation into ``x`` with *two* consumers — a
+    ``select`` (the strict-improvement filter picking the next frontier)
+    and an ``ewise_add`` min-merge into the distance vector — both applied
+    to the kernel's raw output in one pass (delta-stepping's inner loop).
+
+Every fused group replays the decomposed sequence bit for bit: a rule only
+claims patterns whose write-backs it can reproduce exactly, and with
+:data:`~repro.grb.engine.cost.FUSION_ENABLED` or
+:data:`~repro.grb.engine.cost.MULTI_FUSION_ENABLED` switched off the nodes
+simply dispatch one at a time — the identity reference the parity suite
+pins.  Each fused group emits one ``grb.telemetry`` decision event
+(``op="multiplan"``) naming the rule and the ops it consumed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from .. import telemetry
+from ..expr import _DONE
+from .._kernels.ewise import setdiff_keys, union_merge
+from ..vector import Vector
+from . import cost
+from .plan import Plan
+from .rules import dispatch
+
+__all__ = ["MultiPlan", "register_fusion", "fusion_rules"]
+
+_FUSIONS: List[tuple] = []
+
+
+def register_fusion(name: str):
+    """Register ``fn(nodes, i) -> int`` as a multi-output fusion rule.
+
+    ``fn`` inspects ``nodes[i:]`` and either executes a fused group —
+    returning how many nodes it consumed — or returns 0 to decline.
+    Rules are tried in registration order at every unexecuted position.
+    """
+    def deco(fn: Callable):
+        _FUSIONS.append((name, fn))
+        return fn
+    return deco
+
+
+def fusion_rules() -> List[str]:
+    """Names of the registered multi-output fusion rules, in trial order."""
+    return [name for name, _ in _FUSIONS]
+
+
+class MultiPlan:
+    """An ordered ready subgraph, executed with multi-output fusion."""
+
+    def __init__(self, nodes):
+        self.nodes = list(nodes)
+
+    def execute(self):
+        nodes = self.nodes
+        fuse = cost.FUSION_ENABLED and cost.MULTI_FUSION_ENABLED
+        i = 0
+        while i < len(nodes):
+            if fuse:
+                consumed = 0
+                for name, rule in _FUSIONS:
+                    consumed = rule(nodes, i)
+                    if consumed:
+                        if telemetry.active():
+                            telemetry.record({
+                                "op": "multiplan", "rule": name,
+                                "fused_ops": tuple(
+                                    n.plan.op for n in
+                                    nodes[i:i + consumed]),
+                            })
+                        break
+                if consumed:
+                    i += consumed
+                    continue
+            node = nodes[i]
+            node.result = dispatch(node.plan)
+            node.state = _DONE
+            i += 1
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+def _raw_twin(plan):
+    """The producer plan re-targeted to raw output.
+
+    Valid only for accum-free ``replace=True`` writes: there the final
+    output is exactly ``T⟨M⟩`` — the same arrays the raw plan yields (its
+    mask restricts the computed result itself).  Built directly (not via
+    ``dataclasses.replace``) — this sits on the per-level hot path.
+    """
+    return Plan(plan.op, None, plan.args, plan.operator, mask=plan.mask,
+                transpose_b=plan.transpose_b, meta=dict(plan.meta))
+
+
+def _simple_producer(plan) -> bool:
+    """vxm/mxv whose write-back degenerates to a plain set of ``T⟨M⟩``."""
+    return (plan.op in ("vxm", "mxv") and plan.out is not None
+            and isinstance(plan.out, Vector) and plan.accum is None
+            and plan.replace and not plan.epilogues)
+
+
+def _set_raw(w: Vector, keys, vals):
+    """``w = raw`` exactly as ``write_vector`` would land it."""
+    w._set_sparse(keys.astype(np.int64, copy=False),
+                  vals.astype(w.type.dtype, copy=False))
+    return w
+
+
+# ---------------------------------------------------------------------------
+# fusion rules
+# ---------------------------------------------------------------------------
+
+@register_fusion("fused-frontier-parent")
+def _fuse_frontier_parent(nodes, i) -> int:
+    """``q⟨M, r⟩ = kernel`` then ``p⟨s(q)⟩ = q`` in one output pass.
+
+    The producer's raw arrays become ``q`` wholesale (replace + no accum:
+    nothing of the old frontier survives) and land in ``p`` through one
+    disjoint union merge — ``q ⊆ ¬s(p)`` is *not* assumed; only the exact
+    ``masked_write`` selection is replayed: every ``q`` entry is inside
+    its own structural mask, and the surviving ``p`` entries are the ones
+    outside ``q``'s keys.
+    """
+    if i + 1 >= len(nodes):
+        return 0
+    p_node, c_node = nodes[i], nodes[i + 1]
+    prod, cons = p_node.plan, c_node.plan
+    if not _simple_producer(prod):
+        return 0
+    q = prod.out
+    m = cons.mask
+    if not (cons.op == "update" and cons.args[0] is q
+            and isinstance(cons.out, Vector) and cons.out is not q
+            and cons.accum is None and not cons.replace
+            and m is not None and m.obj is q and m.structural
+            and not m.complemented and not cons.epilogues):
+        return 0
+
+    keys, vals = dispatch(_raw_twin(prod))
+    _set_raw(q, keys, vals)
+    p_node.result = q
+    p_node.state = _DONE
+
+    p = cons.out
+    q_idx, q_vals = q._idx, q._vals       # post-cast stored arrays
+    st = p._store
+    if st.fmt == "bitmap":
+        # the output pass proper: O(|q|) scatter into the parents' flag /
+        # value grids — the decomposed update rebuilds p's O(n) sparse
+        # arrays per level instead (content identical; this is where the
+        # old hand fusion's dense-parents win now lives, engine-resident)
+        fresh = int(np.count_nonzero(~st.present[q_idx]))
+        st.present[q_idx] = True
+        st.dense[q_idx] = q_vals.astype(p.type.dtype, copy=False)
+        st._nvals += fresh
+        st._sp = None                     # cached sparse view is stale
+        p._version += 1
+    else:
+        keep = setdiff_keys(p._idx, q_idx)  # p entries q doesn't overwrite
+        m_keys = np.concatenate((q_idx, p._idx[keep]))
+        m_vals = np.concatenate((
+            q_vals.astype(p.type.dtype, copy=False),
+            p._vals[keep].astype(p.type.dtype, copy=False)))
+        order = np.argsort(m_keys, kind="stable")
+        p._set_sparse(m_keys[order], m_vals[order])
+    c_node.result = p
+    c_node.state = _DONE
+    return 2
+
+
+@register_fusion("fused-improve-merge")
+def _fuse_improve_merge(nodes, i) -> int:
+    """Relaxation with two consumers: improvement filter + min-merge.
+
+    ``x⟨r⟩ = kernel`` followed by ``select(y, x, op, thunk)`` and
+    ``ewise_add(t, t, x, ⊕)``: both consumers read the producer's output
+    pass directly — the filter on the freshly cast arrays (exactly what a
+    decomposed ``select`` reads from ``x``'s store), the merge as one
+    sorted union against ``t``'s entries.
+    """
+    if i + 2 >= len(nodes):
+        return 0
+    p_node, s_node, m_node = nodes[i], nodes[i + 1], nodes[i + 2]
+    prod, sel, mrg = p_node.plan, s_node.plan, m_node.plan
+    if not _simple_producer(prod):
+        return 0
+    x = prod.out
+    if not (sel.op == "select" and sel.args[0] is x
+            and isinstance(sel.out, Vector)
+            and sel.out is not x and sel.mask is None and sel.accum is None
+            and not sel.epilogues):
+        return 0
+    t = mrg.out
+    if not (mrg.op == "ewise_add" and mrg.args[0] is t and mrg.args[1] is x
+            and isinstance(t, Vector) and t is not x and t is not sel.out
+            and mrg.mask is None and mrg.accum is None and not mrg.replace
+            and not mrg.epilogues):
+        return 0
+
+    keys, vals = dispatch(_raw_twin(prod))
+    _set_raw(x, keys, vals)
+    p_node.result = x
+    p_node.state = _DONE
+
+    x_idx, x_vals = x._idx, x._vals
+    # consumer 1: the improvement filter, on the same pass
+    op = sel.operator
+    thunk = sel.meta.get("_thunk")
+    if op.uses_coords:
+        keep = op(x_vals, x_idx, np.zeros(x_idx.size, dtype=np.int64), thunk)
+    else:
+        keep = op(x_vals, None, None, thunk)
+    y = sel.out
+    # no mask, no accum: the write-back is a plain set (replace-indifferent)
+    y._set_sparse(x_idx[keep],
+                  x_vals[keep].astype(y.type.dtype, copy=False))
+    s_node.result = y
+    s_node.state = _DONE
+
+    # consumer 2: the min-merge, against t's current entries
+    m_keys, m_vals = union_merge(t._idx, t._vals, x_idx, x_vals,
+                                 mrg.operator)
+    t._set_sparse(m_keys, m_vals.astype(t.type.dtype, copy=False))
+    m_node.result = t
+    m_node.state = _DONE
+    return 3

@@ -35,7 +35,7 @@ __all__ = [
     "Epilogue", "Plan",
     "plan_mxm", "plan_mxv", "plan_vxm", "plan_ewise_add", "plan_ewise_mult",
     "plan_apply", "plan_select", "plan_assign", "plan_assign_scalar",
-    "plan_bfs_step",
+    "plan_update", "plan_bfs_step",
 ]
 
 
@@ -251,6 +251,21 @@ def plan_select(out, src, op, thunk=None, *, mask=None, accum=None,
     _check_raw("select", out, accum, replace)
     return Plan("select", out, (src,), op, mask=as_mask(mask), accum=accum,
                 replace=replace, meta={"_thunk": thunk})
+
+
+def plan_update(out, t, *, mask=None, accum=None, replace=False) -> Plan:
+    """``C⟨M⟩⊙= T``: write an already-computed object through the mask.
+
+    The plan form of :func:`repro.grb.operations.update` — plannable so
+    the lazy layer can record it and the multi-output fusion rules can
+    absorb it into a producing kernel's output pass (the ``p⟨s(q)⟩ = q``
+    step of the BFS level)."""
+    if _is_vector(t):
+        _check(out.size == t.size, "update: size mismatch")
+    else:
+        _check(out.shape == t.shape, "update: shape mismatch")
+    return Plan("update", out, (t,), None, mask=as_mask(mask), accum=accum,
+                replace=replace)
 
 
 def plan_assign(w, u, indices=None, *, mask=None, accum=None,

@@ -33,10 +33,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional
 
 from .. import telemetry
+from . import cost, plancache
 from .plan import Plan
 
-__all__ = ["Rule", "register", "rules_for", "dispatch", "force_rule",
-           "PlanningError"]
+__all__ = ["Rule", "register", "rules_for", "dispatch", "analyze",
+           "force_rule", "PlanningError"]
 
 
 class PlanningError(RuntimeError):
@@ -97,14 +98,45 @@ def force_rule(op: str, name: str):
         _forced_var.reset(token)
 
 
-def dispatch(plan: Plan):
-    """Route ``plan`` through its rule list and execute the claiming rule."""
+def _emit(plan: Plan, rule_name: str, detail: dict, cached=None):
+    event = plan.describe()
+    event.update(plan.meta)
+    event.update(detail)
+    event["rule"] = rule_name
+    if cached is not None:
+        event["plan_cache"] = cached
+    # private planner scratch (underscore keys: builder operands,
+    # rule work arrays) never belongs in an event
+    for k in [k for k in event if k.startswith("_")]:
+        del event[k]
+    telemetry.record(event)
+
+
+def _claim(plan: Plan, *, cache_key):
+    """Find the claiming rule; returns ``(rule, detail)``.
+
+    Consults the keyed plan cache first (unless a rule is forced for this
+    kind): on a hit the cached decision's operand feeds are re-attached to
+    ``plan.meta`` and no ``applies`` chain runs at all; on a miss the
+    claiming rule's decision and feeds are stored for the next identical
+    dispatch.
+    """
     try:
         rules = _REGISTRY[plan.op]
     except KeyError:
         raise PlanningError(f"no rules registered for op {plan.op!r}") \
             from None
     forced = _forced_var.get().get(plan.op)
+    if cache_key is not None and forced is None:
+        hit = plancache.lookup(cache_key)
+        if hit is not None:
+            rule = next((r for r in rules if r.name == hit.rule), None)
+            if rule is not None:
+                plan.meta.update(hit.feeds)
+                detail = dict(hit.detail)
+                if telemetry.active():
+                    _emit(plan, rule.name, detail, cached="hit")
+                return rule, detail
     for rule in rules:
         if forced is not None and rule.name != forced:
             continue
@@ -114,15 +146,45 @@ def dispatch(plan: Plan):
                 raise PlanningError(
                     f"forced rule {forced!r} declined plan {plan.op!r}")
             continue
+        if cache_key is not None and forced is None:
+            feeds = {k: plan.meta[k] for k in plancache.FEED_KEYS
+                     if k in plan.meta}
+            plancache.store(cache_key, rule.name, detail, feeds)
         if telemetry.active():
-            event = plan.describe()
-            event.update(plan.meta)
-            event.update(detail)
-            event["rule"] = rule.name
-            # private planner scratch (underscore keys: builder operands,
-            # rule work arrays) never belongs in an event
-            for k in [k for k in event if k.startswith("_")]:
-                del event[k]
-            telemetry.record(event)
-        return rule.run(plan, detail)
+            _emit(plan, rule.name, detail,
+                  cached="miss" if cache_key is not None else None)
+        return rule, detail
     raise PlanningError(f"no rule claimed plan {plan.op!r}")
+
+
+def _cache_key(plan: Plan):
+    if cost.PLAN_CACHE_ENABLED and plan.op in plancache.CACHEABLE_OPS:
+        return plancache.shape_key(plan)
+    return None
+
+
+def dispatch(plan: Plan):
+    """Route ``plan`` through its rule list and execute the claiming rule."""
+    cache_key = _cache_key(plan)
+    rule, detail = _claim(plan, cache_key=cache_key)
+    out = rule.run(plan, detail)
+    if cache_key is not None and _forced_var.get().get(plan.op) is None:
+        # post-run feed pickup: some feeds (the dot kernel's probe
+        # resolution) are produced by the run itself
+        feeds = {k: plan.meta[k] for k in plancache.FEED_KEYS
+                 if k in plan.meta}
+        if feeds:
+            plancache.update_feeds(cache_key, feeds)
+    return out
+
+
+def analyze(plan: Plan) -> str:
+    """Run the chooser for ``plan`` — caching its decision — *without*
+    executing it; returns the claiming rule's name.
+
+    This is what :func:`repro.grb.engine.preplan` uses to warm planner
+    *decisions* (not just operand state): the analysed plan's cache entry
+    makes the first real dispatch of the same shape a hit.
+    """
+    rule, _ = _claim(plan, cache_key=_cache_key(plan))
+    return rule.name

@@ -31,6 +31,7 @@ non-opaque (LAGraph design, Sec. II-A).
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional
 
 import numpy as np
@@ -50,13 +51,16 @@ from .vector import Vector
 
 __all__ = ["Matrix"]
 
+_uids = itertools.count()
+
 
 class Matrix:
     """A sparse matrix of a fixed :class:`~repro.grb.types.Type` and shape."""
 
     __slots__ = ("nrows", "ncols", "type", "_store", "_format",
-                 "_scipy", "_pattern_scipy", "_vals_positive",
-                 "_transpose", "_keys", "_pending")
+                 "_scipy", "_pattern_scipy", "_vals_positive", "_vals_finite",
+                 "_transpose", "_keys", "_pending", "_uid", "_version",
+                 "_lineage", "_expr", "_expr_reads")
 
     def __init__(self, typ, nrows: int, ncols: int):
         self.type = typ if isinstance(typ, Type) else from_dtype(typ)
@@ -69,9 +73,29 @@ class Matrix:
         self._scipy = None
         self._pattern_scipy = None
         self._vals_positive = None
+        self._vals_finite = None
         self._transpose = None
         self._keys = None
         self._pending = None
+        self._uid = next(_uids)        # process-unique, never reused
+        self._version = 0              # store version: bumps on mutation
+        self._lineage = None           # derivation signature (plan cache)
+        self._expr = None              # pending lazy producer (grb.expr)
+        self._expr_reads = None        # pending lazy readers (grb.expr)
+
+    def _force_lazy_state(self):
+        """The *mutation* boundary: materialise the pending producer AND
+        every pending recorded reader of this matrix, so an eager
+        in-place change can never retroactively alter what an
+        already-recorded call computes (blocking-mode semantics)."""
+        node = self._expr
+        if node is not None:
+            node.force()
+        reads = self._expr_reads
+        if reads is not None:
+            self._expr_reads = None
+            for n in reads:
+                n.force_pending()
 
     # ------------------------------------------------------------------
     # construction
@@ -203,6 +227,7 @@ class Matrix:
                 fmt, indptr, indices, values, self.nrows, self.ncols)
             self._scipy = None
             self._transpose = None
+            self._version += 1   # layout changes which rule fast paths apply
         return self
 
     def _S(self):
@@ -216,6 +241,7 @@ class Matrix:
         Staged ``setElement`` calls are flushed first (they happened before
         the assignment, so sequential semantics says they apply first —
         matching the seed's eager path)."""
+        self._force_lazy_state()    # recorded readers see the prior arrays
         self._flush_pending()
         st = self._store
         if type(st) is not CSRStore:
@@ -289,8 +315,43 @@ class Matrix:
         self._scipy = None
         self._pattern_scipy = None
         self._vals_positive = None
+        self._vals_finite = None
         self._transpose = None
         self._keys = None
+        self._version += 1    # any memoization keyed on the old version dies
+
+    # ------------------------------------------------------------------
+    # plan-cache signatures (see repro.grb.engine.plancache)
+    # ------------------------------------------------------------------
+    @property
+    def store_version(self) -> int:
+        """Monotone content/layout version (bumps on every mutation)."""
+        self._flush_pending()
+        return self._version
+
+    def _plan_sig(self):
+        """``(ident, version)`` for plan-cache keys.
+
+        The identity is this object's process-unique uid — or, for an
+        object derived deterministically from others (``pattern()``,
+        ``tril``, the cached transpose, …) that has not been mutated
+        since, its *lineage*: the derivation name plus the parents'
+        signatures.  Lineage is what lets a repeated query that rebuilds
+        its working matrices from the same source hit the cache.
+        """
+        self._flush_pending()
+        lin = self._lineage
+        if lin is not None and lin[0] == self._version:
+            return lin[1], lin[2]
+        return ("M", self._uid), self._version
+
+    def _set_lineage(self, ident, version):
+        """Tag this object as a deterministic derivation (valid until the
+        next mutation).  ``ident`` may hold live operator/thunk objects —
+        identity-hashed and pinned by the tuple, so it can never be
+        confused with a different operator reusing the same name."""
+        self._lineage = (self._version, ident, version)
+        return self
 
     def keys(self) -> np.ndarray:
         """Sorted linearised COO keys ``i * ncols + j`` (cached)."""
@@ -374,6 +435,26 @@ class Matrix:
                 and (v.size == 0 or (v >= 1).all()))
         return self._vals_positive
 
+    def values_all_finite(self) -> bool:
+        """Whether every stored value is finite (cached per store version).
+
+        The guard that lets ``times``/``first`` multiplies take the fused
+        dense-accumulate path: the fused form adds the *full* dense product,
+        whose off-structure positions are sums of ``a_ij · 0`` terms (the
+        vector's absent entries carry 0 in its bitmap) — exactly 0 when
+        every stored ``a_ij`` is finite, but NaN the moment one is ±inf
+        (``inf · 0``), which is the edge that kept the rule pattern-only.
+        Bool/integer matrices are finite by construction; floats are
+        scanned once and the answer dies with the store version.
+        """
+        self._flush_pending()
+        if self._vals_finite is None:
+            v = self.values
+            self._vals_finite = bool(
+                not np.issubdtype(v.dtype, np.floating)
+                or v.size == 0 or np.isfinite(v).all())
+        return self._vals_finite
+
     # ------------------------------------------------------------------
     # basic properties & access
     # ------------------------------------------------------------------
@@ -401,6 +482,7 @@ class Matrix:
 
     def clear(self):
         """Remove all entries (shape, type and format pin unchanged)."""
+        self._force_lazy_state()    # recorded producer/readers come first
         self._pending = None
         self._store = CSRStore.empty(self.nrows, self.ncols, self.type.dtype)
         self._invalidate()
@@ -441,6 +523,9 @@ class Matrix:
         i, j = int(ij[0]), int(ij[1])
         if not (0 <= i < self.nrows and 0 <= j < self.ncols):
             raise IndexOutOfBounds(f"({i}, {j}) out of range {self.shape}")
+        # sequential semantics: the lazy producer and any recorded
+        # readers of the current contents come first
+        self._force_lazy_state()
         if self._pending is None:
             self._pending = []
         self._pending.append((i * self.ncols + j, value))
@@ -450,7 +535,17 @@ class Matrix:
         self[i, j] = value
 
     def _flush_pending(self):
-        """Apply staged ``setElement`` calls in one batched rebuild."""
+        """Materialise pending state: the lazy producer, then staged writes.
+
+        Every read path funnels through here (directly or via ``_S``), so
+        this is the matrix's *read boundary*: a producer recorded in a
+        :func:`repro.grb.expr.deferred` scope is forced first (its ready
+        subgraph executes), then staged ``setElement`` calls apply in one
+        batched rebuild.
+        """
+        node = self._expr
+        if node is not None:
+            node.force()
         if not self._pending:
             return
         pending = self._pending
@@ -499,7 +594,10 @@ class Matrix:
         cols = np.asarray(cols, dtype=np.int64)
         sub = self.to_scipy()[rows][:, cols]
         out = Matrix.from_scipy(sub, typ=self.type)
-        return out
+        ident, version = self._plan_sig()
+        return out._set_lineage(
+            ("extract", rows.size, hash(rows.tobytes()),
+             cols.size, hash(cols.tobytes()), ident), version)
 
     # ------------------------------------------------------------------
     # structural operations
@@ -520,6 +618,8 @@ class Matrix:
             t.indptr = tip.copy()
             t.indices = tix.copy()
             t.values = tvals.copy()
+            ident, version = self._plan_sig()
+            t._set_lineage(("T", ident), version)
             self._transpose = t
         return self._transpose
 
@@ -533,7 +633,8 @@ class Matrix:
         m.indptr = self.indptr.copy()
         m.indices = self.indices.copy()
         m.values = np.ones(self.indices.size, dtype=typ.dtype)
-        return m
+        ident, version = self._plan_sig()
+        return m._set_lineage(("pattern", typ.name, ident), version)
 
     def select(self, op, thunk=None) -> "Matrix":
         """``A⟨f(A, k)⟩``: keep entries satisfying the predicate.
@@ -548,7 +649,12 @@ class Matrix:
         keep = _selectops.eval_select(op, st.csr()[2], st, thunk)
         out = Matrix(self.type, self.nrows, self.ncols)
         out._set_from_keys(self.keys()[keep], self.values[keep])
-        return out
+        try:
+            hash(thunk)
+        except TypeError:
+            return out     # unhashable thunk: no derivation signature
+        ident, version = self._plan_sig()
+        return out._set_lineage(("select", op, thunk, ident), version)
 
     def tril(self, k: int = 0) -> "Matrix":
         """``L = tril(A)``: entries on/below diagonal ``k``."""
@@ -580,13 +686,20 @@ class Matrix:
     # ------------------------------------------------------------------
     # element-wise (unmasked conveniences)
     # ------------------------------------------------------------------
+    def _ewise_lineage(self, other: "Matrix", op, tag: str,
+                       out: "Matrix") -> "Matrix":
+        a_ident, a_version = self._plan_sig()
+        b_ident, b_version = other._plan_sig()
+        return out._set_lineage((tag, op, a_ident, b_ident),
+                                (a_version, b_version))
+
     def ewise_add(self, other: "Matrix", op: BinaryOp) -> "Matrix":
         """``A op∪ B``: union merge (dense path when both bitmap-resident)."""
         self._check_same_shape(other)
         keys, vals = merge_objects(self, other, op, union=True)
         out = Matrix(from_dtype(vals.dtype), self.nrows, self.ncols)
         out._set_from_keys(keys, vals)
-        return out
+        return self._ewise_lineage(other, op, "ewise_add", out)
 
     def ewise_mult(self, other: "Matrix", op: BinaryOp) -> "Matrix":
         """``A op∩ B``: intersection merge."""
@@ -594,7 +707,7 @@ class Matrix:
         keys, vals = merge_objects(self, other, op, union=False)
         out = Matrix(from_dtype(vals.dtype), self.nrows, self.ncols)
         out._set_from_keys(keys, vals)
-        return out
+        return self._ewise_lineage(other, op, "ewise_mult", out)
 
     # ------------------------------------------------------------------
     # reductions
@@ -651,6 +764,15 @@ class Matrix:
             np.array_equal(self.indptr, t.indptr)
             and np.array_equal(self.indices, t.indices)
         )
+
+    def __iter__(self):
+        """Iterate stored entries as ``((i, j), value)`` (a read boundary:
+        pending lazy state is materialised first)."""
+        st = self._S()
+        rows = st.entry_rows()
+        _, cols, vals = st.csr()
+        return iter(list(zip(zip(rows.tolist(), cols.tolist()),
+                             vals.tolist())))
 
     def _check_same_shape(self, other: "Matrix"):
         if self.shape != other.shape:

@@ -7,14 +7,21 @@ Each function mirrors one row of Table I, written in the C API's
 
 Every call is *described before it is executed*: the function builds a
 :class:`~repro.grb.engine.plan.Plan` (op, operands, mask kind, accumulator,
-descriptor bits, output target) and hands it to
-:func:`repro.grb.engine.execute`, which routes it through the registered
-planner rules under the unified cost model
-(:mod:`repro.grb.engine.cost`).  The kernel strategies themselves — the
-dot3 masked SpGEMM, the SciPy dense paths, the bitmap merges, the gather
-references — live in :mod:`repro.grb.engine.executors`; their decisions
-are observable through :mod:`repro.grb.telemetry` and forceable through
-the cost constants (or :func:`repro.grb.engine.force_rule`).
+descriptor bits, output target) and submits it through the lazy layer
+(:func:`repro.grb.expr.submit`).  In blocking mode — the default — that is
+one ``ContextVar`` read away from :func:`repro.grb.engine.execute`, which
+routes the plan through the registered planner rules under the unified
+cost model (:mod:`repro.grb.engine.cost`); inside a
+:func:`repro.grb.deferred` scope (or with the ``lazy`` descriptor bit) the
+call records into the expression DAG instead and returns a
+:class:`~repro.grb.expr.Deferred` handle.  The kernel strategies
+themselves — the dot3 masked SpGEMM, the SciPy dense paths, the bitmap
+merges, the gather references — live in
+:mod:`repro.grb.engine.executors`; their decisions are observable through
+:mod:`repro.grb.telemetry`, forceable through the cost constants (or
+:func:`repro.grb.engine.force_rule`), and memoized across repeated
+identical dispatches by the keyed plan cache
+(:mod:`repro.grb.engine.plancache`).
 
 All operations share the write-back transaction implemented in
 :mod:`repro.grb._kernels.maskwrite`: compute ``T``, merge with the
@@ -35,9 +42,11 @@ from typing import Optional
 import numpy as np
 
 from . import engine
+from . import expr as _expr
 from ._kernels import apply_select as _selectops
-from .errors import DimensionMismatch
-from .mask import as_mask
+from .descriptor import Descriptor
+from .errors import DimensionMismatch, InvalidValue
+from .mask import as_mask, complement as _complement, structure as _structure
 from .matrix import Matrix
 from .ops.binary import BinaryOp
 from .ops.monoid import Monoid
@@ -61,24 +70,54 @@ def _is_vector(x) -> bool:
     return isinstance(x, Vector)
 
 
+def _resolve_desc(desc: Optional[Descriptor], mask, replace: bool, *,
+                  op: str = "", transposes: bool = False):
+    """Fold a bundled :class:`~repro.grb.descriptor.Descriptor` into the
+    keyword form; returns ``(mask, replace, lazy)``.
+
+    The structural/complement bits apply to a supplied mask object (they
+    are no-ops without one); ``replace`` ORs with the keyword.  The
+    ``lazy`` bit requests non-blocking recording even outside a
+    :func:`repro.grb.deferred` scope — the descriptor spelling of lazy
+    mode.  Transposition bits are honoured only where the operation
+    defines them (``mxm``) — anywhere else they raise rather than being
+    silently dropped.
+    """
+    if desc is None:
+        return mask, replace, False
+    if not transposes and (desc.transpose_a or desc.transpose_b):
+        raise InvalidValue(
+            f"{op or 'operation'}: descriptor transpose bits are only "
+            f"supported on mxm (transpose operands explicitly instead)")
+    if mask is not None:
+        if desc.mask_structural:
+            mask = _structure(as_mask(mask))
+        if desc.mask_complement:
+            mask = _complement(as_mask(mask))
+    return mask, replace or desc.replace, desc.lazy
+
+
 # ---------------------------------------------------------------------------
 # matrix multiplication (mxm / mxv / vxm)
 # ---------------------------------------------------------------------------
 
 def vxm(w: Vector, u: Vector, a: Matrix, semiring: Semiring, *,
-        mask=None, accum: Optional[BinaryOp] = None, replace: bool = False):
+        mask=None, accum: Optional[BinaryOp] = None, replace: bool = False,
+        desc: Optional[Descriptor] = None):
     """``wᵀ⟨mᵀ⟩⊙= uᵀ ⊕.⊗ A`` — the "push" direction.
 
     Cost is proportional to the total out-degree of ``u``'s entries on the
     sparse path; dense plus-reducible inputs take the SciPy path
     (``vxm-scipy-dense`` above ``cost.DENSE_PULL_FRACTION`` density).
     """
-    return engine.execute(engine.plan_vxm(
-        w, u, a, semiring, mask=mask, accum=accum, replace=replace))
+    mask, replace, lazy = _resolve_desc(desc, mask, replace, op="vxm")
+    return _expr.submit(engine.plan_vxm(
+        w, u, a, semiring, mask=mask, accum=accum, replace=replace), lazy)
 
 
 def mxv(w: Vector, a: Matrix, u: Vector, semiring: Semiring, *,
-        mask=None, accum: Optional[BinaryOp] = None, replace: bool = False):
+        mask=None, accum: Optional[BinaryOp] = None, replace: bool = False,
+        desc: Optional[Descriptor] = None):
     """``w⟨m⟩⊙= A ⊕.⊗ u`` — the "pull" direction.
 
     When a mask is supplied, only the mask-selected rows of ``A`` are
@@ -87,13 +126,15 @@ def mxv(w: Vector, a: Matrix, u: Vector, semiring: Semiring, *,
     output fuses the write-back into the multiply's output pass
     (``mxv-fused-dense-accum`` — PageRank's hot step).
     """
-    return engine.execute(engine.plan_mxv(
-        w, a, u, semiring, mask=mask, accum=accum, replace=replace))
+    mask, replace, lazy = _resolve_desc(desc, mask, replace, op="mxv")
+    return _expr.submit(engine.plan_mxv(
+        w, a, u, semiring, mask=mask, accum=accum, replace=replace), lazy)
 
 
 def mxm(c: Matrix, a: Matrix, b: Matrix, semiring: Semiring, *,
         mask=None, accum: Optional[BinaryOp] = None, replace: bool = False,
-        transpose_a: bool = False, transpose_b: bool = False):
+        transpose_a: bool = False, transpose_b: bool = False,
+        desc: Optional[Descriptor] = None):
     """``C⟨M⟩⊙= A ⊕.⊗ B`` with optional operand transposition.
 
     ``transpose_b=True`` mirrors the descriptor-based ``F Bᵀ`` pull step of
@@ -107,9 +148,14 @@ def mxm(c: Matrix, a: Matrix, b: Matrix, semiring: Semiring, *,
     mask-live rows either way.  Results are bit-identical to the
     unmasked-then-write reference on every path.
     """
-    return engine.execute(engine.plan_mxm(
+    mask, replace, lazy = _resolve_desc(desc, mask, replace, op="mxm",
+                                        transposes=True)
+    if desc is not None:
+        transpose_a = transpose_a or desc.transpose_a
+        transpose_b = transpose_b or desc.transpose_b
+    return _expr.submit(engine.plan_mxm(
         c, a, b, semiring, mask=mask, accum=accum, replace=replace,
-        transpose_a=transpose_a, transpose_b=transpose_b))
+        transpose_a=transpose_a, transpose_b=transpose_b), lazy)
 
 
 # ---------------------------------------------------------------------------
@@ -117,17 +163,19 @@ def mxm(c: Matrix, a: Matrix, b: Matrix, semiring: Semiring, *,
 # ---------------------------------------------------------------------------
 
 def ewise_add(out, a, b, op: BinaryOp, *, mask=None, accum=None,
-              replace: bool = False):
+              replace: bool = False, desc: Optional[Descriptor] = None):
     """``C⟨M⟩⊙= A op∪ B`` (union of structures; op only on the overlap)."""
-    return engine.execute(engine.plan_ewise_add(
-        out, a, b, op, mask=mask, accum=accum, replace=replace))
+    mask, replace, lazy = _resolve_desc(desc, mask, replace, op="ewise_add")
+    return _expr.submit(engine.plan_ewise_add(
+        out, a, b, op, mask=mask, accum=accum, replace=replace), lazy)
 
 
 def ewise_mult(out, a, b, op: BinaryOp, *, mask=None, accum=None,
-               replace: bool = False):
+               replace: bool = False, desc: Optional[Descriptor] = None):
     """``C⟨M⟩⊙= A op∩ B`` (intersection of structures)."""
-    return engine.execute(engine.plan_ewise_mult(
-        out, a, b, op, mask=mask, accum=accum, replace=replace))
+    mask, replace, lazy = _resolve_desc(desc, mask, replace, op="ewise_mult")
+    return _expr.submit(engine.plan_ewise_mult(
+        out, a, b, op, mask=mask, accum=accum, replace=replace), lazy)
 
 
 # ---------------------------------------------------------------------------
@@ -135,40 +183,43 @@ def ewise_mult(out, a, b, op: BinaryOp, *, mask=None, accum=None,
 # ---------------------------------------------------------------------------
 
 def apply(out, src, op: UnaryOp, thunk=None, *, mask=None, accum=None,
-          replace: bool = False):
+          replace: bool = False, desc: Optional[Descriptor] = None):
     """``C⟨M⟩⊙= f(A, k)``."""
-    return engine.execute(engine.plan_apply(
-        out, src, op, thunk, mask=mask, accum=accum, replace=replace))
+    mask, replace, lazy = _resolve_desc(desc, mask, replace, op="apply")
+    return _expr.submit(engine.plan_apply(
+        out, src, op, thunk, mask=mask, accum=accum, replace=replace), lazy)
 
 
 def select(out, src, op, thunk=None, *, mask=None, accum=None,
-           replace: bool = False):
+           replace: bool = False, desc: Optional[Descriptor] = None):
     """``C⟨M⟩⊙= A⟨f(A, k)⟩``: filter entries by a predicate."""
     if isinstance(op, str):
         op = _selectops.by_name(op)
-    return engine.execute(engine.plan_select(
-        out, src, op, thunk, mask=mask, accum=accum, replace=replace))
+    mask, replace, lazy = _resolve_desc(desc, mask, replace, op="select")
+    return _expr.submit(engine.plan_select(
+        out, src, op, thunk, mask=mask, accum=accum, replace=replace), lazy)
 
 
-def update(out, t, *, mask=None, accum=None, replace: bool = False):
+def update(out, t, *, mask=None, accum=None, replace: bool = False,
+           desc: Optional[Descriptor] = None):
     """``C⟨M⟩⊙= T``: write an already computed object through the mask.
 
     With ``accum`` this is the paper's ``P += F`` idiom; with a mask it is
-    ``p⟨s(q)⟩ = q``.
+    ``p⟨s(q)⟩ = q``.  Plan-routed like every other call, so a lazy scope
+    can record it — and the multi-output fusion rules can run it inside
+    the producing kernel's output pass (the BFS parent update).
     """
-    mask = as_mask(mask)
-    if _is_vector(out):
-        _check(out.size == t.size, "update: size mismatch")
-        return engine.write_vector(out, t._idx, t._vals, mask, accum, replace)
-    _check(out.shape == t.shape, "update: shape mismatch")
-    return engine.write_matrix(out, t.keys(), t.values, mask, accum, replace)
+    mask, replace, lazy = _resolve_desc(desc, mask, replace, op="update")
+    return _expr.submit(engine.plan_update(
+        out, t, mask=mask, accum=accum, replace=replace), lazy)
 
 
 # ---------------------------------------------------------------------------
 # assign / extract
 # ---------------------------------------------------------------------------
 
-def assign(w, u, indices=None, *, mask=None, accum=None, replace: bool = False):
+def assign(w, u, indices=None, *, mask=None, accum=None,
+           replace: bool = False, desc: Optional[Descriptor] = None):
     """``w⟨m⟩(i)⊙= u`` — assign a vector (or matrix) into a sub-range.
 
     ``indices=None`` means ``GrB_ALL``.  For matrices pass
@@ -176,12 +227,13 @@ def assign(w, u, indices=None, *, mask=None, accum=None, replace: bool = False):
     modified; inside the range the output takes ``u``'s pattern (so range
     positions absent from ``u`` lose their entry, per the spec).
     """
-    return engine.execute(engine.plan_assign(
-        w, u, indices, mask=mask, accum=accum, replace=replace))
+    mask, replace, lazy = _resolve_desc(desc, mask, replace, op="assign")
+    return _expr.submit(engine.plan_assign(
+        w, u, indices, mask=mask, accum=accum, replace=replace), lazy)
 
 
 def assign_scalar(w, value, indices=None, *, mask=None, accum=None,
-                  replace: bool = False):
+                  replace: bool = False, desc: Optional[Descriptor] = None):
     """``w⟨m⟩(i)⊙= s`` — assign a scalar to a sub-range (or everywhere).
 
     The scalar lands on *every selected position* (subject to the mask), not
@@ -189,8 +241,9 @@ def assign_scalar(w, value, indices=None, *, mask=None, accum=None,
     (``r(0:n-1) = teleport``, ``B(:) = 1.0``).  Positions outside the index
     range are never modified.
     """
-    return engine.execute(engine.plan_assign_scalar(
-        w, value, indices, mask=mask, accum=accum, replace=replace))
+    mask, replace, lazy = _resolve_desc(desc, mask, replace, op="assign_scalar")
+    return _expr.submit(engine.plan_assign_scalar(
+        w, value, indices, mask=mask, accum=accum, replace=replace), lazy)
 
 
 def extract(w, u, indices, *, mask=None, accum=None, replace: bool = False):

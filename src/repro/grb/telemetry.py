@@ -31,11 +31,14 @@ Usage::
 
 from __future__ import annotations
 
+import contextvars
+import functools
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Callable, Optional
 
-__all__ = ["set_hook", "clear_hook", "active", "record", "capture"]
+__all__ = ["set_hook", "clear_hook", "active", "record", "capture",
+           "propagate"]
 
 _hook_var: ContextVar[Optional[Callable[[dict], None]]] = ContextVar(
     "repro_grb_telemetry_hook", default=None)
@@ -79,3 +82,37 @@ def capture(fn: Callable[[dict], None]):
         yield
     finally:
         set_hook(prev)
+
+
+def propagate(fn: Callable) -> Callable:
+    """Wrap ``fn`` to run under a snapshot of the *caller's* context.
+
+    A plain ``threading.Thread`` starts with a fresh :mod:`contextvars`
+    context — hookless by design — while serve drain workers run each
+    kernel under the submitting request's context snapshot.  ``propagate``
+    gives user-managed threads the same opt-in: the snapshot is taken
+    here, at wrapping time (i.e. on the submitting thread), and every
+    invocation of the wrapper runs under its own *copy* of that snapshot,
+    so concurrent calls never contend for one context (a
+    ``contextvars.Context`` cannot be entered twice) and hooks installed
+    inside ``fn`` never leak back out.
+
+    Usage::
+
+        with telemetry.capture(events.append):
+            t = threading.Thread(target=telemetry.propagate(work))
+            t.start()          # work() sees the events hook
+
+    Works for any context-local state this package keeps — the telemetry
+    hook and :func:`repro.grb.engine.force_rule` pins alike.  (Do not use
+    it to share a live :func:`repro.grb.deferred` scope across threads:
+    an expression DAG is a single-threaded recording structure.)
+    """
+    snapshot = contextvars.copy_context()
+
+    @functools.wraps(fn)
+    def runner(*args, **kwargs):
+        ctx = snapshot.run(contextvars.copy_context)  # fresh copy per call
+        return ctx.run(fn, *args, **kwargs)
+
+    return runner

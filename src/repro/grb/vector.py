@@ -19,6 +19,7 @@ explicitly embraces non-opaque objects (Sec. II-A).
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional
 
 import numpy as np
@@ -36,11 +37,14 @@ from .types import Type, from_dtype
 
 __all__ = ["Vector"]
 
+_uids = itertools.count()
+
 
 class Vector:
     """A sparse vector of a fixed :class:`~repro.grb.types.Type` and size."""
 
-    __slots__ = ("size", "type", "_store", "_format")
+    __slots__ = ("size", "type", "_st", "_format", "_uid", "_version",
+                 "_lineage", "_expr", "_expr_reads")
 
     def __init__(self, typ, size: int):
         if isinstance(typ, Type):
@@ -50,8 +54,70 @@ class Vector:
         if size < 0:
             raise DimensionMismatch(f"negative vector size {size}")
         self.size = int(size)
-        self._store = SparseVec.empty(self.size, self.type.dtype)
+        self._st = SparseVec.empty(self.size, self.type.dtype)
         self._format = "auto"
+        self._uid = next(_uids)        # process-unique, never reused
+        self._version = 0              # store version: bumps on mutation
+        self._lineage = None           # derivation signature (plan cache)
+        self._expr = None              # pending lazy producer (grb.expr)
+        self._expr_reads = None        # pending lazy readers (grb.expr)
+
+    def _force_lazy_state(self):
+        """The *mutation* boundary: materialise the pending producer AND
+        every pending recorded reader of this object, so an eager
+        in-place change can never retroactively alter what an
+        already-recorded call computes (blocking-mode semantics)."""
+        node = self._expr
+        if node is not None:
+            node.force()
+        reads = self._expr_reads
+        if reads is not None:
+            self._expr_reads = None
+            for n in reads:
+                n.force_pending()
+
+    @property
+    def _store(self):
+        """The active store — the vector's universal *read boundary*.
+
+        A producer recorded in a :func:`repro.grb.expr.deferred` scope is
+        forced here, so every consumer of the stored arrays (kernels, mask
+        resolution, element access) observes blocking-mode state without
+        knowing the lazy layer exists.
+        """
+        node = self._expr
+        if node is not None:
+            node.force()
+        return self._st
+
+    @_store.setter
+    def _store(self, st):
+        self._st = st
+
+    # ------------------------------------------------------------------
+    # plan-cache signatures (see repro.grb.engine.plancache)
+    # ------------------------------------------------------------------
+    @property
+    def store_version(self) -> int:
+        """Monotone content/layout version (bumps on every mutation)."""
+        node = self._expr
+        if node is not None:
+            node.force()
+        return self._version
+
+    def _plan_sig(self):
+        """``(ident, version)`` for plan-cache keys (see Matrix)."""
+        node = self._expr
+        if node is not None:
+            node.force()
+        lin = self._lineage
+        if lin is not None and lin[0] == self._version:
+            return lin[1], lin[2]
+        return ("V", self._uid), self._version
+
+    def _set_lineage(self, ident, version):
+        self._lineage = (self._version, ident, version)
+        return self
 
     # ------------------------------------------------------------------
     # construction
@@ -158,9 +224,10 @@ class Vector:
         idx, vals = self._store.sparse()
         if fmt == "auto":
             fmt = _policy.select_vector_format(self.size, idx.size)
-        if fmt != self._store.fmt:
-            self._store = _policy.vector_store_from_sparse(
+        if fmt != self._st.fmt:
+            self._st = _policy.vector_store_from_sparse(
                 fmt, self.size, idx, vals)
+            self._version += 1  # layout changes which rule fast paths apply
         return self
 
     @property
@@ -185,7 +252,8 @@ class Vector:
         fmt = self._format
         if fmt == "auto":
             fmt = _policy.select_vector_format(self.size, idx.size)
-        self._store = _policy.vector_store_from_sparse(fmt, self.size, idx, vals)
+        self._st = _policy.vector_store_from_sparse(fmt, self.size, idx, vals)
+        self._version += 1
 
     def _mask_keys_values(self):
         """(keys, values) for mask resolution — shared protocol with Matrix."""
@@ -244,7 +312,9 @@ class Vector:
 
     def clear(self):
         """Remove all entries (size, type and format pin unchanged)."""
-        self._store = SparseVec.empty(self.size, self.type.dtype)
+        self._force_lazy_state()    # recorded producer/readers come first
+        self._st = SparseVec.empty(self.size, self.type.dtype)
+        self._version += 1
 
     def get(self, i: int, default=None):
         """Value at index ``i`` or ``default`` when absent."""
@@ -274,15 +344,18 @@ class Vector:
         i = int(i)
         if not 0 <= i < self.size:
             raise IndexOutOfBounds(f"index {i} out of range [0, {self.size})")
+        self._force_lazy_state()    # recorded readers see the prior value
         st = self._store
         if st.fmt == "bitmap":
             st.set_element(i, np.asarray(value, dtype=self.type.dtype)[()])
+            self._version += 1
             return
         idx, vals = st.sparse()
         pos = int(np.searchsorted(idx, i))
         if pos < idx.size and idx[pos] == i:
             vals[pos] = value
             st._bm = None
+            self._version += 1
         else:
             self._set_sparse(
                 np.insert(idx, pos, i),
@@ -290,10 +363,12 @@ class Vector:
 
     def remove_element(self, i: int):
         """Delete the entry at index ``i`` (no-op when absent)."""
+        self._force_lazy_state()    # recorded readers see the prior value
         st = self._store
         if st.fmt == "bitmap":
             if 0 <= i < self.size:
                 st.remove_element(int(i))
+                self._version += 1
             return
         idx, vals = st.sparse()
         pos = np.searchsorted(idx, i)
@@ -310,6 +385,12 @@ class Vector:
 
     def __len__(self) -> int:
         return self.size
+
+    def __iter__(self):
+        """Iterate stored entries as ``(index, value)`` pairs (a read
+        boundary: pending lazy state is materialised first)."""
+        idx, vals = self._store.sparse()
+        return iter(list(zip(idx.tolist(), vals.tolist())))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Vector({self.type.name}, size={self.size}, "
@@ -345,7 +426,7 @@ class Vector:
             cols=lambda: np.zeros(self._idx.size, dtype=np.int64))
         out = Vector(from_dtype(vals.dtype), self.size)
         out._set_sparse(self._idx.copy(), vals)
-        return out
+        return self._derived(out, ("apply", op, thunk))
 
     def select(self, op, thunk=None) -> "Vector":
         """``u⟨f(u, k)⟩``: keep entries where the predicate holds."""
@@ -358,7 +439,7 @@ class Vector:
             keep = op(self._vals, None, None, thunk)
         out = Vector(self.type, self.size)
         out._set_sparse(self._idx[keep], self._vals[keep])
-        return out
+        return self._derived(out, ("select", op, thunk))
 
     def reduce(self, monoid: Monoid):
         """``s = [⊕ᵢ u(i)]``: reduce all entries to a scalar."""
@@ -368,7 +449,18 @@ class Vector:
         """Structure-only copy with all values set to one."""
         out = Vector(typ, self.size)
         out._set_sparse(self._idx.copy(), np.ones(self._idx.size, dtype=typ.dtype))
-        return out
+        return self._derived(out, ("pattern", typ.name))
+
+    def _derived(self, out: "Vector", tag: tuple) -> "Vector":
+        """Tag ``out`` with a derivation signature when the tag is
+        hashable (operator/thunk objects are identity-hashed and pinned
+        by the tuple — see :mod:`repro.grb.engine.plancache`)."""
+        try:
+            hash(tag)
+        except TypeError:
+            return out
+        ident, version = self._plan_sig()
+        return out._set_lineage(tag + (ident,), version)
 
     def iso_value(self):
         """If all stored values are equal, that value; else ``None``."""

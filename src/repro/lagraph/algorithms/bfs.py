@@ -185,36 +185,40 @@ def bfs_parent_auto(g: Graph, source: int) -> Vector:
 def bfs_parent_fused(g: Graph, source: int) -> Vector:
     """The fused frontier step the paper anticipates (Sec. VI-B, item 2).
 
-    The spec's non-blocking mode would let ``GrB_vxm`` write its result
-    straight into the parent vector, fusing the two calls of Alg. 1.  This
-    variant performs exactly that fusion: one gather kernel per level whose
-    output lands directly in ``p``'s storage, skipping the intermediate
-    masked write-back.  Results are identical to :func:`bfs_parent_push`;
-    the ablation benchmark measures what the fusion buys.
+    The spec's non-blocking mode lets an implementation run ``GrB_vxm``
+    and the follow-up parent assign as one pass.  This variant *is* that
+    mode: each level records the two calls of Alg. 1 into a
+    :func:`repro.grb.deferred` scope, and the scope's flush hands the pair
+    to the engine as a MultiPlan, where the ``fused-frontier-parent``
+    multi-output rule executes the frontier expansion and the parent
+    update in the producing kernel's single output pass — no intermediate
+    masked write-back for ``q``, no second mask resolution for ``p``.
+    (Earlier revisions hand-fused the two calls outside the plan layer;
+    the engine rule replaces that.)  Results are identical to
+    :func:`bfs_parent_push` — with ``cost.FUSION_ENABLED`` or
+    ``cost.MULTI_FUSION_ENABLED`` off, each level decomposes into exactly
+    that two-call sequence; the ablation benchmark measures what the
+    fusion buys.
     """
     _check_source(g, source)
     a = g.A
     n = g.n
-    from ...grb._kernels.matmul import vxm_sparse
-
-    visited = np.zeros(n, dtype=bool)
-    visited[source] = True
-    parent_dense = np.full(n, -1, dtype=np.int64)
-    parent_dense[source] = source
-    frontier = np.array([source], dtype=np.int64)
+    p = Vector(grb.INT64, n)
+    q = Vector(grb.INT64, n)
+    p[source] = source
+    q[source] = source
+    # masks hold object references, not snapshots: resolution happens at
+    # execution time against the level's current state, so both can be
+    # hoisted out of the loop
+    unvisited = complement(structure(p))
+    s_q = structure(q)
     for _level in range(1, n):
-        idx, par = vxm_sparse(frontier,
-                              np.zeros(frontier.size, dtype=np.int64),
-                              a.indptr, a.indices, None, _ANY_SECONDI)
-        fresh = ~visited[idx]
-        idx, par = idx[fresh], par[fresh]
-        if idx.size == 0:
+        with grb.deferred():
+            grb.vxm(q, q, a, _ANY_SECONDI, mask=unvisited, replace=True)
+            grb.update(p, q, mask=s_q)
+        if q.nvals == 0:
             break
-        visited[idx] = True
-        parent_dense[idx] = par      # fused: no separate assign pass
-        frontier = idx
-    reached = np.flatnonzero(visited).astype(np.int64)
-    return Vector.from_coo(reached, parent_dense[reached], n)
+    return p
 
 
 def bfs_level(g: Graph, source: int) -> Vector:

@@ -90,11 +90,15 @@ def pagerank_gap(g: Graph, damping: float = 0.85, tol: float = 1e-4,
     for _k in range(itermax):
         iters += 1
         t, r = r, t                       # swap: t is now the prior rank
-        grb.ewise_mult(w, t, d, grb.binary.DIV)
-        grb.assign_scalar(r, teleport)
-        # r is full here, so the plus-accum write fuses into the multiply's
-        # output pass (mxv-fused-dense-accum)
-        grb.mxv(r, at, w, _PLUS_SECOND, accum=grb.binary.PLUS)
+        # the whole iteration records lazily (non-blocking mode): the
+        # convergence check below is the read boundary that hands the
+        # three-call chain to the engine in one go.  At execution the
+        # mxv's plus-accum write still fuses into the multiply's output
+        # pass (mxv-fused-dense-accum — r is full after the assign).
+        with grb.deferred():
+            grb.ewise_mult(w, t, d, grb.binary.DIV)
+            grb.assign_scalar(r, teleport)
+            grb.mxv(r, at, w, _PLUS_SECOND, accum=grb.binary.PLUS)
         delta = _l1_delta(t, r)
         if delta < tol:
             break
@@ -132,8 +136,9 @@ def pagerank_gx(g: Graph, damping: float = 0.85, tol: float = 1e-4,
                   .then_apply(_GX_DAMP, damping))
         _, t_dense = t.bitmap()
         redistributed = damping * float(t_dense[dangling].sum()) / n
-        grb.assign_scalar(r, teleport + redistributed)
-        grb.mxv(r, at, w, _PLUS_SECOND, accum=grb.binary.PLUS)
+        with grb.deferred():    # teleport + accumulate, forced by the delta
+            grb.assign_scalar(r, teleport + redistributed)
+            grb.mxv(r, at, w, _PLUS_SECOND, accum=grb.binary.PLUS)
         delta = _l1_delta(t, r)
         if delta < tol:
             break

@@ -67,8 +67,20 @@ def _improves_mat(v, i, j, thunk):
     return v < old
 
 
+def _improves_bucket(v, i, j, thunk):
+    """Delta-stepping's inner-frontier predicate: strictly improving AND
+    still inside bucket ``i`` — ``thunk`` is ``(present, dense, lo, hi)``
+    with the distance bitmap snapshotted *before* the round's min-merge
+    (exactly the seed's ordering: the improvement test reads the old
+    distances)."""
+    present, dense, lo, hi = thunk
+    old = np.where(present[i], dense[i], np.inf)
+    return (v < old) & (v >= lo) & (v < hi)
+
+
 _IMPROVES_VEC = SelectOp("__sssp_improves", _improves_vec)
 _IMPROVES_MAT = SelectOp("__sssp_improves_mat", _improves_mat, keyed=True)
+_IMPROVES_BUCKET = SelectOp("__sssp_improves_bucket", _improves_bucket)
 
 
 def _check_weights(g: Graph):
@@ -113,20 +125,22 @@ def sssp_delta_stepping(g: Graph, source: int, delta: float = 2.0) -> Vector:
         ever = np.zeros(n, dtype=bool)  # the "e" accumulator of Alg. 5
         while tbi.nvals:
             ever[tbi.indices] = True
-            # raw relaxation arrays: no intermediate write-back, and the
-            # improvement probe reads t's bitmap (O(1) membership) instead
-            # of a sorted isin search
-            tq_idx, tq_vals = engine.execute(
-                engine.plan_vxm(None, tbi, al, _MIN_PLUS))
-            present, t_dense = t.bitmap()
-            t_at = np.where(present[tq_idx], t_dense[tq_idx], np.inf)
-            improved = tq_vals < t_at
-            # t = t min∪ tReq (the full relaxation, as Alg. 5 requires)
-            treq._set_sparse(tq_idx, tq_vals.astype(np.float64, copy=False))
-            grb.ewise_add(t, t, treq, grb.binary.MIN)
-            # next inner frontier: improved nodes that (still) fall in bucket i
-            keep = improved & (tq_vals >= lo) & (tq_vals < hi)
-            tbi = Vector.from_coo(tq_idx[keep], tq_vals[keep], n)
+            # one lazy round: the light-edge relaxation with its TWO
+            # consumers — the improve-filter picking the next inner
+            # frontier and the min-merge folding tReq into t — recorded
+            # into a deferred scope and flushed as one MultiPlan, where
+            # the fused-improve-merge rule runs both consumers on the
+            # relaxation kernel's single output pass.  The filter's thunk
+            # snapshots t's bitmap BEFORE the merge (Alg. 5 reads the old
+            # distances), which record-time evaluation gives for free.
+            nxt = Vector(grb.FP64, n)
+            with grb.deferred():
+                grb.vxm(treq, tbi, al, _MIN_PLUS, replace=True)
+                grb.select(nxt, treq, _IMPROVES_BUCKET,
+                           t.bitmap() + (lo, hi))
+                # t = t min∪ tReq (the full relaxation, as Alg. 5 requires)
+                grb.ewise_add(t, t, treq, grb.binary.MIN)
+            tbi = nxt
         # heavy-edge relaxation from every node that visited bucket i
         th_idx = np.flatnonzero(ever).astype(np.int64)
         if th_idx.size:

@@ -143,6 +143,16 @@ class GraphService:
           themselves pick hypersparse automatically through the storage
           policy once sources complete — the adjacency-side operands are
           what registration can usefully pre-pin.
+
+        Beyond operand state, every query executed by the drain workers
+        dispatches through the engine's keyed plan cache
+        (:mod:`repro.grb.engine.plancache`): the first query of a shape
+        pays the choosers and leaves its claimed rule + operand feeds
+        behind, and every repeat on the same graph version skips them
+        (see :meth:`plan_cache_stats`).  Lineage signatures make this
+        survive the per-query rebuild of derived matrices — a repeated
+        ``TriangleCount`` hits even though it re-derives its
+        lower/upper-triangle operands from scratch.
         """
         self.registry.register(name, graph)
         if warm:
@@ -409,6 +419,18 @@ class GraphService:
                                 s.cache_hits, s.batches, s.kernel_calls,
                                 s.coalesced_calls, s.coalesced_sources,
                                 s.deduplicated)
+
+    @staticmethod
+    def plan_cache_stats():
+        """Hit/miss/invalidation counters of the engine's keyed plan cache.
+
+        The cache is engine-global (every drain worker's dispatches share
+        it), so this is a process-wide snapshot, not a per-service one —
+        the serving analogue of ``stats()`` for planner decisions.  The
+        same counters stream as ``grb.telemetry`` events (``plan_cache``
+        field on decision events, ``op="plancache"`` invalidations).
+        """
+        return engine.plancache.stats()
 
     def shutdown(self, wait: bool = True) -> None:
         self._closed = True

@@ -76,6 +76,7 @@ class TestRegistry:
         "select": "select-coords",
         "assign": "assign-region",
         "assign_scalar": "assign-scalar-region",
+        "update": "update-write",
         "bfs_step": "bfs-pull",
     }
 

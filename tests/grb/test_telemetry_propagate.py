@@ -1,0 +1,112 @@
+"""``telemetry.propagate`` — context snapshots for user-managed threads.
+
+Serve drain workers run each kernel under the submitting request's
+context snapshot; ``propagate`` gives plain ``threading.Thread`` users
+the same opt-in (ROADMAP Open item 4): the wrapped callable carries the
+wrapping thread's telemetry hook (and any other context-local state of
+this package), each invocation under its own copy of the snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro import grb
+from repro.grb import engine, telemetry
+
+
+def _work():
+    a = grb.Matrix.from_coo([0, 1], [1, 0], [1.0, 1.0], 2, 2)
+    u = grb.Vector.from_coo([0], [1.0], 2)
+    w = grb.Vector(grb.FP64, 2)
+    grb.mxv(w, a, u, grb.semiring_by_name("plus.times"))
+    return w
+
+
+def test_plain_thread_is_hookless_by_design():
+    events = []
+    with telemetry.capture(events.append):
+        t = threading.Thread(target=_work)
+        t.start()
+        t.join()
+    assert events == []
+
+
+def test_propagate_carries_the_hook():
+    events = []
+    with telemetry.capture(events.append):
+        t = threading.Thread(target=telemetry.propagate(_work))
+        t.start()
+        t.join()
+    assert events and all("rule" in e for e in events)
+
+
+def test_snapshot_taken_at_wrap_time():
+    """The snapshot is the *wrapping* context: installing a hook after
+    wrapping does not leak into the propagated callable."""
+    events = []
+    wrapped = telemetry.propagate(_work)       # no hook active here
+    with telemetry.capture(events.append):
+        t = threading.Thread(target=wrapped)
+        t.start()
+        t.join()
+    assert events == []
+
+
+def test_concurrent_invocations_do_not_contend():
+    """Each call runs under its own copy of the snapshot — a shared
+    ``Context`` object would raise ``cannot enter context`` here."""
+    events = []
+    errors = []
+    with telemetry.capture(events.append):
+        wrapped = telemetry.propagate(_work)
+
+    def call():
+        try:
+            wrapped()
+        except Exception as exc:               # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=call) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert events                              # all four delivered
+
+
+def test_hook_changes_inside_do_not_leak_out():
+    captured_inside = []
+
+    def work():
+        telemetry.set_hook(captured_inside.append)
+        _work()
+
+    telemetry.propagate(work)()
+    assert captured_inside
+    assert not telemetry.active()              # wrapper context was a copy
+
+
+def test_force_rule_pins_propagate_too():
+    """propagate carries every context-local of the package — a pinned
+    planner rule included."""
+    seen = []
+
+    def work():
+        events = []
+        with telemetry.capture(events.append):
+            a = grb.Matrix.from_coo([0, 1], [1, 0], [1.0, 1.0], 2, 2)
+            u = grb.Vector.from_coo([0], [1.0], 2)
+            w = grb.Vector(grb.FP64, 2)
+            grb.mxv(w, a, u, grb.semiring_by_name("plus.times"))
+        seen.extend(e["rule"] for e in events if e.get("op") == "mxv")
+
+    with engine.force_rule("mxv", "mxv-gather"):
+        t = threading.Thread(target=telemetry.propagate(work))
+        t.start()
+        t.join()
+    assert seen == ["mxv-gather"]
+    np.testing.assert_array_equal(_work().to_dense(), [0.0, 1.0])
