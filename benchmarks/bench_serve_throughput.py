@@ -217,3 +217,34 @@ def test_report_plan_cache_counters(suite, capsys):
               f"telemetry_marks={len(decisions)}")
     assert stats.hits > 0, "repeated serve queries should hit the plan cache"
     assert "hit" in decisions and "miss" in decisions
+
+
+def test_report_service_stats(suite, capsys):
+    """Serving observability through the public snapshot alone: run a
+    mixed burst and surface everything :meth:`GraphService.stats` now
+    carries — queue depth peak, the batch-size histogram, coalescing
+    ratio, memo hit rate, latency percentiles, and the plan-cache
+    counters — with no private-field reads."""
+    g = suite["kron"]
+    srcs = [int(s) for s in _sources(g, 32)]
+    with serve.GraphService(max_workers=2, cache_capacity=1024) as svc:
+        svc.register("kron", g)
+        svc.query_many("kron", [serve.BFSLevels(s) for s in srcs])
+        svc.query_many("kron", [serve.BFSLevels(s) for s in srcs])  # memo
+        s = svc.stats()
+    hist = " ".join(f"{k}:{v}" for k, v in sorted(s.batch_size_hist.items()))
+    with capsys.disabled():
+        print(f"\n[serve-stats] submitted={s.submitted} "
+              f"completed={s.completed} memo_hit_rate={s.memo_hit_rate:.2f} "
+              f"coalescing={s.coalescing_ratio:.1f}x "
+              f"saved_kernel_calls={s.kernel_calls_saved} "
+              f"queue_peak={s.queue_depth_peak} batch_hist=[{hist}] "
+              f"p50={s.latency_p50 * 1e3:.2f}ms "
+              f"p95={s.latency_p95 * 1e3:.2f}ms "
+              f"p99={s.latency_p99 * 1e3:.2f}ms "
+              f"plan_cache_hit_rate={s.plan_cache.hit_rate:.2f}")
+    assert s.completed == s.submitted and s.failed == 0
+    assert s.queue_depth == 0
+    assert s.memo_hit_rate > 0.0          # the second burst was memoized
+    assert s.coalescing_ratio > 1.0
+    assert s.latency_p50 <= s.latency_p99

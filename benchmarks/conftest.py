@@ -57,3 +57,25 @@ def sources():
         return rng.choice(cand, size=min(4, cand.size), replace=False)
 
     return pick
+
+
+@pytest.fixture(scope="session", autouse=True)
+def obs_artifact():
+    """Dump the observability snapshot after the run when requested.
+
+    ``REPRO_OBS_ARTIFACT=/path/to/obs.json`` makes the session write
+    :func:`repro.obs.json_snapshot` — every registry metric, the kernel /
+    rule / decision tables, and the plan-cache counters — once all
+    benchmarks have finished, so CI can archive the run's counters next
+    to the pytest-benchmark JSON.
+    """
+    yield
+    path = os.environ.get("REPRO_OBS_ARTIFACT")
+    if not path:
+        return
+    import json
+
+    from repro import obs
+
+    with open(path, "w") as fh:
+        json.dump(obs.json_snapshot(), fh, indent=2, default=str)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
+from ...obs.profile import profiled
 
 __all__ = [
     "SelectOp",
@@ -66,6 +67,7 @@ class SelectOp:
         return f"SelectOp({self.name})"
 
 
+@profiled("eval_unary")
 def eval_unary(op, values: np.ndarray, thunk, rows, cols) -> np.ndarray:
     """Evaluate a ``UnaryOp`` over entry arrays — the one definition of
     apply's value semantics (positional i/j dispatch, thunk arity, the
@@ -89,6 +91,7 @@ def eval_unary(op, values: np.ndarray, thunk, rows, cols) -> np.ndarray:
     return out
 
 
+@profiled("eval_select")
 def eval_select(op: "SelectOp", values: np.ndarray, store, thunk) -> np.ndarray:
     """Keep-mask of a predicate over a matrix store's entries.
 

@@ -16,11 +16,13 @@ return the same sorted sparse result, value for value.
 from __future__ import annotations
 
 import numpy as np
+from ...obs.profile import profiled
 
 __all__ = ["union_merge", "intersect_merge", "setdiff_keys",
            "union_merge_bitmap", "intersect_merge_bitmap", "merge_objects"]
 
 
+@profiled("intersect_merge")
 def intersect_merge(keys_a, vals_a, keys_b, vals_b, op):
     """Apply ``op`` on the key intersection of two sorted sparse structures.
 
@@ -43,6 +45,7 @@ def intersect_merge(keys_a, vals_a, keys_b, vals_b, op):
     return common, op(vals_a[ia], vals_b[ib])
 
 
+@profiled("union_merge")
 def union_merge(keys_a, vals_a, keys_b, vals_b, op):
     """eWiseAdd semantics: union of structures, ``op`` only on the overlap.
 
@@ -69,6 +72,7 @@ def union_merge(keys_a, vals_a, keys_b, vals_b, op):
     return keys[order], vals[order]
 
 
+@profiled("intersect_merge_bitmap")
 def intersect_merge_bitmap(present_a, dense_a, present_b, dense_b, op):
     """eWiseMult over two bitmap representations.
 
@@ -80,6 +84,7 @@ def intersect_merge_bitmap(present_a, dense_a, present_b, dense_b, op):
     return keys, op(dense_a[keys], dense_b[keys])
 
 
+@profiled("union_merge_bitmap")
 def union_merge_bitmap(present_a, dense_a, present_b, dense_b, op):
     """eWiseAdd over two bitmap representations.
 

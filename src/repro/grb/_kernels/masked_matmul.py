@@ -56,6 +56,7 @@ import numpy as np
 from ..ops.monoid import PLUS_MONOID
 from ..ops.semiring import Semiring
 from .gather import concat_ranges, expand_rows
+from ...obs.profile import profiled
 
 __all__ = [
     "masked_dot_probe", "masked_dot_reduce",
@@ -187,6 +188,7 @@ def _probe_membership(indptr: np.ndarray, indices: np.ndarray,
     return hit, (pos if need_pos else None)
 
 
+@profiled("masked_dot")
 def masked_dot(
     a_indptr: np.ndarray,
     a_indices: np.ndarray,
@@ -250,6 +252,7 @@ def masked_dot(
                              semiring, cast_dtype=cast_dtype)
 
 
+@profiled("masked_dot_probe")
 def masked_dot_probe(
     a_indptr: np.ndarray,
     a_indices: np.ndarray,
@@ -331,6 +334,7 @@ def masked_dot_probe(
     return t, apos, bpos
 
 
+@profiled("masked_dot_reduce")
 def masked_dot_reduce(
     probe,
     a_values: Optional[np.ndarray],

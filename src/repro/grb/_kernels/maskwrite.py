@@ -21,6 +21,7 @@ from typing import Optional
 import numpy as np
 
 from .ewise import setdiff_keys, union_merge
+from ...obs.profile import profiled
 
 __all__ = ["mask_allowed_keys", "masked_write"]
 
@@ -41,6 +42,7 @@ def mask_allowed_keys(
     return mask_keys[keep]
 
 
+@profiled("masked_write")
 def masked_write(
     c_keys: np.ndarray,
     c_vals: np.ndarray,

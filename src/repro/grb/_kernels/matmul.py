@@ -32,6 +32,7 @@ import numpy as np
 
 from ..ops.semiring import Semiring
 from .gather import concat_ranges, csr_gather_rows, expand_rows
+from ...obs.profile import profiled
 
 __all__ = ["vxm_sparse", "mxv_gather", "mxm_expand", "mxv_pull_probe"]
 
@@ -43,6 +44,7 @@ def _multiply(semiring: Semiring, a_vals, b_vals, i, k, j):
     return semiring.mult(a_vals, b_vals)
 
 
+@profiled("vxm_sparse")
 def vxm_sparse(
     u_idx: np.ndarray,
     u_vals: np.ndarray,
@@ -64,6 +66,7 @@ def vxm_sparse(
     return semiring.add.reduce_groups(cols, mult)
 
 
+@profiled("mxv_gather")
 def mxv_gather(
     indptr: np.ndarray,
     indices: np.ndarray,
@@ -102,6 +105,7 @@ DENSE_ANY_GRID_SLACK = 8
 DENSE_ANY_GRID_FLOOR = 1 << 20
 
 
+@profiled("mxm_expand")
 def mxm_expand(
     a_indptr: np.ndarray,
     a_indices: np.ndarray,
@@ -188,6 +192,7 @@ def mxm_expand(
 PULL_PROBE_ROUNDS = 16
 
 
+@profiled("mxv_pull_probe")
 def mxv_pull_probe(
     at_indptr: np.ndarray,
     at_indices: np.ndarray,

@@ -36,6 +36,7 @@ from typing import Optional
 import numpy as np
 import scipy.sparse as sp
 
+from ...obs import trace as _trace
 from .. import telemetry
 from .._kernels import apply_select as _selectops
 from .._kernels import masked_matmul as _mm
@@ -203,33 +204,39 @@ def finish(plan: Plan, keys, vals, *, is_vector: bool, size=None,
             complement=complemented, replace=True, out_dtype=vals.dtype)
     fused = cost.FUSION_ENABLED
     for i, ep in enumerate(plan.epilogues):
-        if ep.kind == "reduce_rowwise":
-            # the chain becomes a vector of per-row values
+        with _trace.span("epilogue:" + ep.kind, cat="epilogue",
+                         fused=fused):
+            if ep.kind == "reduce_rowwise":
+                # the chain becomes a vector of per-row values
+                if fused:
+                    keys, vals = _epilogue_arrays(ep, keys, vals, is_vector,
+                                                  ncols)
+                else:
+                    keys, vals = _epilogue_materialised(
+                        ep, keys, vals, is_vector, size, nrows, ncols)
+                is_vector, size = True, nrows
+                continue
+            if ep.kind == "reduce_scalar":
+                if fused:
+                    return _epilogue_arrays(ep, keys, vals, is_vector, ncols)
+                return _epilogue_materialised(ep, keys, vals, is_vector,
+                                              size, nrows, ncols)
             if fused:
                 keys, vals = _epilogue_arrays(ep, keys, vals, is_vector,
                                               ncols)
             else:
-                keys, vals = _epilogue_materialised(
-                    ep, keys, vals, is_vector, size, nrows, ncols)
-            is_vector, size = True, nrows
-            continue
-        if ep.kind == "reduce_scalar":
-            if fused:
-                return _epilogue_arrays(ep, keys, vals, is_vector, ncols)
-            return _epilogue_materialised(ep, keys, vals, is_vector, size,
-                                          nrows, ncols)
-        if fused:
-            keys, vals = _epilogue_arrays(ep, keys, vals, is_vector, ncols)
-        else:
-            keys, vals = _epilogue_materialised(ep, keys, vals, is_vector,
-                                                size, nrows, ncols)
+                keys, vals = _epilogue_materialised(ep, keys, vals,
+                                                    is_vector, size, nrows,
+                                                    ncols)
     if plan.out is None:
         return keys, vals
-    if is_vector:
-        return write_vector(plan.out, keys, vals, plan.mask, plan.accum,
+    with _trace.span("write", cat="write",
+                     target="vector" if is_vector else "matrix"):
+        if is_vector:
+            return write_vector(plan.out, keys, vals, plan.mask, plan.accum,
+                                plan.replace)
+        return write_matrix(plan.out, keys, vals, plan.mask, plan.accum,
                             plan.replace)
-    return write_matrix(plan.out, keys, vals, plan.mask, plan.accum,
-                        plan.replace)
 
 
 # ---------------------------------------------------------------------------

@@ -41,6 +41,8 @@ from typing import Callable, List
 
 import numpy as np
 
+from ...obs import metrics as _metrics
+from ...obs import trace as _trace
 from .. import telemetry
 from ..expr import _DONE
 from .._kernels.ewise import setdiff_keys, union_merge
@@ -52,6 +54,11 @@ from .rules import dispatch
 __all__ = ["MultiPlan", "register_fusion", "fusion_rules"]
 
 _FUSIONS: List[tuple] = []
+
+#: Always-on fusion counter: groups actually executed fused, by rule.
+_FUSED = _metrics.counter(
+    "grb_multiplan_fused_total", "Fused groups executed, by fusion rule",
+    labels=("rule",))
 
 
 def register_fusion(name: str):
@@ -80,6 +87,10 @@ class MultiPlan:
 
     def execute(self):
         nodes = self.nodes
+        with _trace.span("multiplan", cat="plan", nodes=len(nodes)):
+            self._execute(nodes)
+
+    def _execute(self, nodes):
         fuse = cost.FUSION_ENABLED and cost.MULTI_FUSION_ENABLED
         i = 0
         while i < len(nodes):
@@ -88,6 +99,15 @@ class MultiPlan:
                 for name, rule in _FUSIONS:
                     consumed = rule(nodes, i)
                     if consumed:
+                        # the fused group's kernel dispatches traced their
+                        # own spans; the instant marks which rule grouped
+                        # them (declined attempts stay silent — they are
+                        # a handful of attribute checks)
+                        if _trace.active():
+                            _trace.instant("fusion:" + name, cat="kernel",
+                                           consumed=consumed)
+                        if _metrics.ENABLED:
+                            _FUSED.labels(name).inc()
                         if telemetry.active():
                             telemetry.record({
                                 "op": "multiplan", "rule": name,

@@ -48,11 +48,19 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
+from ...obs import identity as _identity
+from ...obs import metrics as _metrics
 from .. import telemetry
 from . import cost
 
 __all__ = ["CacheEntry", "PlanCacheStats", "shape_key", "lookup", "store",
            "clear", "stats", "set_capacity", "CACHEABLE_OPS", "FEED_KEYS"]
+
+#: Always-on cache-outcome counter (hit / miss / invalidate), the metric
+#: twin of the :func:`stats` snapshot.
+_EVENTS = _metrics.counter(
+    "grb_plan_cache_total", "Plan-cache outcomes by event kind",
+    labels=("event",))
 
 #: Operation kinds routed through the cache.  Only ``mxm`` qualifies: the
 #: masked-SpGEMM chooser is the one analysis whose per-call cost (probe
@@ -92,6 +100,10 @@ class CacheEntry:
     detail: dict
     feeds: dict
     nbytes: int = 0
+    #: Attribution label resolved at store time from the shape's operand
+    #: identities (see :mod:`repro.obs.identity`); ``None`` when no
+    #: registered graph's signature appears among the operands.
+    graph: Optional[str] = None
 
 
 @dataclass
@@ -206,6 +218,8 @@ def lookup(key) -> Optional[CacheEntry]:
         if entry is not None and entry.versions == versions:
             _entries.move_to_end(shape)
             _hits += 1
+            if _metrics.ENABLED:
+                _EVENTS.labels("hit").inc()
             return entry
         if entry is not None:
             del _entries[shape]
@@ -213,11 +227,22 @@ def lookup(key) -> Optional[CacheEntry]:
             _invalidations += 1
             invalidated = entry
         _misses += 1
+    if _metrics.ENABLED:
+        _EVENTS.labels("miss").inc()
+        if invalidated is not None:
+            _EVENTS.labels("invalidate").inc()
     # the user hook runs OUTSIDE the lock: a hook that itself dispatches
     # (or reads stats()) must never re-enter it
     if invalidated is not None and telemetry.active():
+        # graph/shape_key make serve-side invalidation storms attributable:
+        # the graph label is the registered owner of an operand identity in
+        # the shape, the shape key a stable fingerprint for correlating
+        # repeated invalidations of one plan shape across events
         telemetry.record({"op": "plancache", "event": "invalidate",
-                          "plan_op": shape[0], "rule": invalidated.rule})
+                          "plan_op": shape[0], "rule": invalidated.rule,
+                          "graph": invalidated.graph,
+                          "shape_key": format(hash(shape) & 0xFFFFFFFFFFFF,
+                                              "012x")})
     return None
 
 
@@ -236,12 +261,13 @@ def store(key, rule: str, detail: dict, feeds: dict) -> None:
     nbytes = _feed_nbytes(feeds)
     if nbytes > FEED_ENTRY_BYTES_CAP:
         feeds, nbytes = {}, 0       # decision still cached, feeds too large
+    graph = _identity.find(shape)
     with _lock:
         old = _entries.get(shape)
         if old is not None:
             _total_bytes -= old.nbytes
         _entries[shape] = CacheEntry(versions, rule, dict(detail), feeds,
-                                     nbytes)
+                                     nbytes, graph)
         _entries.move_to_end(shape)
         _total_bytes += nbytes
         _evict_locked()

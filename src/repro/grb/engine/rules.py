@@ -27,11 +27,15 @@ kind to one named rule outright::
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional
 
+from ...obs import metrics as _metrics
+from ...obs import profile as _profile
+from ...obs import trace as _trace
 from .. import telemetry
 from . import cost, plancache
 from .plan import Plan
@@ -42,6 +46,14 @@ __all__ = ["Rule", "register", "rules_for", "dispatch", "analyze",
 
 class PlanningError(RuntimeError):
     """No registered rule claimed a plan (a registry misconfiguration)."""
+
+
+#: Always-on dispatch counter: one bump per executed plan, labelled by the
+#: operation kind and the claiming rule — the cheapest possible answer to
+#: "which strategies actually run in production".
+_DISPATCHES = _metrics.counter(
+    "grb_dispatch_total", "Plans dispatched, by operation and claiming rule",
+    labels=("op", "rule"))
 
 
 @dataclass(frozen=True)
@@ -99,6 +111,7 @@ def force_rule(op: str, name: str):
 
 
 def _emit(plan: Plan, rule_name: str, detail: dict, cached=None):
+    # obs: gated-by-caller (every call site guards on telemetry.active())
     event = plan.describe()
     event.update(plan.meta)
     event.update(detail)
@@ -163,11 +176,22 @@ def _cache_key(plan: Plan):
     return None
 
 
-def dispatch(plan: Plan):
-    """Route ``plan`` through its rule list and execute the claiming rule."""
-    cache_key = _cache_key(plan)
-    rule, detail = _claim(plan, cache_key=cache_key)
+def _run_rule(plan: Plan, rule: Rule, detail: dict):
+    """Execute the claiming rule, timing it when deep profiling is on."""
+    if not _profile.deep_active():
+        return rule.run(plan, detail)
+    nnz_in = sum(int(getattr(a, "nvals", 0) or 0) for a in plan.args)
+    cpu0 = time.process_time()
+    t0 = time.perf_counter()
     out = rule.run(plan, detail)
+    wall = time.perf_counter() - t0
+    cpu = time.process_time() - cpu0
+    _profile.record_rule(plan.op, rule.name, wall, cpu, nnz_in,
+                         int(getattr(out, "nvals", 0) or 0))
+    return out
+
+
+def _feed_pickup(plan: Plan, cache_key) -> None:
     if cache_key is not None and _forced_var.get().get(plan.op) is None:
         # post-run feed pickup: some feeds (the dot kernel's probe
         # resolution) are produced by the run itself
@@ -175,6 +199,36 @@ def dispatch(plan: Plan):
                  if k in plan.meta}
         if feeds:
             plancache.update_feeds(cache_key, feeds)
+
+
+def dispatch(plan: Plan):
+    """Route ``plan`` through its rule list and execute the claiming rule.
+
+    Observability: every dispatch bumps ``grb_dispatch_total{op, rule}``;
+    with a trace sink installed the dispatch becomes a ``plan:<op>`` span
+    wrapping a ``plan-choose`` span (cache probe + ``applies`` chain) and
+    a ``kernel:<rule>`` span (the rule's execution, epilogues and
+    write-back included — :func:`repro.grb.engine.executors.finish` opens
+    child spans for those stages).
+    """
+    cache_key = _cache_key(plan)
+    if _trace.active():
+        with _trace.span("plan:" + plan.op, cat="plan", op=plan.op) as sp:
+            with _trace.span("plan-choose", cat="plan"):
+                rule, detail = _claim(plan, cache_key=cache_key)
+            sp.set(rule=rule.name)
+            if _metrics.ENABLED:
+                _DISPATCHES.labels(plan.op, rule.name).inc()
+            with _trace.span("kernel:" + rule.name, cat="kernel",
+                             op=plan.op):
+                out = _run_rule(plan, rule, detail)
+            _feed_pickup(plan, cache_key)
+            return out
+    rule, detail = _claim(plan, cache_key=cache_key)
+    if _metrics.ENABLED:
+        _DISPATCHES.labels(plan.op, rule.name).inc()
+    out = _run_rule(plan, rule, detail)
+    _feed_pickup(plan, cache_key)
     return out
 
 

@@ -51,6 +51,15 @@ from __future__ import annotations
 from contextvars import ContextVar
 from typing import Optional
 
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+
+#: Always-on recording counter: calls deferred into an expression DAG
+#: instead of executing eagerly, by operation kind.
+_RECORDED = _metrics.counter(
+    "grb_expr_recorded_total", "Plans recorded into expression DAGs, by op",
+    labels=("op",))
+
 __all__ = ["Deferred", "ExprGraph", "deferred", "evaluate", "submit",
            "active_graph"]
 
@@ -185,6 +194,10 @@ class ExprGraph:
 
     def record(self, plan) -> Deferred:
         """Append ``plan`` to the DAG; returns its :class:`Deferred`."""
+        if _metrics.ENABLED:
+            _RECORDED.labels(plan.op).inc()
+        if _trace.active():
+            _trace.instant("record:" + plan.op, cat="record")
         inputs = self._inputs(plan)
         deps = []
         for obj in inputs:

@@ -37,11 +37,40 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Callable, Optional
 
-__all__ = ["set_hook", "clear_hook", "active", "record", "capture",
+from ..obs import profile as _obs_profile
+
+__all__ = ["Event", "set_hook", "clear_hook", "active", "record", "capture",
            "propagate"]
 
 _hook_var: ContextVar[Optional[Callable[[dict], None]]] = ContextVar(
     "repro_grb_telemetry_hook", default=None)
+
+
+class Event(dict):
+    """A typed telemetry event: a dict with attribute access and a kind.
+
+    Every event is still a plain mapping (existing hooks keep working
+    unchanged); the subclass adds the identity the obs layer keys on —
+    ``event.kind`` is the operation (``"mxm"``, ``"plancache"``,
+    ``"multiplan"`` …) and ``event.rule`` the claiming rule, both
+    readable as attributes::
+
+        with telemetry.capture(events.append):
+            ...
+        [e.kind for e in events if e.rule == "mxm-masked-dot"]
+    """
+
+    __slots__ = ()
+
+    @property
+    def kind(self) -> str:
+        return self.get("op", "event")
+
+    def __getattr__(self, name: str):
+        try:
+            return self[name]
+        except KeyError:
+            raise AttributeError(name) from None
 
 
 def set_hook(fn: Optional[Callable[[dict], None]]):
@@ -62,16 +91,23 @@ def clear_hook() -> None:
 
 
 def active() -> bool:
-    """Whether a hook is installed in this context (kernels gate
-    expensive-to-compute event fields — e.g. exact flop counts — on this)."""
-    return _hook_var.get() is not None
+    """Whether anything in this context consumes decision events: a hook,
+    or a :func:`repro.obs.profile.profiling` block (the profiler re-judges
+    chooser decisions, so it needs the same exact-count fields hooks get).
+    Kernels gate expensive-to-compute event fields on this."""
+    return _hook_var.get() is not None or _obs_profile.deep_active()
 
 
 def record(event: dict) -> None:
-    """Deliver ``event`` to this context's hook, if any."""
+    """Deliver ``event`` to this context's consumers: the installed hook,
+    and — when deep profiling is on — the obs decision aggregator."""
+    if not isinstance(event, Event):
+        event = Event(event)
     hook = _hook_var.get()
     if hook is not None:
         hook(event)
+    if _obs_profile.deep_active():
+        _obs_profile.on_event(event)
 
 
 @contextmanager

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 
 from ... import grb
-from ...grb import Matrix, structure
+from ...grb import Matrix, engine, structure
 from ..errors import InvalidKind, PropertyMissing
 from ..graph import Graph
 from ..kinds import Kind
@@ -58,10 +58,16 @@ METHODS = ("burkhardt", "cohen", "sandia_ll", "sandia_uu",
 
 def _masked_pair_count(left: Matrix, right: Matrix, mask: Matrix,
                        transpose_b: bool) -> int:
-    c = Matrix(grb.INT64, left.nrows, right.ncols if not transpose_b else right.nrows)
-    grb.mxm(c, left, right, _PLUS_PAIR, mask=structure(mask),
-            transpose_b=transpose_b)
-    return int(c.reduce_scalar(_PLUS))
+    # one fused plan: the masked multiply's raw ``T⟨M⟩`` arrays feed the
+    # scalar reduction as an epilogue — the intermediate count matrix is
+    # never materialised, and its masked write-back is never paid (with
+    # ``cost.FUSION_ENABLED`` off this decomposes into the seed's
+    # build-then-reduce sequence, bit-identically)
+    total = engine.execute(
+        engine.plan_mxm(None, left, right, _PLUS_PAIR,
+                        mask=structure(mask), transpose_b=transpose_b)
+        .then_reduce_scalar(_PLUS))
+    return int(total)
 
 
 def triangle_count_method(a: Matrix, method: str = "sandia_lut") -> int:
@@ -73,15 +79,11 @@ def triangle_count_method(a: Matrix, method: str = "sandia_lut") -> int:
     if method not in METHODS:
         raise ValueError(f"unknown TC method {method!r}; one of {METHODS}")
     if method == "burkhardt":
-        c = Matrix(grb.INT64, a.nrows, a.ncols)
-        grb.mxm(c, a, a, _PLUS_PAIR, mask=structure(a))
-        return int(c.reduce_scalar(_PLUS)) // 6
+        return _masked_pair_count(a, a, a, transpose_b=False) // 6
     if method == "cohen":
         l = a.tril(-1)
         u = a.triu(1)
-        c = Matrix(grb.INT64, a.nrows, a.ncols)
-        grb.mxm(c, l, u, _PLUS_PAIR, mask=structure(a))
-        return int(c.reduce_scalar(_PLUS)) // 2
+        return _masked_pair_count(l, u, a, transpose_b=False) // 2
     l = a.tril(-1)
     u = a.triu(1)
     if method == "sandia_ll":

@@ -1,0 +1,54 @@
+"""`repro.obs` — metrics, span tracing, and kernel profiling.
+
+Three observation tiers, cheapest first, all safe under the concurrent
+serving engine (span/profiling state is context-local, metric bumps are
+locked):
+
+* **Metrics** (:mod:`repro.obs.metrics`) — always-on counters / gauges /
+  histograms with labels; export via :func:`prometheus_text` or
+  :func:`json_snapshot`.
+* **Span tracing** (:mod:`repro.obs.trace`) — opt-in per context::
+
+      with obs.tracing() as trace:
+          triangle_count(g)
+      json.dump(trace.to_chrome_trace(), open("tc.json", "w"))
+
+  covering record → plan-choose → kernel → epilogue → write, MultiPlan
+  fusion, and the serve request lifecycle.
+* **Deep profiling** (:mod:`repro.obs.profile`) — opt-in per context::
+
+      with obs.profiling():
+          triangle_count(g)
+      obs.report()
+
+  exact wall/CPU/nnz/bytes per kernel and per rule, plus chooser
+  misprediction rates judged from the telemetry decision stream.
+
+This package is standalone: it never imports :mod:`repro.grb` at module
+level (``grb.telemetry`` imports *it*), so it is importable from any
+layer without cycles.  See ``docs/OBSERVABILITY.md`` for the full schema
+and cost model.
+"""
+
+from __future__ import annotations
+
+from . import export, identity, metrics, profile, trace
+from .export import json_snapshot, prometheus_text
+from .profile import deep_active, profiled, profiling
+from .report import report
+from .trace import TraceCollector, instant, span, tracing
+
+__all__ = [
+    "metrics", "trace", "profile", "export", "identity",
+    "span", "instant", "tracing", "TraceCollector",
+    "profiling", "profiled", "deep_active",
+    "prometheus_text", "json_snapshot",
+    "report", "reset",
+]
+
+
+def reset() -> None:
+    """Zero the metric registry and the deep-profiling tables (labels and
+    metric registrations survive; traces are per-collector and unaffected)."""
+    metrics.reset()
+    profile.reset()

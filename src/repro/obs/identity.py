@@ -1,0 +1,61 @@
+"""Operand-identity labels: mapping plan signatures back to graph names.
+
+The plan cache keys operands by their lineage/uid signatures — opaque
+tuples like ``("M", 17)`` or ``("tril", ("pattern", ("M", 17)), -1)``.
+For attribution ("which graph's plans are being invalidated?") the serve
+layer registers each graph's adjacency signature here at ``register()``
+time; :func:`find` then recovers the label from any nested shape tuple by
+walking it for a registered leaf.
+
+Process-global like the plan cache itself; label registration is an
+explicit, cheap opt-in (one dict write per registered graph).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = ["register", "find", "clear"]
+
+_lock = threading.Lock()
+_labels: Dict[tuple, str] = {}
+
+
+def register(ident, label: str) -> None:
+    """Bind an operand identity tuple (e.g. ``graph.A._plan_sig()[0]``)
+    to a human-readable label."""
+    if not isinstance(ident, tuple):
+        return
+    with _lock:
+        _labels[ident] = str(label)
+
+
+def find(obj) -> Optional[str]:
+    """The label of the first registered identity nested inside ``obj``.
+
+    Walks tuples/lists depth-first: derived-operand lineage idents contain
+    their parents' idents, so a plan shaped from ``A.pattern().tril(-1)``
+    still resolves to ``A``'s registered graph.
+    """
+    if not _labels:
+        return None
+    return _find(obj)
+
+
+def _find(obj) -> Optional[str]:
+    if isinstance(obj, tuple):
+        hit = _labels.get(obj)
+        if hit is not None:
+            return hit
+    if isinstance(obj, (tuple, list)):
+        for item in obj:
+            hit = _find(item)
+            if hit is not None:
+                return hit
+    return None
+
+
+def clear() -> None:
+    with _lock:
+        _labels.clear()

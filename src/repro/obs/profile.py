@@ -1,0 +1,243 @@
+"""Deep kernel profiling: wall + CPU time, nnz, chooser mispredictions.
+
+Two cost tiers, mirroring the telemetry design:
+
+* **Off** (default): every :func:`profiled` kernel pays one ``ContextVar``
+  read; nothing else happens.
+* **On** (inside a :func:`profiling` block, context-local like the
+  telemetry hook): kernel wrappers measure wall (``perf_counter``) and CPU
+  (``process_time``) time plus input/output nnz and bytes, rule dispatches
+  report per-rule timings, and decision events stream in through
+  :func:`on_event` — chooser decisions carrying exact work counts are
+  re-judged against the cost model, so the aggregate tables report a
+  **misprediction rate** per rule, not just call counts.
+
+While profiling is active, ``grb.telemetry.active()`` reports True even
+with no hook installed: the decision events (and the exact-flop fields
+they gate) are materialised for the profiler sink instead.
+
+Aggregation is process-global and locked: concurrent profiled requests
+merge into one set of tables, read via :func:`kernel_table`,
+:func:`rule_table` and :func:`decision_table` (or the combined
+``obs.report()``).
+
+This module must stay importable before :mod:`repro.grb` exists —
+``grb.telemetry`` imports it — so the cost model is imported lazily,
+inside the one function that needs it.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Optional
+
+__all__ = ["deep_active", "profiling", "profiled", "record_kernel",
+           "record_rule", "on_event", "kernel_table", "rule_table",
+           "decision_table", "reset"]
+
+_deep_var: ContextVar[bool] = ContextVar("repro_obs_deep", default=False)
+
+
+def deep_active() -> bool:
+    """Whether deep profiling is on in this context (kernel wrappers and
+    expensive-field computation gate on this)."""
+    return _deep_var.get()
+
+
+@contextmanager
+def profiling():
+    """Enable deep profiling for the block (context-local)."""
+    token = _deep_var.set(True)
+    try:
+        yield
+    finally:
+        _deep_var.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+# ---------------------------------------------------------------------------
+
+class _Stat:
+    __slots__ = ("calls", "wall", "cpu", "nnz_in", "nnz_out", "bytes")
+
+    def __init__(self):
+        self.calls = 0
+        self.wall = 0.0
+        self.cpu = 0.0
+        self.nnz_in = 0
+        self.nnz_out = 0
+        self.bytes = 0
+
+    def add(self, wall, cpu, nnz_in, nnz_out, nbytes):
+        self.calls += 1
+        self.wall += wall
+        self.cpu += cpu
+        self.nnz_in += nnz_in
+        self.nnz_out += nnz_out
+        self.bytes += nbytes
+
+    def row(self) -> dict:
+        return {"calls": self.calls, "wall_s": self.wall, "cpu_s": self.cpu,
+                "nnz_in": self.nnz_in, "nnz_out": self.nnz_out,
+                "bytes": self.bytes}
+
+
+class _Decision:
+    __slots__ = ("calls", "judged", "mispredicted")
+
+    def __init__(self):
+        self.calls = 0
+        self.judged = 0
+        self.mispredicted = 0
+
+    def row(self) -> dict:
+        rate = self.mispredicted / self.judged if self.judged else 0.0
+        return {"calls": self.calls, "judged": self.judged,
+                "mispredicted": self.mispredicted,
+                "misprediction_rate": rate}
+
+
+_lock = threading.Lock()
+_kernels: Dict[str, _Stat] = {}
+_rules: Dict[tuple, _Stat] = {}
+_decisions: Dict[tuple, _Decision] = {}
+
+
+def record_kernel(name: str, wall: float, cpu: float, nnz_in: int = 0,
+                  nnz_out: int = 0, nbytes: int = 0) -> None:
+    with _lock:
+        stat = _kernels.get(name)
+        if stat is None:
+            stat = _kernels[name] = _Stat()
+        stat.add(wall, cpu, nnz_in, nnz_out, nbytes)
+
+
+def record_rule(op: str, rule: str, wall: float, cpu: float,
+                nnz_in: int = 0, nnz_out: int = 0) -> None:
+    with _lock:
+        stat = _rules.get((op, rule))
+        if stat is None:
+            stat = _rules[(op, rule)] = _Stat()
+        stat.add(wall, cpu, nnz_in, nnz_out, 0)
+
+
+def kernel_table() -> Dict[str, dict]:
+    with _lock:
+        return {k: s.row() for k, s in sorted(_kernels.items())}
+
+
+def rule_table() -> Dict[str, dict]:
+    with _lock:
+        return {f"{op}/{rule}": s.row()
+                for (op, rule), s in sorted(_rules.items())}
+
+
+def decision_table() -> Dict[str, dict]:
+    with _lock:
+        return {f"{op}/{rule}": d.row()
+                for (op, rule), d in sorted(_decisions.items())}
+
+
+def reset() -> None:
+    with _lock:
+        _kernels.clear()
+        _rules.clear()
+        _decisions.clear()
+
+
+# ---------------------------------------------------------------------------
+# telemetry bridge
+# ---------------------------------------------------------------------------
+
+def on_event(event: dict) -> None:
+    """Fold one ``grb.telemetry`` decision event into the decision table.
+
+    ``mxm`` chooser events carrying exact work counts are re-judged: the
+    cost model is re-run on the recorded counts, and a decision whose
+    chosen method differs from the judged ideal counts as a misprediction
+    (the pattern ``benchmarks/bench_ablation_tc_methods.py`` established,
+    running continuously instead of per-benchmark).
+    """
+    rule = event.get("rule")
+    if rule is None:
+        return
+    op = event.get("op", "?")
+    verdict: Optional[bool] = None
+    if op == "mxm" and "dot_probes" in event and "expand_flops" in event:
+        from ..grb.engine import cost  # lazy: obs must import before grb
+        ideal = cost.choose_masked_method(
+            event["dot_probes"], event["expand_flops"],
+            scipy_path=event.get("scipy_path", False),
+            mask_nvals=event.get("mask_nvals", 0),
+            est_out_nnz=event.get("est_out_nnz", 0.0))
+        verdict = event.get("method") != ideal
+    with _lock:
+        d = _decisions.get((op, rule))
+        if d is None:
+            d = _decisions[(op, rule)] = _Decision()
+        d.calls += 1
+        if verdict is not None:
+            d.judged += 1
+            if verdict:
+                d.mispredicted += 1
+
+
+# ---------------------------------------------------------------------------
+# kernel wrapper
+# ---------------------------------------------------------------------------
+
+def _nnz_of(args) -> int:
+    total = 0
+    for a in args:
+        size = getattr(a, "size", None)
+        if size is not None and getattr(a, "ndim", None) is not None:
+            total += int(size)
+    return total
+
+
+def _nbytes_of(args) -> int:
+    total = 0
+    for a in args:
+        total += int(getattr(a, "nbytes", 0))
+    return total
+
+
+def _out_nnz(out) -> int:
+    if isinstance(out, tuple):
+        return _nnz_of(out)
+    size = getattr(out, "size", None)
+    if size is not None and getattr(out, "ndim", None) is not None:
+        return int(size)
+    return 0
+
+
+def profiled(name: str):
+    """Decorate a ``_kernels`` primitive with deep-profiling measurement.
+
+    Inactive cost is one ``ContextVar`` read; active cost adds two clock
+    pairs and the nnz/bytes scans of the positional array arguments —
+    exact per-call input/output work, gated exactly like telemetry's
+    expensive event fields.
+    """
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _deep_var.get():
+                return fn(*args, **kwargs)
+            nnz_in = _nnz_of(args)
+            nbytes = _nbytes_of(args)
+            cpu0 = time.process_time()
+            t0 = time.perf_counter()
+            out = fn(*args, **kwargs)
+            wall = time.perf_counter() - t0
+            cpu = time.process_time() - cpu0
+            record_kernel(name, wall, cpu, nnz_in, _out_nnz(out), nbytes)
+            return out
+        wrapper.__wrapped__ = fn
+        return wrapper
+    return deco

@@ -22,9 +22,16 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from ..obs import metrics as _metrics
 from .requests import Query, _SingleSource
 
 __all__ = ["PendingRequest", "Batch", "CoalescingQueue", "plan_batches"]
+
+#: Always-on gauge tracking the accumulation buffer's depth — process-wide
+#: (services share the metric; per-service peaks live in
+#: :class:`repro.serve.service.ServiceStats`).
+_QUEUE_DEPTH = _metrics.gauge(
+    "serve_queue_depth", "Requests waiting in the coalescing queue")
 
 
 @dataclass
@@ -116,13 +123,18 @@ class CoalescingQueue:
         """Append; returns the queue depth after insertion."""
         with self._lock:
             self._pending.append(request)
-            return len(self._pending)
+            depth = len(self._pending)
+        if _metrics.ENABLED:
+            _QUEUE_DEPTH.set(depth)
+        return depth
 
     def drain(self) -> List[PendingRequest]:
         """Atomically take everything currently queued (FIFO order)."""
         with self._lock:
             out, self._pending = self._pending, []
-            return out
+        if _metrics.ENABLED and out:
+            _QUEUE_DEPTH.set(0)
+        return out
 
     def __len__(self) -> int:
         with self._lock:

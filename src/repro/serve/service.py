@@ -37,12 +37,16 @@ from __future__ import annotations
 
 import contextvars
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor, wait as _wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..grb import engine
 from ..lagraph.graph import Graph
+from ..obs import identity as _identity
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .cache import LRUCache
 from .coalesce import Batch, CoalescingQueue, PendingRequest, plan_batches
 from .registry import GraphRegistry
@@ -50,10 +54,40 @@ from .requests import Query, _SingleSource
 
 __all__ = ["GraphService", "ServiceStats"]
 
+# always-on serve metrics (the registry-level twins of ServiceStats)
+_REQUESTS = _metrics.counter(
+    "serve_requests_total", "Requests by outcome event",
+    labels=("event",))
+_BATCH_SIZE = _metrics.histogram(
+    "serve_batch_size", "Queries answered per executed batch",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128))
+_LATENCY = _metrics.histogram(
+    "serve_request_latency_seconds", "Submit-to-resolution latency")
+
+#: Latency samples kept per service for the percentile snapshot (a plain
+#: bounded reservoir: old samples age out FIFO — recent behaviour is what
+#: p99 is for).
+_LATENCY_WINDOW = 4096
+
+
+def _percentile(sorted_samples: List[float], q: float) -> float:
+    if not sorted_samples:
+        return 0.0
+    i = min(len(sorted_samples) - 1,
+            max(0, round(q * (len(sorted_samples) - 1))))
+    return sorted_samples[i]
+
 
 @dataclass
 class ServiceStats:
-    """Aggregate counters for one service instance."""
+    """Aggregate counters for one service instance.
+
+    The first nine fields are monotonic counters maintained under the
+    service lock; the rest are snapshot-time derivations :meth:`GraphService.stats`
+    fills in — queue state, the batch-size histogram, request-latency
+    percentiles over the recent window, and the process-global plan-cache
+    counters serve dispatches feed.
+    """
 
     submitted: int = 0
     completed: int = 0
@@ -64,12 +98,32 @@ class ServiceStats:
     coalesced_calls: int = 0     # kernel calls that served a coalescible group
     coalesced_sources: int = 0   # sources answered through those calls
     deduplicated: int = 0        # futures resolved by sharing another's result
+    queue_depth: int = 0         # pending requests right now
+    queue_depth_peak: int = 0    # highest depth ever seen at enqueue
+    batch_size_hist: Dict[int, int] = field(default_factory=dict)
+    latency_count: int = 0       # samples in the percentile window
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
+    plan_cache: Optional[object] = None   # engine PlanCacheStats snapshot
 
     @property
     def kernel_calls_saved(self) -> int:
         """Single-source sweeps avoided by batching (whole-graph queries
         such as PageRank are excluded from both sides)."""
         return self.coalesced_sources - self.coalesced_calls
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of submissions answered from the memo cache."""
+        return self.cache_hits / self.submitted if self.submitted else 0.0
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Sources answered per coalesced kernel call (1.0 = no batching
+        win; the msbfs ideal approaches the batch width)."""
+        return (self.coalesced_sources / self.coalesced_calls
+                if self.coalesced_calls else 0.0)
 
 
 def _copy_result(value):
@@ -113,6 +167,9 @@ class GraphService:
         self._lock = threading.Lock()
         self._stats = ServiceStats()
         self._inflight: "set[Future]" = set()
+        self._latencies: List[float] = []     # bounded FIFO window
+        self._batch_hist: Dict[int, int] = {}
+        self._depth_peak = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -155,9 +212,21 @@ class GraphService:
         lower/upper-triangle operands from scratch.
         """
         self.registry.register(name, graph)
+        self._label_graph(name, graph)
         if warm:
             self._warm_graph(graph, warm)
         return self
+
+    @staticmethod
+    def _label_graph(name: str, graph: Graph) -> None:
+        """Register the adjacency's plan signature under ``name`` so the
+        plan cache (and its invalidation telemetry) can attribute entries
+        shaped from this graph's operands — including operands *derived*
+        from the adjacency (``A.pattern().tril(-1)`` …), whose lineage
+        signatures nest the registered identity."""
+        sig = getattr(graph.A, "_plan_sig", None)
+        if sig is not None:
+            _identity.register(sig()[0], name)
 
     @staticmethod
     def _warm_graph(graph: Graph, profile) -> None:
@@ -225,6 +294,7 @@ class GraphService:
         # atomic check-and-bind: racing lazy submitters can both reach
         # here, but only one binding lands
         self.registry.register_if_absent(name, graph)
+        self._label_graph(name, graph)
 
     def query(self, name: str, query: Query):
         """Synchronous convenience: ``submit(...).result()``."""
@@ -238,31 +308,68 @@ class GraphService:
             raise RuntimeError("service is shut down")
         if not isinstance(query, Query):
             raise TypeError(f"expected a serve.Query, got {type(query)!r}")
+        t0 = time.perf_counter()
         cached = self.cache.get(self.registry.key(name, query), _SENTINEL)
         with self._lock:
             self._stats.submitted += 1
+        if _metrics.ENABLED:
+            _REQUESTS.labels("submitted").inc()
         fut: Future = Future()
         if cached is not _SENTINEL:
             with self._lock:
                 self._stats.cache_hits += 1
                 self._stats.completed += 1
+            if _metrics.ENABLED:
+                _REQUESTS.labels("memo_hit").inc()
+                _REQUESTS.labels("completed").inc()
+            if _trace.active():
+                _trace.instant("serve:memo-hit", cat="serve", graph=name,
+                               query=type(query).__name__)
             fut.set_result(_copy_result(cached))
             return fut
         req = PendingRequest(name, query, fut, contextvars.copy_context())
-        self._track(fut)
-        self._queue.put(req)
+        self._track(fut, name, query, t0)
+        depth = self._queue.put(req)
+        with self._lock:
+            if depth > self._depth_peak:
+                self._depth_peak = depth
+        if _trace.active():
+            _trace.instant("serve:enqueue", cat="serve", graph=name,
+                           query=type(query).__name__, depth=depth)
         return fut
 
-    def _track(self, fut: Future) -> None:
+    def _track(self, fut: Future, name: str, query: Query,
+               t0: float) -> None:
         with self._lock:
             self._inflight.add(fut)
+        # the submitter's trace identity, captured now: the done callback
+        # runs on whatever thread resolves the future, outside the
+        # submitting request's context
+        sink = _trace.current_sink()
+        parent = _trace.current_span_id() if sink is not None else None
 
         def _done(f: Future):
+            latency = time.perf_counter() - t0
+            failed = f.exception() is not None
             with self._lock:
                 self._inflight.discard(f)
                 self._stats.completed += 1
-                if f.exception() is not None:
+                if failed:
                     self._stats.failed += 1
+                self._latencies.append(latency)
+                if len(self._latencies) > _LATENCY_WINDOW:
+                    del self._latencies[:len(self._latencies)
+                                        - _LATENCY_WINDOW]
+            if _metrics.ENABLED:
+                _LATENCY.observe(latency)
+                _REQUESTS.labels("failed" if failed else "completed").inc()
+            if sink is not None:
+                # obs: gated-by-caller (sink is captured at submit time
+                # only while the submitter's tracing was active)
+                _trace.instant("serve:answer", cat="serve", sink=sink,
+                               parent_id=parent, graph=name,
+                               query=type(query).__name__,
+                               latency_s=latency, failed=failed)
         fut.add_done_callback(_done)
 
     def _kick(self) -> None:
@@ -354,7 +461,10 @@ class GraphService:
                 sources = [int(q.source) for q in missing]  # type: ignore[attr-defined]
                 kernel = type(missing[0]).run_batch
                 out = self._in_request_ctx(
-                    batch, missing[0], kernel, g, sources)
+                    batch, missing[0], kernel, g, sources,
+                    span_attrs={"graph": name, "coalesced": True,
+                                "sources": len(sources),
+                                "query": type(missing[0]).__name__})
                 for row, q in enumerate(missing):
                     results[q] = _SingleSource.extract_row(out, row)
                 with self._lock:
@@ -364,12 +474,16 @@ class GraphService:
             else:
                 for q in missing:
                     results[q] = self._in_request_ctx(
-                        batch, q, q.run_direct, g)
+                        batch, q, q.run_direct, g,
+                        span_attrs={"graph": name, "coalesced": False,
+                                    "query": type(q).__name__})
                     with self._lock:
                         self._stats.kernel_calls += 1
                         if batch.group is not None:
                             self._stats.coalesced_calls += 1
                             self._stats.coalesced_sources += 1
+            if _metrics.ENABLED:
+                _REQUESTS.labels("kernel_miss").inc(len(missing))
             for q in missing:
                 self.cache.put((name, epoch, version, q), results[q])
 
@@ -381,20 +495,39 @@ class GraphService:
             for req in reqs:
                 resolutions.append((req.future, True,
                                     _copy_result(results[q])))
+        n_queries = len(batch.queries)
         with self._lock:
             self._stats.batches += 1
             self._stats.deduplicated += shared
+            self._batch_hist[n_queries] = \
+                self._batch_hist.get(n_queries, 0) + 1
+        if _metrics.ENABLED:
+            _BATCH_SIZE.observe(n_queries)
 
     @staticmethod
-    def _in_request_ctx(batch: Batch, q, fn, *args):
+    def _in_request_ctx(batch: Batch, q, fn, *args, span_attrs=None):
         """Run ``fn(*args)`` under the context snapshot of the first
         pending request for query ``q`` (each request carries its own
-        ``copy_context()``, so a context is never entered twice)."""
+        ``copy_context()``, so a context is never entered twice).
+
+        Because the snapshot carries the submitter's trace sink, the
+        ``serve:batch`` span — and every engine span the kernel opens
+        beneath it — lands in the *submitting request's* trace, giving
+        concurrent traced submitters disjoint span trees for free.
+        """
         reqs = batch.requests_by_query.get(q)
         ctx = reqs[0].ctx if reqs else None
         if ctx is None:
             return fn(*args)
-        return ctx.run(fn, *args)
+        if span_attrs is None:
+            return ctx.run(fn, *args)
+
+        def run():
+            if not _trace.active():
+                return fn(*args)
+            with _trace.span("serve:batch", cat="serve", **span_attrs):
+                return fn(*args)
+        return ctx.run(run)
 
     def _fail_batch(self, batch: Batch, exc: Exception) -> None:
         for req in batch.requests:
@@ -413,12 +546,31 @@ class GraphService:
             _wait(outstanding, timeout=timeout)
 
     def stats(self) -> ServiceStats:
+        """A consistent snapshot of everything the service observes.
+
+        Counters are copied under the service lock (drain workers mutate
+        them concurrently); latency percentiles come from the recent
+        sample window; ``plan_cache`` is the engine's process-global
+        counter snapshot (see :meth:`plan_cache_stats`).
+        """
         with self._lock:
             s = self._stats
-            return ServiceStats(s.submitted, s.completed, s.failed,
+            snap = ServiceStats(s.submitted, s.completed, s.failed,
                                 s.cache_hits, s.batches, s.kernel_calls,
                                 s.coalesced_calls, s.coalesced_sources,
-                                s.deduplicated)
+                                s.deduplicated,
+                                queue_depth_peak=self._depth_peak,
+                                batch_size_hist=dict(self._batch_hist))
+            lat = sorted(self._latencies)
+        # queue / percentile / plan-cache reads take other locks — outside
+        # ours (one-way lock ordering, no nesting)
+        snap.queue_depth = len(self._queue)
+        snap.latency_count = len(lat)
+        snap.latency_p50 = _percentile(lat, 0.50)
+        snap.latency_p95 = _percentile(lat, 0.95)
+        snap.latency_p99 = _percentile(lat, 0.99)
+        snap.plan_cache = engine.plancache.stats()
+        return snap
 
     @staticmethod
     def plan_cache_stats():

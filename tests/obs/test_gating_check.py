@@ -1,0 +1,109 @@
+"""tools/check_obs_gating.py: the lint-time observability cost contract."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "check_obs_gating.py"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("check_obs_gating", _TOOL)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_repository_sources_pass(checker):
+    for path in checker.iter_default_files(_TOOL.parents[1]):
+        assert checker.check_file(path) == [], str(path)
+
+
+def test_obs_package_is_exempt(checker):
+    paths = list(checker.iter_default_files(_TOOL.parents[1]))
+    assert paths
+    assert not any(p.parent.name == "obs" for p in paths)
+
+
+def test_ungated_record_flagged(checker, tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(plan):\n"
+        "    telemetry.record({'op': plan.op})\n")
+    (violation,) = checker.check_file(bad)
+    assert violation == (2, "telemetry.record")
+
+
+def test_guarded_record_passes(checker, tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text(
+        "def f(plan):\n"
+        "    if telemetry.active():\n"
+        "        telemetry.record({'op': plan.op})\n")
+    assert checker.check_file(good) == []
+
+
+def test_compound_guard_passes(checker, tmp_path):
+    good = tmp_path / "good2.py"
+    good.write_text(
+        "def f(x):\n"
+        "    if x is not None and _telemetry.active():\n"
+        "        _telemetry.record(x)\n")
+    assert checker.check_file(good) == []
+
+
+def test_pragma_waives(checker, tmp_path):
+    waived = tmp_path / "waived.py"
+    waived.write_text(
+        "def _emit(event):\n"
+        "    # obs: gated-by-caller (sites guard on telemetry.active())\n"
+        "    telemetry.record(event)\n")
+    assert checker.check_file(waived) == []
+
+
+def test_ungated_metric_bump_flagged(checker, tmp_path):
+    bad = tmp_path / "bump.py"
+    bad.write_text(
+        "def f(op, rule):\n"
+        "    _DISPATCHES.labels(op, rule).inc()\n")
+    (violation,) = checker.check_file(bad)
+    assert violation[0] == 2 and "inc" in violation[1]
+
+
+def test_enabled_flag_guard_passes(checker, tmp_path):
+    good = tmp_path / "flag.py"
+    good.write_text(
+        "def f(op, rule):\n"
+        "    if _metrics.ENABLED:\n"
+        "        _DISPATCHES.labels(op, rule).inc()\n")
+    assert checker.check_file(good) == []
+
+
+def test_lowercase_set_not_flagged(checker, tmp_path):
+    ok = tmp_path / "lower.py"
+    ok.write_text(
+        "def f(msg, e):\n"
+        "    msg.set(str(e))\n")
+    assert checker.check_file(ok) == []
+
+
+def test_ungated_instant_flagged(checker, tmp_path):
+    bad = tmp_path / "inst.py"
+    bad.write_text(
+        "def f(name):\n"
+        "    _trace.instant('x:' + name)\n")
+    (violation,) = checker.check_file(bad)
+    assert violation == (2, "_trace.instant")
+
+
+def test_main_exit_codes(checker, tmp_path, capsys):
+    good = tmp_path / "g.py"
+    good.write_text("x = 1\n")
+    bad = tmp_path / "b.py"
+    bad.write_text("telemetry.record({})\n")
+    assert checker.main([str(good)]) == 0
+    assert checker.main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "ungated observability call" in out

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Static check: observability call sites must gate on the cheap guards.
+
+The observability layer's cost contract (docs/OBSERVABILITY.md) is that
+the *disabled* paths cost at most one flag/ContextVar read — which only
+holds if call sites never compute event dicts, span attributes, or metric
+label values before checking the guard.  This script walks the source AST
+and requires every
+
+* ``telemetry.record(...)`` call,
+* ``trace.instant(...)`` / ``_trace.instant(...)`` call, and
+* bump (``inc``/``dec``/``set``/``observe``) on a module-level metric
+  handle (ALL_CAPS root name, e.g. ``_REQUESTS.labels(...).inc()``)
+
+to sit under an ``if`` whose test calls ``active()`` / ``deep_active()``
+or reads an ``ENABLED`` flag.  A site whose gating is structural rather
+than lexical (e.g. the serve answer path, which captures the sink only
+while tracing was active) opts out with a pragma comment::
+
+    # obs: gated-by-caller (reason)
+
+placed on the call or between the enclosing ``def`` and the call.  The
+:mod:`repro.obs` package itself is exempt — it implements the guards.
+
+Run from the repository root (CI lint job)::
+
+    python tools/check_obs_gating.py            # checks src/repro
+    python tools/check_obs_gating.py FILE...    # explicit file list
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+PRAGMA = "obs: gated-by-caller"
+GUARD_CALLS = {"active", "deep_active"}
+GUARD_FLAGS = {"ENABLED"}
+BUMPS = {"inc", "dec", "set", "observe"}
+
+
+def _root_name(node):
+    """The leftmost Name of an attribute/call chain, or None."""
+    while isinstance(node, (ast.Attribute, ast.Call)):
+        node = node.func if isinstance(node, ast.Call) else node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _is_guard_test(test) -> bool:
+    """Does an ``if`` test consult one of the cheap observability guards?"""
+    for n in ast.walk(test):
+        if isinstance(n, ast.Call):
+            f = n.func
+            name = f.attr if isinstance(f, ast.Attribute) else getattr(
+                f, "id", None)
+            if name in GUARD_CALLS:
+                return True
+        elif isinstance(n, ast.Attribute) and n.attr in GUARD_FLAGS:
+            return True
+        elif isinstance(n, ast.Name) and n.id in GUARD_FLAGS:
+            return True
+    return False
+
+
+def _classify(call: ast.Call):
+    """The violation label for an observability call, or None."""
+    f = call.func
+    if not isinstance(f, ast.Attribute):
+        return None
+    root = _root_name(f.value)
+    if root is None:
+        return None
+    if f.attr == "record" and "telemetry" in root:
+        return f"{root}.record"
+    if f.attr == "instant" and "trace" in root:
+        return f"{root}.instant"
+    if f.attr in BUMPS and root.isupper():
+        return f"{root}...{f.attr}"
+    return None
+
+
+def check_file(path: Path) -> list:
+    """``[(lineno, label), ...]`` of ungated observability calls."""
+    source = path.read_text()
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+
+    parents = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        label = _classify(node)
+        if label is None:
+            continue
+        # gated: any ancestor ``if`` consulting a guard
+        anc, gated, func_def = node, False, None
+        while anc in parents:
+            anc = parents[anc]
+            if isinstance(anc, ast.If) and _is_guard_test(anc.test):
+                gated = True
+                break
+            if (func_def is None
+                    and isinstance(anc, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef))):
+                func_def = anc
+        if gated:
+            continue
+        # pragma: on the call's lines, or between the enclosing def and it
+        start = (func_def.lineno if func_def is not None else node.lineno)
+        end = getattr(node, "end_lineno", node.lineno)
+        if any(PRAGMA in lines[i] for i in range(start - 1, end)):
+            continue
+        violations.append((node.lineno, label))
+    return violations
+
+
+def iter_default_files(root: Path):
+    src = root / "src" / "repro"
+    for path in sorted(src.rglob("*.py")):
+        if "obs" in path.relative_to(src).parts[:1]:
+            continue                     # the guard implementation itself
+        yield path
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        files = [Path(a) for a in argv]
+    else:
+        files = list(iter_default_files(Path(__file__).resolve().parents[1]))
+    bad = 0
+    for path in files:
+        for lineno, label in check_file(path):
+            bad += 1
+            print(f"{path}:{lineno}: ungated observability call {label} "
+                  f"(guard on active()/ENABLED or add '# {PRAGMA}')")
+    if bad:
+        print(f"check_obs_gating: {bad} violation(s) in {len(files)} files")
+        return 1
+    print(f"check_obs_gating: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
