@@ -101,6 +101,55 @@ def test_obs_disabled_overhead_serve_msbfs(suite, capsys):
     _assert_within_budget(t_on, t_off, "serve msbfs")
 
 
+@pytest.mark.skipif("REPRO_SKIP_PERF" in os.environ,
+                    reason="perf assertion disabled (noisy shared runner)")
+def test_obs_disabled_overhead_store_churn(suite, capsys):
+    """Store-footprint accounting: the gauges ride every mutation
+    boundary (``_set_from_keys`` / ``set_format`` / ``dup``), so the
+    budget is checked on a build-heavy workload rather than the
+    kernel-heavy ones above — pattern extraction, dup, and a format
+    round-trip per repetition, each of which re-accounts its store."""
+    from repro import grb
+
+    g = suite["kron"]
+    a = g.A
+
+    def churn():
+        for _ in range(8):
+            p = a.pattern(grb.FP64)
+            d = p.dup()
+            d.set_format("bitmap")
+            d.set_format("csr")
+
+    t_on, t_off = _overhead(churn)
+    with capsys.disabled():
+        print(f"\n[obs-overhead] store churn: on={t_on:.4f}s "
+              f"off={t_off:.4f}s "
+              f"delta={(t_on / t_off - 1) if t_off else 0:+.2%}")
+    _assert_within_budget(t_on, t_off, "store churn")
+
+
+def test_footprint_accounting_follows_churn(suite):
+    """Sanity leg runnable on any runner: the churn workload's stores
+    appear in the footprint gauges while alive and vanish when dropped
+    (tracemalloc stays disarmed — the deep tier is opt-in)."""
+    import tracemalloc
+
+    from repro import grb, obs
+
+    g = suite["kron"]
+    before = obs.memory.live_count()
+    keep = [g.A.pattern(grb.FP64).dup() for _ in range(4)]
+    assert obs.memory.live_count() >= before + 4
+    total = sum(v["bytes"] for v in obs.memory.snapshot().values())
+    assert total >= sum(k._store.nbytes() for k in keep)
+    assert not tracemalloc.is_tracing()
+    del keep
+    import gc
+    gc.collect()
+    assert obs.memory.live_count() <= before + 1
+
+
 def test_tracing_records_without_changing_results(suite):
     """Sanity leg runnable on any runner: a traced TC returns the same
     count and actually produces the engine spans (the expensive side is

@@ -1,0 +1,138 @@
+"""Benchmark history: structured per-session records for regression tracking.
+
+Every benchmark session (when ``REPRO_BENCH_HISTORY=/path/to/BENCH_HISTORY.json``
+is set — see ``conftest.py``) appends one **session record** to a JSON
+file so CI accumulates a time series instead of a point sample::
+
+    {
+      "schema": 1,
+      "git_sha": "…",                  # HEAD at run time (or $GITHUB_SHA)
+      "size": "tiny",                  # REPRO_BENCH_SIZE tier
+      "recorded_at": "2026-08-08T…Z",  # UTC, ISO 8601
+      "obs": {"plan_cache": {…}, "store_footprint": {…}},
+      "entries": [
+        {"id": "bench_masked_mxm.py::test_tc_sandia_lut[masked-kron]",
+         "group": "masked-mxm-tc",     # pytest-benchmark group (or null)
+         "graph": "kron",              # suite graph named in the params
+         "min_s": 0.0123, "mean_s": 0.0131,
+         "stddev_s": 0.0004, "rounds": 17},
+        …
+      ]
+    }
+
+``min_s`` is the comparison statistic downstream (``tools/bench_compare.py``):
+minimum-of-rounds is the classic noise-robust choice — external
+interference only ever adds time.  Entries carry the calibrated
+pytest-benchmark stats when the ``benchmark`` fixture ran; tests timed
+without it (acceptance guards, smoke legs) fall back to the pytest call
+duration with ``rounds=1``.
+
+This module is import-light (stdlib only) so ``tools/bench_compare.py``
+and the test-suite can load it without the repro package on the path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import tempfile
+from typing import List, Optional
+
+SCHEMA_VERSION = 1
+
+#: Graph names recognised in parametrised test ids (mirrors conftest.GRAPHS
+#: without importing the repro package).
+KNOWN_GRAPHS = ("kron", "urand", "twitter", "web", "road")
+
+
+def git_sha(repo_root: Optional[str] = None) -> str:
+    """HEAD's commit hash — ``git`` first, ``$GITHUB_SHA`` fallback."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=repo_root,
+            capture_output=True, text=True, timeout=10)
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return os.environ.get("GITHUB_SHA", "unknown")
+
+
+def graph_of(test_id: str) -> Optional[str]:
+    """The suite graph named in a parametrised test id, if any."""
+    if "[" not in test_id:
+        return None
+    params = test_id[test_id.index("[") + 1:test_id.rindex("]")]
+    for part in params.split("-"):
+        if part in KNOWN_GRAPHS:
+            return part
+    return None
+
+
+def make_entry(test_id: str, *, group: Optional[str] = None,
+               min_s: float = 0.0, mean_s: float = 0.0,
+               stddev_s: float = 0.0, rounds: int = 1) -> dict:
+    return {
+        "id": test_id,
+        "group": group,
+        "graph": graph_of(test_id),
+        "min_s": float(min_s),
+        "mean_s": float(mean_s),
+        "stddev_s": float(stddev_s),
+        "rounds": int(rounds),
+    }
+
+
+def make_session(entries: List[dict], *, size: str, recorded_at: str,
+                 sha: Optional[str] = None,
+                 obs: Optional[dict] = None) -> dict:
+    """One appendable session record (see the module docstring schema)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "git_sha": git_sha() if sha is None else sha,
+        "size": size,
+        "recorded_at": recorded_at,
+        "obs": obs or {},
+        "entries": sorted(entries, key=lambda e: e["id"]),
+    }
+
+
+def load(path) -> List[dict]:
+    """All session records at ``path`` (oldest first; ``[]`` if absent)."""
+    if not os.path.exists(path):
+        return []
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON list of session records")
+    return data
+
+
+def append(path, session: dict) -> int:
+    """Append one session record, atomically; returns the new length.
+
+    Read-modify-write through a same-directory temp file + ``os.replace``
+    so a crashed run can never truncate the accumulated history.
+    """
+    sessions = load(path)
+    sessions.append(session)
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(sessions, fh, indent=1, default=str)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return len(sessions)
+
+
+def latest(path_or_sessions) -> Optional[dict]:
+    """The most recent session record, or ``None``."""
+    sessions = (path_or_sessions if isinstance(path_or_sessions, list)
+                else load(path_or_sessions))
+    return sessions[-1] if sessions else None

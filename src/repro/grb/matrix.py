@@ -38,6 +38,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from . import types as _types
+from ..obs import memory as _obsmem
+from ..obs import metrics as _metrics
 from ._kernels import apply_select as _selectops
 from ._kernels.ewise import merge_objects, union_merge
 from .errors import DimensionMismatch, IndexOutOfBounds, InvalidValue, NoValue
@@ -60,7 +62,7 @@ class Matrix:
     __slots__ = ("nrows", "ncols", "type", "_store", "_format",
                  "_scipy", "_pattern_scipy", "_vals_positive", "_vals_finite",
                  "_transpose", "_keys", "_pending", "_uid", "_version",
-                 "_lineage", "_expr", "_expr_reads")
+                 "_lineage", "_expr", "_expr_reads", "__weakref__")
 
     def __init__(self, typ, nrows: int, ncols: int):
         self.type = typ if isinstance(typ, Type) else from_dtype(typ)
@@ -185,10 +187,19 @@ class Matrix:
         return m
 
     def dup(self) -> "Matrix":
-        """``C ↤ A``: an independent copy (same format, same pin)."""
+        """``C ↤ A``: an independent copy (same format, same pin).
+
+        The copy carries the source's plan signature: its content is
+        bit-identical to the source at this version, so plans cached
+        against the source stay valid for the copy (until it mutates).
+        """
         m = Matrix(self.type, self.nrows, self.ncols)
         m._store = self._S().copy()
         m._format = self._format
+        ident, version = self._plan_sig()
+        m._set_lineage(ident, version, permanent=True)
+        if _metrics.ENABLED:
+            _obsmem.account(m, m._store)
         return m
 
     # ------------------------------------------------------------------
@@ -228,6 +239,8 @@ class Matrix:
             self._scipy = None
             self._transpose = None
             self._version += 1   # layout changes which rule fast paths apply
+            if _metrics.ENABLED:
+                _obsmem.account(self, self._store)
         return self
 
     def _S(self):
@@ -259,7 +272,10 @@ class Matrix:
 
     @indptr.setter
     def indptr(self, arr):
-        self._csr_store_for_write().indptr = arr
+        st = self._csr_store_for_write()
+        st.indptr = arr
+        if _metrics.ENABLED:
+            _obsmem.account(self, st)
 
     @property
     def indices(self) -> np.ndarray:
@@ -269,7 +285,10 @@ class Matrix:
 
     @indices.setter
     def indices(self, arr):
-        self._csr_store_for_write().indices = arr
+        st = self._csr_store_for_write()
+        st.indices = arr
+        if _metrics.ENABLED:
+            _obsmem.account(self, st)
 
     @property
     def values(self) -> np.ndarray:
@@ -279,7 +298,10 @@ class Matrix:
 
     @values.setter
     def values(self, arr):
-        self._csr_store_for_write().values = arr
+        st = self._csr_store_for_write()
+        st.values = arr
+        if _metrics.ENABLED:
+            _obsmem.account(self, st)
 
     # ------------------------------------------------------------------
     # internal plumbing
@@ -310,6 +332,8 @@ class Matrix:
             self.nrows, self.ncols)
         self._invalidate()
         self._keys = keys
+        if _metrics.ENABLED:
+            _obsmem.account(self, self._store)
 
     def _invalidate(self):
         self._scipy = None
@@ -341,16 +365,27 @@ class Matrix:
         """
         self._flush_pending()
         lin = self._lineage
-        if lin is not None and lin[0] == self._version:
-            return lin[1], lin[2]
+        if lin is not None:
+            if lin[0] == self._version:
+                return lin[1], lin[2]
+            if lin[3]:
+                # identity alias (dup): the ident outlives mutation so a
+                # stale cache entry is *found* and invalidated rather than
+                # orphaned under a brand-new uid.  The version diverges
+                # into a per-object namespace — a tuple carrying this
+                # object's uid can never collide with the source's integer
+                # versions or another alias's divergence.
+                return lin[1], ("~", self._uid, self._version)
         return ("M", self._uid), self._version
 
-    def _set_lineage(self, ident, version):
+    def _set_lineage(self, ident, version, permanent=False):
         """Tag this object as a deterministic derivation (valid until the
         next mutation).  ``ident`` may hold live operator/thunk objects —
         identity-hashed and pinned by the tuple, so it can never be
-        confused with a different operator reusing the same name."""
-        self._lineage = (self._version, ident, version)
+        confused with a different operator reusing the same name.
+        ``permanent=True`` (``dup``) keeps the *ident* as an alias even
+        after mutation; only the version diverges."""
+        self._lineage = (self._version, ident, version, permanent)
         return self
 
     def keys(self) -> np.ndarray:
@@ -486,6 +521,8 @@ class Matrix:
         self._pending = None
         self._store = CSRStore.empty(self.nrows, self.ncols, self.type.dtype)
         self._invalidate()
+        if _metrics.ENABLED:
+            _obsmem.account(self, self._store)
 
     def get(self, i: int, j: int, default=None):
         """Value at ``(i, j)`` or ``default`` when absent."""

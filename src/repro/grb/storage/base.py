@@ -31,7 +31,26 @@ import scipy.sparse as sp
 from .._kernels.gather import expand_rows
 
 __all__ = ["MatrixStore", "VectorStore", "csr_to_csc_arrays",
-           "csc_to_csr_arrays", "freeze_arrays"]
+           "csc_to_csr_arrays", "freeze_arrays", "arrays_nbytes"]
+
+
+def arrays_nbytes(array_tuples, exclude=()):
+    """Total bytes of the arrays in ``array_tuples``, skipping ``exclude``.
+
+    Deduplicates by object identity: a derived-view cache that aliases an
+    authoritative array (hypersparse keeps the canonical indices/values in
+    both roles) is never double-counted.
+    """
+    seen = {id(a) for a in exclude}
+    total = 0
+    for arrays in array_tuples:
+        if arrays is None:
+            continue
+        for a in arrays:
+            if id(a) not in seen:
+                seen.add(id(a))
+                total += int(a.nbytes)
+    return total
 
 
 def freeze_arrays(arrays):
@@ -106,6 +125,26 @@ class MatrixStore:
         indptr = self.csr()[0]
         return int(np.count_nonzero(np.diff(indptr)))
 
+    # -- footprint accounting (see repro.obs.memory) ---------------------
+    def nbytes_components(self) -> dict:
+        """Bytes per *authoritative* component array, by name.
+
+        Lazily derived caches (a bitmap store's CSR triple, the cached CSC
+        view) are deliberately excluded: the always-on footprint gauges
+        must be deterministic at the mutation boundary, before any kernel
+        decides to materialise a view.  Cache bytes are reported
+        separately via :meth:`cache_nbytes` (the opt-in memory report
+        reads both)."""
+        raise NotImplementedError
+
+    def nbytes(self) -> int:
+        """Total authoritative bytes (sum of :meth:`nbytes_components`)."""
+        return sum(self.nbytes_components().values())
+
+    def cache_nbytes(self) -> int:
+        """Bytes currently held by materialised derived-view caches."""
+        return 0
+
     # -- lifecycle -------------------------------------------------------
     def copy(self) -> "MatrixStore":
         raise NotImplementedError
@@ -138,6 +177,18 @@ class VectorStore:
     @property
     def nvals(self) -> int:
         return int(self.sparse()[0].size)
+
+    def nbytes_components(self) -> dict:
+        """Bytes per authoritative component array (see MatrixStore)."""
+        raise NotImplementedError
+
+    def nbytes(self) -> int:
+        """Total authoritative bytes (sum of :meth:`nbytes_components`)."""
+        return sum(self.nbytes_components().values())
+
+    def cache_nbytes(self) -> int:
+        """Bytes currently held by the materialised dual-view cache."""
+        return 0
 
     def copy(self) -> "VectorStore":
         raise NotImplementedError

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import MatrixStore, VectorStore, csr_to_csc_arrays, freeze_arrays
+from .base import (MatrixStore, VectorStore, arrays_nbytes,
+                   csr_to_csc_arrays, freeze_arrays)
 
 __all__ = ["BitmapStore", "BitmapVec"]
 
@@ -99,6 +100,13 @@ class BitmapStore(MatrixStore):
                                           self.nrows, self.ncols)
         return self._csc
 
+    def nbytes_components(self) -> dict:
+        return {"present": int(self.present.nbytes),
+                "dense": int(self.dense.nbytes)}
+
+    def cache_nbytes(self) -> int:
+        return arrays_nbytes((self._csr, self._csc))
+
     def copy(self) -> "BitmapStore":
         st = BitmapStore(self.nrows, self.ncols, self.present.copy(),
                          self.dense.copy(), nvals=self._nvals)
@@ -155,6 +163,13 @@ class BitmapVec(VectorStore):
             self.present[i] = False
             self.dense[i] = 0
             self._sp = None
+
+    def nbytes_components(self) -> dict:
+        return {"present": int(self.present.nbytes),
+                "dense": int(self.dense.nbytes)}
+
+    def cache_nbytes(self) -> int:
+        return arrays_nbytes((self._sp,))
 
     def copy(self) -> "BitmapVec":
         return BitmapVec(self.size, self.present.copy(), self.dense.copy(),

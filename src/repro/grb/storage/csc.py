@@ -10,7 +10,8 @@ canonical view is derived once and cached for kernels that want it.
 
 from __future__ import annotations
 
-from .base import MatrixStore, csc_to_csr_arrays, csr_to_csc_arrays, freeze_arrays
+from .base import (MatrixStore, arrays_nbytes, csc_to_csr_arrays,
+                   csr_to_csc_arrays, freeze_arrays)
 
 __all__ = ["CSCStore"]
 
@@ -53,6 +54,14 @@ class CSCStore(MatrixStore):
     def transpose_csr(self):
         # CSC of A == CSR of Aᵀ: no work at all.
         return self.cindptr, self.rindices, self.cvalues
+
+    def nbytes_components(self) -> dict:
+        return {"cindptr": int(self.cindptr.nbytes),
+                "rindices": int(self.rindices.nbytes),
+                "cvalues": int(self.cvalues.nbytes)}
+
+    def cache_nbytes(self) -> int:
+        return arrays_nbytes((self._csr,))
 
     def copy(self) -> "CSCStore":
         return CSCStore(self.nrows, self.ncols, self.cindptr.copy(),

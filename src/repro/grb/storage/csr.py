@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import MatrixStore, csr_to_csc_arrays
+from .base import MatrixStore, arrays_nbytes, csr_to_csc_arrays
 
 __all__ = ["CSRStore"]
 
@@ -57,6 +57,14 @@ class CSRStore(MatrixStore):
             self._csc = csr_to_csc_arrays(self.indptr, self.indices,
                                           self.values, self.nrows, self.ncols)
         return self._csc
+
+    def nbytes_components(self) -> dict:
+        return {"indptr": int(self.indptr.nbytes),
+                "indices": int(self.indices.nbytes),
+                "values": int(self.values.nbytes)}
+
+    def cache_nbytes(self) -> int:
+        return arrays_nbytes((self._csc,))
 
     def copy(self) -> "CSRStore":
         return CSRStore(self.nrows, self.ncols, self.indptr.copy(),

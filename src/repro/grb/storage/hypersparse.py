@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._kernels.gather import hyper_expand_rows
-from .base import MatrixStore, csr_to_csc_arrays
+from .base import MatrixStore, arrays_nbytes, csr_to_csc_arrays
 
 __all__ = ["HypersparseStore"]
 
@@ -87,6 +87,19 @@ class HypersparseStore(MatrixStore):
             self._csc = csr_to_csc_arrays(indptr, indices, values,
                                           self.nrows, self.ncols)
         return self._csc
+
+    def nbytes_components(self) -> dict:
+        return {"live_rows": int(self.live_rows.nbytes),
+                "hindptr": int(self.hindptr.nbytes),
+                "indices": int(self.indices.nbytes),
+                "values": int(self.values.nbytes)}
+
+    def cache_nbytes(self) -> int:
+        # the cached CSR triple aliases the authoritative indices/values;
+        # arrays_nbytes dedups by identity so only the expanded indptr counts
+        return arrays_nbytes((self._csr, self._csc),
+                             exclude=(self.live_rows, self.hindptr,
+                                      self.indices, self.values))
 
     def copy(self) -> "HypersparseStore":
         return HypersparseStore(self.nrows, self.ncols, self.live_rows.copy(),

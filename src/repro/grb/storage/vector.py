@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import VectorStore
+from .base import VectorStore, arrays_nbytes
 
 __all__ = ["SparseVec"]
 
@@ -48,6 +48,13 @@ class SparseVec(VectorStore):
     @property
     def nvals(self) -> int:
         return int(self.idx.size)
+
+    def nbytes_components(self) -> dict:
+        return {"idx": int(self.idx.nbytes),
+                "vals": int(self.vals.nbytes)}
+
+    def cache_nbytes(self) -> int:
+        return arrays_nbytes((self._bm,))
 
     def copy(self) -> "SparseVec":
         return SparseVec(self.size, self.idx.copy(), self.vals.copy())

@@ -25,6 +25,8 @@ from typing import Optional
 import numpy as np
 
 from . import types as _types
+from ..obs import memory as _obsmem
+from ..obs import metrics as _metrics
 from ._kernels import apply_select as _selectops
 from ._kernels.ewise import merge_objects
 from .errors import DimensionMismatch, IndexOutOfBounds, InvalidValue, NoValue
@@ -44,7 +46,7 @@ class Vector:
     """A sparse vector of a fixed :class:`~repro.grb.types.Type` and size."""
 
     __slots__ = ("size", "type", "_st", "_format", "_uid", "_version",
-                 "_lineage", "_expr", "_expr_reads")
+                 "_lineage", "_expr", "_expr_reads", "__weakref__")
 
     def __init__(self, typ, size: int):
         if isinstance(typ, Type):
@@ -111,12 +113,17 @@ class Vector:
         if node is not None:
             node.force()
         lin = self._lineage
-        if lin is not None and lin[0] == self._version:
-            return lin[1], lin[2]
+        if lin is not None:
+            if lin[0] == self._version:
+                return lin[1], lin[2]
+            if lin[3]:
+                # identity alias (dup) — see Matrix._plan_sig: the ident
+                # survives mutation, the version diverges per-object
+                return lin[1], ("~", self._uid, self._version)
         return ("V", self._uid), self._version
 
-    def _set_lineage(self, ident, version):
-        self._lineage = (self._version, ident, version)
+    def _set_lineage(self, ident, version, permanent=False):
+        self._lineage = (self._version, ident, version, permanent)
         return self
 
     # ------------------------------------------------------------------
@@ -195,10 +202,18 @@ class Vector:
         return cls.from_dense(arr)
 
     def dup(self) -> "Vector":
-        """``w ↤ u``: an independent copy (same format, same pin)."""
+        """``w ↤ u``: an independent copy (same format, same pin).
+
+        Carries the source's plan signature — the copy is bit-identical
+        at this version, so cached plans stay valid until it mutates.
+        """
         w = Vector(self.type, self.size)
         w._store = self._store.copy()
         w._format = self._format
+        ident, version = self._plan_sig()
+        w._set_lineage(ident, version, permanent=True)
+        if _metrics.ENABLED:
+            _obsmem.account(w, w._st)
         return w
 
     # ------------------------------------------------------------------
@@ -228,6 +243,8 @@ class Vector:
             self._st = _policy.vector_store_from_sparse(
                 fmt, self.size, idx, vals)
             self._version += 1  # layout changes which rule fast paths apply
+            if _metrics.ENABLED:
+                _obsmem.account(self, self._st)
         return self
 
     @property
@@ -254,6 +271,8 @@ class Vector:
             fmt = _policy.select_vector_format(self.size, idx.size)
         self._st = _policy.vector_store_from_sparse(fmt, self.size, idx, vals)
         self._version += 1
+        if _metrics.ENABLED:
+            _obsmem.account(self, self._st)
 
     def _mask_keys_values(self):
         """(keys, values) for mask resolution — shared protocol with Matrix."""
@@ -315,6 +334,8 @@ class Vector:
         self._force_lazy_state()    # recorded producer/readers come first
         self._st = SparseVec.empty(self.size, self.type.dtype)
         self._version += 1
+        if _metrics.ENABLED:
+            _obsmem.account(self, self._st)
 
     def get(self, i: int, default=None):
         """Value at index ``i`` or ``default`` when absent."""

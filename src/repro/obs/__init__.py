@@ -32,23 +32,28 @@ and cost model.
 
 from __future__ import annotations
 
-from . import export, identity, metrics, profile, trace
+from . import export, http, identity, memory, metrics, profile, trace
 from .export import json_snapshot, prometheus_text
-from .profile import deep_active, profiled, profiling
+from .http import TraceRing, start_server
+from .profile import deep_active, memory_active, profiled, profiling
 from .report import report
 from .trace import TraceCollector, instant, span, tracing
 
 __all__ = [
-    "metrics", "trace", "profile", "export", "identity",
+    "metrics", "trace", "profile", "export", "identity", "memory", "http",
     "span", "instant", "tracing", "TraceCollector",
-    "profiling", "profiled", "deep_active",
+    "profiling", "profiled", "deep_active", "memory_active",
     "prometheus_text", "json_snapshot",
+    "TraceRing", "start_server",
     "report", "reset",
 ]
 
 
 def reset() -> None:
     """Zero the metric registry and the deep-profiling tables (labels and
-    metric registrations survive; traces are per-collector and unaffected)."""
+    metric registrations survive; traces are per-collector and unaffected).
+    The store-footprint gauges are then rebuilt from the live store records
+    — footprint is a fact about the heap, not an event counter."""
     metrics.reset()
     profile.reset()
+    memory.resync()

@@ -17,16 +17,28 @@ from __future__ import annotations
 
 from typing import Optional
 
+from . import memory as _memory
 from . import metrics as _metrics
 from . import profile as _profile
 
 __all__ = ["prometheus_text", "json_snapshot"]
 
 
+def _escape_label_value(v: str) -> str:
+    # exposition format: backslash, double-quote and newline are escaped
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(s: str) -> str:
+    # HELP text escapes backslash and newline (quotes are legal verbatim)
+    return s.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_str(labelnames, labelvalues) -> str:
     if not labelnames:
         return ""
-    pairs = ", ".join(f'{k}="{v}"' for k, v in zip(labelnames, labelvalues))
+    pairs = ", ".join(f'{k}="{_escape_label_value(v)}"'
+                      for k, v in zip(labelnames, labelvalues))
     return "{" + pairs + "}"
 
 
@@ -42,7 +54,7 @@ def prometheus_text(registry: Optional[_metrics.Registry] = None) -> str:
     lines = []
     for metric in reg.collect():
         if metric.help:
-            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
         lines.append(f"# TYPE {metric.name} {metric.kind}")
         for labelvalues, child in metric.samples():
             labels = _label_str(metric.labelnames, labelvalues)
@@ -90,6 +102,8 @@ def json_snapshot(registry: Optional[_metrics.Registry] = None) -> dict:
     out["kernels"] = _profile.kernel_table()
     out["rules"] = _profile.rule_table()
     out["decisions"] = _profile.decision_table()
+    out["memory"] = {"stores": _memory.snapshot(),
+                     "live_owners": _memory.live_count()}
     try:  # the engine may not be imported (obs is standalone)
         import sys
         engine = sys.modules.get("repro.grb.engine")

@@ -1,0 +1,190 @@
+"""Telemetry HTTP exporter — the scrape surface a deployment needs.
+
+A stdlib ``http.server`` listener on a daemon thread serving four routes:
+
+* ``/metrics`` — the registry in Prometheus text exposition format
+  (``text/plain; version=0.0.4``) for a Prometheus scraper;
+* ``/healthz`` — JSON liveness; HTTP 200 while healthy, 503 when the
+  health callable reports degradation (the serve layer wires drain-pool
+  liveness and a queue-depth threshold here);
+* ``/stats`` — a JSON snapshot (by default :func:`repro.obs.json_snapshot`;
+  the serve layer substitutes ``GraphService.stats()``);
+* ``/trace`` — the most recent completed span trees from a
+  :class:`TraceRing`, as Chrome trace-event JSON (load in Perfetto).
+
+Cost model: zero on every engine/serve hot path — the exporter only
+*reads* (the registry under its own locks, the ring under its) when a
+scraper asks.  The ring's per-request cost is one bounded deque append of
+an already-collected record list.
+
+No framework dependency; :class:`ThreadingHTTPServer` with daemon threads
+means a hung scraper can never wedge shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, List, Optional, Tuple
+
+from . import export as _export
+from . import metrics as _metrics
+from . import trace as _trace
+
+__all__ = ["TraceRing", "TelemetryServer", "start_server"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TraceRing:
+    """A bounded ring of recently completed traces (record lists).
+
+    Producers push the raw record list of one finished
+    :class:`~repro.obs.trace.TraceCollector`; the oldest trace falls off
+    when ``capacity`` is exceeded.  Thread-safe; export merges every
+    retained trace into one Chrome trace-event object.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._traces: deque = deque(maxlen=self.capacity)
+
+    def push(self, records: List[dict]) -> None:
+        if not records:
+            return
+        with self._lock:
+            self._traces.append(list(records))
+
+    def traces(self) -> List[List[dict]]:
+        with self._lock:
+            return [list(t) for t in self._traces]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def to_chrome_trace(self) -> dict:
+        """All retained traces merged into one Chrome trace-event object."""
+        coll = _trace.TraceCollector()
+        for records in self.traces():
+            for r in records:
+                coll.add(r)
+        return coll.to_chrome_trace()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # the server instance carries the data sources (set by start_server)
+    server: "TelemetryServer"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass   # scrapes must not spam the process's stderr
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        self._send(status, "application/json", body)
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                text = _export.prometheus_text(self.server.registry)
+                self._send(200, PROMETHEUS_CONTENT_TYPE,
+                           text.encode("utf-8"))
+            elif path == "/healthz":
+                ok, payload = self.server.healthz()
+                self._send_json(200 if ok else 503, payload)
+            elif path == "/stats":
+                self._send_json(200, self.server.stats())
+            elif path == "/trace":
+                ring = self.server.trace_ring
+                payload = (ring.to_chrome_trace() if ring is not None
+                           else {"traceEvents": [],
+                                 "displayTimeUnit": "ms"})
+                self._send_json(200, payload)
+            elif path == "/":
+                self._send_json(200, {"routes": ["/metrics", "/healthz",
+                                                 "/stats", "/trace"]})
+            else:
+                self._send_json(404, {"error": f"no route {path!r}"})
+        except BrokenPipeError:   # scraper hung up mid-response
+            pass
+        except Exception as exc:  # never let one bad snapshot kill the server
+            try:
+                self._send_json(500, {"error": repr(exc)})
+            except Exception:
+                pass
+
+
+def _default_healthz() -> Tuple[bool, dict]:
+    return True, {"status": "ok"}
+
+
+class TelemetryServer(ThreadingHTTPServer):
+    """The exporter; build via :func:`start_server`."""
+
+    daemon_threads = True
+
+    def __init__(self, addr, registry=None, healthz=None, stats=None,
+                 trace_ring: Optional[TraceRing] = None):
+        super().__init__(addr, _Handler)
+        self.registry = registry if registry is not None else _metrics.REGISTRY
+        self.healthz: Callable[[], Tuple[bool, dict]] = \
+            healthz if healthz is not None else _default_healthz
+        self.stats: Callable[[], dict] = \
+            stats if stats is not None else _export.json_snapshot
+        self.trace_ring = trace_ring
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+def start_server(host: str = "127.0.0.1", port: int = 0, *,
+                 registry=None, healthz=None, stats=None,
+                 trace_ring: Optional[TraceRing] = None) -> TelemetryServer:
+    """Start the exporter on a daemon thread and return the live server.
+
+    ``port=0`` binds an ephemeral port (read it back from ``server.port``).
+    ``healthz`` returns ``(ok, payload)``; ``stats`` returns a
+    JSON-serialisable dict; both default to obs-level sources when the
+    caller (e.g. :meth:`repro.serve.service.GraphService.serve_telemetry`)
+    doesn't supply richer ones.
+    """
+    server = TelemetryServer((host, port), registry=registry,
+                             healthz=healthz, stats=stats,
+                             trace_ring=trace_ring)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-obs-telemetry", daemon=True)
+    server._thread = thread
+    thread.start()
+    return server

@@ -1,0 +1,330 @@
+"""Store-footprint accounting: always-on byte gauges per storage format.
+
+Every :class:`~repro.grb.matrix.Matrix` / :class:`~repro.grb.vector.Vector`
+reports its store's authoritative ``nbytes()`` here at the same mutation
+boundaries the auto-format policy hooks (``_set_from_keys`` /
+``_set_sparse`` / ``set_format`` / ``clear`` / ``dup`` and the CSR array
+setters).  The aggregate lands in two labelled gauges:
+
+* ``grb_store_bytes{format}`` — authoritative bytes of live stores, and
+* ``grb_store_count{format}`` — number of live stores,
+
+maintained *by delta*: each owner is tracked in a keyed record, a
+``weakref.finalize`` subtracts its contribution when the owner dies, so
+the gauges are exact at every instant without ever walking the heap.
+
+Cost model: one ``nbytes()`` call (a handful of attribute reads) per
+mutation boundary — mutation boundaries rebuild whole arrays, so the
+accounting is noise next to the work it measures.  Call sites gate on
+``metrics.ENABLED`` like every other always-on bump; record *removal*
+deliberately bypasses the kill switch so a disable/enable window can only
+under-count, never leak (``resync()`` restores exactness from the live
+records, and ``obs.reset()`` calls it).
+
+The opt-in deep tier lives in :mod:`repro.obs.profile`
+(``profiling(memory=True)`` arms ``tracemalloc``); this module also feeds
+the ``obs.report()`` memory section via :func:`top_stores` (per-object
+byte attribution, graph labels from :mod:`repro.obs.identity`) and
+:func:`format_audit` (estimated footprint of every candidate format — the
+first audit the auto-format policy has ever had).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import deque
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from . import identity as _identity
+from . import metrics as _metrics
+
+__all__ = ["account", "snapshot", "top_stores", "format_audit", "resync",
+           "live_count", "STORE_BYTES", "STORE_COUNT"]
+
+STORE_BYTES = _metrics.gauge(
+    "grb_store_bytes",
+    "Authoritative bytes held by live Matrix/Vector stores",
+    labels=("format",))
+STORE_COUNT = _metrics.gauge(
+    "grb_store_count",
+    "Number of live Matrix/Vector stores",
+    labels=("format",))
+
+
+class _Record:
+    __slots__ = ("fmt", "nbytes", "ref")
+
+    def __init__(self, fmt: str, nbytes: int, ref):
+        self.fmt = fmt
+        self.nbytes = nbytes
+        self.ref = ref
+
+
+_lock = threading.Lock()
+_live: Dict[int, _Record] = {}
+#: Keys of finalized owners awaiting retirement.  ``_drop`` runs inside
+#: garbage collection — which can trigger at ANY allocation, including on
+#: a thread currently holding ``_lock`` or a metric lock — so the
+#: finalizer itself must be lock-free (deque.append is atomic).  The
+#: queue drains at the next accounting touchpoint.
+_dead: deque = deque()
+
+
+def _drop(key: int) -> None:
+    _dead.append(key)
+
+
+def _bump(metric, fmt: str, amount) -> None:
+    # Deliberately bypasses metrics.ENABLED: these deltas keep each gauge
+    # equal to the sum over tracked records, and a dead owner's drop must
+    # land even while the kill switch is off or the gauge would leak.
+    child = metric.labels(fmt)
+    with child._lock:
+        child.value += amount
+
+
+def _flush_dead() -> None:
+    """Retire finalized owners' contributions (never called from GC)."""
+    while True:
+        try:
+            key = _dead.popleft()
+        except IndexError:
+            return
+        with _lock:
+            rec = _live.pop(key, None)
+            if rec is not None:
+                _bump(STORE_BYTES, rec.fmt, -rec.nbytes)
+                _bump(STORE_COUNT, rec.fmt, -1)
+
+
+def account(owner, store) -> None:
+    """Fold ``owner``'s current store into the footprint gauges.
+
+    Called by Matrix/Vector at every mutation boundary (the call site
+    guards on ``metrics.ENABLED``; this re-check makes direct calls safe).
+    First sight of an owner registers a finalizer that retires its
+    contribution at garbage collection.
+    """
+    if not _metrics.ENABLED:
+        return
+    _flush_dead()
+    fmt = store.fmt
+    nbytes = int(store.nbytes())
+    key = id(owner)
+    with _lock:
+        rec = _live.get(key)
+        if rec is None:
+            _live[key] = _Record(fmt, nbytes, weakref.ref(owner))
+            weakref.finalize(owner, _drop, key)
+            _bump(STORE_BYTES, fmt, nbytes)
+            _bump(STORE_COUNT, fmt, 1)
+        elif fmt == rec.fmt:
+            if nbytes != rec.nbytes:
+                _bump(STORE_BYTES, fmt, nbytes - rec.nbytes)
+                rec.nbytes = nbytes
+        else:
+            _bump(STORE_BYTES, rec.fmt, -rec.nbytes)
+            _bump(STORE_COUNT, rec.fmt, -1)
+            _bump(STORE_BYTES, fmt, nbytes)
+            _bump(STORE_COUNT, fmt, 1)
+            rec.fmt = fmt
+            rec.nbytes = nbytes
+
+
+def live_count() -> int:
+    """Number of tracked live owners (test/report hook)."""
+    _flush_dead()
+    with _lock:
+        return len(_live)
+
+
+def snapshot() -> Dict[str, dict]:
+    """``{format: {"bytes": int, "count": int}}`` from the gauges."""
+    _flush_dead()
+    out: Dict[str, dict] = {}
+    for labelvalues, child in STORE_BYTES.samples():
+        out.setdefault(labelvalues[0], {"bytes": 0, "count": 0})["bytes"] = \
+            int(child.value)
+    for labelvalues, child in STORE_COUNT.samples():
+        out.setdefault(labelvalues[0], {"bytes": 0, "count": 0})["count"] = \
+            int(child.value)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# report tier: per-object attribution and the format-policy footprint audit
+# ---------------------------------------------------------------------------
+
+def _raw_store(owner):
+    """The owner's raw store, never forcing lazy state.
+
+    Vector keeps its store in the ``_st`` slot (its ``_store`` *property*
+    forces pending lazy producers — off limits here); Matrix's ``_store``
+    is a plain slot.
+    """
+    st = getattr(owner, "_st", None)
+    if st is None:
+        st = getattr(owner, "_store", None)
+    return st
+
+
+def _label_of(owner) -> Optional[str]:
+    lin = getattr(owner, "_lineage", None)
+    if lin is not None:
+        hit = _identity.find(lin[1])
+        if hit is not None:
+            return hit
+    kind = "M" if hasattr(owner, "ncols") else "V"
+    return _identity.find((kind, owner._uid))
+
+
+def _value_itemsize(st) -> int:
+    for attr in ("values", "cvalues", "dense", "vals"):
+        a = getattr(st, attr, None)
+        if a is not None:
+            return int(a.dtype.itemsize)
+    return 8
+
+
+def top_stores(n: int = 10) -> List[dict]:
+    """The ``n`` largest live stores by authoritative bytes.
+
+    Reads the raw stores (bytes refreshed, lazy state never forced) and
+    labels each owner with its registered graph where
+    :mod:`repro.obs.identity` knows one.
+    """
+    _flush_dead()
+    with _lock:
+        records = list(_live.values())
+    rows = []
+    for rec in records:
+        owner = rec.ref()
+        if owner is None:
+            continue
+        st = _raw_store(owner)
+        if st is None:
+            continue
+        is_matrix = hasattr(owner, "ncols")
+        rows.append({
+            "kind": "Matrix" if is_matrix else "Vector",
+            "shape": ((owner.nrows, owner.ncols) if is_matrix
+                      else (owner.size,)),
+            "format": st.fmt,
+            "nvals": int(st.nvals),
+            "nbytes": int(st.nbytes()),
+            "cache_nbytes": int(st.cache_nbytes()),
+            "graph": _label_of(owner),
+        })
+    rows.sort(key=lambda r: r["nbytes"], reverse=True)
+    return rows[:n]
+
+
+def _live_rows_of(st) -> int:
+    """Live-row count without materialising a canonical CSR cache."""
+    if st.fmt == "bitmap":
+        if st.ncols == 0 or st.nrows == 0:
+            return 0
+        grid = st.present.reshape(st.nrows, st.ncols)
+        return int(grid.any(axis=1).sum())
+    if st.fmt == "csc":
+        return int(np.unique(st.rindices).size)
+    return int(st.live_row_count())   # O(live) for csr/hypersparse
+
+
+def _matrix_estimates(st) -> Dict[str, int]:
+    itemsize = _value_itemsize(st)
+    nvals = int(st.nvals)
+    live = _live_rows_of(st)
+    return {
+        "csr": (st.nrows + 1) * 8 + nvals * (8 + itemsize),
+        "csc": (st.ncols + 1) * 8 + nvals * (8 + itemsize),
+        "bitmap": st.nrows * st.ncols * (1 + itemsize),
+        "hypersparse": live * 8 + (live + 1) * 8 + nvals * (8 + itemsize),
+    }
+
+
+def _vector_estimates(st) -> Dict[str, int]:
+    itemsize = _value_itemsize(st)
+    nvals = int(st.nvals)
+    return {
+        "sparse": nvals * (8 + itemsize),
+        "bitmap": st.size * (1 + itemsize),
+    }
+
+
+def format_audit() -> List[dict]:
+    """Estimated footprint of every candidate format, per live store.
+
+    ``best`` names the smallest estimate; ``savings_bytes`` is what
+    switching would reclaim (0 when the policy's choice is already the
+    smallest).  Estimates use the array-shape arithmetic of each format,
+    not materialised conversions, so the audit is read-only and cheap.
+    """
+    _flush_dead()
+    with _lock:
+        records = list(_live.values())
+    rows = []
+    for rec in records:
+        owner = rec.ref()
+        if owner is None:
+            continue
+        st = _raw_store(owner)
+        if st is None:
+            continue
+        is_matrix = hasattr(owner, "ncols")
+        est = _matrix_estimates(st) if is_matrix else _vector_estimates(st)
+        best = min(est, key=est.get)
+        actual = int(st.nbytes())
+        rows.append({
+            "kind": "Matrix" if is_matrix else "Vector",
+            "shape": ((owner.nrows, owner.ncols) if is_matrix
+                      else (owner.size,)),
+            "format": st.fmt,
+            "actual_bytes": actual,
+            "estimates": est,
+            "best": best,
+            "savings_bytes": max(0, actual - est[best]),
+            "graph": _label_of(owner),
+        })
+    rows.sort(key=lambda r: r["savings_bytes"], reverse=True)
+    return rows
+
+
+def resync() -> None:
+    """Recompute both gauges exactly from the live records.
+
+    Repairs any drift from accounting skipped while ``metrics.ENABLED``
+    was off, and restores the footprint after ``metrics.reset()`` zeroes
+    the children (``obs.reset()`` calls this automatically).
+    """
+    _flush_dead()
+    with _lock:
+        per_fmt: Dict[str, list] = {}
+        for rec in _live.values():
+            owner = rec.ref()
+            if owner is None:
+                continue     # its finalizer will retire the record
+            st = _raw_store(owner)
+            if st is None:
+                continue
+            rec.fmt = st.fmt
+            rec.nbytes = int(st.nbytes())
+            tally = per_fmt.setdefault(rec.fmt, [0, 0])
+            tally[0] += rec.nbytes
+            tally[1] += 1
+        for metric, pos in ((STORE_BYTES, 0), (STORE_COUNT, 1)):
+            seen = set()
+            for labelvalues, child in metric.samples():
+                fmt = labelvalues[0]
+                seen.add(fmt)
+                value = per_fmt.get(fmt, (0, 0))[pos]
+                with child._lock:
+                    child.value = value
+            for fmt, tally in per_fmt.items():
+                if fmt not in seen:
+                    child = metric.labels(fmt)
+                    with child._lock:
+                        child.value = tally[pos]

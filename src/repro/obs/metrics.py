@@ -17,6 +17,7 @@ registry through :func:`collect`.
 
 from __future__ import annotations
 
+import math
 import threading
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -34,6 +35,33 @@ ENABLED = True
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+def _normalise_buckets(buckets) -> tuple:
+    """Validated boundaries: non-empty, finite, sorted, duplicate-free.
+
+    Values are kept as given (not coerced to float) so the Prometheus
+    ``le`` label strings stay exactly what the call site wrote — ``le="1"``
+    for an integer batch-size bucket, ``le="1.0"`` for a latency one.
+    """
+    vals = tuple(buckets)
+    if not vals:
+        raise ValueError("histogram buckets must be non-empty "
+                         "(the +Inf bucket is implicit)")
+    floats = []
+    for b in vals:
+        f = float(b)
+        if not math.isfinite(f):
+            raise ValueError(
+                f"histogram bucket {b!r} must be finite (+Inf is implicit)")
+        floats.append(f)
+    order = sorted(range(len(vals)), key=floats.__getitem__)
+    out, last = [], None
+    for i in order:
+        if floats[i] != last:
+            out.append(vals[i])
+            last = floats[i]
+    return tuple(out)
 
 
 class _CounterChild:
@@ -179,8 +207,9 @@ class Histogram(Metric):
 
     def __init__(self, name: str, help: str = "",
                  labelnames: Sequence[str] = (),
-                 buckets: Sequence[float] = DEFAULT_BUCKETS):
-        self.buckets = tuple(sorted(buckets))
+                 buckets: Optional[Sequence[float]] = None):
+        self.buckets = _normalise_buckets(
+            DEFAULT_BUCKETS if buckets is None else buckets)
         super().__init__(name, help, labelnames)
 
     def _new_child(self):
@@ -220,9 +249,20 @@ class Registry:
 
     def histogram(self, name: str, help: str = "",
                   labels: Sequence[str] = (),
-                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
-        return self._get_or_create(Histogram, name, help, labels,
-                                   buckets=buckets)
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Get-or-create; ``buckets=None`` accepts whatever boundaries an
+        existing registration chose, while explicit boundaries must match
+        it exactly (two call sites silently disagreeing on buckets would
+        corrupt the cumulative ``le`` series)."""
+        m = self._get_or_create(Histogram, name, help, labels,
+                                buckets=buckets)
+        if buckets is not None:
+            want = _normalise_buckets(buckets)
+            if tuple(map(float, want)) != tuple(map(float, m.buckets)):
+                raise ValueError(
+                    f"metric {name!r} already registered with buckets "
+                    f"{m.buckets}, conflicting with {want}")
+        return m
 
     def get(self, name: str) -> Optional[Metric]:
         with self._lock:
@@ -251,7 +291,7 @@ def gauge(name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
 
 
 def histogram(name: str, help: str = "", labels: Sequence[str] = (),
-              buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+              buckets: Optional[Sequence[float]] = None) -> Histogram:
     return REGISTRY.histogram(name, help, labels, buckets)
 
 

@@ -31,15 +31,19 @@ from __future__ import annotations
 import functools
 import threading
 import time
+import tracemalloc
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Dict, Optional
 
-__all__ = ["deep_active", "profiling", "profiled", "record_kernel",
-           "record_rule", "on_event", "kernel_table", "rule_table",
-           "decision_table", "reset"]
+from . import trace as _trace
+
+__all__ = ["deep_active", "memory_active", "profiling", "profiled",
+           "record_kernel", "record_rule", "on_event", "kernel_table",
+           "rule_table", "decision_table", "reset"]
 
 _deep_var: ContextVar[bool] = ContextVar("repro_obs_deep", default=False)
+_mem_var: ContextVar[bool] = ContextVar("repro_obs_deep_mem", default=False)
 
 
 def deep_active() -> bool:
@@ -48,14 +52,40 @@ def deep_active() -> bool:
     return _deep_var.get()
 
 
+def memory_active() -> bool:
+    """Whether the tracemalloc memory tier is armed in this context."""
+    return _mem_var.get()
+
+
 @contextmanager
-def profiling():
-    """Enable deep profiling for the block (context-local)."""
+def profiling(memory: bool = False):
+    """Enable deep profiling for the block (context-local).
+
+    ``memory=True`` additionally arms :mod:`tracemalloc` for the block:
+    every profiled kernel then records its allocation delta and peak
+    working set (the ``mem_alloc`` / ``mem_peak`` columns of
+    :func:`kernel_table`) and emits a ``memory:<kernel>`` instant when a
+    trace collector is active.  Tracemalloc costs ~2-4× on allocation-
+    heavy code, which is why it is a separate opt-in inside an opt-in;
+    it is started only if not already tracing and stopped on exit only
+    if this block started it.
+    """
     token = _deep_var.set(True)
+    mem_token = None
+    started_tracing = False
+    if memory:
+        mem_token = _mem_var.set(True)
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            started_tracing = True
     try:
         yield
     finally:
         _deep_var.reset(token)
+        if mem_token is not None:
+            _mem_var.reset(mem_token)
+            if started_tracing:
+                tracemalloc.stop()
 
 
 # ---------------------------------------------------------------------------
@@ -63,7 +93,8 @@ def profiling():
 # ---------------------------------------------------------------------------
 
 class _Stat:
-    __slots__ = ("calls", "wall", "cpu", "nnz_in", "nnz_out", "bytes")
+    __slots__ = ("calls", "wall", "cpu", "nnz_in", "nnz_out", "bytes",
+                 "mem_alloc", "mem_peak")
 
     def __init__(self):
         self.calls = 0
@@ -72,19 +103,26 @@ class _Stat:
         self.nnz_in = 0
         self.nnz_out = 0
         self.bytes = 0
+        self.mem_alloc = 0      # summed allocation delta (may be negative)
+        self.mem_peak = 0       # max per-call peak working set
 
-    def add(self, wall, cpu, nnz_in, nnz_out, nbytes):
+    def add(self, wall, cpu, nnz_in, nnz_out, nbytes,
+            mem_alloc=0, mem_peak=0):
         self.calls += 1
         self.wall += wall
         self.cpu += cpu
         self.nnz_in += nnz_in
         self.nnz_out += nnz_out
         self.bytes += nbytes
+        self.mem_alloc += mem_alloc
+        if mem_peak > self.mem_peak:
+            self.mem_peak = mem_peak
 
     def row(self) -> dict:
         return {"calls": self.calls, "wall_s": self.wall, "cpu_s": self.cpu,
                 "nnz_in": self.nnz_in, "nnz_out": self.nnz_out,
-                "bytes": self.bytes}
+                "bytes": self.bytes, "mem_alloc": self.mem_alloc,
+                "mem_peak": self.mem_peak}
 
 
 class _Decision:
@@ -109,12 +147,13 @@ _decisions: Dict[tuple, _Decision] = {}
 
 
 def record_kernel(name: str, wall: float, cpu: float, nnz_in: int = 0,
-                  nnz_out: int = 0, nbytes: int = 0) -> None:
+                  nnz_out: int = 0, nbytes: int = 0, mem_alloc: int = 0,
+                  mem_peak: int = 0) -> None:
     with _lock:
         stat = _kernels.get(name)
         if stat is None:
             stat = _kernels[name] = _Stat()
-        stat.add(wall, cpu, nnz_in, nnz_out, nbytes)
+        stat.add(wall, cpu, nnz_in, nnz_out, nbytes, mem_alloc, mem_peak)
 
 
 def record_rule(op: str, rule: str, wall: float, cpu: float,
@@ -203,7 +242,13 @@ def _nnz_of(args) -> int:
 def _nbytes_of(args) -> int:
     total = 0
     for a in args:
-        total += int(getattr(a, "nbytes", 0))
+        nb = getattr(a, "nbytes", 0)
+        if callable(nb):     # a storage object (nbytes is a method there)
+            try:
+                nb = nb()
+            except Exception:
+                nb = 0
+        total += int(nb)
     return total
 
 
@@ -231,12 +276,25 @@ def profiled(name: str):
                 return fn(*args, **kwargs)
             nnz_in = _nnz_of(args)
             nbytes = _nbytes_of(args)
+            mem = _mem_var.get() and tracemalloc.is_tracing()
+            if mem:
+                tracemalloc.reset_peak()
+                cur0 = tracemalloc.get_traced_memory()[0]
             cpu0 = time.process_time()
             t0 = time.perf_counter()
             out = fn(*args, **kwargs)
             wall = time.perf_counter() - t0
             cpu = time.process_time() - cpu0
-            record_kernel(name, wall, cpu, nnz_in, _out_nnz(out), nbytes)
+            mem_alloc = mem_peak = 0
+            if mem:
+                cur1, peak1 = tracemalloc.get_traced_memory()
+                mem_alloc = cur1 - cur0
+                mem_peak = max(0, peak1 - cur0)
+                if _trace.current_sink() is not None:
+                    _trace.instant(f"memory:{name}", "memory",
+                                   alloc=mem_alloc, peak=mem_peak)
+            record_kernel(name, wall, cpu, nnz_in, _out_nnz(out), nbytes,
+                          mem_alloc, mem_peak)
             return out
         wrapper.__wrapped__ = fn
         return wrapper

@@ -18,6 +18,7 @@ from __future__ import annotations
 import sys
 from typing import List, Optional
 
+from . import memory as _memory
 from . import metrics as _metrics
 from . import profile as _profile
 
@@ -80,6 +81,26 @@ def report(*, registry: Optional[_metrics.Registry] = None,
                          f"  invalidations={pc.invalidations}"
                          f"  entries={pc.entries}"
                          f"  hit_rate={pc.hit_rate:.3f}")
+
+    mem = {f: d for f, d in _memory.snapshot().items()
+           if d["bytes"] or d["count"]}
+    if mem:
+        lines.append("-- memory (store footprint) --")
+        for fmt, d in sorted(mem.items()):
+            lines.append(f"  {fmt}  bytes={d['bytes']}  count={d['count']}")
+        for row in _memory.top_stores(5):
+            shape = "x".join(str(s) for s in row["shape"])
+            graph = f"  graph={row['graph']}" if row["graph"] else ""
+            lines.append(
+                f"  top: {row['kind']} {shape} {row['format']}"
+                f"  nvals={row['nvals']}  bytes={row['nbytes']}"
+                f"  cache={row['cache_nbytes']}{graph}")
+        audit = [r for r in _memory.format_audit() if r["savings_bytes"]]
+        for row in audit[:5]:
+            shape = "x".join(str(s) for s in row["shape"])
+            lines.append(
+                f"  audit: {row['kind']} {shape} {row['format']}"
+                f" -> {row['best']} would save {row['savings_bytes']}B")
 
     lines.extend(_table_lines("-- kernels (deep profiling) --",
                               _profile.kernel_table()))

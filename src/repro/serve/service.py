@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..grb import engine
 from ..lagraph.graph import Graph
+from ..obs import http as _obshttp
 from ..obs import identity as _identity
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
@@ -61,8 +62,14 @@ _REQUESTS = _metrics.counter(
 _BATCH_SIZE = _metrics.histogram(
     "serve_batch_size", "Queries answered per executed batch",
     buckets=(1, 2, 4, 8, 16, 32, 64, 128))
+#: Serve latency buckets — finer at the low end than the kernel-latency
+#: defaults, because memo hits resolve in tens of microseconds.
+SERVE_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
 _LATENCY = _metrics.histogram(
-    "serve_request_latency_seconds", "Submit-to-resolution latency")
+    "serve_request_latency_seconds", "Submit-to-resolution latency",
+    buckets=SERVE_LATENCY_BUCKETS)
 
 #: Latency samples kept per service for the percentile snapshot (a plain
 #: bounded reservoir: old samples age out FIFO — recent behaviour is what
@@ -125,6 +132,37 @@ class ServiceStats:
         return (self.coalesced_sources / self.coalesced_calls
                 if self.coalesced_calls else 0.0)
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the ``/stats`` telemetry route)."""
+        pc = self.plan_cache
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "batches": self.batches,
+            "kernel_calls": self.kernel_calls,
+            "coalesced_calls": self.coalesced_calls,
+            "coalesced_sources": self.coalesced_sources,
+            "deduplicated": self.deduplicated,
+            "queue_depth": self.queue_depth,
+            "queue_depth_peak": self.queue_depth_peak,
+            "batch_size_hist": {str(k): v for k, v
+                                in sorted(self.batch_size_hist.items())},
+            "latency_count": self.latency_count,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "latency_p99": self.latency_p99,
+            "kernel_calls_saved": self.kernel_calls_saved,
+            "memo_hit_rate": self.memo_hit_rate,
+            "coalescing_ratio": self.coalescing_ratio,
+            "plan_cache": ({
+                "hits": pc.hits, "misses": pc.misses,
+                "invalidations": pc.invalidations, "entries": pc.entries,
+                "feed_bytes": pc.feed_bytes, "hit_rate": pc.hit_rate,
+            } if pc is not None else None),
+        }
+
 
 def _copy_result(value):
     """A private copy for each caller: the memo cache keeps the master.
@@ -171,6 +209,9 @@ class GraphService:
         self._batch_hist: Dict[int, int] = {}
         self._depth_peak = 0
         self._closed = False
+        self._telemetry_server = None         # obs.http exporter, if started
+        self._trace_ring = None               # recent-span ring for /trace
+        self._queue_depth_limit: Optional[int] = None   # /healthz threshold
 
     # ------------------------------------------------------------------
     # registry conveniences
@@ -504,8 +545,7 @@ class GraphService:
         if _metrics.ENABLED:
             _BATCH_SIZE.observe(n_queries)
 
-    @staticmethod
-    def _in_request_ctx(batch: Batch, q, fn, *args, span_attrs=None):
+    def _in_request_ctx(self, batch: Batch, q, fn, *args, span_attrs=None):
         """Run ``fn(*args)`` under the context snapshot of the first
         pending request for query ``q`` (each request carries its own
         ``copy_context()``, so a context is never entered twice).
@@ -514,6 +554,11 @@ class GraphService:
         ``serve:batch`` span — and every engine span the kernel opens
         beneath it — lands in the *submitting request's* trace, giving
         concurrent traced submitters disjoint span trees for free.
+
+        When :meth:`serve_telemetry` is live and the submitter did *not*
+        trace, the batch runs under a service-owned collector instead and
+        the finished span tree lands in the ``/trace`` ring — recent
+        request traces are scrapable without any caller opting in.
         """
         reqs = batch.requests_by_query.get(q)
         ctx = reqs[0].ctx if reqs else None
@@ -521,12 +566,22 @@ class GraphService:
             return fn(*args)
         if span_attrs is None:
             return ctx.run(fn, *args)
+        ring = self._trace_ring
 
         def run():
-            if not _trace.active():
-                return fn(*args)
-            with _trace.span("serve:batch", cat="serve", **span_attrs):
-                return fn(*args)
+            # obs: gated-by-caller (span cost only when the submitter's
+            # sink is active or the telemetry ring opted the service in)
+            if _trace.active():
+                with _trace.span("serve:batch", cat="serve", **span_attrs):
+                    return fn(*args)
+            if ring is not None:
+                with _trace.tracing() as coll:
+                    with _trace.span("serve:batch", cat="serve",
+                                     **span_attrs):
+                        out = fn(*args)
+                ring.push(coll.records())
+                return out
+            return fn(*args)
         return ctx.run(run)
 
     def _fail_batch(self, batch: Batch, exc: Exception) -> None:
@@ -572,6 +627,53 @@ class GraphService:
         snap.plan_cache = engine.plancache.stats()
         return snap
 
+    # ------------------------------------------------------------------
+    # telemetry endpoint
+    # ------------------------------------------------------------------
+    def serve_telemetry(self, port: int = 0, host: str = "127.0.0.1", *,
+                        trace_capacity: int = 64,
+                        queue_depth_limit: Optional[int] = None):
+        """Start the telemetry HTTP exporter for this service (idempotent).
+
+        Binds ``host:port`` (``port=0`` → ephemeral; read ``server.port``)
+        on a daemon thread serving:
+
+        * ``/metrics`` — the process metric registry, Prometheus text;
+        * ``/healthz`` — 200 while the drain pool is live and queue depth
+          is within ``queue_depth_limit`` (when set), else 503;
+        * ``/stats`` — :meth:`stats` as JSON;
+        * ``/trace`` — the last ``trace_capacity`` request span trees as
+          Chrome trace JSON (batches run under a service-owned collector
+          whenever the submitter wasn't already tracing).
+
+        Returns the live :class:`repro.obs.http.TelemetryServer`; stopped
+        automatically by :meth:`shutdown`.
+        """
+        if self._telemetry_server is not None:
+            return self._telemetry_server
+        self._trace_ring = _obshttp.TraceRing(trace_capacity)
+        self._queue_depth_limit = queue_depth_limit
+        self._telemetry_server = _obshttp.start_server(
+            host, port,
+            healthz=self._healthz,
+            stats=lambda: self.stats().to_dict(),
+            trace_ring=self._trace_ring)
+        return self._telemetry_server
+
+    def _healthz(self):
+        """``(ok, payload)`` for the ``/healthz`` route."""
+        depth = len(self._queue)
+        limit = self._queue_depth_limit
+        if self._closed or getattr(self._executor, "_shutdown", False):
+            return False, {"status": "shutdown", "queue_depth": depth}
+        if limit is not None and depth > limit:
+            return False, {"status": "overloaded", "queue_depth": depth,
+                           "queue_depth_limit": limit}
+        payload = {"status": "ok", "queue_depth": depth}
+        if limit is not None:
+            payload["queue_depth_limit"] = limit
+        return True, payload
+
     @staticmethod
     def plan_cache_stats():
         """Hit/miss/invalidation counters of the engine's keyed plan cache.
@@ -587,6 +689,10 @@ class GraphService:
     def shutdown(self, wait: bool = True) -> None:
         self._closed = True
         self._executor.shutdown(wait=wait)
+        server = self._telemetry_server
+        if server is not None:
+            self._telemetry_server = None
+            server.stop()
 
     def __enter__(self) -> "GraphService":
         return self

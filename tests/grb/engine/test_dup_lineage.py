@@ -1,0 +1,124 @@
+"""dup() lineage propagation: copies keep cached plans warm.
+
+ISSUE 7 satellite 1 (the carried ROADMAP note): ``dup()`` copies are
+bit-identical to their source at copy time, so they carry the source's
+plan signature — a query that rebuilds its working matrices via ``dup``
+dispatches with the *same* cache shape and hits the warm entry instead
+of paying a cold re-analysis.  The identity is a **permanent alias**:
+mutating the copy diverges the version (never the ident), so the stale
+entry is found and invalidated rather than orphaned under a new uid.
+"""
+
+import numpy as np
+import pytest
+
+from repro import grb
+from repro.grb.engine import cost, plancache
+
+SR = grb.semiring_by_name("plus.pair")
+
+
+@pytest.fixture(autouse=True)
+def _fresh(monkeypatch):
+    monkeypatch.setattr(cost, "MASKED_MIN_NNZ", 0)
+    plancache.clear()
+    yield
+    plancache.clear()
+
+
+def _graphish(rng, n=12, density=0.4):
+    dense = (rng.random((n, n)) < density) * rng.integers(1, 5, (n, n))
+    r, c = np.nonzero(dense)
+    return grb.Matrix.from_coo(r, c, dense[r, c].astype(np.float64), n, n)
+
+
+def _masked_mxm(a, b, mask):
+    c = grb.Matrix(grb.INT64, a.nrows, b.ncols)
+    grb.mxm(c, a, b, SR, mask=grb.structure(mask))
+    return c
+
+
+class TestSignaturePropagation:
+    def test_matrix_dup_shares_plan_sig(self):
+        a = _graphish(np.random.default_rng(0))
+        d = a.dup()
+        assert d._plan_sig() == a._plan_sig()
+        assert d._uid != a._uid            # identity alias, not same object
+
+    def test_vector_dup_shares_plan_sig(self):
+        v = grb.Vector.from_coo([0, 3, 7], [1.0, 2.0, 3.0], 9)
+        assert v.dup()._plan_sig() == v._plan_sig()
+
+    def test_dup_of_dup_chains(self):
+        a = _graphish(np.random.default_rng(1))
+        assert a.dup().dup()._plan_sig() == a._plan_sig()
+
+    def test_dup_of_derivation_carries_lineage(self):
+        a = _graphish(np.random.default_rng(2))
+        p = a.pattern(grb.FP64)
+        assert p.dup()._plan_sig() == p._plan_sig()
+
+    def test_mutation_diverges_version_not_ident(self):
+        a = _graphish(np.random.default_rng(3))
+        d = a.dup()
+        ident0, _ = d._plan_sig()
+        d[0, 0] = 7.0
+        ident1, version1 = d._plan_sig()
+        assert ident1 == ident0            # the alias survives...
+        assert version1 != a._plan_sig()[1]   # ...the version diverges
+        assert d._plan_sig() == (ident1, version1)    # and is stable
+
+    def test_source_mutation_never_collides_with_copy(self):
+        a = _graphish(np.random.default_rng(4))
+        d = a.dup()
+        d[0, 0] = 7.0
+        a[1, 1] = 9.0
+        assert a._plan_sig() != d._plan_sig()
+
+
+class TestWarmColdPlanCache:
+    def test_rebuilt_operands_hit_warm(self):
+        """The satellite acceptance: a repeated query whose operand is
+        rebuilt via ``dup()`` dispatches with the same shape — warm run
+        hits, no re-analysis."""
+        rng = np.random.default_rng(5)
+        a = _graphish(rng)
+        cold = _masked_mxm(a, a.dup(), a)          # cold: one miss
+        st0 = plancache.stats()
+        assert st0.misses >= 1 and st0.hits == 0
+        warm = _masked_mxm(a, a.dup(), a)          # fresh copy, same shape
+        st1 = plancache.stats()
+        assert st1.hits == st0.hits + 1
+        assert st1.misses == st0.misses            # no cold re-analysis
+        assert warm.isequal(cold)
+
+    def test_mutated_dup_invalidates_not_orphans(self):
+        """Mutating the copy must surface as an invalidation of the warm
+        entry (same shape, moved version) — not a silent unrelated miss
+        that leaves the stale entry pinned."""
+        rng = np.random.default_rng(6)
+        a = _graphish(rng)
+        d = a.dup()
+        before = _masked_mxm(a, d, a)
+        _masked_mxm(a, d, a)
+        assert plancache.stats().hits == 1
+        d[0, 0] = 7.0
+        after = _masked_mxm(a, d, a)
+        st = plancache.stats()
+        assert st.invalidations == 1
+        assert st.hits == 1                        # never served stale
+        assert not after.isequal(before)
+
+    def test_results_match_reference_after_divergence(self):
+        rng = np.random.default_rng(7)
+        a = _graphish(rng)
+        d = a.dup()
+        d[0, 0] = 7.0
+        cached = _masked_mxm(a, d, a)
+        flag = cost.PLAN_CACHE_ENABLED
+        try:
+            cost.PLAN_CACHE_ENABLED = False
+            ref = _masked_mxm(a, d, a)
+        finally:
+            cost.PLAN_CACHE_ENABLED = flag
+        assert cached.isequal(ref)

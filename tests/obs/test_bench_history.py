@@ -1,0 +1,150 @@
+"""benchmarks/history.py + tools/bench_compare.py: the regression tracker.
+
+ISSUE 7 tentpole layer 3.  The history module's record schema and atomic
+append, and the compare tool's full CLI surface: baseline write,
+self-compare (must pass), injected synthetic slowdown (must fail), noise
+tolerance, size-tier guard.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load(path, name):
+    spec = importlib.util.spec_from_file_location(name, path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def history():
+    return _load(_ROOT / "benchmarks" / "history.py", "bench_history_t")
+
+
+@pytest.fixture(scope="module")
+def compare():
+    return _load(_ROOT / "tools" / "bench_compare.py", "bench_compare_t")
+
+
+def _session(history, mins, size="tiny", sha="abc123"):
+    entries = [history.make_entry(tid, group="g", min_s=m, mean_s=m * 1.1,
+                                  stddev_s=m * 0.05, rounds=9)
+               for tid, m in mins.items()]
+    return history.make_session(entries, size=size, sha=sha,
+                                recorded_at="2026-08-08T00:00:00+00:00")
+
+
+class TestHistoryModule:
+    def test_entry_schema_and_graph_extraction(self, history):
+        e = history.make_entry(
+            "bench_x.py::test_tc[masked-kron]", group="tc", min_s=0.5)
+        assert e["graph"] == "kron"
+        assert e["group"] == "tc"
+        assert e["rounds"] == 1
+        assert history.graph_of("bench_x.py::test_plain") is None
+        assert history.graph_of("b.py::t[web-small]") == "web"
+
+    def test_append_and_load_round_trip(self, history, tmp_path):
+        path = tmp_path / "BENCH_HISTORY.json"
+        assert history.load(path) == []
+        s1 = _session(history, {"a": 1.0})
+        s2 = _session(history, {"a": 1.1}, sha="def456")
+        assert history.append(path, s1) == 1
+        assert history.append(path, s2) == 2
+        sessions = history.load(path)
+        assert [s["git_sha"] for s in sessions] == ["abc123", "def456"]
+        assert sessions[0]["schema"] == history.SCHEMA_VERSION
+        assert history.latest(path)["git_sha"] == "def456"
+
+    def test_append_rejects_non_list_file(self, history, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(ValueError):
+            history.append(path, _session(history, {"a": 1.0}))
+
+    def test_entries_sorted_by_id(self, history):
+        s = _session(history, {"z": 1.0, "a": 2.0, "m": 3.0})
+        assert [e["id"] for e in s["entries"]] == ["a", "m", "z"]
+
+
+class TestCompareLogic:
+    def test_regression_detected_beyond_tolerance(self, history, compare):
+        base = compare.baseline_from_session(_session(history, {"t": 1.0}))
+        res = compare.compare(_session(history, {"t": 1.5}), base,
+                              tolerance=0.25, abs_floor=0.0)
+        assert [r["id"] for r in res["regressions"]] == ["t"]
+        assert res["regressions"][0]["ratio"] == pytest.approx(1.5)
+
+    def test_tolerance_and_floor_absorb_noise(self, history, compare):
+        base = compare.baseline_from_session(
+            _session(history, {"fast": 0.001, "slow": 1.0}))
+        cur = _session(history, {"fast": 0.004, "slow": 1.2})
+        res = compare.compare(cur, base, tolerance=0.25, abs_floor=0.005)
+        assert res["regressions"] == []     # 4x but under the 5ms floor;
+        assert res["checked"] == 2          # 1.2x but under 25%
+
+    def test_new_missing_and_improved(self, history, compare):
+        base = compare.baseline_from_session(
+            _session(history, {"gone": 1.0, "kept": 1.0}))
+        cur = _session(history, {"kept": 0.5, "fresh": 9.9})
+        res = compare.compare(cur, base, tolerance=0.25, abs_floor=0.0)
+        assert res["missing"] == ["gone"]
+        assert res["new"] == ["fresh"]
+        assert [r["id"] for r in res["improved"]] == ["kept"]
+
+
+class TestCompareCLI:
+    @pytest.fixture
+    def hist_file(self, history, tmp_path):
+        path = tmp_path / "BENCH_HISTORY.json"
+        history.append(path, _session(history, {"t1": 1.0, "t2": 0.5}))
+        return path
+
+    def test_write_baseline_then_self_compare_passes(self, compare,
+                                                     hist_file, tmp_path,
+                                                     capsys):
+        base = tmp_path / "base.json"
+        assert compare.main([str(hist_file),
+                             "--write-baseline", str(base)]) == 0
+        doc = json.loads(base.read_text())
+        assert doc["entries"] == {"t1": 1.0, "t2": 0.5}
+        assert compare.main([str(hist_file), "--baseline", str(base)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_injected_slowdown_fails(self, compare, hist_file, tmp_path,
+                                     capsys):
+        base = tmp_path / "base.json"
+        compare.main([str(hist_file), "--write-baseline", str(base)])
+        rc = compare.main([str(hist_file), "--baseline", str(base),
+                           "--inject-slowdown", "3.0"])
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_previous_session_is_default_baseline(self, compare, history,
+                                                  hist_file):
+        history.append(hist_file, _session(history, {"t1": 5.0, "t2": 0.5}))
+        assert compare.main([str(hist_file), "--abs-floor", "0.0"]) == 1
+
+    def test_single_session_without_baseline_is_clean(self, compare,
+                                                      hist_file):
+        assert compare.main([str(hist_file)]) == 0
+
+    def test_size_tier_mismatch_refused(self, compare, history, hist_file,
+                                        tmp_path):
+        base = tmp_path / "base.json"
+        compare.main([str(hist_file), "--write-baseline", str(base)])
+        history.append(hist_file, _session(history, {"t1": 1.0},
+                                           size="small"))
+        assert compare.main([str(hist_file), "--baseline", str(base)]) == 2
+
+    def test_missing_or_empty_history_is_usage_error(self, compare,
+                                                     tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("[]")
+        assert compare.main([str(empty)]) == 2

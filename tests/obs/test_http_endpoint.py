@@ -1,0 +1,189 @@
+"""repro.obs.http + GraphService.serve_telemetry: the telemetry endpoint.
+
+ISSUE 7 tentpole layer 2 and satellite 3 (endpoint smoke): a stdlib HTTP
+exporter on a daemon thread serving ``/metrics`` (Prometheus text),
+``/healthz`` (drain-pool liveness + queue-depth threshold), ``/stats``
+(:meth:`GraphService.stats` as JSON) and ``/trace`` (a bounded ring of
+recent request span trees as Chrome trace JSON).  The acceptance test
+scrapes **all four** routes from a live service and validates each
+payload's schema.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from helpers import random_graph_np
+from repro import obs, serve
+from repro.obs import http as obshttp
+from repro.obs import metrics, trace
+
+
+def _get(url, timeout=5):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+@pytest.fixture
+def server():
+    srv = obshttp.start_server()
+    yield srv
+    srv.stop()
+
+
+class TestStandaloneServer:
+    def test_ephemeral_port_and_url(self, server):
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_metrics_route_serves_prometheus_text(self, server):
+        c = metrics.counter("t_http_route_total", "route hits")
+        c.inc(3)
+        status, ctype, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert ctype == obshttp.PROMETHEUS_CONTENT_TYPE
+        text = body.decode()
+        assert "# TYPE t_http_route_total counter" in text
+        assert "t_http_route_total 3" in text
+
+    def test_healthz_default_is_ok(self, server):
+        status, ctype, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert ctype.startswith("application/json")
+        assert json.loads(body)["status"] == "ok"
+
+    def test_healthz_unhealthy_is_503(self):
+        srv = obshttp.start_server(
+            healthz=lambda: (False, {"status": "overloaded"}))
+        try:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                _get(srv.url + "/healthz")
+            assert exc.value.code == 503
+            assert json.loads(exc.value.read())["status"] == "overloaded"
+        finally:
+            srv.stop()
+
+    def test_stats_route_serves_json_snapshot(self, server):
+        status, _, body = _get(server.url + "/stats")
+        assert status == 200
+        snap = json.loads(body)
+        assert "metrics" in snap and "memory" in snap
+
+    def test_trace_route_empty_without_ring(self, server):
+        status, _, body = _get(server.url + "/trace")
+        assert status == 200
+        assert json.loads(body)["traceEvents"] == []
+
+    def test_trace_route_serves_ring(self):
+        ring = obshttp.TraceRing()
+        srv = obshttp.start_server(trace_ring=ring)
+        try:
+            with trace.tracing() as coll:
+                with trace.span("unit:outer", cat="test"):
+                    trace.instant("unit:mark", "test")
+            ring.push(coll.records())
+            status, _, body = _get(srv.url + "/trace")
+            assert status == 200
+            doc = json.loads(body)
+            names = {ev["name"] for ev in doc["traceEvents"]}
+            assert {"unit:outer", "unit:mark"} <= names
+        finally:
+            srv.stop()
+
+    def test_index_and_404(self, server):
+        status, _, body = _get(server.url + "/")
+        assert status == 200
+        assert set(json.loads(body)["routes"]) == {
+            "/metrics", "/healthz", "/stats", "/trace"}
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(server.url + "/nope")
+        assert exc.value.code == 404
+
+
+class TestTraceRing:
+    def test_bounded_capacity(self):
+        ring = obshttp.TraceRing(capacity=3)
+        for i in range(5):
+            with trace.tracing() as coll:
+                trace.instant(f"ring:{i}", "test")
+            ring.push(coll.records())
+        assert len(ring) == 3
+        names = {ev["name"]
+                 for ev in ring.to_chrome_trace()["traceEvents"]}
+        assert names == {"ring:2", "ring:3", "ring:4"}
+
+    def test_empty_pushes_ignored(self):
+        ring = obshttp.TraceRing()
+        ring.push([])
+        assert len(ring) == 0
+
+
+@pytest.fixture
+def service(rng):
+    svc = serve.GraphService(max_workers=2, cache_capacity=64, max_batch=8)
+    svc.register("g", random_graph_np(rng, n=40, p=0.1, seed=5))
+    yield svc
+    svc.shutdown()
+
+
+class TestServeTelemetry:
+    def test_scrape_all_four_routes_live(self, service):
+        """The ISSUE acceptance: all four endpoints answer from a running
+        service with schema-valid payloads."""
+        server = service.serve_telemetry()
+        assert service.serve_telemetry() is server      # idempotent
+        futs = service.submit_many("g", [serve.BFSLevels(s)
+                                         for s in (0, 1, 2, 3)])
+        for f in futs:
+            f.result(timeout=30)
+
+        status, ctype, body = _get(server.url + "/metrics")
+        assert status == 200 and ctype == obshttp.PROMETHEUS_CONTENT_TYPE
+        assert "serve_requests_total" in body.decode()
+
+        status, _, body = _get(server.url + "/healthz")
+        health = json.loads(body)
+        assert status == 200 and health["status"] == "ok"
+        assert "queue_depth" in health
+
+        status, _, body = _get(server.url + "/stats")
+        stats = json.loads(body)
+        assert status == 200
+        assert stats["submitted"] >= 4 and stats["completed"] >= 4
+        assert {"queue_depth", "batches", "latency_p95",
+                "plan_cache"} <= set(stats)
+
+        status, _, body = _get(server.url + "/trace")
+        doc = json.loads(body)
+        assert status == 200
+        names = {ev["name"] for ev in doc["traceEvents"]}
+        assert any(n.startswith("serve:batch") for n in names)
+
+    def test_untraced_submitters_feed_the_ring_only_while_live(self, service):
+        """Batches run under a service-owned collector only once the
+        exporter is up; a submitter's own sink still wins (no double
+        capture, spans stay in the submitter's tree)."""
+        service.query("g", serve.BFSLevels(0))
+        assert service._trace_ring is None              # not serving yet
+        service.serve_telemetry()
+        service.query("g", serve.BFSLevels(1))
+        assert len(service._trace_ring) >= 1
+        before = len(service._trace_ring)
+        with obs.tracing() as tr:
+            service.query("g", serve.BFSLevels(2))
+        assert tr.find("serve:batch")                   # submitter's tree
+        assert len(service._trace_ring) == before       # ring untouched
+
+    def test_healthz_queue_depth_limit_and_shutdown(self, rng):
+        svc = serve.GraphService(max_workers=1)
+        svc.register("g", random_graph_np(rng, n=20, p=0.1, seed=6))
+        server = svc.serve_telemetry(queue_depth_limit=2)
+        ok, payload = svc._healthz()
+        assert ok and payload["queue_depth_limit"] == 2
+        svc.shutdown()
+        ok, payload = svc._healthz()
+        assert not ok and payload["status"] == "shutdown"
+        assert svc._telemetry_server is None            # stopped with it
+        assert server.port                              # object survives

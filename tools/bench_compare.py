@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Compare the latest benchmark session against a baseline; fail on regression.
+
+Reads the ``BENCH_HISTORY.json`` time series that ``benchmarks/conftest.py``
+appends to (schema in ``benchmarks/history.py``) and diffs the **latest**
+session's per-test minimum times against a baseline:
+
+* ``--baseline FILE`` — an explicit baseline written earlier with
+  ``--write-baseline`` (what CI pins per branch), else
+* the **previous** session in the same history file (local workflow:
+  run the suite twice, compare).
+
+A test regresses when::
+
+    cur_min > base_min * (1 + --tolerance) + --abs-floor
+
+Both knobs exist because benchmark noise is multiplicative *and* the tiny
+CI tier runs in milliseconds where a scheduler blip outweighs any real
+change: the default 25% relative tolerance plus a 5 ms absolute floor
+keeps the tiny tier quiet while still catching the 2-3× cliffs that a
+broken rule pin or a lost fast path produces.  Sessions are only compared
+within one size tier — a ``tiny`` baseline says nothing about ``small``.
+
+Exit status: 0 (clean / nothing comparable), 1 (regressions — listed on
+stdout), 2 (usage errors).  ``--inject-slowdown X`` multiplies the current
+times by ``X`` first; CI uses it as a self-test that the detector actually
+fires before trusting its green.
+
+Usage::
+
+    python tools/bench_compare.py BENCH_HISTORY.json --write-baseline base.json
+    python tools/bench_compare.py BENCH_HISTORY.json --baseline base.json
+    python tools/bench_compare.py BENCH_HISTORY.json --baseline base.json \
+        --inject-slowdown 3.0        # must exit 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+_HISTORY_PY = Path(__file__).resolve().parents[1] / "benchmarks" / "history.py"
+
+
+def _load_history_module():
+    spec = importlib.util.spec_from_file_location("bench_history", _HISTORY_PY)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def baseline_from_session(session: dict) -> dict:
+    """A pinned baseline document distilled from one session record."""
+    return {
+        "schema": session.get("schema", 1),
+        "git_sha": session.get("git_sha", "unknown"),
+        "size": session.get("size", "unknown"),
+        "recorded_at": session.get("recorded_at"),
+        "entries": {e["id"]: e["min_s"] for e in session.get("entries", ())},
+    }
+
+
+def compare(current: dict, baseline: dict, *, tolerance: float,
+            abs_floor: float, slowdown: float = 1.0) -> dict:
+    """``{"regressions": [...], "improved": [...], "new": [...],
+    "missing": [...], "checked": int}`` for the session/baseline pair."""
+    base_entries = baseline.get("entries", {})
+    out = {"regressions": [], "improved": [], "new": [], "missing": [],
+           "checked": 0}
+    seen = set()
+    for entry in current.get("entries", ()):
+        tid = entry["id"]
+        seen.add(tid)
+        cur = float(entry["min_s"]) * slowdown
+        base = base_entries.get(tid)
+        if base is None:
+            out["new"].append(tid)
+            continue
+        base = float(base)
+        out["checked"] += 1
+        budget = base * (1.0 + tolerance) + abs_floor
+        row = {"id": tid, "base_s": base, "cur_s": cur,
+               "ratio": (cur / base) if base else float("inf")}
+        if cur > budget:
+            out["regressions"].append(row)
+        elif cur < base * (1.0 - tolerance) - abs_floor:
+            out["improved"].append(row)
+    out["missing"] = sorted(set(base_entries) - seen)
+    out["regressions"].sort(key=lambda r: r["ratio"], reverse=True)
+    return out
+
+
+def _report(result: dict, *, tolerance: float, abs_floor: float) -> None:
+    print(f"bench_compare: {result['checked']} tests compared "
+          f"(tolerance {tolerance:.0%} + {abs_floor * 1e3:.1f}ms floor), "
+          f"{len(result['new'])} new, {len(result['missing'])} missing")
+    for row in result["improved"]:
+        print(f"  improved   {row['id']}: {row['base_s']:.4f}s -> "
+              f"{row['cur_s']:.4f}s ({row['ratio']:.2f}x)")
+    for row in result["regressions"]:
+        print(f"  REGRESSED  {row['id']}: {row['base_s']:.4f}s -> "
+              f"{row['cur_s']:.4f}s ({row['ratio']:.2f}x)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff the latest benchmark session against a baseline.")
+    parser.add_argument("history", help="BENCH_HISTORY.json time series")
+    parser.add_argument("--baseline", help="pinned baseline JSON to compare "
+                        "against (default: previous session in the history)")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="distil the latest session into a baseline "
+                        "file and exit")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative slowdown tolerated (default 0.25)")
+    parser.add_argument("--abs-floor", type=float, default=0.005,
+                        help="absolute seconds of slack on top (default "
+                        "0.005)")
+    parser.add_argument("--inject-slowdown", type=float, default=1.0,
+                        metavar="X", help="multiply current times by X "
+                        "(detector self-test)")
+    args = parser.parse_args(argv)
+
+    hist = _load_history_module()
+    try:
+        sessions = hist.load(args.history)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"bench_compare: cannot read {args.history}: {exc}")
+        return 2
+    if not sessions:
+        print(f"bench_compare: {args.history} holds no sessions")
+        return 2
+    current = sessions[-1]
+
+    if args.write_baseline:
+        doc = baseline_from_session(current)
+        with open(args.write_baseline, "w") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+        print(f"bench_compare: baseline ({len(doc['entries'])} tests, "
+              f"size={doc['size']}) written to {args.write_baseline}")
+        return 0
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    elif len(sessions) >= 2:
+        baseline = baseline_from_session(sessions[-2])
+    else:
+        print("bench_compare: single session and no --baseline; "
+              "nothing to compare")
+        return 0
+
+    if baseline.get("size") != current.get("size"):
+        print(f"bench_compare: size tier mismatch (baseline "
+              f"{baseline.get('size')!r} vs current "
+              f"{current.get('size')!r}); refusing to compare")
+        return 2
+
+    result = compare(current, baseline, tolerance=args.tolerance,
+                     abs_floor=args.abs_floor,
+                     slowdown=args.inject_slowdown)
+    _report(result, tolerance=args.tolerance, abs_floor=args.abs_floor)
+    if result["regressions"]:
+        print(f"bench_compare: {len(result['regressions'])} regression(s)")
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -75,6 +75,8 @@ def _classify(call: ast.Call):
         return f"{root}.record"
     if f.attr == "instant" and "trace" in root:
         return f"{root}.instant"
+    if f.attr == "account" and "mem" in root.lower():
+        return f"{root}.account"
     if f.attr in BUMPS and root.isupper():
         return f"{root}...{f.attr}"
     return None
