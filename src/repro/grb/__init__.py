@@ -85,6 +85,9 @@ from .types import (
 )
 from .vector import Vector
 from ._kernels import apply_select as selectops
+from . import cancel
+from .cancel import CancelToken, Cancelled, DeadlineExceeded, \
+    cancel_scope, checkpoint
 from . import storage
 from . import telemetry
 from . import engine
@@ -95,6 +98,9 @@ __all__ = [
     "Matrix", "Vector", "Type", "Mask", "Descriptor", "Semiring",
     # execution engine / storage engine / instrumentation / lazy layer
     "engine", "storage", "telemetry", "expr",
+    # cooperative cancellation
+    "cancel", "CancelToken", "Cancelled", "DeadlineExceeded",
+    "cancel_scope", "checkpoint",
     # non-blocking mode
     "deferred", "evaluate", "Deferred",
     # types

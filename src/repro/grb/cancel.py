@@ -1,0 +1,135 @@
+"""Cooperative cancellation for long-running kernels.
+
+A :class:`CancelToken` carries an optional absolute deadline (on the
+:func:`time.monotonic` clock) and a manual cancel flag.  Kernels — the
+BFS/msbfs/PageRank/SSSP iteration loops and the engine's per-node
+dispatch step — call :func:`checkpoint` at iteration boundaries; when the
+current context's token has expired, the checkpoint raises and the kernel
+unwinds immediately instead of computing a result nobody is waiting for.
+
+The token travels by :mod:`contextvars`: the serve layer installs it
+inside the request's context snapshot (see
+``GraphService._in_request_ctx``), so it follows the request onto the
+drain pool without any plumbing through kernel signatures.  Code outside
+a scope pays exactly one ContextVar read plus a ``None`` check per
+checkpoint — cheap enough for per-iteration (not per-element) use.
+
+Usage::
+
+    tok = CancelToken(deadline=time.monotonic() + 0.5)
+    with cancel_scope(tok):
+        bfs_level(g, 0)        # raises DeadlineExceeded if it runs long
+
+Cancellation is *cooperative*: a kernel that never reaches a checkpoint
+(one enormous numpy call) finishes its current step before noticing.  The
+serve layer therefore pairs tokens with a reaper that resolves the
+waiting future on time regardless — the token only stops the wasted
+compute, the reaper guarantees the latency contract.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Optional
+
+__all__ = [
+    "Cancelled", "DeadlineExceeded", "CancelToken",
+    "cancel_scope", "current_token", "checkpoint",
+]
+
+
+class Cancelled(RuntimeError):
+    """The current cancellation scope was cancelled explicitly."""
+
+
+class DeadlineExceeded(TimeoutError):
+    """The current cancellation scope's deadline passed.
+
+    Subclasses :class:`TimeoutError` so generic timeout handling catches
+    it; serve futures resolve with this when their request's deadline
+    expires (whether the kernel noticed cooperatively or the reaper
+    resolved the future first).
+    """
+
+
+class CancelToken:
+    """A shared cancel flag plus an optional absolute monotonic deadline."""
+
+    __slots__ = ("deadline", "_cancelled", "_exc")
+
+    def __init__(self, deadline: Optional[float] = None):
+        #: Absolute :func:`time.monotonic` instant, or ``None`` (no limit).
+        self.deadline = deadline
+        self._cancelled = False
+        self._exc: Optional[BaseException] = None
+
+    def cancel(self, exc: Optional[BaseException] = None) -> None:
+        """Trip the token manually; ``exc`` overrides the raised error."""
+        self._exc = exc
+        self._cancelled = True
+
+    def expired(self) -> bool:
+        if self._cancelled:
+            return True
+        return (self.deadline is not None
+                and time.monotonic() >= self.deadline)
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` when unbounded; never
+        negative)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+    def check(self) -> None:
+        """Raise if the token is cancelled or past its deadline."""
+        if self._cancelled:
+            raise self._exc if self._exc is not None \
+                else Cancelled("operation cancelled")
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            raise DeadlineExceeded(
+                f"deadline exceeded (budget ended "
+                f"{time.monotonic() - self.deadline:.3f}s ago)")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CancelToken(deadline={self.deadline}, "
+                f"cancelled={self._cancelled})")
+
+
+_current: ContextVar[Optional[CancelToken]] = ContextVar(
+    "repro_cancel_token", default=None)
+
+
+def current_token() -> Optional[CancelToken]:
+    """The token governing the calling context, or ``None``."""
+    return _current.get()
+
+
+def checkpoint() -> None:
+    """Raise if the calling context's cancellation scope has expired.
+
+    The no-scope fast path is one ContextVar read and a ``None`` check —
+    call freely at iteration boundaries.
+    """
+    tok = _current.get()
+    if tok is not None:
+        tok.check()
+
+
+@contextmanager
+def cancel_scope(token: Optional[CancelToken]):
+    """Install ``token`` as the context's cancellation scope.
+
+    ``None`` is accepted (and is a no-op scope) so callers can write
+    ``with cancel_scope(maybe_token):`` unconditionally.
+    """
+    if token is None:
+        yield None
+        return
+    reset = _current.set(token)
+    try:
+        yield token
+    finally:
+        _current.reset(reset)

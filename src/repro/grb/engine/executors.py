@@ -37,6 +37,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ...obs import trace as _trace
+from .. import cancel as _cancel
 from .. import telemetry
 from .._kernels import apply_select as _selectops
 from .._kernels import masked_matmul as _mm
@@ -193,6 +194,10 @@ def finish(plan: Plan, keys, vals, *, is_vector: bool, size=None,
     consumes it, so ``plan_mxm(None, A, A, sr, mask=...)`` yields exactly
     the entries a masked write into an empty output would keep.
     """
+    # cancellation checkpoint between a kernel's compute pass and its
+    # epilogue/write-back: with a deadline already blown, skip the
+    # masked-write work too (one ContextVar read when no scope is active)
+    _cancel.checkpoint()
     if (plan.out is None and plan.mask is not None
             and not plan.meta.get("_premasked")):
         # fallback-kernel output can carry non-mask entries; the dot rule's

@@ -44,6 +44,7 @@ import numpy as np
 from ...obs import metrics as _metrics
 from ...obs import trace as _trace
 from .. import telemetry
+from .. import cancel as _cancel
 from ..expr import _DONE
 from .._kernels.ewise import setdiff_keys, union_merge
 from ..vector import Vector
@@ -94,6 +95,10 @@ class MultiPlan:
         fuse = cost.FUSION_ENABLED and cost.MULTI_FUSION_ENABLED
         i = 0
         while i < len(nodes):
+            # the engine executor's per-node cancellation checkpoint: a
+            # deadline-carrying serve request unwinds between DAG nodes
+            # rather than computing results nobody is waiting for
+            _cancel.checkpoint()
             if fuse:
                 consumed = 0
                 for name, rule in _FUSIONS:

@@ -36,7 +36,9 @@ from typing import Callable, Dict, List, Mapping, Optional
 from ...obs import metrics as _metrics
 from ...obs import profile as _profile
 from ...obs import trace as _trace
+from ...testing import faults as _faults
 from .. import telemetry
+from .. import cancel as _cancel
 from . import cost, plancache
 from .plan import Plan
 
@@ -210,7 +212,16 @@ def dispatch(plan: Plan):
     a ``kernel:<rule>`` span (the rule's execution, epilogues and
     write-back included — :func:`repro.grb.engine.executors.finish` opens
     child spans for those stages).
+
+    Resilience: dispatch is a cooperative cancellation checkpoint (a
+    deadline-carrying serve request aborts here between kernel steps,
+    see :mod:`repro.grb.cancel`) and the ``"kernel"`` fault-injection
+    site (:mod:`repro.testing.faults`) — both cost one global/ContextVar
+    read when unused.
     """
+    _cancel.checkpoint()
+    if _faults.ACTIVE:
+        _faults.fire("kernel", op=plan.op)
     cache_key = _cache_key(plan)
     if _trace.active():
         with _trace.span("plan:" + plan.op, cat="plan", op=plan.op) as sp:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...testing import faults as _faults
 from .bitmap import BitmapStore, BitmapVec
 from .csc import CSCStore
 from .csr import CSRStore
@@ -88,7 +89,17 @@ def select_vector_format(size: int, nvals: int) -> str:
 
 def matrix_store_from_csr(fmt: str, indptr, indices, values,
                           nrows: int, ncols: int):
-    """Build a store of the requested format from canonical CSR arrays."""
+    """Build a store of the requested format from canonical CSR arrays.
+
+    This is the storage-build fault-injection site (site ``"storage"``
+    of :mod:`repro.testing.faults`): every matrix store construction
+    funnels through here, so injected allocation failures and latency
+    model a sick storage tier.  One global read when no injector is
+    installed.
+    """
+    if _faults.ACTIVE:
+        _faults.fire("storage", fmt=fmt, nrows=nrows, ncols=ncols,
+                     nvals=len(values))
     try:
         cls = _MATRIX_STORES[fmt]
     except KeyError:

@@ -32,6 +32,7 @@ import numpy as np
 
 from ... import grb
 from ...grb import Vector, complement, engine, structure
+from ...grb import cancel as _cancel
 from ...grb.engine import cost as _cost
 from ..errors import PropertyMissing
 from ..graph import Graph
@@ -63,6 +64,7 @@ def bfs_parent_push(g: Graph, source: int) -> Vector:
     p[source] = source
     q[source] = source
     for _level in range(1, n):
+        _cancel.checkpoint()        # deadline/cancel at the level boundary
         grb.vxm(q, q, a, _ANY_SECONDI,
                 mask=complement(structure(p)), replace=True)
         if q.nvals == 0:
@@ -95,6 +97,7 @@ def bfs_parent_do(g: Graph, source: int) -> Vector:
     q[source] = source
     scanned = float(out_deg[source])
     for _level in range(1, n):
+        _cancel.checkpoint()        # deadline/cancel at the level boundary
         frontier_edges = float(out_deg[q.indices].sum())
         unexplored = max(total_edges - scanned, 0.0)
         push = engine.choose_direction(frontier_edges, unexplored,
@@ -157,6 +160,7 @@ def bfs_parent_auto(g: Graph, source: int) -> Vector:
     frontier_bits = np.zeros(n, dtype=bool)
     scanned = float(out_deg[source])
     for _level in range(1, n):
+        _cancel.checkpoint()        # deadline/cancel at the level boundary
         frontier_edges = float(out_deg[frontier].sum())
         unexplored = max(total_edges - scanned, 0.0)
         push = engine.choose_direction(frontier_edges, unexplored,
@@ -213,6 +217,7 @@ def bfs_parent_fused(g: Graph, source: int) -> Vector:
     unvisited = complement(structure(p))
     s_q = structure(q)
     for _level in range(1, n):
+        _cancel.checkpoint()        # deadline/cancel at the level boundary
         with grb.deferred():
             grb.vxm(q, q, a, _ANY_SECONDI, mask=unvisited, replace=True)
             grb.update(p, q, mask=s_q)
@@ -235,6 +240,7 @@ def bfs_level(g: Graph, source: int) -> Vector:
     level[source] = 0
     q[source] = True
     for depth in range(1, n):
+        _cancel.checkpoint()        # deadline/cancel at the level boundary
         grb.vxm(q, q, a, _ANY_PAIR,
                 mask=complement(structure(level)), replace=True)
         if q.nvals == 0:

@@ -61,6 +61,7 @@ import numpy as np
 
 from ... import grb
 from ...grb import Matrix, complement, structure
+from ...grb import cancel as _cancel
 from ...grb.engine import cost as _cost
 from ...grb._kernels.gather import csr_gather_rows
 from ..graph import Graph
@@ -228,6 +229,7 @@ def _msbfs_parents_probe(g: Graph, sources: np.ndarray) -> Matrix:
     acc_keys: list = []  # discoveries accumulated over the fused run
     acc_vals: list = []
     for _level in range(1, n):
+        _cancel.checkpoint()        # deadline/cancel at the level boundary
         cur_nvals = f.nvals if f_keys is None else f_keys.size
         if 0 < cur_nvals < _cost.MSBFS_FUSE_FRONTIER_K:
             # fused level: no mxm, no mask-write, no per-level P rebuild
@@ -291,6 +293,7 @@ def _msbfs_parents_mxm(g: Graph, sources: np.ndarray) -> Matrix:
                         dup_op=grb.binary.FIRST)
     f = p.dup()
     for _level in range(1, n):
+        _cancel.checkpoint()        # deadline/cancel at the level boundary
         # F⟨¬s(P), r⟩ = F any.secondi A   (secondi = frontier node = parent)
         grb.mxm(f, f, a, _ANY_SECONDI,
                 mask=complement(structure(p)), replace=True)
@@ -360,6 +363,7 @@ def msbfs_levels(g: Graph, sources: Sequence[int], *,
     acc_keys: list = []  # discoveries accumulated over the fused run
     acc_vals: list = []
     for depth in range(1, n):
+        _cancel.checkpoint()        # deadline/cancel at the level boundary
         cur_nvals = f.nvals if f_keys is None else f_keys.size
         if 0 < cur_nvals < _cost.MSBFS_FUSE_FRONTIER_K:
             # fused level (see MSBFS_FUSE_FRONTIER_K): one gather per level, one

@@ -42,6 +42,7 @@ import numpy as np
 
 from ... import grb
 from ...grb import Vector, engine
+from ...grb import cancel as _cancel
 from ..errors import PropertyMissing
 from ..graph import Graph
 
@@ -88,6 +89,7 @@ def pagerank_gap(g: Graph, damping: float = 0.85, tol: float = 1e-4,
     w = Vector(grb.FP64, n)
     iters = 0
     for _k in range(itermax):
+        _cancel.checkpoint()    # deadline/cancel at the iteration boundary
         iters += 1
         t, r = r, t                       # swap: t is now the prior rank
         # the whole iteration records lazily (non-blocking mode): the
@@ -127,6 +129,7 @@ def pagerank_gx(g: Graph, damping: float = 0.85, tol: float = 1e-4,
     w = Vector(grb.FP64, n)
     iters = 0
     for _k in range(itermax):
+        _cancel.checkpoint()    # deadline/cancel at the iteration boundary
         iters += 1
         t, r = r, t
         # w = damping * t / outdegree, entries only for non-dangling nodes;

@@ -32,6 +32,7 @@ import numpy as np
 
 from ... import grb
 from ...grb import Matrix, Vector, engine
+from ...grb import cancel as _cancel
 from ...grb._kernels.apply_select import SelectOp
 from ..graph import Graph
 
@@ -114,6 +115,7 @@ def sssp_delta_stepping(g: Graph, source: int, delta: float = 2.0) -> Vector:
     treq = Vector(grb.FP64, n)
     i = 0
     while True:
+        _cancel.checkpoint()    # deadline/cancel at the bucket boundary
         # smallest non-empty bucket among unsettled nodes
         unsettled = t.select("valuege", i * delta)
         if unsettled.nvals == 0:
@@ -124,6 +126,7 @@ def sssp_delta_stepping(g: Graph, source: int, delta: float = 2.0) -> Vector:
         tbi = t.select("valuege", lo).select("valuelt", hi)
         ever = np.zeros(n, dtype=bool)  # the "e" accumulator of Alg. 5
         while tbi.nvals:
+            _cancel.checkpoint()    # deadline/cancel per light relaxation
             ever[tbi.indices] = True
             # one lazy round: the light-edge relaxation with its TWO
             # consumers — the improve-filter picking the next inner
@@ -168,6 +171,7 @@ def sssp_bellman_ford(g: Graph, source: int) -> Vector:
     d[source] = 0.0
     frontier = d.dup()
     for _ in range(n):
+        _cancel.checkpoint()    # deadline/cancel at the round boundary
         if frontier.nvals == 0:
             break
         # the improvement filter rides the relaxation kernel's output pass:
@@ -212,6 +216,7 @@ def sssp_batch(g: Graph, sources: Sequence[int]) -> Matrix:
         return d
     f = d.dup()
     for _ in range(n):
+        _cancel.checkpoint()    # deadline/cancel at the round boundary
         if f.nvals == 0:
             break
         # step = F min.plus A with the strict-improvement filter fused onto

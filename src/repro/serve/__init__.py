@@ -40,6 +40,18 @@ from .requests import (
     SSSP,
     TriangleCount,
 )
+from . import resilience
+from .resilience import (
+    Cancelled,
+    CircuitBreaker,
+    CircuitOpen,
+    DeadlineExceeded,
+    DegradedResult,
+    GraphValidationError,
+    RetryPolicy,
+    ServiceOverloaded,
+    UnknownKernel,
+)
 from .service import GraphService, ServiceStats
 
 __all__ = [
@@ -49,4 +61,8 @@ __all__ = [
     "CoalescingQueue", "PendingRequest", "Batch", "plan_batches",
     "Query", "BFSLevels", "BFSParents", "SSSP",
     "PageRank", "ConnectedComponents", "TriangleCount",
+    # resilience vocabulary (docs/RESILIENCE.md)
+    "resilience", "RetryPolicy", "CircuitBreaker", "DegradedResult",
+    "DeadlineExceeded", "Cancelled", "ServiceOverloaded", "CircuitOpen",
+    "GraphValidationError", "UnknownKernel",
 ]

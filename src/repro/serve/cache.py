@@ -84,6 +84,24 @@ class LRUCache:
         with self._lock:
             self._data.clear()
 
+    def stale_get(self, graph_name: str, query):
+        """The freshest memoized answer for ``(graph_name, query)`` at
+        *any* version — degraded-mode lookup for an open circuit breaker.
+
+        Scans keys in the service layout ``(name, epoch, version, query)``
+        and returns ``(value, epoch, version)`` for the highest
+        ``(epoch, version)`` found, or ``None``.  Recency and stats are
+        untouched: a degraded answer should not keep a stale entry alive.
+        """
+        best = None
+        with self._lock:
+            for k, v in self._data.items():
+                if (isinstance(k, tuple) and len(k) == 4
+                        and k[0] == graph_name and k[3] == query):
+                    if best is None or (k[1], k[2]) > (best[1], best[2]):
+                        best = (v, k[1], k[2])
+        return best
+
     def purge_below(self, graph_name: str, version: int) -> int:
         """Eagerly drop entries for ``graph_name`` older than ``version``.
 

@@ -24,6 +24,13 @@ from typing import List, Optional, Tuple
 
 from ..obs import metrics as _metrics
 from .requests import Query, _SingleSource
+from .resilience import (
+    ADMISSION_POLICIES,
+    POLICY_BLOCK,
+    POLICY_DROP_OLDEST,
+    POLICY_REJECT,
+    ServiceOverloaded,
+)
 
 __all__ = ["PendingRequest", "Batch", "CoalescingQueue", "plan_batches"]
 
@@ -48,6 +55,10 @@ class PendingRequest:
     query: Query
     future: Future = field(default_factory=Future)
     ctx: Optional[contextvars.Context] = None
+    #: Absolute :func:`time.monotonic` deadline, or ``None`` (no budget).
+    #: The service's reaper resolves the future with ``DeadlineExceeded``
+    #: once this passes; drain workers skip already-expired requests.
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -113,29 +124,77 @@ def plan_batches(requests: List[PendingRequest],
 
 
 class CoalescingQueue:
-    """A thread-safe accumulation buffer for pending requests."""
+    """A thread-safe accumulation buffer for pending requests.
 
-    def __init__(self):
-        self._lock = threading.Lock()
+    With ``maxsize=None`` (the default) the buffer is unbounded and
+    :meth:`put` always succeeds — the seed behaviour.  A bounded queue
+    applies one of three admission policies when full:
+
+    * ``"reject"`` — :meth:`put` raises :class:`ServiceOverloaded`; the
+      service resolves the *new* request's future with it.
+    * ``"drop-oldest"`` — the oldest queued request is shed (returned to
+      the caller, who resolves its future with :class:`ServiceOverloaded`)
+      and the new one is admitted.
+    * ``"block"`` — :meth:`put` waits for a drain to make space, up to
+      ``timeout`` seconds, then raises :class:`ServiceOverloaded`.
+    """
+
+    def __init__(self, maxsize: Optional[int] = None,
+                 policy: str = POLICY_REJECT):
+        if policy not in ADMISSION_POLICIES:
+            raise ValueError(f"unknown admission policy {policy!r}; "
+                             f"one of {ADMISSION_POLICIES}")
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be >= 1 (or None for unbounded)")
+        self.maxsize = maxsize
+        self.policy = policy
+        self._cond = threading.Condition()
         self._pending: List[PendingRequest] = []
 
-    def put(self, request: PendingRequest) -> int:
-        """Append; returns the queue depth after insertion."""
-        with self._lock:
+    def put(self, request: PendingRequest, *,
+            timeout: Optional[float] = None
+            ) -> "Tuple[int, List[PendingRequest]]":
+        """Admit ``request``; returns ``(depth, shed)``.
+
+        ``depth`` is the queue depth after insertion; ``shed`` is the
+        list of requests dropped to make room (non-empty only under the
+        ``drop-oldest`` policy).  Raises :class:`ServiceOverloaded` when
+        admission is denied (``reject`` at capacity, ``block`` timeout).
+        """
+        shed: List[PendingRequest] = []
+        with self._cond:
+            if self.maxsize is not None and len(self._pending) >= self.maxsize:
+                if self.policy == POLICY_REJECT:
+                    raise ServiceOverloaded(
+                        f"queue full ({len(self._pending)}/{self.maxsize}); "
+                        f"request rejected")
+                if self.policy == POLICY_DROP_OLDEST:
+                    while len(self._pending) >= self.maxsize:
+                        shed.append(self._pending.pop(0))
+                elif self.policy == POLICY_BLOCK:
+                    ok = self._cond.wait_for(
+                        lambda: len(self._pending) < self.maxsize,
+                        timeout=timeout)
+                    if not ok:
+                        raise ServiceOverloaded(
+                            f"queue full ({self.maxsize}); timed out after "
+                            f"{timeout}s waiting for space")
             self._pending.append(request)
             depth = len(self._pending)
         if _metrics.ENABLED:
             _QUEUE_DEPTH.set(depth)
-        return depth
+        return depth, shed
 
     def drain(self) -> List[PendingRequest]:
         """Atomically take everything currently queued (FIFO order)."""
-        with self._lock:
+        with self._cond:
             out, self._pending = self._pending, []
+            if out:
+                self._cond.notify_all()
         if _metrics.ENABLED and out:
             _QUEUE_DEPTH.set(0)
         return out
 
     def __len__(self) -> int:
-        with self._lock:
+        with self._cond:
             return len(self._pending)

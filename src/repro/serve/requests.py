@@ -124,10 +124,30 @@ class PageRank(Query):
     """PageRank scores; result is the ``(Vector, iterations)`` pair the
     Basic-mode :func:`repro.lagraph.pagerank` returns."""
 
+    #: Variants the stack ships (``"gx"`` is the short alias the lagraph
+    #: dispatcher accepts for ``"graphalytics"``).
+    VARIANTS: ClassVar[tuple] = ("gap", "graphalytics", "gx")
+
     variant: str = "gap"
     damping: float = 0.85
     tol: float = 1e-4
     itermax: int = 100
+
+    def validate(self, g) -> None:
+        from .resilience import GraphValidationError, UnknownKernel
+        if self.variant not in self.VARIANTS:
+            raise UnknownKernel(
+                f"unknown PageRank variant {self.variant!r}; "
+                f"one of {self.VARIANTS}")
+        if not 0.0 < float(self.damping) < 1.0:
+            raise GraphValidationError(
+                f"PageRank damping must be in (0, 1), got {self.damping}")
+        if not float(self.tol) > 0.0:
+            raise GraphValidationError(
+                f"PageRank tol must be > 0, got {self.tol}")
+        if int(self.itermax) < 1:
+            raise GraphValidationError(
+                f"PageRank itermax must be >= 1, got {self.itermax}")
 
     def run_direct(self, g):
         from .. import lagraph as lg
@@ -149,6 +169,14 @@ class TriangleCount(Query):
     """Global triangle count (an ``int``)."""
 
     method: str = "sandia_lut"
+
+    def validate(self, g) -> None:
+        from ..lagraph.algorithms.tc import METHODS
+        from .resilience import UnknownKernel
+        if self.method not in METHODS:
+            raise UnknownKernel(
+                f"unknown TriangleCount method {self.method!r}; "
+                f"one of {tuple(METHODS)}")
 
     def run_direct(self, g):
         from .. import lagraph as lg

@@ -1,0 +1,272 @@
+"""Resilience primitives for the serving layer.
+
+Four defenses, composed by :class:`~repro.serve.service.GraphService`
+(see ``docs/RESILIENCE.md`` for the operator's view):
+
+* **Deadlines** — requests resolve with
+  :class:`~repro.grb.cancel.DeadlineExceeded` when their budget runs
+  out; kernels abort cooperatively via :mod:`repro.grb.cancel`
+  checkpoints.
+* **Admission control** — the coalescing queue is bounded; over the
+  bound, :data:`POLICY_REJECT` fails the new request,
+  :data:`POLICY_DROP_OLDEST` sheds the oldest queued one, and
+  :data:`POLICY_BLOCK` backpressures the submitter.  Shed requests
+  resolve with :class:`ServiceOverloaded`.
+* **Retries** — :class:`RetryPolicy` classifies retryable faults and
+  produces capped exponential backoff with seeded jitter.
+* **Circuit breaking** — :class:`CircuitBreaker` per (graph, kernel)
+  opens after repeated failures; while open the service answers from
+  stale memo entries wrapped in :class:`DegradedResult` (or fails fast
+  with :class:`CircuitOpen`), and a half-open trial closes it again
+  after the reset timeout.
+
+Metric surfaces (always-on, per the obs gating rules)::
+
+    grb_serve_shed_total{policy}       requests shed by admission control
+    grb_serve_retries_total            kernel-unit retry attempts
+    grb_serve_breaker_state{graph,kernel}   0 closed / 1 open / 2 half-open
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Optional
+
+from ..grb.cancel import Cancelled, DeadlineExceeded
+from ..obs import metrics as _metrics
+
+__all__ = [
+    "DeadlineExceeded", "Cancelled",
+    "ServiceOverloaded", "CircuitOpen", "GraphValidationError",
+    "UnknownKernel", "DegradedResult",
+    "ADMISSION_POLICIES", "POLICY_REJECT", "POLICY_DROP_OLDEST",
+    "POLICY_BLOCK",
+    "RetryPolicy", "CircuitBreaker",
+    "BREAKER_CLOSED", "BREAKER_OPEN", "BREAKER_HALF_OPEN",
+]
+
+# always-on resilience metrics (names fixed by docs/OBSERVABILITY.md)
+_SHED = _metrics.counter(
+    "grb_serve_shed_total", "Requests shed by admission control",
+    labels=("policy",))
+_RETRIES = _metrics.counter(
+    "grb_serve_retries_total", "Serve kernel-unit retry attempts")
+_BREAKER_STATE = _metrics.gauge(
+    "grb_serve_breaker_state",
+    "Circuit-breaker state (0 closed, 1 open, 2 half-open)",
+    labels=("graph", "kernel"))
+
+
+# ---------------------------------------------------------------------------
+# exceptions / result wrappers
+# ---------------------------------------------------------------------------
+class ServiceOverloaded(RuntimeError):
+    """The request was shed by admission control (bounded queue full)."""
+
+
+class CircuitOpen(RuntimeError):
+    """The (graph, kernel) circuit breaker is open and no stale memoized
+    result was available to degrade to."""
+
+
+class GraphValidationError(ValueError):
+    """A graph or query failed serve-side validation (non-finite edge
+    weights, out-of-range parameters, ...) before any kernel ran."""
+
+
+class UnknownKernel(GraphValidationError):
+    """A query names a kernel variant/method the stack does not ship."""
+
+
+class DegradedResult:
+    """A stale memoized answer served while a circuit breaker is open.
+
+    Wraps the cached value so callers can *tell* they got degraded data:
+    ``fut.result()`` returns a ``DegradedResult`` whose ``value`` is the
+    stale answer and whose ``(epoch, version)`` says how stale.  Callers
+    that never trip breakers never see this type.
+    """
+
+    __slots__ = ("value", "epoch", "version")
+
+    def __init__(self, value, epoch: int, version: int):
+        self.value = value
+        self.epoch = epoch
+        self.version = version
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DegradedResult(epoch={self.epoch}, "
+                f"version={self.version}, value={self.value!r})")
+
+
+# ---------------------------------------------------------------------------
+# admission control vocabulary
+# ---------------------------------------------------------------------------
+POLICY_REJECT = "reject"
+POLICY_DROP_OLDEST = "drop-oldest"
+POLICY_BLOCK = "block"
+ADMISSION_POLICIES = (POLICY_REJECT, POLICY_DROP_OLDEST, POLICY_BLOCK)
+
+
+def count_shed(policy: str, n: int = 1) -> None:
+    """Bump the always-on shed counter (callers also track per-service
+    counts in ``ServiceStats``)."""
+    if _metrics.ENABLED:
+        _SHED.labels(policy).inc(n)
+
+
+def count_retry(n: int = 1) -> None:
+    """Bump the always-on retry counter."""
+    if _metrics.ENABLED:
+        _RETRIES.inc(n)
+
+
+# ---------------------------------------------------------------------------
+# retries
+# ---------------------------------------------------------------------------
+class RetryPolicy:
+    """Capped exponential backoff with seeded jitter.
+
+    ``attempts`` is the total number of tries for one kernel unit (1 =
+    no retries).  Backoff before retry ``k`` (k = 1 is the first retry)
+    is ``min(cap, base * 2**(k-1))`` plus uniform jitter in
+    ``[0, jitter_frac]`` of that — jitter comes from ``Random(seed)`` so
+    chaos runs replay deterministically.
+
+    What is *retryable*: exceptions whose ``retryable`` attribute is
+    true (:class:`repro.testing.faults.TransientFault`, and anything a
+    deployment marks likewise), plus ``ConnectionError``/``OSError``
+    transients.  Deadlines, cancellation, and validation errors are
+    never retried.
+    """
+
+    def __init__(self, attempts: int = 3, base: float = 0.01,
+                 cap: float = 0.25, jitter_frac: float = 0.5,
+                 seed: int = 0,
+                 classify: Optional[Callable[[BaseException], bool]] = None):
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        self.attempts = int(attempts)
+        self.base = float(base)
+        self.cap = float(cap)
+        self.jitter_frac = float(jitter_frac)
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self._classify = classify
+
+    def retryable(self, exc: BaseException) -> bool:
+        if isinstance(exc, (DeadlineExceeded, Cancelled)):
+            return False
+        if self._classify is not None:
+            return bool(self._classify(exc))
+        if getattr(exc, "retryable", False):
+            return True
+        return isinstance(exc, (ConnectionError, TimeoutError)) \
+            and not isinstance(exc, DeadlineExceeded)
+
+    def backoff(self, retry_number: int) -> float:
+        """Seconds to sleep before retry ``retry_number`` (1-based)."""
+        delay = min(self.cap, self.base * (2.0 ** (retry_number - 1)))
+        with self._rng_lock:
+            return delay * (1.0 + self._rng.uniform(0.0, self.jitter_frac))
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+_STATE_CODES = {BREAKER_CLOSED: 0, BREAKER_OPEN: 1, BREAKER_HALF_OPEN: 2}
+
+
+class CircuitBreaker:
+    """A per-(graph, kernel) failure fuse.
+
+    ``failure_threshold`` *consecutive* kernel-unit failures open the
+    breaker; while open, :meth:`allow` returns ``False`` (the service
+    degrades or fails fast without running the kernel).  After
+    ``reset_timeout`` seconds one half-open trial is admitted: its
+    success closes the breaker, its failure re-opens it for another full
+    timeout.  ``clock`` is injectable for tests.
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout: float = 30.0, *,
+                 graph: str = "?", kernel: str = "?",
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.graph = graph
+        self.kernel = kernel
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._failures = 0          # consecutive failures while closed
+        self._opened_at = 0.0
+        self._trial_inflight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._probe_locked()
+
+    def _probe_locked(self) -> str:
+        if (self._state == BREAKER_OPEN
+                and self._clock() - self._opened_at >= self.reset_timeout):
+            self._state = BREAKER_HALF_OPEN
+            self._trial_inflight = False
+            self._publish(BREAKER_HALF_OPEN)
+        return self._state
+
+    def allow(self) -> bool:
+        """May a kernel unit run now?  At most one trial is admitted in
+        the half-open state; concurrent units see ``False`` until the
+        trial reports."""
+        with self._lock:
+            state = self._probe_locked()
+            if state == BREAKER_CLOSED:
+                return True
+            if state == BREAKER_HALF_OPEN and not self._trial_inflight:
+                self._trial_inflight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._trial_inflight = False
+            if self._state != BREAKER_CLOSED:
+                self._state = BREAKER_CLOSED
+                self._publish(BREAKER_CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._probe_locked()
+            if state == BREAKER_HALF_OPEN:
+                # failed trial: re-open for another full timeout
+                self._state = BREAKER_OPEN
+                self._opened_at = self._clock()
+                self._trial_inflight = False
+                self._publish(BREAKER_OPEN)
+                return
+            self._failures += 1
+            if (state == BREAKER_CLOSED
+                    and self._failures >= self.failure_threshold):
+                self._state = BREAKER_OPEN
+                self._opened_at = self._clock()
+                self._publish(BREAKER_OPEN)
+
+    def _publish(self, state: str) -> None:
+        if _metrics.ENABLED:
+            _BREAKER_STATE.labels(self.graph, self.kernel).set(
+                _STATE_CODES[state])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CircuitBreaker({self.graph}/{self.kernel}, "
+                f"state={self.state}, failures={self._failures})")

@@ -1,0 +1,27 @@
+"""``repro.testing`` — deterministic test harnesses for the stack.
+
+Currently one member: :mod:`repro.testing.faults`, the seeded
+fault-injection harness the serve-layer chaos suite drives.  Production
+code never imports this package except for the near-zero-cost
+``faults.ACTIVE`` guard at the injection sites.
+"""
+
+from . import faults
+from .faults import (
+    FaultInjected,
+    TransientFault,
+    Injector,
+    installed,
+    latency,
+    memory_pressure,
+    raise_on_nth,
+    raise_when,
+    seeded_faults,
+)
+
+__all__ = [
+    "faults",
+    "FaultInjected", "TransientFault", "Injector",
+    "installed", "latency", "memory_pressure",
+    "raise_on_nth", "raise_when", "seeded_faults",
+]

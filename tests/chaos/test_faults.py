@@ -1,0 +1,205 @@
+"""Unit semantics of the fault-injection harness itself.
+
+The chaos suite (``test_chaos.py``) trusts the harness to be scoped,
+seeded, and invisible when idle; this module is where that trust is
+earned.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.testing import faults
+
+
+@pytest.fixture(autouse=True)
+def _no_leaks():
+    """A failing test must not leak injectors into its neighbours."""
+    yield
+    faults.clear()
+    assert not faults.ACTIVE
+
+
+class TestInstallation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            faults.Injector("network", lambda info: None)
+
+    def test_active_flag_tracks_installs(self):
+        assert not faults.ACTIVE
+        inj = faults.latency("kernel", 0.0)
+        with faults.installed(inj):
+            assert faults.ACTIVE
+        assert not faults.ACTIVE
+
+    def test_installed_scope_removes_on_exception(self):
+        inj = faults.latency("kernel", 0.0)
+        with pytest.raises(RuntimeError):
+            with faults.installed(inj):
+                raise RuntimeError("test body died")
+        assert not faults.ACTIVE
+
+    def test_fire_without_injectors_is_silent(self):
+        faults.fire("kernel", op="mxv")     # no-op, no error
+
+    def test_remove_is_idempotent(self):
+        inj = faults.latency("kernel", 0.0)
+        inj.install()
+        inj.remove()
+        inj.remove()
+        assert not faults.ACTIVE
+
+    def test_wildcard_site_matches_everything(self):
+        seen = []
+        inj = faults.Injector("*", lambda info: seen.append(info["_nth"]))
+        with faults.installed(inj):
+            faults.fire("kernel", op="mxv")
+            faults.fire("storage", fmt="csr")
+        assert seen == [1, 2]
+
+    def test_site_filter(self):
+        inj = faults.latency("storage", 0.0)
+        with faults.installed(inj):
+            faults.fire("kernel", op="mxv")
+            assert inj.calls == 0
+            faults.fire("storage", fmt="csr")
+            assert inj.calls == 1
+
+
+class TestRaiseOnNth:
+    def test_fires_only_on_nth(self):
+        inj = faults.raise_on_nth("kernel", 3)
+        with faults.installed(inj):
+            faults.fire("kernel", op="mxv")
+            faults.fire("kernel", op="mxv")
+            with pytest.raises(faults.TransientFault) as ei:
+                faults.fire("kernel", op="mxv")
+            faults.fire("kernel", op="mxv")     # quiet again
+        assert ei.value.site == "kernel" and ei.value.nth == 3
+        assert inj.fired == 1
+
+    def test_repeat_extends_the_window(self):
+        inj = faults.raise_on_nth("kernel", 2, repeat=2)
+        with faults.installed(inj):
+            faults.fire("kernel")
+            for _ in range(2):
+                with pytest.raises(faults.TransientFault):
+                    faults.fire("kernel")
+            faults.fire("kernel")
+        assert inj.fired == 2
+
+    def test_match_narrows_the_count(self):
+        inj = faults.raise_on_nth(
+            "kernel", 2, match=lambda info: info.get("op") == "mxv")
+        with faults.installed(inj):
+            faults.fire("kernel", op="mxv")
+            faults.fire("kernel", op="vxm")     # not counted
+            with pytest.raises(faults.TransientFault):
+                faults.fire("kernel", op="mxv")
+
+    def test_exception_instance_passthrough(self):
+        boom = KeyError("exact object")
+        inj = faults.raise_on_nth("kernel", 1, exc=boom)
+        with faults.installed(inj):
+            with pytest.raises(KeyError) as ei:
+                faults.fire("kernel")
+        assert ei.value is boom
+
+
+class TestRaiseWhen:
+    def test_predicate_gates_every_call(self):
+        inj = faults.raise_when(
+            "drain", lambda info: info.get("graph") == "poisoned")
+        with faults.installed(inj):
+            faults.fire("drain", graph="healthy")
+            with pytest.raises(faults.FaultInjected):
+                faults.fire("drain", graph="poisoned")
+            with pytest.raises(faults.FaultInjected):
+                faults.fire("drain", graph="poisoned")
+        assert inj.fired == 2
+
+    def test_default_exception_is_permanent(self):
+        inj = faults.raise_when("kernel", lambda info: True)
+        with faults.installed(inj):
+            with pytest.raises(faults.FaultInjected) as ei:
+                faults.fire("kernel")
+        assert not ei.value.retryable
+
+
+class TestLatency:
+    def test_sleeps_for_the_budget(self):
+        inj = faults.latency("storage", 0.05)
+        with faults.installed(inj):
+            t0 = time.perf_counter()
+            faults.fire("storage")
+            assert time.perf_counter() - t0 >= 0.05
+        assert inj.fired == 1
+
+    def test_seeded_jitter_replays(self, monkeypatch):
+        def schedule(seed):
+            slept = []
+            monkeypatch.setattr(faults.time, "sleep", slept.append)
+            inj = faults.latency("kernel", 0.01, jitter=0.05, seed=seed)
+            with faults.installed(inj):
+                for _ in range(8):
+                    faults.fire("kernel")
+            monkeypatch.undo()
+            return slept
+
+        assert schedule(5) == schedule(5)
+        assert schedule(5) != schedule(6)
+
+
+class TestMemoryPressure:
+    def test_allocates_and_releases(self):
+        inj = faults.memory_pressure("storage", 1 << 20)
+        with faults.installed(inj):
+            faults.fire("storage", fmt="csr")
+        assert inj.fired == 1
+
+
+class TestSeededFaults:
+    def test_same_seed_same_schedule(self):
+        def run(seed):
+            inj = faults.seeded_faults("kernel", seed=seed, rate=0.5)
+            hits = []
+            with faults.installed(inj):
+                for k in range(32):
+                    try:
+                        faults.fire("kernel", op="mxv")
+                        hits.append(False)
+                    except faults.TransientFault:
+                        hits.append(True)
+            return hits
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)       # astronomically unlikely to match
+
+    def test_rate_zero_never_fires(self):
+        inj = faults.seeded_faults("kernel", seed=0, rate=0.0)
+        with faults.installed(inj):
+            for _ in range(64):
+                faults.fire("kernel")
+        assert inj.fired == 0
+
+    def test_default_is_retryable(self):
+        inj = faults.seeded_faults("kernel", seed=0, rate=1.0)
+        with faults.installed(inj):
+            with pytest.raises(faults.TransientFault) as ei:
+                faults.fire("kernel")
+        assert ei.value.retryable
+
+
+class TestConcurrency:
+    def test_counters_are_race_free(self):
+        inj = faults.latency("kernel", 0.0)
+        with faults.installed(inj):
+            threads = [threading.Thread(
+                target=lambda: [faults.fire("kernel") for _ in range(100)])
+                for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert inj.calls == 800

@@ -1,0 +1,180 @@
+"""Shutdown and invalidation races.
+
+The Progress guarantee under fire: no matter how ``shutdown()``,
+``invalidate()``, and in-flight drains interleave, every submitted future
+resolves exactly once — with a result, or with a definite error — and a
+closed service refuses new work loudly.
+"""
+
+import threading
+import time
+
+import pytest
+
+from helpers import random_graph_np
+from repro import serve
+
+
+@pytest.fixture
+def graph(rng):
+    return random_graph_np(rng, n=40, p=0.1)
+
+
+def _drain_outcomes(futs, timeout=30):
+    """Collect (kind, payload) per future; raises if any future hangs."""
+    out = []
+    for f in futs:
+        try:
+            out.append(("ok", f.result(timeout=timeout)))
+        except Exception as exc:
+            out.append(("err", exc))
+    return out
+
+
+class TestSubmitAfterShutdown:
+    def test_submit_raises_runtime_error(self, graph):
+        svc = serve.GraphService(max_workers=2)
+        svc.register("g", graph)
+        svc.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            svc.submit("g", serve.BFSLevels(0))
+
+    def test_query_raises_runtime_error(self, graph):
+        svc = serve.GraphService(max_workers=2)
+        svc.register("g", graph)
+        svc.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            svc.query("g", serve.TriangleCount())
+
+    def test_shutdown_is_idempotent(self, graph):
+        svc = serve.GraphService(max_workers=2)
+        svc.register("g", graph)
+        svc.shutdown()
+        svc.shutdown()
+
+
+class TestShutdownDuringDrain:
+    def test_every_future_resolves(self, graph):
+        """shutdown(wait=True) racing an active drain: submitted futures
+        either complete or fail with the shutdown error — none hang."""
+        svc = serve.GraphService(max_workers=4)
+        svc.register("g", graph)
+        futs = svc.submit_many(
+            "g", [serve.BFSLevels(s % graph.n) for s in range(64)])
+        svc.shutdown(wait=True)
+        outcomes = _drain_outcomes(futs, timeout=30)
+        assert len(outcomes) == 64
+        for kind, payload in outcomes:
+            if kind == "err":
+                assert isinstance(payload, RuntimeError)
+        assert all(f.done() for f in futs)
+
+    def test_queued_requests_fail_not_hang(self, graph):
+        """Requests still queued when the pool dies are resolved by the
+        shutdown drain, not abandoned."""
+        svc = serve.GraphService(max_workers=1)
+        svc.register("g", graph)
+        gate = threading.Event()
+        svc._executor.submit(gate.wait)     # pin the only worker
+        futs = svc.submit_many(
+            "g", [serve.BFSLevels(s) for s in range(8)])
+        shutter = threading.Thread(target=svc.shutdown,
+                                   kwargs={"wait": True})
+        shutter.start()
+        time.sleep(0.05)
+        gate.set()
+        shutter.join(timeout=30)
+        assert not shutter.is_alive()
+        outcomes = _drain_outcomes(futs, timeout=30)
+        assert len(outcomes) == 8           # all resolved, one way or other
+
+    def test_concurrent_submitters_and_shutdown(self, graph):
+        """Hammer submit from several threads while shutdown lands: every
+        future any submitter managed to obtain resolves."""
+        svc = serve.GraphService(max_workers=2)
+        svc.register("g", graph)
+        futs, futs_lock = [], threading.Lock()
+        stop = threading.Event()
+
+        def submitter(base):
+            i = 0
+            while not stop.is_set():
+                try:
+                    f = svc.submit("g", serve.BFSLevels((base + i) % graph.n))
+                except RuntimeError:
+                    return                  # service closed underneath us
+                with futs_lock:
+                    futs.append(f)
+                i += 1
+
+        threads = [threading.Thread(target=submitter, args=(k * 7,))
+                   for k in range(3)]
+        for t in threads:
+            t.start()
+        time.sleep(0.1)
+        svc.shutdown(wait=True)
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert futs                          # the race actually raced
+        outcomes = _drain_outcomes(futs, timeout=30)
+        assert len(outcomes) == len(futs)
+
+
+class TestInvalidateRaces:
+    def test_invalidate_racing_batches(self, graph):
+        """invalidate() storms while batches execute: every future still
+        resolves with a correct-for-some-version result."""
+        svc = serve.GraphService(max_workers=4)
+        svc.register("g", graph)
+        stop = threading.Event()
+
+        def invalidator():
+            while not stop.is_set():
+                svc.invalidate("g")
+                time.sleep(0.001)
+
+        t = threading.Thread(target=invalidator)
+        t.start()
+        try:
+            futs = []
+            for wave in range(6):
+                futs += svc.submit_many(
+                    "g", [serve.BFSLevels(s % graph.n) for s in range(16)])
+            for f in futs:
+                assert f.result(timeout=30) is not None
+        finally:
+            stop.set()
+            t.join(timeout=30)
+        svc.shutdown()
+
+    def test_invalidate_from_done_callback_does_not_deadlock(self, graph):
+        """A future callback that takes the registry write lock must not
+        deadlock against the drain worker's read lock (resolutions are
+        applied outside ``registry.reading()``)."""
+        svc = serve.GraphService(max_workers=2)
+        svc.register("g", graph)
+        fired = threading.Event()
+
+        fut = svc.submit("g", serve.BFSLevels(0))
+
+        def cb(f):
+            svc.invalidate("g")
+            fired.set()
+
+        fut.add_done_callback(cb)
+        assert fut.result(timeout=30) is not None
+        assert fired.wait(timeout=30)
+        svc.shutdown()
+
+    def test_flush_after_invalidate_storm(self, graph):
+        svc = serve.GraphService(max_workers=4)
+        svc.register("g", graph)
+        for _ in range(4):
+            svc.submit_many(
+                "g", [serve.BFSLevels(s % graph.n) for s in range(8)])
+            svc.invalidate("g")
+        svc.flush(timeout=30)
+        st = svc.stats()
+        assert st.completed == st.submitted
+        svc.shutdown()
