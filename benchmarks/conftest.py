@@ -156,9 +156,13 @@ def pytest_sessionfinish(session, exitstatus):
     try:
         from repro import obs
         from repro.grb.engine import plancache
+        from repro.grb import pool as grbpool
         obs_part = {
             "plan_cache": dataclasses.asdict(plancache.stats()),
             "store_footprint": obs.memory.snapshot(),
+            # a scaling regression reads differently at 0 vs 4 workers —
+            # record the leg so bench_compare never cross-compares them
+            "pool": {"workers": grbpool.configured_workers()},
         }
     except Exception:
         pass                                     # never fail the session

@@ -41,6 +41,8 @@ __all__ = [
     "MSBFS_FUSE_FRONTIER_K",
     # frontier-direction (Beamer) chooser
     "PUSHPULL_ALPHA", "PUSHPULL_BETA", "BFS_DO_MIN_AVG_DEGREE",
+    # worker-pool sharding (repro.grb.pool)
+    "POOL_MIN_WORK", "POOL_INLINE_LIMIT", "POOL_MULTIPLAN_ENABLED",
     # estimators
     "dot_probe_cost", "expand_flops_estimate", "expand_flops_exact",
     "product_nnz_estimate", "choose_masked_method",
@@ -140,6 +142,25 @@ PUSHPULL_BETA = 18.0
 #: Average degree at/above which Basic-mode BFS opts into direction
 #: optimisation (the transpose build has to amortise).
 BFS_DO_MIN_AVG_DEGREE = 4.0
+
+# ---------------------------------------------------------------------------
+# worker-pool sharding (repro.grb.pool)
+# ---------------------------------------------------------------------------
+
+#: Minimum work units — mask entries for the sharded dot kernel, operand
+#: stored entries for the row-blocked products — before the pool rules
+#: claim a plan.  Below it, process dispatch overhead (task pickling, a
+#: pipe round-trip per block) dwarfs the parallel compute; tests zero it
+#: (monkeypatch) to force the sharded tier on tiny inputs.
+POOL_MIN_WORK = 1 << 16
+#: Operands at or below this many bytes ship inline inside the task
+#: message instead of through a shared-memory placement: one pickle of a
+#: small frontier is cheaper than a segment create + attach round-trip.
+POOL_INLINE_LIMIT = 1 << 16
+#: Master switch for MultiPlan's concurrent dispatch of independent DAG
+#: nodes when the pool is enabled (the per-node sequential loop is the
+#: bit-identity reference either way — concurrency never regroups work).
+POOL_MULTIPLAN_ENABLED = True
 
 
 # ---------------------------------------------------------------------------

@@ -60,6 +60,12 @@ from . import cost
 from .plan import Plan
 from .rules import register
 
+# registration order is trial order: importing the sharded pool rules
+# *before* this module's own registrations puts them first in line, so an
+# enabled pool claims eligible plans ahead of the serial kernels (they
+# decline instantly when REPRO_POOL_WORKERS is unset)
+from . import pool_rules  # noqa: E402,F401  (import is the registration)
+
 __all__ = ["write_vector", "write_matrix", "finish", "scipy_mxm",
            "scipy_mxv", "mask_live_rows", "mask_key_filter"]
 

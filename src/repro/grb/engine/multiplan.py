@@ -37,6 +37,7 @@ pins.  Each fused group emits one ``grb.telemetry`` decision event
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, List
 
 import numpy as np
@@ -60,6 +61,11 @@ _FUSIONS: List[tuple] = []
 _FUSED = _metrics.counter(
     "grb_multiplan_fused_total", "Fused groups executed, by fusion rule",
     labels=("rule",))
+
+#: Independent-node groups dispatched concurrently (pool-enabled runs).
+_CONCURRENT = _metrics.counter(
+    "grb_pool_multiplan_groups_total",
+    "Independent DAG-node groups dispatched concurrently")
 
 
 def register_fusion(name: str):
@@ -124,10 +130,77 @@ class MultiPlan:
                 if consumed:
                     i += consumed
                     continue
+            if _concurrency_enabled():
+                group = _ready_run(nodes, i)
+                if len(group) > 1:
+                    _dispatch_concurrently(group)
+                    i += len(group)
+                    continue
             node = nodes[i]
             node.result = dispatch(node.plan)
             node.state = _DONE
             i += 1
+
+
+# ---------------------------------------------------------------------------
+# concurrent dispatch of independent nodes (pool-enabled runs)
+# ---------------------------------------------------------------------------
+
+def _concurrency_enabled() -> bool:
+    if not cost.POOL_MULTIPLAN_ENABLED:
+        return False
+    from .. import pool as _pool
+    return _pool.pool_enabled()
+
+
+def _ready_run(nodes, i):
+    """Maximal run of consecutive nodes whose dependencies are all done.
+
+    Statement recording captures every hazard as a dep edge — read-after-
+    write (input produced by a pending node), write-after-read (readers of
+    the overwritten object), write-after-write (the object's pending
+    producer).  A node whose deps are all ``_DONE`` therefore depends on
+    nothing still pending — including its left neighbours in this run —
+    so the whole run is mutually independent and safe to dispatch
+    concurrently.
+    """
+    group = []
+    for node in nodes[i:]:
+        if any(dep.state != _DONE for dep in node.deps):
+            break
+        group.append(node)
+    return group
+
+
+def _dispatch_concurrently(group) -> None:
+    """One thread per node, each in a copied context (cancel scope,
+    forced-rule and telemetry state survive the hop).  Results and states
+    land exactly as the sequential loop would set them; any failure is
+    re-raised after every thread has parked, so no node is left half-run.
+    """
+    import contextvars
+
+    errors: list = []
+
+    def _run(node, ctx) -> None:
+        try:
+            node.result = ctx.run(dispatch, node.plan)
+            node.state = _DONE
+        except BaseException as exc:  # noqa: BLE001 - relayed below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=_run,
+                                args=(node, contextvars.copy_context()),
+                                daemon=True)
+               for node in group]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if _metrics.ENABLED:
+        _CONCURRENT.inc()
+    if errors:
+        raise errors[0]
 
 
 # ---------------------------------------------------------------------------

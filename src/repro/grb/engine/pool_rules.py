@@ -1,0 +1,221 @@
+"""Sharded execution rules: row-blocked kernels on the worker pool.
+
+Three rules, all on ``mxm``, registered *before* the serial rules (this
+module is imported at the top of :mod:`executors`, and registration
+order is trial order) so the pool claims eligible plans first:
+
+``msbfs-rowblock-pool``
+    the batched-frontier level shape — complemented structural mask,
+    ``pair`` multiply — sharded over mask-live frontier rows.
+``masked-dot-rowblock-pool``
+    the dot3 kernel's plans (it defers to the serial chooser's own
+    ``applies``, so kernel selection is unchanged), sharded over
+    contiguous mask-entry chunks.
+``mxm-rowblock-pool``
+    every remaining SciPy-reducible product, sharded over mask-live (or
+    all) output rows.
+
+Bit-identity is by construction, not by luck: each worker runs *the same
+kernel function* the serial rule runs, restricted to its block, and the
+parent reassembles with the same merge —
+
+* row blocks partition an ascending row set, and ``scipy_mxm`` emits
+  row-major-ascending (key, value) pairs per block, so block-order
+  concatenation *is* the serial kernel's globally sorted output;
+* mask-entry chunks partition the ascending allowed-key order, each
+  chunk's ``hit`` indices are offset by its start, and per-entry dot
+  reductions never cross a chunk boundary.
+
+Every rule declines when the pool is disabled (``REPRO_POOL_WORKERS``
+unset/0 — the serial engine is untouched, bit-for-bit) or when the work
+is below ``cost.POOL_MIN_WORK`` (process dispatch has a floor;
+monkeypatch it to 0 to force the sharded tier on test-sized inputs).  A
+cached plan that claimed a pool rule while the pool was up degrades to
+the serial kernel in ``run`` if the pool has since gone away.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import cancel as _cancel
+from .. import pool as _pool
+from . import cost
+from .plan import Plan
+from .rules import register
+
+__all__ = []
+
+
+def _pool_ready(plan: Plan) -> bool:
+    a, b = plan.args
+    return (_pool.pool_enabled()
+            and a.nvals + b.nvals >= cost.POOL_MIN_WORK)
+
+
+def _row_blocks(rows: np.ndarray, nblocks: int):
+    """Contiguous partition of an ascending row set (empties dropped)."""
+    return [blk for blk in np.array_split(rows, max(nblocks, 1))
+            if blk.size]
+
+
+def _task_deadline():
+    token = _cancel.current_token()
+    return None if token is None else token.remaining()
+
+
+def _sharded_scipy_mxm(plan: Plan, detail: dict):
+    """Row-blocked ``scipy_mxm`` on the pool; serial fallback if it left."""
+    from . import executors as _ex
+    a, b = plan.args
+    if plan.transpose_b:
+        b = b.T
+    rows = _ex._live_rows_feed(plan, a.nrows, b.ncols)
+    pool = _pool.get_pool()
+    if pool is None:              # cached claim outliving the pool
+        keys, vals = _ex.scipy_mxm(a, b, plan.operator, rows=rows)
+        return _ex.finish(plan, keys, vals, is_vector=False,
+                          nrows=a.nrows, ncols=b.ncols)
+    if rows is None:
+        rows = np.arange(a.nrows, dtype=np.int64)
+    blocks = _row_blocks(rows, pool.size)
+    if not blocks:
+        return _ex.finish(plan, np.empty(0, np.int64),
+                          np.empty(0, _ex._scipy_dtype(a, b, plan.operator)),
+                          is_vector=False, nrows=a.nrows, ncols=b.ncols)
+    a_ref = _pool.matrix_ref(a, "csr")
+    b_ref = _pool.matrix_ref(b, "csr")
+    deadline = _task_deadline()
+    tasks = [{"kind": "mxm-block", "op": plan.op,
+              "semiring": plan.operator.name,
+              "a": a_ref, "b": b_ref, "rows": blk, "deadline": deadline}
+             for blk in blocks]
+    parts = pool.run_tasks(tasks)
+    keys = np.concatenate([p[0] for p in parts])
+    vals = np.concatenate([p[1] for p in parts])
+    return _ex.finish(plan, keys, vals, is_vector=False,
+                      nrows=a.nrows, ncols=b.ncols)
+
+
+@register("mxm", "msbfs-rowblock-pool")
+class _MsbfsRowblockPool:
+    """Sharded batched-frontier expansion (the msbfs level multiply).
+
+    Claims the ``C⟨¬s(L)⟩ = F pair.⊕ A`` shape — complemented structural
+    mask, ``pair`` multiply, SciPy-reducible add — and splits the
+    mask-live frontier rows (sources still exploring) into row blocks.
+    """
+
+    @staticmethod
+    def applies(plan: Plan):
+        a, b = plan.args
+        sr = plan.operator
+        mask = plan.mask
+        if (mask is None or not mask.complemented or not mask.structural
+                or sr.mult.name != "pair" or not sr.scipy_reducible()
+                or not a.nvals or not b.nvals or not _pool_ready(plan)):
+            return None
+        rows = _live_rows_feed_shape(plan)
+        pool_size = _pool.configured_workers()
+        return {"method": "rowblock-pool", "workers": pool_size,
+                "blocks": min(pool_size,
+                              a.nrows if rows is None else rows.size)}
+
+    run = staticmethod(_sharded_scipy_mxm)
+
+
+@register("mxm", "masked-dot-rowblock-pool")
+class _MaskedDotRowblockPool:
+    """Sharded dot3: the serial chooser's plans, chunked over mask entries.
+
+    Kernel *selection* is delegated wholesale to the serial rule's
+    ``applies`` (same chooser, same ``plan.meta["_dot"]`` feed), so the
+    pool never changes which kernel runs — only where.  The chooser's
+    verdict is stashed under ``plan.meta["_pool_dot"]`` so the generic
+    rowblock rule below can respect it without re-running the chooser.
+    """
+
+    @staticmethod
+    def applies(plan: Plan):
+        if not _pool.pool_enabled():
+            return None
+        from .executors import _MxmMaskedDot
+        detail = _MxmMaskedDot.applies(plan)
+        plan.meta["_pool_dot"] = "none" if detail is None else "dot"
+        if detail is None:
+            return None
+        if detail["mask_nvals"] < cost.POOL_MIN_WORK:
+            return None           # serial dot rule re-claims downstream
+        pool_size = _pool.configured_workers()
+        return dict(detail, method="dot-pool", workers=pool_size)
+
+    @staticmethod
+    def run(plan: Plan, detail: dict):
+        from . import executors as _ex
+        a, b = plan.args
+        sr = plan.operator
+        allowed, rows_m, cols_m, lengths, _ = plan.meta["_dot"]
+        bn_cols = plan.meta["_bn_cols"]
+        pool = _pool.get_pool()
+        if rows_m is None or pool is None:
+            return _ex._MxmMaskedDot.run(plan, detail)
+        bounds = np.linspace(0, rows_m.size,
+                             min(pool.size, rows_m.size) + 1).astype(np.int64)
+        cuts = [(int(bounds[i]), int(bounds[i + 1]))
+                for i in range(bounds.size - 1)
+                if bounds[i + 1] > bounds[i]]
+        a_ref = _pool.matrix_ref(a, "csr")
+        bt_ref = _pool.matrix_ref(b, "csr" if plan.transpose_b else "tcsr")
+        cast = _ex._scipy_dtype(a, b, sr) if sr.scipy_reducible() else None
+        deadline = _task_deadline()
+        la, lb = lengths
+        tasks = [{"kind": "dot-block", "op": plan.op, "semiring": sr.name,
+                  "a": a_ref, "bt": bt_ref,
+                  "rows": rows_m[s:e], "cols": cols_m[s:e],
+                  "lengths": (la[s:e], lb[s:e]),
+                  "inner": int(a.ncols),
+                  "cast": None if cast is None else np.dtype(cast).str,
+                  "deadline": deadline}
+                 for s, e in cuts]
+        parts = pool.run_tasks(tasks)
+        hit = np.concatenate([p[0] + s for p, (s, _) in zip(parts, cuts)])
+        t_keys = allowed[hit]
+        t_vals = np.concatenate([p[1] for p in parts])
+        plan.meta["_premasked"] = True  # output ⊆ mask by construction
+        return _ex.finish(plan, t_keys, t_vals, is_vector=False,
+                          nrows=a.nrows, ncols=bn_cols)
+
+
+@register("mxm", "mxm-rowblock-pool")
+class _MxmRowblockPool:
+    """Sharded compiled-CSR multiply for the remaining reducible plans.
+
+    Stands aside whenever the chooser routed the plan to the dot kernel
+    (``plan.meta["_pool_dot"]``) — the serial dot rule is still the
+    better kernel, and stealing its plans would change *which* kernel
+    runs, not just where.
+    """
+
+    @staticmethod
+    def applies(plan: Plan):
+        a, b = plan.args
+        if (not plan.operator.scipy_reducible() or not a.nvals
+                or not b.nvals or not _pool_ready(plan)):
+            return None
+        if plan.meta.get("_pool_dot") == "dot":
+            return None
+        rows = _live_rows_feed_shape(plan)
+        pool_size = _pool.configured_workers()
+        return {"method": plan.meta.get("method", "rowblock-pool"),
+                "workers": pool_size,
+                "blocks": min(pool_size,
+                              a.nrows if rows is None else rows.size)}
+
+    run = staticmethod(_sharded_scipy_mxm)
+
+
+def _live_rows_feed_shape(plan: Plan):
+    """The live-row feed against the *effective* output shape."""
+    from . import executors as _ex
+    a, _ = plan.args
+    return _ex._live_rows_feed(plan, a.nrows, plan.meta["_bn_cols"])

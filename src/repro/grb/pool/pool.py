@@ -1,0 +1,226 @@
+"""The persistent worker pool: spawn-safe processes serving sharded tasks.
+
+One :class:`WorkerPool` holds N spawned workers, each with a private
+duplex pipe.  Submission is checkout-based: a task takes an idle worker
+off the queue, holds it across the send/recv round-trip (so concurrent
+callers — serve drain threads, MultiPlan node threads — can never
+interleave frames on one pipe), and returns it.  ``run_tasks`` fans a
+block list out over as many workers as there are blocks and preserves
+task order in the result list.
+
+Failure ladder (the process analogue of the serve layer's):
+
+* a dead pipe during the round-trip means the worker died mid-task — the
+  corpse is reaped, a fresh worker is spawned in its slot, and the task
+  retries once on a sibling (``grb_pool_worker_deaths_total`` /
+  ``grb_pool_retries_total``);
+* a second death for the same task raises :class:`PoolTaskError`, which
+  is non-retryable by construction: the input reproducibly kills
+  workers, so the serve resilience ladder quarantines it instead of
+  burning more processes;
+* an exception *raised inside* the worker ships back intact and re-raises
+  here with its own retryability (a ``TransientFault`` from a pool-task
+  injector still climbs the serve retry ladder like an in-process one).
+
+Fault sync: before each round-trip the worker's installed injector set is
+reconciled against the parent's compiled specs
+(:func:`repro.testing.faults.compiled_specs`), keyed by a signature so
+the common no-faults case costs one string compare.  Replacement workers
+start clean and pick up the live specs the same way — a crash spec with
+per-process counting therefore also fells the retry sibling, which is
+what the quarantine chaos test pins.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import threading
+from typing import List
+
+from ...obs import metrics as _metrics
+from ...testing import faults as _faults
+from .worker import _worker_main
+
+__all__ = ["WorkerPool", "PoolTaskError"]
+
+POOL_TASKS = _metrics.counter(
+    "grb_pool_tasks_total", "Sharded tasks completed by pool workers",
+    labels=("kind",))
+POOL_DEATHS = _metrics.counter(
+    "grb_pool_worker_deaths_total", "Worker processes that died mid-task")
+POOL_RETRIES = _metrics.counter(
+    "grb_pool_retries_total", "Tasks retried on a sibling after a death")
+POOL_WORKERS = _metrics.gauge(
+    "grb_pool_workers", "Live worker processes in the pool")
+
+_NO_FAULTS_SIG = repr([])
+
+
+class PoolTaskError(RuntimeError):
+    """A task lost its worker twice (original + sibling retry).
+
+    Non-retryable by construction: the input reproducibly kills worker
+    processes, so retrying it anywhere else just burns more of them —
+    the serve ladder's quarantine tier is the right destination.
+    """
+
+    retryable = False
+
+
+class _Worker:
+    __slots__ = ("proc", "conn", "fault_sig")
+
+    def __init__(self, ctx, settings: dict):
+        parent_conn, child_conn = ctx.Pipe()
+        self.proc = ctx.Process(target=_worker_main,
+                                args=(child_conn, settings),
+                                name="repro-pool-worker", daemon=True)
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.fault_sig = _NO_FAULTS_SIG   # spawned with no injectors
+
+    def reap(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+        self.proc.join(timeout=5)
+
+
+class WorkerPool:
+    """N spawned workers behind an idle queue; see module docstring."""
+
+    def __init__(self, workers: int):
+        self.size = int(workers)
+        # the parent runs serve/drain threads — fork would clone held
+        # locks mid-flight, so the pool is spawn-only
+        self._ctx = mp.get_context("spawn")
+        self._settings = {"metrics_enabled": _metrics.ENABLED}
+        self._lock = threading.Lock()
+        self._workers: List[_Worker] = []
+        self._idle: queue.Queue = queue.Queue()
+        self._closed = False
+        for _ in range(self.size):
+            w = _Worker(self._ctx, self._settings)
+            self._workers.append(w)
+            self._idle.put(w)
+        if _metrics.ENABLED:
+            POOL_WORKERS.set(self.size)
+
+    # -- submission --------------------------------------------------------
+
+    def run_tasks(self, tasks: List[dict]) -> list:
+        """Run every task (one worker each); results in task order."""
+        if not tasks:
+            return []
+        if len(tasks) == 1:
+            return [self._run_one(tasks[0])]
+        results = [None] * len(tasks)
+        errors: list = []
+
+        def _go(i: int, task: dict) -> None:
+            try:
+                results[i] = self._run_one(task)
+            except BaseException as exc:  # noqa: BLE001 - relayed below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=_go, args=(i, t), daemon=True)
+                   for i, t in enumerate(tasks)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        return results
+
+    def ping(self) -> list:
+        """Liveness round-trip to one worker; returns its pid."""
+        return self.run_tasks([{"kind": "ping"}])
+
+    # -- internals ---------------------------------------------------------
+
+    def _run_one(self, task: dict):
+        for attempt in (0, 1):
+            worker = self._idle.get()
+            died = False
+            try:
+                self._sync_faults(worker)
+                worker.conn.send(task)
+                status, payload, deltas = worker.conn.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                died = True
+            finally:
+                self._idle.put(self._replace(worker) if died else worker)
+            if died:
+                if _metrics.ENABLED:
+                    POOL_DEATHS.inc()
+                    if attempt == 0:
+                        POOL_RETRIES.inc()
+                continue
+            self._merge_deltas(deltas)
+            if _metrics.ENABLED:
+                POOL_TASKS.labels(str(task.get("kind", "?"))).inc()
+            if status == "ok":
+                return payload
+            raise payload
+        raise PoolTaskError(
+            f"sharded task {task.get('kind', '?')!r} killed its worker and "
+            "the sibling retry — input quarantined as poisonous")
+
+    def _replace(self, worker: _Worker) -> _Worker:
+        worker.reap()
+        with self._lock:
+            try:
+                self._workers.remove(worker)
+            except ValueError:  # pragma: no cover - already reaped
+                pass
+            fresh = _Worker(self._ctx, self._settings)
+            self._workers.append(fresh)
+        return fresh
+
+    def _sync_faults(self, worker: _Worker) -> None:
+        specs = _faults.compiled_specs() if _faults.ACTIVE else []
+        sig = repr(specs)
+        if worker.fault_sig == sig:
+            return
+        worker.conn.send({"kind": "faults", "specs": specs})
+        status, payload, _ = worker.conn.recv()
+        if status != "ok":  # pragma: no cover - spec rebuild is total
+            raise payload
+        worker.fault_sig = sig
+
+    def _merge_deltas(self, deltas) -> None:
+        if not deltas or not _metrics.ENABLED:
+            return
+        for name, labelvalues, delta in deltas:
+            metric = _metrics.REGISTRY.get(name)
+            if metric is not None and metric.kind == "counter":
+                metric.labels(*labelvalues).inc(delta)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers, self._workers = self._workers, []
+        for w in workers:
+            try:
+                w.conn.send({"kind": "shutdown"})
+            except (BrokenPipeError, OSError):
+                pass
+        for w in workers:
+            w.proc.join(timeout=2)
+            w.reap()
+        if _metrics.ENABLED:
+            POOL_WORKERS.set(0)
+
+    def worker_pids(self) -> List[int]:
+        with self._lock:
+            return [w.proc.pid for w in self._workers]

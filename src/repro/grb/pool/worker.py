@@ -1,0 +1,220 @@
+"""Worker-process entry point: the spawn target serving sharded kernels.
+
+``_worker_main`` runs in a fresh spawned interpreter (the parent carries
+serve/drain threads, so fork is off the table) and serves one request at
+a time over its private pipe.  Messages are dicts keyed by ``kind``:
+
+``ping``
+    liveness probe; replies with the worker's pid.
+``faults``
+    replace the worker's installed fault injectors with the parent's
+    compiled specs (:func:`repro.testing.faults.install_specs`) — how a
+    chaos test's injectors reach the other side of the process boundary.
+``mxm-block``
+    :func:`repro.grb.engine.executors.scipy_mxm` restricted to one row
+    block; returns the block's ``(keys, vals)``.
+``dot-block``
+    masked-dot probe + reduce over one contiguous mask-entry chunk;
+    returns ``(hit, vals)`` with chunk-relative hit indices.
+``shutdown``
+    drain and exit.
+
+Every task reply is ``(status, payload, counter_deltas)``: kernels in the
+worker bump the same obs counters they would in-process, and the deltas
+since the previous reply ride home with each result so the parent can
+merge them into its registry — pool execution stays observable without a
+second metrics endpoint.
+
+Operand references resolve through an LRU attach-cache: a shared-memory
+placement is mapped once per worker and reused across tasks (eviction
+closes the mapping; the parent owns the unlink).  The ``pool-task`` fault
+site fires here, *inside* the worker, before each task runs — a ``crash``
+spec at that site kills this process mid-block, which is exactly what the
+worker-death ladder tests need.
+
+Engine imports stay inside functions: the parent imports this module via
+``pool.py`` while ``engine/__init__`` is still importing ``executors``
+(which registers the pool rules), so a top-level engine import would bite
+its own tail.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections import OrderedDict
+
+__all__ = ["_worker_main"]
+
+
+class _AttachCache:
+    """LRU of mapped placements: key -> (shm, store, wrapped Matrix)."""
+
+    def __init__(self, limit: int = 16):
+        self._limit = limit
+        self._entries = OrderedDict()
+
+    def _entry(self, placement):
+        key = placement.key
+        ent = self._entries.get(key)
+        if ent is None:
+            from .shm import attach_placement
+            store, shm = attach_placement(placement)
+            ent = {"shm": shm, "store": store, "matrix": None}
+            self._entries[key] = ent
+            while len(self._entries) > self._limit:
+                _, old = self._entries.popitem(last=False)
+                old["shm"].close()
+        else:
+            self._entries.move_to_end(key)
+        return ent
+
+    def store(self, placement):
+        return self._entry(placement)["store"]
+
+    def matrix(self, placement):
+        ent = self._entry(placement)
+        if ent["matrix"] is None:
+            ent["matrix"] = _wrap_matrix(ent["store"])
+        return ent["matrix"]
+
+    def close(self) -> None:
+        for ent in self._entries.values():
+            ent["shm"].close()
+        self._entries.clear()
+
+
+def _wrap_matrix(store):
+    """A Matrix façade over an attached store (value caches start cold)."""
+    from ..matrix import Matrix
+    vals = getattr(store, "values", None)
+    if vals is None:
+        vals = getattr(store, "cvalues", None)   # CSC
+    if vals is None:
+        vals = getattr(store, "dense", None)     # bitmap
+    m = Matrix(vals.dtype, store.nrows, store.ncols)
+    m._store = store
+    return m
+
+
+def _store_from_ref(ref, attached):
+    if ref[0] == "shm":
+        return attached.store(ref[1])
+    from ..storage import attach_store
+    return attach_store(ref[1], ref[2])
+
+
+def _matrix_from_ref(ref, attached):
+    if ref[0] == "shm":
+        return attached.matrix(ref[1])
+    return _wrap_matrix(_store_from_ref(ref, attached))
+
+
+def _compute(task: dict, attached: _AttachCache):
+    from ..ops.semiring import by_name
+    kind = task["kind"]
+    if kind == "mxm-block":
+        from ..engine import executors as _ex
+        a = _matrix_from_ref(task["a"], attached)
+        b = _matrix_from_ref(task["b"], attached)
+        keys, vals = _ex.scipy_mxm(a, b, by_name(task["semiring"]),
+                                   rows=task["rows"])
+        return keys, vals
+    if kind == "dot-block":
+        import numpy as np
+        from .._kernels import masked_matmul as _mm
+        sr = by_name(task["semiring"])
+        a_st = _store_from_ref(task["a"], attached)
+        bt_st = _store_from_ref(task["bt"], attached)
+        mult = sr.mult.name
+        probe = _mm.masked_dot_probe(
+            a_st.indptr, a_st.indices, bt_st.indptr, bt_st.indices,
+            task["rows"], task["cols"], task["inner"],
+            mult in ("times", "first"), mult in ("times", "second"),
+            lengths=task["lengths"])
+        cast = task["cast"]
+        hit, vals = _mm.masked_dot_reduce(
+            probe, a_st.values, bt_st.values, task["rows"].size, sr,
+            cast_dtype=None if cast is None else np.dtype(cast))
+        return hit, vals
+    raise ValueError(f"unknown pool task kind {kind!r}")
+
+
+def _run_task(task: dict, attached: _AttachCache):
+    from ...testing import faults as _faults
+    from .. import cancel as _cancel
+    if _faults.ACTIVE:
+        _faults.fire("pool-task", kind=task["kind"], op=task.get("op", "mxm"))
+    rem = task.get("deadline")
+    if rem is None:
+        return _compute(task, attached)
+    token = _cancel.CancelToken(deadline=time.monotonic() + max(rem, 0.0))
+    with _cancel.cancel_scope(token):
+        token.check()
+        return _compute(task, attached)
+
+
+def _counter_deltas(baseline: dict) -> tuple:
+    """Counter movement since the previous reply: (name, labels, delta)."""
+    from ...obs import metrics as _metrics
+    out = []
+    for metric in _metrics.collect():
+        if metric.kind != "counter":
+            continue
+        for labelvalues, child in metric.samples():
+            cur = child.value
+            key = (metric.name, labelvalues)
+            delta = cur - baseline.get(key, 0)
+            if delta:
+                baseline[key] = cur
+                out.append((metric.name, labelvalues, delta))
+    return tuple(out)
+
+
+def _shippable(exc: BaseException) -> BaseException:
+    """The exception itself when picklable, a faithful stand-in otherwise."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _worker_main(conn, settings: dict) -> None:
+    from ...obs import metrics as _metrics
+    from ...testing import faults as _faults
+    _metrics.ENABLED = bool(settings.get("metrics_enabled", True))
+    attached = _AttachCache(limit=int(settings.get("attach_limit", 16)))
+    baseline: dict = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):     # parent is gone
+                break
+            kind = msg.get("kind")
+            if kind == "shutdown":
+                break
+            try:
+                if kind == "ping":
+                    reply = ("ok", os.getpid(), ())
+                elif kind == "faults":
+                    _faults.clear()
+                    _faults.install_specs(msg["specs"])
+                    reply = ("ok", None, ())
+                else:
+                    reply = ("ok", _run_task(msg, attached),
+                             _counter_deltas(baseline))
+            except BaseException as exc:    # ship the failure, keep serving
+                reply = ("err", _shippable(exc), _counter_deltas(baseline))
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        attached.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass

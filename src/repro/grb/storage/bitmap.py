@@ -107,6 +107,16 @@ class BitmapStore(MatrixStore):
     def cache_nbytes(self) -> int:
         return arrays_nbytes((self._csr, self._csc))
 
+    def export_buffers(self):
+        meta = {"fmt": self.fmt, "kind": "matrix", "nrows": self.nrows,
+                "ncols": self.ncols, "nvals": self._nvals}
+        return meta, {"present": self.present, "dense": self.dense}
+
+    @classmethod
+    def attach_buffers(cls, meta: dict, components: dict) -> "BitmapStore":
+        return cls(meta["nrows"], meta["ncols"], components["present"],
+                   components["dense"], nvals=meta["nvals"])
+
     def copy(self) -> "BitmapStore":
         st = BitmapStore(self.nrows, self.ncols, self.present.copy(),
                          self.dense.copy(), nvals=self._nvals)
@@ -170,6 +180,16 @@ class BitmapVec(VectorStore):
 
     def cache_nbytes(self) -> int:
         return arrays_nbytes((self._sp,))
+
+    def export_buffers(self):
+        meta = {"fmt": self.fmt, "kind": "vector", "size": self.size,
+                "nvals": self._nvals}
+        return meta, {"present": self.present, "dense": self.dense}
+
+    @classmethod
+    def attach_buffers(cls, meta: dict, components: dict) -> "BitmapVec":
+        return cls(meta["size"], components["present"], components["dense"],
+                   nvals=meta["nvals"])
 
     def copy(self) -> "BitmapVec":
         return BitmapVec(self.size, self.present.copy(), self.dense.copy(),

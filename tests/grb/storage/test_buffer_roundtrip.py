@@ -1,0 +1,167 @@
+"""Property tests for the store buffer export/attach API.
+
+The contract :mod:`repro.grb.pool` leans on: for every format,
+``export_buffers()`` yields (picklable meta, authoritative arrays — no
+copies, no aliased caches) and ``attach_buffers`` / ``attach_store``
+rebuilds a store that is indistinguishable from the original, sharing
+the exported memory (zero-copy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from helpers import sparse_matrices, sparse_vectors
+from repro import grb
+from repro.grb.storage import attach_store
+
+MATRIX_FORMATS = ("csr", "csc", "bitmap", "hypersparse")
+VECTOR_FORMATS = ("sparse", "bitmap")
+
+
+def _roundtrip(store):
+    meta, comps = store.export_buffers()
+    return meta, comps, attach_store(meta, comps)
+
+
+class TestMatrixExportAttach:
+    @given(sparse_matrices(), st.sampled_from(MATRIX_FORMATS))
+    def test_roundtrip_preserves_canonical_triple(self, m, fmt):
+        m.set_format(fmt)
+        store = m._S()
+        meta, comps, back = _roundtrip(store)
+        assert meta["fmt"] == fmt and meta["kind"] == "matrix"
+        assert back.fmt == fmt
+        assert back.nvals == store.nvals
+        for got, want in zip(back.csr(), store.csr()):
+            np.testing.assert_array_equal(got, want)
+            assert got.dtype == want.dtype
+
+    @given(sparse_matrices(), st.sampled_from(MATRIX_FORMATS))
+    def test_attach_is_zero_copy(self, m, fmt):
+        m.set_format(fmt)
+        meta, comps, back = _roundtrip(m._S())
+        _, back_comps = back.export_buffers()
+        for name, arr in comps.items():
+            assert arr.size == 0 or \
+                np.shares_memory(arr, back_comps[name]), name
+
+    @given(sparse_matrices(), st.sampled_from(MATRIX_FORMATS))
+    def test_components_match_footprint_accounting(self, m, fmt):
+        # export ships exactly the arrays nbytes_components() declares
+        # authoritative — derived caches (e.g. hypersparse's aliased
+        # canonical CSR triple) must not ride along a second time
+        m.set_format(fmt)
+        store = m._S()
+        _, comps = store.export_buffers()
+        assert set(comps) == set(store.nbytes_components())
+
+    @given(sparse_matrices(elements=st.sampled_from([0, 1, -2])),
+           st.sampled_from(MATRIX_FORMATS))
+    def test_explicit_zeros_survive(self, m, fmt):
+        m.set_format(fmt)
+        store = m._S()
+        _, _, back = _roundtrip(store)
+        assert back.nvals == store.nvals
+
+    @given(sparse_matrices())
+    def test_attached_store_backs_a_working_matrix(self, m):
+        meta, comps, back = _roundtrip(m._S())
+        twin = grb.Matrix(m.values.dtype, meta["nrows"], meta["ncols"])
+        twin._store = back
+        assert twin.isequal(m)
+
+
+class TestVectorExportAttach:
+    @given(sparse_vectors(), st.sampled_from(VECTOR_FORMATS))
+    def test_roundtrip_preserves_sparse_pair(self, v, fmt):
+        v.set_format(fmt)
+        store = v._store
+        meta, comps, back = _roundtrip(store)
+        assert meta["fmt"] == fmt and meta["kind"] == "vector"
+        assert back.nvals == store.nvals
+        for got, want in zip(back.sparse(), store.sparse()):
+            np.testing.assert_array_equal(got, want)
+            assert got.dtype == want.dtype
+
+    @given(sparse_vectors(), st.sampled_from(VECTOR_FORMATS))
+    def test_attach_is_zero_copy(self, v, fmt):
+        v.set_format(fmt)
+        meta, comps, _ = _roundtrip(v._store)
+        back = attach_store(meta, comps)
+        _, back_comps = back.export_buffers()
+        for name, arr in comps.items():
+            assert arr.size == 0 or \
+                np.shares_memory(arr, back_comps[name]), name
+
+
+class TestDispatcher:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(KeyError):
+            attach_store({"kind": "matrix", "fmt": "full"}, {})
+
+
+class TestSharedMemoryPlacement:
+    """End-to-end through a real segment (in-process attach)."""
+
+    def test_place_attach_drop(self, rng):
+        from repro.grb.pool.shm import ShmArena, attach_placement
+
+        dense = (rng.random((20, 20)) < 0.3) * rng.integers(1, 5, (20, 20))
+        r, c = np.nonzero(dense)
+        m = grb.Matrix.from_coo(r, c, dense[r, c].astype(np.float64), 20, 20)
+        arena = ShmArena()
+        try:
+            placement = arena.place(("t", 0, "csr"), m._S())
+            assert arena.segment_count() == 1
+            assert arena.total_bytes() == placement.nbytes
+            store, shm = attach_placement(placement)
+            try:
+                for got, want in zip(store.csr(), m._S().csr()):
+                    np.testing.assert_array_equal(got, want)
+            finally:
+                shm.close()
+            # idempotent: same key returns the same placement, no new segment
+            again = arena.place(("t", 0, "csr"), m._S())
+            assert again.segment is placement.segment or \
+                again.segment == placement.segment
+            assert arena.segment_count() == 1
+            arena.drop(("t", 0, "csr"))
+            assert arena.segment_count() == 0
+        finally:
+            arena.close()
+
+    def test_owner_collection_reclaims_segment(self, rng):
+        import gc
+        from repro.grb.pool.shm import ShmArena
+
+        arena = ShmArena()
+        try:
+            m = grb.Matrix.from_coo(np.array([0]), np.array([1]),
+                                    np.array([2.0]), 400, 400)
+            m.set_format("bitmap")        # big enough to be worth a segment
+            arena.place((m._uid, m._version, "store"), m._S(), owner=m)
+            assert arena.segment_count() == 1
+            del m
+            gc.collect()
+            assert arena.segment_count() == 0
+        finally:
+            arena.close()
+
+    def test_gauges_net_to_zero(self, rng):
+        from repro.obs import metrics
+        from repro.grb.pool import shm as _shm
+
+        bytes_before = _shm.SHM_BYTES.labels().value
+        segs_before = _shm.SHM_SEGMENTS.labels().value
+        arena = _shm.ShmArena()
+        m = grb.Matrix.from_coo(np.array([0]), np.array([1]),
+                                np.array([2.0]), 10, 10)
+        arena.place(("g", 0, "csr"), m._S())
+        if metrics.ENABLED:
+            assert _shm.SHM_SEGMENTS.labels().value == segs_before + 1
+        arena.close()
+        assert _shm.SHM_BYTES.labels().value == bytes_before
+        assert _shm.SHM_SEGMENTS.labels().value == segs_before

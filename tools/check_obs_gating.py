@@ -8,9 +8,12 @@ label values before checking the guard.  This script walks the source AST
 and requires every
 
 * ``telemetry.record(...)`` call,
-* ``trace.instant(...)`` / ``_trace.instant(...)`` call, and
+* ``trace.instant(...)`` / ``_trace.instant(...)`` call,
 * bump (``inc``/``dec``/``set``/``observe``) on a module-level metric
-  handle (ALL_CAPS root name, e.g. ``_REQUESTS.labels(...).inc()``)
+  handle (ALL_CAPS root name, e.g. ``_REQUESTS.labels(...).inc()``), and
+* delta-writer helper call handed a module-level metric handle
+  (``_bump(SHM_BYTES, n)`` — the pool/footprint idiom that writes
+  ``child.value`` directly instead of going through ``inc``/``dec``)
 
 to sit under an ``if`` whose test calls ``active()`` / ``deep_active()``
 or reads an ``ENABLED`` flag.  A site whose gating is structural rather
@@ -38,6 +41,9 @@ PRAGMA = "obs: gated-by-caller"
 GUARD_CALLS = {"active", "deep_active"}
 GUARD_FLAGS = {"ENABLED"}
 BUMPS = {"inc", "dec", "set", "observe"}
+#: bare functions that mutate a metric handle passed as their first
+#: argument (``_bump(SHM_BYTES, n)`` writes ``child.value`` directly)
+DELTA_HELPERS = {"_bump"}
 
 
 def _root_name(node):
@@ -66,6 +72,11 @@ def _is_guard_test(test) -> bool:
 def _classify(call: ast.Call):
     """The violation label for an observability call, or None."""
     f = call.func
+    if isinstance(f, ast.Name) and f.id in DELTA_HELPERS and call.args:
+        handle = _root_name(call.args[0])
+        if handle is not None and handle.isupper():
+            return f"{f.id}({handle}, ...)"
+        return None
     if not isinstance(f, ast.Attribute):
         return None
     root = _root_name(f.value)
