@@ -83,14 +83,14 @@ def dot_supported(semiring: Semiring) -> bool:
 #: (``pair`` / the pattern side of ``first``/``second``) — which is exactly
 #: TC's ``plus.pair`` and BC's ``plus.first``.  A kernel-mechanism cap, not
 #: a planner constant — it tunes how a chosen kernel executes.
-DOT_DENSE_GRID_CAP = 1 << 26
+DOT_DENSE_GRID_CAP = 1 << 26  # cost: mechanism-cap (tunes how the chosen dot kernel executes; tests monkeypatch it here)
 
 #: Probe-lane count below this fraction of the probed operand's nnz takes
 #: the bounded (galloping) search: building the O(nnz) dense flags / global
 #: key array would dominate, so each lane binary-searches its target row
 #: span instead.  This is the very-asymmetric-rows regime — a small mask
 #: whose entries intersect short rows against a huge operand.
-BOUNDED_PROBE_NNZ_RATIO = 0.125
+BOUNDED_PROBE_NNZ_RATIO = 0.125  # cost: mechanism-cap (probe-strategy switch inside the dot kernel, not a planner constant)
 
 
 def _row_key_array(indptr: np.ndarray, indices: np.ndarray,

@@ -101,8 +101,8 @@ def mxv_gather(
 #: the paper) — the case that matters is a *tall frontier matrix* (batched
 #: multi-source BFS) whose per-level products are huge but whose output grid
 #: ``ns × n`` is small.
-DENSE_ANY_GRID_SLACK = 8
-DENSE_ANY_GRID_FLOOR = 1 << 20
+DENSE_ANY_GRID_SLACK = 8  # cost: mechanism-cap (sparse-to-bitmap format switch inside mxm expand)
+DENSE_ANY_GRID_FLOOR = 1 << 20  # cost: mechanism-cap (sparse-to-bitmap format switch inside mxm expand)
 
 
 @profiled("mxm_expand")
@@ -189,7 +189,7 @@ def mxm_expand(
 
 
 #: Probe rounds before :func:`mxv_pull_probe` falls back to a ragged gather.
-PULL_PROBE_ROUNDS = 16
+PULL_PROBE_ROUNDS = 16  # cost: mechanism-cap (probe fallback inside mxv_pull_probe; tests monkeypatch it here)
 
 
 @profiled("mxv_pull_probe")

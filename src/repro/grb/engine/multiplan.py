@@ -107,7 +107,7 @@ class MultiPlan:
             _cancel.checkpoint()
             if fuse:
                 consumed = 0
-                for name, rule in _FUSIONS:
+                for name, rule in _FUSIONS:  # cancel: checkpoint-exempt (bounded by the registered-rule count; stepping loop checkpoints per node)
                     consumed = rule(nodes, i)
                     if consumed:
                         # the fused group's kernel dispatches traced their
@@ -165,7 +165,7 @@ def _ready_run(nodes, i):
     concurrently.
     """
     group = []
-    for node in nodes[i:]:
+    for node in nodes[i:]:  # cancel: checkpoint-exempt (attribute scan bounded by plan length; stepping loop checkpoints per node)
         if any(dep.state != _DONE for dep in node.deps):
             break
         group.append(node)
@@ -193,9 +193,9 @@ def _dispatch_concurrently(group) -> None:
                                 args=(node, contextvars.copy_context()),
                                 daemon=True)
                for node in group]
-    for t in threads:
+    for t in threads:  # cancel: checkpoint-exempt (bounded by group size; each thread's dispatch observes the copied cancel scope)
         t.start()
-    for t in threads:
+    for t in threads:  # cancel: checkpoint-exempt (join barrier; cancellation unwinds through the threads themselves)
         t.join()
     if _metrics.ENABLED:
         _CONCURRENT.inc()

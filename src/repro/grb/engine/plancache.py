@@ -81,8 +81,8 @@ FEED_KEYS = ("_dot", "_dot_probe", "_bitmaps", "_rows")
 #: Per-entry cap on cached feed bytes (a probe feed scales with the
 #: product's structural hits) and the total the cache may pin overall;
 #: beyond the total, least-recently-used entries are evicted.
-FEED_ENTRY_BYTES_CAP = 1 << 27
-FEED_TOTAL_BYTES_CAP = 1 << 28
+FEED_ENTRY_BYTES_CAP = 1 << 27  # cost: mechanism-cap (cache memory ceiling, not a chooser threshold)
+FEED_TOTAL_BYTES_CAP = 1 << 28  # cost: mechanism-cap (cache memory ceiling, not a chooser threshold)
 
 
 def _feed_nbytes(value) -> int:

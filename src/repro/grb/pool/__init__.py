@@ -104,11 +104,21 @@ def arena():
 
 
 def shutdown_pool() -> None:
-    """Tear down workers and unlink every placement segment."""
+    """Tear down workers and unlink every placement segment.
+
+    Runs as an ``atexit`` callback, where an unbounded lock wait could
+    wedge interpreter shutdown behind a thread that died holding ``_lock``
+    — so the acquire is bounded; on timeout the segments leak to the OS
+    rather than the exit hanging.
+    """
     global _pool, _arena
-    with _lock:
+    if not _lock.acquire(timeout=2.0):
+        return
+    try:
         pool, ar = _pool, _arena
         _pool = _arena = None
+    finally:
+        _lock.release()
     if pool is not None:
         pool.close()
     if ar is not None:

@@ -41,6 +41,7 @@ import numpy as np
 
 from ... import grb
 from ...grb import Matrix, Vector, complement, structure
+from ...grb import cancel as _cancel
 from ..errors import PropertyMissing
 from ..graph import Graph
 
@@ -78,6 +79,7 @@ def betweenness_centrality_batch(g: Graph, sources: Sequence[int]) -> Vector:
     # Forward phase: one boolean pattern matrix per BFS level.
     levels = []
     while f.nvals:
+        _cancel.checkpoint()        # deadline/cancel at the level boundary
         levels.append(f.pattern())
         grb.update(p, f, accum=grb.binary.PLUS)
         grb.mxm(f, f, a, _PLUS_FIRST,
@@ -87,6 +89,7 @@ def betweenness_centrality_batch(g: Graph, sources: Sequence[int]) -> Vector:
     b = Matrix.from_dense(np.ones((ns, n)))
     w = Matrix(grb.FP64, ns, n)
     for i in range(len(levels) - 1, 0, -1):
+        _cancel.checkpoint()        # deadline/cancel at the level boundary
         grb.ewise_mult(w, b, p, grb.binary.DIV,
                        mask=structure(levels[i]), replace=True)
         grb.mxm(w, w, at, _PLUS_FIRST,
@@ -119,6 +122,7 @@ def betweenness_centrality(g: Graph, sources: Sequence[int] | None = None,
     sources = np.asarray(sources, dtype=np.int64)
     total = Vector.from_dense(np.zeros(n))
     for start in range(0, sources.size, batch_size):
+        _cancel.checkpoint()        # deadline/cancel at the batch boundary
         chunk = sources[start:start + batch_size]
         part = betweenness_centrality_batch(g, chunk)
         grb.ewise_add(total, total, part, op=grb.binary.PLUS)

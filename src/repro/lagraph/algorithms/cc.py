@@ -25,6 +25,7 @@ import numpy as np
 
 from ... import grb
 from ...grb import Vector, engine
+from ...grb import cancel as _cancel
 from ..errors import InvalidKind
 from ..graph import Graph
 from ..kinds import Kind
@@ -52,6 +53,7 @@ def fastsv(g: Graph) -> Vector:
     gf = f.copy()                          # grandparents
 
     while True:
+        _cancel.checkpoint()        # deadline/cancel at the round boundary
         # Step 1a: mngf(i) = min over neighbours j of gf(j) — raw kernel
         # output scattered over the grandparent array (isolated nodes keep
         # gf), no intermediate vector or bitmap materialised
@@ -75,6 +77,7 @@ def fastsv(g: Graph) -> Vector:
 
     # full pointer jumping to canonical roots (FastSV leaves height ≤ 2)
     while True:
+        _cancel.checkpoint()        # deadline/cancel between jumping rounds
         ff = f[f]
         if np.array_equal(ff, f):
             break

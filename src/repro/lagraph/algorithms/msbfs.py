@@ -174,7 +174,7 @@ def _first_frontier_in_neighbor(at_indptr, at_indices, frontier_bits,
     parent = np.empty(m, dtype=np.int64)
     unresolved = np.arange(m, dtype=np.int64)
     cur = at_indptr[j].copy()
-    for _ in range(probe_rounds):
+    for _ in range(probe_rounds):  # cancel: checkpoint-exempt (bounded by PROBE_ROUNDS; caller checkpoints at level boundaries)
         if unresolved.size == 0:
             return parent
         k = at_indices[cur[unresolved]]

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...grb import Vector
+from ...grb import cancel as _cancel
 from ...grb._kernels.gather import expand_rows
 from ..graph import Graph
 from ..kinds import Kind
@@ -43,6 +44,7 @@ def cdlp(g: Graph, iterations: int = 10) -> Vector:
     labels = np.arange(n, dtype=np.int64)
 
     for _ in range(max(0, int(iterations))):
+        _cancel.checkpoint()        # deadline/cancel at the iteration boundary
         votes = labels[cols]
         # count (node, label) pairs; then per node pick (max count, min label)
         order = np.lexsort((votes, rows))

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from ... import grb
 from ...grb import Matrix, structure
+from ...grb import cancel as _cancel
 from ..graph import Graph
 from ..kinds import Kind
 
@@ -47,6 +48,7 @@ def ktruss(g: Graph, k: int) -> Matrix:
     support = k - 2
     last_nvals = -1
     while a.nvals != last_nvals:
+        _cancel.checkpoint()        # deadline/cancel at the peel boundary
         last_nvals = a.nvals
         c = Matrix(grb.INT64, a.nrows, a.ncols)
         grb.mxm(c, a, a, _PLUS_PAIR, mask=structure(a))

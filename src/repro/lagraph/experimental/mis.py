@@ -13,6 +13,7 @@ import numpy as np
 
 from ... import grb
 from ...grb import Vector
+from ...grb import cancel as _cancel
 from ..errors import InvalidKind
 from ..graph import Graph
 from ..kinds import Kind
@@ -43,6 +44,7 @@ def maximal_independent_set(g: Graph, seed: int = 0) -> Vector:
     candidate = deg > 0
 
     while candidate.any():
+        _cancel.checkpoint()        # deadline/cancel at the round boundary
         cand_idx = np.flatnonzero(candidate).astype(np.int64)
         # random score per candidate, weighted against high degree as in
         # Luby's analysis (score ~ U(0,1) / deg keeps hubs humble)

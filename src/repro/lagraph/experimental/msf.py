@@ -17,6 +17,7 @@ import numpy as np
 
 from ... import grb
 from ...grb import Matrix
+from ...grb import cancel as _cancel
 from ...grb._kernels.gather import expand_rows
 from ..errors import InvalidKind
 from ..graph import Graph
@@ -64,6 +65,7 @@ def minimum_spanning_forest(g: Graph) -> Tuple[Matrix, float]:
     chosen_w = []
 
     while True:
+        _cancel.checkpoint()        # deadline/cancel at the round boundary
         cs, cd = comp[src], comp[dst]
         external = cs != cd
         if not external.any():
@@ -92,11 +94,11 @@ def minimum_spanning_forest(g: Graph) -> Tuple[Matrix, float]:
         # hooking can drop one of two hooks aimed at the same root and
         # leave joined components unmerged)
         parent = np.arange(n, dtype=np.int64)
-        for s_, d_ in zip(comp[ps].tolist(), comp[pd].tolist()):
-            while parent[s_] != s_:
+        for s_, d_ in zip(comp[ps].tolist(), comp[pd].tolist()):  # cancel: checkpoint-exempt (scalar union-find over picked roots; outer round loop checkpoints)
+            while parent[s_] != s_:  # cancel: checkpoint-exempt (path compression halves chain depth each step)
                 parent[s_] = parent[parent[s_]]
                 s_ = parent[s_]
-            while parent[d_] != d_:
+            while parent[d_] != d_:  # cancel: checkpoint-exempt (path compression halves chain depth each step)
                 parent[d_] = parent[parent[d_]]
                 d_ = parent[d_]
             if s_ != d_:
@@ -104,7 +106,7 @@ def minimum_spanning_forest(g: Graph) -> Tuple[Matrix, float]:
                     parent[d_] = s_
                 else:
                     parent[s_] = d_
-        while True:
+        while True:  # cancel: checkpoint-exempt (pointer jumping converges in O(log n) rounds; outer round loop checkpoints)
             pp = parent[parent]
             if np.array_equal(pp, parent):
                 break

@@ -98,6 +98,24 @@ def test_ungated_instant_flagged(checker, tmp_path):
     assert violation == (2, "_trace.instant")
 
 
+def test_stripped_real_source_is_flagged(checker, tmp_path):
+    """Self-test against a real engine module: stripping its guards must
+    make the checker fire — proves the check still *sees* the tree's
+    actual call-site idioms, not just synthetic fixtures."""
+    real = _TOOL.parents[1] / "src" / "repro" / "grb" / "engine" / "multiplan.py"
+    source = real.read_text()
+    assert "if _metrics.ENABLED:" in source
+    assert checker.check_file(real) == []         # shipped file is gated
+    stripped = source.replace("if _metrics.ENABLED:", "if _unguarded:")
+    stripped = stripped.replace("obs: gated-by-caller", "obs pragma removed")
+    variant = tmp_path / "multiplan_stripped.py"
+    variant.write_text(stripped)
+    violations = checker.check_file(variant)
+    assert violations, "stripping guards must surface the metric bumps"
+    assert all(isinstance(line, int) and isinstance(label, str)
+               for line, label in violations)
+
+
 def test_main_exit_codes(checker, tmp_path, capsys):
     good = tmp_path / "g.py"
     good.write_text("x = 1\n")

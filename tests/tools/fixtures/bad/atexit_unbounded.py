@@ -1,0 +1,18 @@
+"""lock-discipline bad fixture: unbounded lock acquire at interpreter exit."""
+
+import atexit
+import threading
+
+_lock = threading.Lock()
+_POOL = []
+
+
+def _shutdown():
+    _lock.acquire()
+    try:
+        _POOL.clear()
+    finally:
+        _lock.release()
+
+
+atexit.register(_shutdown)

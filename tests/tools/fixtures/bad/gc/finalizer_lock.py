@@ -1,0 +1,15 @@
+"""lock-discipline bad fixture: finalize callback takes a lock mid-GC."""
+
+import threading
+import weakref
+
+
+class Segment:
+    def __init__(self, buf):
+        self._lock = threading.Lock()
+        self._dead = False
+        self._finalizer = weakref.finalize(buf, self._on_dead)
+
+    def _on_dead(self):
+        with self._lock:
+            self._dead = True

@@ -1,0 +1,7 @@
+"""cost-constants bad fixture: chooser threshold defined outside cost.py."""
+
+FRONTIER_DENSE_CUTOFF = 1 << 12
+
+
+def choose(frontier):
+    return "dense" if frontier.nvals > FRONTIER_DENSE_CUTOFF else "sparse"

@@ -1,0 +1,6 @@
+"""cancel-checkpoint bad fixture: data-dependent for without a checkpoint."""
+
+
+def relax_all(levels, relax):
+    for level in levels:
+        relax(level)

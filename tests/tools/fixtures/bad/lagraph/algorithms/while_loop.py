@@ -1,0 +1,7 @@
+"""cancel-checkpoint bad fixture: unbounded while without a checkpoint."""
+
+
+def iterate(frontier, step):
+    while frontier.nvals:
+        frontier = step(frontier)
+    return frontier

@@ -1,0 +1,5 @@
+"""pool-pickle bad fixture: a lambda smuggled into a worker task spec."""
+
+
+def submit_all(pool):
+    return pool.run_tasks([{"op": "mxm", "post": lambda r: r + 1}])

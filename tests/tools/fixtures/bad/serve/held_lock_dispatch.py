@@ -1,0 +1,9 @@
+"""lock-discipline bad fixture: kernel dispatch inside a lock body."""
+
+
+class Service:
+    def submit(self, plan, dispatch):
+        with self._lock:
+            self._inflight += 1
+            result = dispatch(plan)
+        return result

@@ -1,0 +1,7 @@
+"""lock-discipline bad fixture: blocking wait while holding the lock."""
+
+
+class Service:
+    def drain(self):
+        with self._lock:
+            self._cond.wait()

@@ -1,0 +1,5 @@
+"""fault-gating bad fixture: fire() pays the injector lock on every call."""
+
+
+def dispatch(plan, _faults):
+    _faults.fire("kernel", op=plan.op)

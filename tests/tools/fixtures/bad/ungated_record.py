@@ -1,0 +1,5 @@
+"""obs-gating bad fixture: event dict built before any guard check."""
+
+
+def record_dispatch(plan, telemetry):
+    telemetry.record({"op": plan.op, "rule": plan.rule})

@@ -1,0 +1,19 @@
+"""lock-discipline good fixture: bounded acquire at interpreter exit."""
+
+import atexit
+import threading
+
+_lock = threading.Lock()
+_POOL = []
+
+
+def _shutdown():
+    if not _lock.acquire(timeout=2.0):
+        return
+    try:
+        _POOL.clear()
+    finally:
+        _lock.release()
+
+
+atexit.register(_shutdown)

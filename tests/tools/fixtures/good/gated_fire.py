@@ -1,0 +1,6 @@
+"""fault-gating good fixture: one bool read when no injector is installed."""
+
+
+def dispatch(plan, _faults):
+    if _faults.ACTIVE:
+        _faults.fire("kernel", op=plan.op)

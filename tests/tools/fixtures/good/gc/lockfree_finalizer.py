@@ -1,0 +1,14 @@
+"""lock-discipline good fixture: finalize callback appends lock-free."""
+
+import collections
+import weakref
+
+_DEAD = collections.deque()
+
+
+class Segment:
+    def __init__(self, buf):
+        self._finalizer = weakref.finalize(buf, self._on_dead)
+
+    def _on_dead(self):
+        _DEAD.append(id(self))   # swept by the next lock-holding caller

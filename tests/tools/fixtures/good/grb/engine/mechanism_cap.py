@@ -1,0 +1,5 @@
+"""cost-constants good fixtures: pragma'd mechanism cap, non-numeric CAPS."""
+
+GATHER_TILE_ROWS = 1 << 14  # cost: mechanism-cap (tunes how the gather kernel tiles, not which kernel runs)
+
+_RULE_NAMES = ("dot", "expand", "pull")

@@ -1,0 +1,19 @@
+"""cancel-checkpoint good fixtures: checkpoint, bounded range, pragma."""
+
+
+def iterate(frontier, step, _cancel):
+    while frontier.nvals:
+        _cancel.checkpoint()
+        frontier = step(frontier)
+    return frontier
+
+
+def constant_rounds(poke):
+    for _ in range(4):
+        poke()
+
+
+def jump(parent, chase):
+    while chase(parent):  # cancel: checkpoint-exempt (pointer jumping is log-bounded)
+        parent = chase(parent)
+    return parent

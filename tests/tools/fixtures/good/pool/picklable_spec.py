@@ -1,0 +1,6 @@
+"""pool-pickle good fixture: task specs built from picklable pieces."""
+
+
+def submit_all(pool, blocks):
+    tasks = [{"op": "mxm", "block": i} for i in range(4)]
+    return pool.run_tasks(tasks)

@@ -1,0 +1,8 @@
+"""lock-discipline good fixture: bookkeeping under the lock, work outside."""
+
+
+class Service:
+    def submit(self, plan, dispatch):
+        with self._lock:
+            self._inflight += 1
+        return dispatch(plan)

@@ -1,0 +1,7 @@
+"""Repository tooling (``python -m tools.reprolint``, bench compare...).
+
+This package exists so the static-analysis framework under
+``tools/reprolint`` is importable as a module from the repository root —
+the standalone scripts (``bench_compare.py``, the ``check_obs_gating.py``
+shim) keep working as plain files.
+"""

@@ -1,31 +1,16 @@
 #!/usr/bin/env python3
-"""Static check: observability call sites must gate on the cheap guards.
+"""Legacy entry point for the observability gating check.
 
-The observability layer's cost contract (docs/OBSERVABILITY.md) is that
-the *disabled* paths cost at most one flag/ContextVar read — which only
-holds if call sites never compute event dicts, span attributes, or metric
-label values before checking the guard.  This script walks the source AST
-and requires every
+The actual logic lives in :mod:`tools.reprolint.checkers.obs_gating`
+(the ``obs-gating`` rule); this script is a compatibility shim kept so
+``python tools/check_obs_gating.py`` and the historical module API
+(:func:`check_file`, :func:`iter_default_files`, :func:`main`) keep
+working for CI scripts and tests that load it standalone.  New call
+sites should run ``python -m tools.reprolint`` instead — it checks this
+contract plus the rest of the engine/serve/pool invariants
+(docs/LINTING.md).
 
-* ``telemetry.record(...)`` call,
-* ``trace.instant(...)`` / ``_trace.instant(...)`` call,
-* bump (``inc``/``dec``/``set``/``observe``) on a module-level metric
-  handle (ALL_CAPS root name, e.g. ``_REQUESTS.labels(...).inc()``), and
-* delta-writer helper call handed a module-level metric handle
-  (``_bump(SHM_BYTES, n)`` — the pool/footprint idiom that writes
-  ``child.value`` directly instead of going through ``inc``/``dec``)
-
-to sit under an ``if`` whose test calls ``active()`` / ``deep_active()``
-or reads an ``ENABLED`` flag.  A site whose gating is structural rather
-than lexical (e.g. the serve answer path, which captures the sink only
-while tracing was active) opts out with a pragma comment::
-
-    # obs: gated-by-caller (reason)
-
-placed on the call or between the enclosing ``def`` and the call.  The
-:mod:`repro.obs` package itself is exempt — it implements the guards.
-
-Run from the repository root (CI lint job)::
+Run from the repository root::
 
     python tools/check_obs_gating.py            # checks src/repro
     python tools/check_obs_gating.py FILE...    # explicit file list
@@ -33,104 +18,25 @@ Run from the repository root (CI lint job)::
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-PRAGMA = "obs: gated-by-caller"
-GUARD_CALLS = {"active", "deep_active"}
-GUARD_FLAGS = {"ENABLED"}
-BUMPS = {"inc", "dec", "set", "observe"}
-#: bare functions that mutate a metric handle passed as their first
-#: argument (``_bump(SHM_BYTES, n)`` writes ``child.value`` directly)
-DELTA_HELPERS = {"_bump"}
+# the shim is loaded standalone (``spec_from_file_location`` in tests,
+# ``python tools/check_obs_gating.py`` in CI) — no package context, so
+# resolve the repository root onto sys.path before importing reprolint
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
 
+from tools.reprolint.checkers.obs_gating import ObsGating  # noqa: E402
+from tools.reprolint.core import FileContext  # noqa: E402
 
-def _root_name(node):
-    """The leftmost Name of an attribute/call chain, or None."""
-    while isinstance(node, (ast.Attribute, ast.Call)):
-        node = node.func if isinstance(node, ast.Call) else node.value
-    return node.id if isinstance(node, ast.Name) else None
-
-
-def _is_guard_test(test) -> bool:
-    """Does an ``if`` test consult one of the cheap observability guards?"""
-    for n in ast.walk(test):
-        if isinstance(n, ast.Call):
-            f = n.func
-            name = f.attr if isinstance(f, ast.Attribute) else getattr(
-                f, "id", None)
-            if name in GUARD_CALLS:
-                return True
-        elif isinstance(n, ast.Attribute) and n.attr in GUARD_FLAGS:
-            return True
-        elif isinstance(n, ast.Name) and n.id in GUARD_FLAGS:
-            return True
-    return False
-
-
-def _classify(call: ast.Call):
-    """The violation label for an observability call, or None."""
-    f = call.func
-    if isinstance(f, ast.Name) and f.id in DELTA_HELPERS and call.args:
-        handle = _root_name(call.args[0])
-        if handle is not None and handle.isupper():
-            return f"{f.id}({handle}, ...)"
-        return None
-    if not isinstance(f, ast.Attribute):
-        return None
-    root = _root_name(f.value)
-    if root is None:
-        return None
-    if f.attr == "record" and "telemetry" in root:
-        return f"{root}.record"
-    if f.attr == "instant" and "trace" in root:
-        return f"{root}.instant"
-    if f.attr == "account" and "mem" in root.lower():
-        return f"{root}.account"
-    if f.attr in BUMPS and root.isupper():
-        return f"{root}...{f.attr}"
-    return None
+PRAGMA = ObsGating.pragma
 
 
 def check_file(path: Path) -> list:
     """``[(lineno, label), ...]`` of ungated observability calls."""
-    source = path.read_text()
-    lines = source.splitlines()
-    tree = ast.parse(source, filename=str(path))
-
-    parents = {}
-    for node in ast.walk(tree):
-        for child in ast.iter_child_nodes(node):
-            parents[child] = node
-
-    violations = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        label = _classify(node)
-        if label is None:
-            continue
-        # gated: any ancestor ``if`` consulting a guard
-        anc, gated, func_def = node, False, None
-        while anc in parents:
-            anc = parents[anc]
-            if isinstance(anc, ast.If) and _is_guard_test(anc.test):
-                gated = True
-                break
-            if (func_def is None
-                    and isinstance(anc, (ast.FunctionDef,
-                                         ast.AsyncFunctionDef))):
-                func_def = anc
-        if gated:
-            continue
-        # pragma: on the call's lines, or between the enclosing def and it
-        start = (func_def.lineno if func_def is not None else node.lineno)
-        end = getattr(node, "end_lineno", node.lineno)
-        if any(PRAGMA in lines[i] for i in range(start - 1, end)):
-            continue
-        violations.append((node.lineno, label))
-    return violations
+    return ObsGating().violations(FileContext.parse(Path(path)))
 
 
 def iter_default_files(root: Path):
@@ -146,7 +52,7 @@ def main(argv=None) -> int:
     if argv:
         files = [Path(a) for a in argv]
     else:
-        files = list(iter_default_files(Path(__file__).resolve().parents[1]))
+        files = list(iter_default_files(_REPO_ROOT))
     bad = 0
     for path in files:
         for lineno, label in check_file(path):

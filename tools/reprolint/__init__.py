@@ -1,0 +1,21 @@
+"""``tools.reprolint`` — pluggable AST invariant checker (docs/LINTING.md).
+
+The framework (:mod:`.core`) owns parsing, parent links, guard/scope
+helpers, pragma opt-outs, and diagnostic rendering; each enforced
+invariant is a :class:`~tools.reprolint.core.Checker` plugin under
+:mod:`.checkers`.  CI runs ``python -m tools.reprolint src/repro`` and
+gates merges on a clean report.
+"""
+
+from __future__ import annotations
+
+from .checkers import all_checkers, checkers_by_id
+from .cli import main
+from .core import (Checker, Diagnostic, FileContext, LintError,
+                   iter_python_files, run_files)
+
+__all__ = [
+    "Checker", "Diagnostic", "FileContext", "LintError",
+    "all_checkers", "checkers_by_id", "iter_python_files", "run_files",
+    "main",
+]

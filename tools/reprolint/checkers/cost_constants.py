@@ -1,0 +1,85 @@
+"""``cost-constants``: tunables are defined in the cost model, not inline.
+
+PR 4's engine refactor put every chooser threshold behind ONE module
+(``engine/cost.py``; storage-format thresholds in ``storage/policy.py``)
+so a monkeypatch there re-routes every call that consults it — the
+forcing idiom the planner-parity and ablation suites rely on.  A numeric
+ALL-CAPS tunable defined inline in a rule, kernel, or the operations
+façade silently escapes that contract: tests can no longer force the
+path it gates, and the "constants live in one place" layering erodes one
+convenience constant at a time.
+
+The rule: inside ``grb/engine/`` (except ``cost.py``), ``grb/_kernels/``,
+``grb/storage/`` (except ``policy.py``) and ``grb/operations.py``, a
+module-level ``ALL_CAPS = <number>`` assignment is a violation.  Strings,
+tuples of names, compiled regexes etc. are not tunables and pass.
+
+Kernel *mechanism* caps — constants that tune how a chosen kernel
+executes rather than which kernel is chosen (see the ``engine/cost.py``
+docstring) — are the sanctioned exception: annotate with
+``# cost: mechanism-cap (reason)`` on the assignment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Checker, Diagnostic, FileContext
+
+
+def _is_numeric_expr(node: ast.AST) -> bool:
+    """A literal number, or arithmetic over literal numbers (``1 << 26``)."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and not isinstance(
+            node.value, bool)
+    if isinstance(node, ast.UnaryOp):
+        return _is_numeric_expr(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_numeric_expr(node.left) and _is_numeric_expr(node.right)
+    return False
+
+
+class CostConstants(Checker):
+    rule_id = "cost-constants"
+    pragma = "cost: mechanism-cap"
+    description = ("numeric ALL-CAPS tunables may only be defined in "
+                   "engine/cost.py / storage/policy.py")
+    doc_anchor = "docs/LINTING.md#cost-constants"
+
+    def interested(self, posix_path: str) -> bool:
+        if posix_path.endswith(("engine/cost.py", "storage/policy.py")):
+            return False
+        return ("grb/engine/" in posix_path
+                or "grb/_kernels/" in posix_path
+                or "grb/storage/" in posix_path
+                or posix_path.endswith("grb/operations.py"))
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        out = []
+        body = getattr(ctx.tree, "body", [])
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            if not _is_numeric_expr(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if not (name.isupper() and len(name) > 1):
+                    continue
+                if self.waived(ctx, stmt):
+                    continue
+                out.append(self.diag(
+                    ctx, stmt,
+                    f"inline numeric tunable {name} — chooser constants "
+                    f"belong in engine/cost.py (or storage/policy.py); a "
+                    f"kernel mechanism cap may stay with "
+                    f"'# {self.pragma} (reason)'",
+                    detail=name))
+        return out

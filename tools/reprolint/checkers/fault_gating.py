@@ -1,0 +1,62 @@
+"""``fault-gating``: fault-injection hooks are free when idle.
+
+The chaos harness (``repro.testing.faults``, ``docs/RESILIENCE.md``)
+promises that a compiled hook site costs one module-global bool read
+when no injector is installed::
+
+    if _faults.ACTIVE:
+        _faults.fire("kernel", op=plan.op)
+
+``fire`` itself takes the injector lock and builds an info dict — an
+ungated call site pays that on *every* dispatch, breaking the ≤2%
+no-fault overhead budget the chaos suite's tripwire pins dynamically.
+This rule pins it statically: every ``*faults*.fire(...)`` call must sit
+under an ``if`` (or conditional expression) that reads an ``ACTIVE``
+flag.  The harness implementation itself (``repro/testing/``) is exempt.
+
+Opt-out: ``# faults: gated-by-caller (reason)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Checker, Diagnostic, FileContext, guarded_by, root_name
+
+GUARD_FLAGS = ("ACTIVE",)
+
+
+class FaultGating(Checker):
+    rule_id = "fault-gating"
+    pragma = "faults: gated-by-caller"
+    description = ("every faults.fire(...) site must sit under "
+                   "'if faults.ACTIVE' (one bool read when idle)")
+    doc_anchor = "docs/LINTING.md#fault-gating"
+
+    def interested(self, posix_path: str) -> bool:
+        # the harness implements fire(); its own internals are exempt
+        return "repro/testing/" not in posix_path
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        out = []
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "fire"):
+                continue
+            root = root_name(node.func.value)
+            if root is None or "faults" not in root:
+                continue
+            if guarded_by(ctx, node, flags=GUARD_FLAGS):
+                continue
+            if self.waived(ctx, node,
+                           anchor=ctx.enclosing_function(node) or node):
+                continue
+            out.append(self.diag(
+                ctx, node,
+                f"ungated fault-injection site {root}.fire(...) — wrap in "
+                f"'if {root}.ACTIVE:' or add '# {self.pragma} (reason)' "
+                f"(idle-cost contract, docs/RESILIENCE.md)",
+                detail=f"{root}.fire"))
+        return out

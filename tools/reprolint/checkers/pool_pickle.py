@@ -1,0 +1,134 @@
+"""``pool-pickle``: worker task specs are built from picklable pieces.
+
+Every task dict handed to :meth:`repro.grb.pool.pool.WorkerPool.run_tasks`
+(or sent down a worker pipe) crosses a process boundary by pickle.  The
+sanctioned building blocks are constants, numpy arrays and slices of
+them, tuples/dicts/lists of those, operand references from
+``pool.matrix_ref`` / ``publish_graph`` (inline buffers or ``Placement``
+descriptors), and compiled fault specs — all picklable by construction
+(``docs/PARALLEL.md``).
+
+What reliably is *not* picklable — and what this rule detects inside the
+argument expressions that flow into a task submission (one level of
+local-variable resolution deep):
+
+* ``lambda`` expressions,
+* references to locally-defined (closure) functions,
+* generator expressions (pickle refuses generators), and
+* ``open(...)`` handles.
+
+A spec that smuggles one of these in fails at submission time on the
+first pool-enabled run — which tests with ``REPRO_POOL_WORKERS`` unset
+never exercise; this rule fails it at lint time instead.
+
+Opt-out: ``# pool: pickle-safe (reason)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set
+
+from ..core import Checker, Diagnostic, FileContext, dotted_tail
+
+#: call names whose arguments are (or contain) task specs.
+SUBMIT_CALLS = {"run_tasks"}
+#: attribute sends on a pipe-ish receiver (``worker.conn.send(task)``).
+SEND_RECEIVERS = ("conn",)
+#: calls that yield unpicklable handles.
+FORBIDDEN_CALLS = {"open"}
+
+
+class PoolPickle(Checker):
+    rule_id = "pool-pickle"
+    pragma = "pool: pickle-safe"
+    description = ("pool task specs must be built from picklable pieces — "
+                   "no lambdas, closures, generators, or open handles")
+    doc_anchor = "docs/LINTING.md#pool-pickle"
+
+    def interested(self, posix_path: str) -> bool:
+        return ("/pool/" in posix_path
+                or posix_path.endswith("engine/pool_rules.py"))
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        out: List[Diagnostic] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            tail = dotted_tail(node.func)
+            if tail in SUBMIT_CALLS:
+                pass
+            elif (tail == "send" and isinstance(node.func, ast.Attribute)
+                    and (dotted_tail(node.func.value) or "") in
+                    SEND_RECEIVERS):
+                pass
+            else:
+                continue
+            out.extend(self._check_spec_args(ctx, node))
+        return out
+
+    def _check_spec_args(self, ctx: FileContext,
+                         site: ast.Call) -> List[Diagnostic]:
+        fn = ctx.enclosing_function(site)
+        local_defs = self._local_defs(fn)
+        assigns = self._local_assigns(fn)
+        out = []
+        seen_lines: Set[int] = set()
+        for arg in list(site.args) + [kw.value for kw in site.keywords]:
+            for bad, why in self._forbidden(arg, local_defs, assigns):
+                if bad.lineno in seen_lines:
+                    continue
+                seen_lines.add(bad.lineno)
+                if self.waived(ctx, bad, anchor=fn or bad):
+                    continue
+                out.append(self.diag(
+                    ctx, bad,
+                    f"{why} in a pool task spec — workers unpickle specs "
+                    f"in another process; build them from picklable "
+                    f"pieces (docs/PARALLEL.md) or add "
+                    f"'# {self.pragma} (reason)'",
+                    detail=why))
+        return out
+
+    def _local_defs(self, fn) -> Set[str]:
+        """Names of functions defined inside ``fn`` (closures)."""
+        if fn is None:
+            return set()
+        return {n.name for n in ast.walk(fn)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and n is not fn}
+
+    def _local_assigns(self, fn) -> Dict[str, List[ast.AST]]:
+        """name → assigned value expressions within ``fn``."""
+        if fn is None:
+            return {}
+        out: Dict[str, List[ast.AST]] = {}
+        for n in ast.walk(fn):
+            if isinstance(n, ast.Assign):
+                for t in n.targets:
+                    if isinstance(t, ast.Name):
+                        out.setdefault(t.id, []).append(n.value)
+            elif isinstance(n, ast.AnnAssign) and n.value is not None \
+                    and isinstance(n.target, ast.Name):
+                out.setdefault(n.target.id, []).append(n.value)
+        return out
+
+    def _forbidden(self, expr: ast.AST, local_defs: Set[str],
+                   assigns: Dict[str, List[ast.AST]], *,
+                   depth: int = 1) -> Iterable:
+        for n in ast.walk(expr):
+            if isinstance(n, ast.Lambda):
+                yield n, "lambda"
+            elif isinstance(n, ast.GeneratorExp):
+                yield n, "generator expression"
+            elif isinstance(n, ast.Call):
+                name = dotted_tail(n.func)
+                if name in FORBIDDEN_CALLS:
+                    yield n, f"{name}() handle"
+            elif isinstance(n, ast.Name):
+                if n.id in local_defs and isinstance(n.ctx, ast.Load):
+                    yield n, f"closure function '{n.id}'"
+                elif depth > 0 and isinstance(n.ctx, ast.Load):
+                    for value in assigns.get(n.id, ()):
+                        yield from self._forbidden(
+                            value, local_defs, assigns, depth=depth - 1)
